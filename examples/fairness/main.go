@@ -1,0 +1,39 @@
+// Fairness study: reproduce the mechanism behind the paper's Table 1 and
+// Figure 11 at example scale. Slow devices hold more data; SyncFL with
+// over-selection silently drops them, so the model it trains is measurably
+// worse for data-rich clients. AsyncFL receives everyone's update (just
+// down-weighted by staleness) and keeps the gap closed.
+package main
+
+import (
+	"fmt"
+
+	papaya "repro"
+)
+
+func main() {
+	scale := papaya.ScaleSmall()
+
+	fmt.Println("running fig11 (participation distributions + KS bias test)...")
+	fig11, err := experimentByID("fig11")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fig11.Run(scale).String())
+
+	fmt.Println("running table1 (perplexity by data-volume percentile)...")
+	table1, err := experimentByID("table1")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(table1.Run(scale).String())
+}
+
+func experimentByID(id string) (papaya.Experiment, error) {
+	for _, e := range papaya.Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return papaya.Experiment{}, fmt.Errorf("experiment %q not found", id)
+}

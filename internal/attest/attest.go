@@ -1,0 +1,104 @@
+// Package attest simulates the Intel SGX remote attestation of Appendix C.1.
+//
+// The paper's deployment uses SGX quotes verified against Intel's collateral
+// to convince clients that (a) a legitimate enclave is running, (b) it runs
+// the published trusted binary, and (c) it was launched with the
+// server-claimed public parameters. We reproduce the protocol roles with a
+// software hardware-root: an Ed25519 key pair stands in for the CPU's
+// attestation key and Intel's verification collateral. The trust argument
+// obviously does not transfer to a simulation — what transfers, and what the
+// tests exercise, is the protocol logic: quotes bind (binary hash, params
+// hash, report data) together, and any mismatch or tamper is rejected.
+package attest
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Quote is a simulated attestation quote: the enclave's measurement
+// (BinaryHash), the hash of its launch parameters, and caller-chosen report
+// data (the secure aggregation protocol embeds the DH initial message here),
+// all signed by the hardware root.
+type Quote struct {
+	BinaryHash [32]byte // measurement of the trusted binary
+	ParamsHash [32]byte // hash of the public protocol parameters
+	ReportData [32]byte // protocol-specific binding (e.g. DH key hash)
+	Signature  []byte   // hardware-root signature over the above
+}
+
+// Hardware is the simulated CPU attestation root. One Hardware instance
+// plays the role of Intel's provisioning for all enclaves in a deployment.
+type Hardware struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewHardware creates a hardware root with a fresh attestation key.
+func NewHardware(random io.Reader) (*Hardware, error) {
+	pub, priv, err := ed25519.GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generating hardware key: %w", err)
+	}
+	return &Hardware{priv: priv, pub: pub}, nil
+}
+
+// Collateral returns the public verification key ("Intel's collateral").
+func (h *Hardware) Collateral() ed25519.PublicKey { return h.pub }
+
+// quotePayload serializes the signed portion of a quote.
+func quotePayload(q *Quote) []byte {
+	buf := make([]byte, 0, 96+16)
+	buf = append(buf, []byte("papaya/attest/v1")...)
+	buf = append(buf, q.BinaryHash[:]...)
+	buf = append(buf, q.ParamsHash[:]...)
+	buf = append(buf, q.ReportData[:]...)
+	return buf
+}
+
+// Attest produces a quote for an enclave with the given measurement and
+// parameters, binding in the caller's report data.
+func (h *Hardware) Attest(binaryHash, paramsHash [32]byte, reportData []byte) Quote {
+	q := Quote{
+		BinaryHash: binaryHash,
+		ParamsHash: paramsHash,
+		ReportData: sha256.Sum256(reportData),
+	}
+	q.Signature = ed25519.Sign(h.priv, quotePayload(&q))
+	return q
+}
+
+// Errors returned by Verify, distinguished so callers can report exactly
+// which check failed (the client aborts in all cases, Figure 19 step 3).
+var (
+	ErrBadSignature = errors.New("attest: quote signature invalid")
+	ErrWrongBinary  = errors.New("attest: enclave binary hash does not match the published binary")
+	ErrWrongParams  = errors.New("attest: enclave launched with different public parameters")
+	ErrWrongReport  = errors.New("attest: report data does not match the expected binding")
+)
+
+// Verify checks a quote against the hardware collateral, the expected
+// trusted-binary measurement, the expected parameter hash, and the expected
+// report data (pre-hash). This is the client-side check of Figure 19.
+func Verify(collateral ed25519.PublicKey, q Quote, wantBinary, wantParams [32]byte, reportData []byte) error {
+	if !ed25519.Verify(collateral, quotePayload(&q), q.Signature) {
+		return ErrBadSignature
+	}
+	if q.BinaryHash != wantBinary {
+		return ErrWrongBinary
+	}
+	if q.ParamsHash != wantParams {
+		return ErrWrongParams
+	}
+	if q.ReportData != sha256.Sum256(reportData) {
+		return ErrWrongReport
+	}
+	return nil
+}
+
+// MeasureBinary computes the measurement of a trusted binary, the hash that
+// is published to the verifiable log before deployment (Figure 20 step 0).
+func MeasureBinary(binary []byte) [32]byte { return sha256.Sum256(binary) }

@@ -1,0 +1,107 @@
+package attest
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+func fixture(t *testing.T) (*Hardware, [32]byte, [32]byte, []byte, Quote) {
+	t.Helper()
+	hw, err := NewHardware(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary := MeasureBinary([]byte("trusted-tsa-v1"))
+	params := MeasureBinary([]byte("params: G=Z_2^32, l=1000, t=50"))
+	report := []byte("dh-initial-message-bytes")
+	return hw, binary, params, report, hw.Attest(binary, params, report)
+}
+
+func TestVerifyValidQuote(t *testing.T) {
+	hw, binary, params, report, q := fixture(t)
+	if err := Verify(hw.Collateral(), q, binary, params, report); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectWrongBinary(t *testing.T) {
+	hw, _, params, report, q := fixture(t)
+	evil := MeasureBinary([]byte("evil-binary"))
+	if err := Verify(hw.Collateral(), q, evil, params, report); !errors.Is(err, ErrWrongBinary) {
+		t.Fatalf("err = %v, want ErrWrongBinary", err)
+	}
+}
+
+func TestRejectWrongParams(t *testing.T) {
+	hw, binary, _, report, q := fixture(t)
+	evil := MeasureBinary([]byte("t=1 (threshold disabled)"))
+	if err := Verify(hw.Collateral(), q, binary, evil, report); !errors.Is(err, ErrWrongParams) {
+		t.Fatalf("err = %v, want ErrWrongParams", err)
+	}
+}
+
+func TestRejectWrongReportData(t *testing.T) {
+	hw, binary, params, _, q := fixture(t)
+	if err := Verify(hw.Collateral(), q, binary, params, []byte("replayed")); !errors.Is(err, ErrWrongReport) {
+		t.Fatalf("err = %v, want ErrWrongReport", err)
+	}
+}
+
+func TestRejectTamperedSignature(t *testing.T) {
+	hw, binary, params, report, q := fixture(t)
+	q.Signature = append([]byte(nil), q.Signature...)
+	q.Signature[0] ^= 1
+	if err := Verify(hw.Collateral(), q, binary, params, report); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestRejectTamperedFields(t *testing.T) {
+	hw, binary, params, report, q := fixture(t)
+	// Flipping any signed field invalidates the signature.
+	q2 := q
+	q2.BinaryHash[0] ^= 1
+	if Verify(hw.Collateral(), q2, q2.BinaryHash, params, report) == nil {
+		t.Fatal("tampered binary hash accepted")
+	}
+	q3 := q
+	q3.ReportData[0] ^= 1
+	if Verify(hw.Collateral(), q3, binary, params, report) == nil {
+		t.Fatal("tampered report data accepted")
+	}
+}
+
+func TestRejectForeignHardware(t *testing.T) {
+	hw1, binary, params, report, q := fixture(t)
+	_ = hw1
+	hw2, err := NewHardware(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(hw2.Collateral(), q, binary, params, report); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("quote verified under foreign collateral: %v", err)
+	}
+}
+
+func TestQuotesBindReportData(t *testing.T) {
+	hw, binary, params, _, _ := fixture(t)
+	q1 := hw.Attest(binary, params, []byte("exchange-1"))
+	q2 := hw.Attest(binary, params, []byte("exchange-2"))
+	if q1.ReportData == q2.ReportData {
+		t.Fatal("distinct report data produced identical bindings")
+	}
+	// Cross-verification must fail: q1 cannot vouch for exchange-2.
+	if err := Verify(hw.Collateral(), q1, binary, params, []byte("exchange-2")); err == nil {
+		t.Fatal("quote accepted for the wrong exchange")
+	}
+}
+
+func TestMeasureBinaryStable(t *testing.T) {
+	if MeasureBinary([]byte("x")) != MeasureBinary([]byte("x")) {
+		t.Fatal("measurement not deterministic")
+	}
+	if MeasureBinary([]byte("x")) == MeasureBinary([]byte("y")) {
+		t.Fatal("distinct binaries share a measurement")
+	}
+}

@@ -1,0 +1,134 @@
+// Package buffer implements PAPAYA's buffered model aggregation (Section
+// 6.3): the component that accumulates weighted client updates until the
+// aggregation goal K is reached, then releases a single aggregated update
+// for the server optimizer.
+//
+// To support the 30x higher server-update throughput of AsyncFL, aggregation
+// is sharded: incoming updates are added into one of several intermediate
+// aggregates chosen by a caller-supplied shard hint (the paper hashes the
+// aggregating thread's ID), so concurrent Adds contend only on their shard's
+// lock. Release folds the shards together, normalizes by total weight, and
+// resets the buffer.
+//
+// The same type serves SyncFL: a round is simply a buffer with goal equal to
+// the round's aggregation goal and staleness zero.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/vecf"
+)
+
+// Buffered is a goal-triggered weighted aggregation buffer. It is safe for
+// concurrent Add calls.
+type Buffered struct {
+	numParams int
+	goal      int
+	shards    []shard
+	count     atomic.Int64
+	released  atomic.Int64 // number of Release calls, for stats
+
+	releaseMu sync.Mutex // serializes Release against itself
+}
+
+type shard struct {
+	mu     sync.Mutex
+	sum    []float32
+	weight float64
+	n      int
+	_      [32]byte // pad to reduce false sharing between adjacent shards
+}
+
+// New creates a buffer for updates of length numParams with the given
+// aggregation goal and shard count. It panics on non-positive arguments.
+func New(numParams, goal, shards int) *Buffered {
+	if numParams <= 0 || goal <= 0 || shards <= 0 {
+		panic("buffer: numParams, goal, and shards must be positive")
+	}
+	b := &Buffered{numParams: numParams, goal: goal, shards: make([]shard, shards)}
+	for i := range b.shards {
+		b.shards[i].sum = make([]float32, numParams)
+	}
+	return b
+}
+
+// Goal returns the aggregation goal K.
+func (b *Buffered) Goal() int { return b.goal }
+
+// SetGoal changes the aggregation goal. It must not be called concurrently
+// with Add; it exists so a task can be reconfigured between rounds (e.g.
+// when switching between SyncFL and AsyncFL, Appendix E.3).
+func (b *Buffered) SetGoal(goal int) {
+	if goal <= 0 {
+		panic("buffer: goal must be positive")
+	}
+	b.goal = goal
+}
+
+// Count returns the number of updates buffered since the last Release.
+func (b *Buffered) Count() int { return int(b.count.Load()) }
+
+// Releases returns how many times the buffer has been released.
+func (b *Buffered) Releases() int { return int(b.released.Load()) }
+
+// Add accumulates one weighted client update. shardHint selects the
+// intermediate aggregate (any value; it is reduced modulo the shard count).
+// It returns true exactly once per goal-full: for the Add call that makes
+// the buffered count reach the goal. The caller that receives true is
+// responsible for calling Release.
+//
+// Add panics if the update length is wrong or the weight is not positive,
+// since silently dropping a client's contribution would corrupt training.
+func (b *Buffered) Add(update []float32, weight float64, shardHint int) bool {
+	if len(update) != b.numParams {
+		panic(fmt.Sprintf("buffer: update length %d, want %d", len(update), b.numParams))
+	}
+	if weight <= 0 {
+		panic("buffer: weight must be positive")
+	}
+	if shardHint < 0 {
+		shardHint = -shardHint
+	}
+	s := &b.shards[shardHint%len(b.shards)]
+	s.mu.Lock()
+	vecf.AXPY(s.sum, float32(weight), update)
+	s.weight += weight
+	s.n++
+	s.mu.Unlock()
+	return b.count.Add(1) == int64(b.goal)
+}
+
+// Release folds all shards into the final weighted-mean update
+// sum_i(w_i * u_i) / sum_i(w_i), resets the buffer, and returns the update
+// together with the total weight and the number of client updates it
+// aggregates. Calling Release on an empty buffer panics: it signals a
+// protocol bug (a release without a triggering Add).
+func (b *Buffered) Release() (update []float32, totalWeight float64, n int) {
+	b.releaseMu.Lock()
+	defer b.releaseMu.Unlock()
+
+	update = make([]float32, b.numParams)
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.Lock()
+		if s.n > 0 {
+			vecf.Add(update, s.sum)
+			totalWeight += s.weight
+			n += s.n
+			vecf.Zero(s.sum)
+			s.weight = 0
+			s.n = 0
+		}
+		s.mu.Unlock()
+	}
+	if n == 0 {
+		panic("buffer: Release on empty buffer")
+	}
+	b.count.Add(int64(-n))
+	b.released.Add(1)
+	vecf.Scale(update, float32(1/totalWeight))
+	return update, totalWeight, n
+}

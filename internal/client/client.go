@@ -1,0 +1,378 @@
+// Package client implements PAPAYA's edge runtime (Section 4 "Client
+// Runtime", Appendix E.5): the example store with retention policy, the
+// executor abstraction over training logic, device eligibility (idle,
+// charging, unmetered network), participation history, and the four-stage
+// participation protocol — download, train, report, chunked upload — all
+// inside a virtual session, with transparent failover to another Selector
+// and optional Asynchronous SecAgg on the upload path.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/fedopt"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/secagg"
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/vecf"
+)
+
+// ExampleStore collects training data in persistent storage and enforces the
+// data use and retention policy (Appendix E.5): examples older than MaxAge
+// are evicted, and at most MaxCount examples are retained (oldest first).
+type ExampleStore struct {
+	mu       sync.Mutex
+	maxCount int
+	maxAge   time.Duration
+	items    []storedExample
+}
+
+type storedExample struct {
+	seq []int
+	at  time.Time
+}
+
+// NewExampleStore creates a store. maxCount <= 0 means unlimited count;
+// maxAge <= 0 means unlimited age.
+func NewExampleStore(maxCount int, maxAge time.Duration) *ExampleStore {
+	return &ExampleStore{maxCount: maxCount, maxAge: maxAge}
+}
+
+// Add records one example observed at the given time.
+func (s *ExampleStore) Add(seq []int, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, storedExample{seq: seq, at: at})
+	if s.maxCount > 0 && len(s.items) > s.maxCount {
+		s.items = s.items[len(s.items)-s.maxCount:]
+	}
+}
+
+// Examples returns the retained examples as of now, evicting expired ones.
+func (s *ExampleStore) Examples(now time.Time) [][]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxAge > 0 {
+		kept := s.items[:0]
+		for _, it := range s.items {
+			if now.Sub(it.at) <= s.maxAge {
+				kept = append(kept, it)
+			}
+		}
+		s.items = kept
+	}
+	out := make([][]int, len(s.items))
+	for i, it := range s.items {
+		out[i] = it.seq
+	}
+	return out
+}
+
+// Len returns the current number of retained examples (without evicting).
+func (s *ExampleStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Executor abstracts the training engine so different ML tasks (data source,
+// model, loss) can be swapped in (Appendix E.5).
+type Executor interface {
+	// Train runs local training from params over the examples and returns
+	// the model delta (trained - initial) and the observed training loss.
+	Train(params []float32, examples [][]int) (delta []float32, loss float64)
+}
+
+// SGDExecutor is the default executor: local SGD on an nn.Model, the
+// PyTorch-Mobile-equivalent in this reproduction.
+type SGDExecutor struct {
+	Model  nn.Model
+	Config nn.SGDConfig
+	Rng    *rng.RNG
+}
+
+// Train implements Executor.
+func (e *SGDExecutor) Train(params []float32, examples [][]int) ([]float32, float64) {
+	return nn.LocalUpdate(e.Model, params, examples, e.Config, e.Rng)
+}
+
+// DeviceState captures the eligibility criteria the client runtime monitors
+// (Section 7.1: "a client device can participate in FL training only when
+// idle, charging, and on an unmetered network").
+type DeviceState struct {
+	Idle      bool
+	Charging  bool
+	Unmetered bool
+}
+
+// Eligible reports whether the device may train right now.
+func (d DeviceState) Eligible() bool { return d.Idle && d.Charging && d.Unmetered }
+
+// Result summarizes one participation attempt.
+type Result struct {
+	// Outcome classifies the attempt.
+	Outcome Outcome
+	// Reason explains rejections and aborts.
+	Reason string
+	// TaskID is the task trained (when accepted).
+	TaskID string
+	// Loss is the local training loss (when training ran).
+	Loss float64
+	// Staleness is the observed version gap at upload (SecAgg path reports
+	// it; plaintext path learns it server-side).
+	Staleness int
+}
+
+// Outcome is a participation attempt's terminal state.
+type Outcome string
+
+const (
+	// Completed means the update was uploaded and accepted.
+	Completed Outcome = "completed"
+	// Rejected means selection failed (no demand); try again later.
+	Rejected Outcome = "rejected"
+	// Aborted means the server discarded the session (staleness, round
+	// close) after training started.
+	Aborted Outcome = "aborted"
+)
+
+// Errors returned by RunOnce.
+var (
+	ErrNotEligible = errors.New("client: device not eligible (must be idle, charging, unmetered)")
+	ErrTooSoon     = errors.New("client: minimum participation interval not elapsed")
+	ErrNoSelector  = errors.New("client: no reachable selector")
+	ErrNoExamples  = errors.New("client: example store is empty")
+)
+
+// Runtime is one device's FL client.
+type Runtime struct {
+	// ClientID identifies the device.
+	ClientID int64
+	// Capabilities gate task eligibility (Section 6.2).
+	Capabilities []string
+	// Store holds local training data.
+	Store *ExampleStore
+	// Exec runs local training.
+	Exec Executor
+	// Net and Selectors connect the device to the service; selectors are
+	// tried in order on failure (Appendix E.4 "clients retry through a
+	// different selector").
+	Net       *transport.Network
+	Selectors []string
+	// State is the current device condition.
+	State DeviceState
+	// MinInterval rate-limits participation using the device's history,
+	// supporting fair selection. Zero disables the check.
+	MinInterval time.Duration
+	// Random supplies SecAgg randomness (mask seeds, DH keys).
+	Random io.Reader
+	// Staleness mirrors the server's weighting policy for the SecAgg path,
+	// where the client applies its own weight before masking; nil means the
+	// paper's 1/sqrt(1+s).
+	Staleness fedopt.StalenessWeight
+
+	lastParticipation time.Time
+}
+
+func (r *Runtime) name() string { return fmt.Sprintf("client-%d", r.ClientID) }
+
+// RunOnce attempts one full participation: check-in, download, train,
+// report, upload. It returns ErrNotEligible/ErrTooSoon without contacting
+// the server, ErrNoSelector when the service is unreachable, and a Result
+// otherwise.
+func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
+	if !r.State.Eligible() {
+		return nil, ErrNotEligible
+	}
+	if r.MinInterval > 0 && !r.lastParticipation.IsZero() &&
+		now.Sub(r.lastParticipation) < r.MinInterval {
+		return nil, ErrTooSoon
+	}
+	examples := r.Store.Examples(now)
+	if len(examples) == 0 {
+		return nil, ErrNoExamples
+	}
+
+	// Selection phase: check in through the first reachable selector.
+	checkin, selector, err := r.checkin()
+	if err != nil {
+		return nil, err
+	}
+	if !checkin.Accepted {
+		return &Result{Outcome: Rejected, Reason: checkin.Reason}, nil
+	}
+	r.lastParticipation = now
+
+	// Participation stage 1: download model parameters.
+	dl, err := r.route(selector, checkin.TaskID, "download", server.DownloadRequest{
+		TaskID:    checkin.TaskID,
+		SessionID: checkin.SessionID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	download := dl.(server.DownloadResponse)
+
+	// Stage 2: local training.
+	delta, loss := r.Exec.Train(download.Params, examples)
+
+	// Stage 3: report status, receive upload (and SecAgg) configuration.
+	rep, err := r.route(selector, checkin.TaskID, "report", server.ReportRequest{
+		TaskID:    checkin.TaskID,
+		SessionID: checkin.SessionID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := rep.(server.ReportResponse)
+	if !report.OK {
+		return &Result{Outcome: Aborted, Reason: report.Reason, TaskID: checkin.TaskID, Loss: loss}, nil
+	}
+
+	// Stage 4: chunked upload, masked when SecAgg is enabled.
+	staleness := report.CurrentVersion - download.Version
+	if staleness < 0 {
+		staleness = 0
+	}
+	var uploadErr *Result
+	if report.SecAggEnabled {
+		uploadErr, err = r.uploadSecAgg(selector, checkin, report, delta, len(examples), staleness)
+	} else {
+		uploadErr, err = r.uploadPlain(selector, checkin, report, delta, len(examples))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if uploadErr != nil {
+		uploadErr.Loss = loss
+		return uploadErr, nil
+	}
+	return &Result{Outcome: Completed, TaskID: checkin.TaskID, Loss: loss, Staleness: staleness}, nil
+}
+
+// checkin tries each selector in order.
+func (r *Runtime) checkin() (server.CheckinResponse, string, error) {
+	req := server.CheckinRequest{ClientID: r.ClientID, Capabilities: r.Capabilities}
+	for _, sel := range r.Selectors {
+		resp, err := r.Net.Call(r.name(), sel, "checkin", req)
+		if err != nil {
+			continue // try the next selector
+		}
+		return resp.(server.CheckinResponse), sel, nil
+	}
+	return server.CheckinResponse{}, "", ErrNoSelector
+}
+
+// route sends an in-session call through the selector, failing over to the
+// remaining selectors on transport errors.
+func (r *Runtime) route(selector, taskID, method string, payload any) (any, error) {
+	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload}
+	if resp, err := r.Net.Call(r.name(), selector, "route", req); err == nil {
+		return resp, nil
+	}
+	for _, sel := range r.Selectors {
+		if sel == selector {
+			continue
+		}
+		if resp, err := r.Net.Call(r.name(), sel, "route", req); err == nil {
+			return resp, nil
+		}
+	}
+	return nil, ErrNoSelector
+}
+
+// uploadPlain ships the raw delta in chunks.
+func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
+	report server.ReportResponse, delta []float32, numExamples int) (*Result, error) {
+	for off := 0; off < len(delta); off += report.ChunkSize {
+		end := off + report.ChunkSize
+		if end > len(delta) {
+			end = len(delta)
+		}
+		chunk := server.UploadChunk{
+			TaskID:      checkin.TaskID,
+			SessionID:   checkin.SessionID,
+			Offset:      off,
+			Data:        delta[off:end],
+			Done:        end == len(delta),
+			NumExamples: numExamples,
+		}
+		resp, err := r.route(selector, checkin.TaskID, "upload-chunk", chunk)
+		if err != nil {
+			return nil, err
+		}
+		ur := resp.(server.UploadResponse)
+		if !ur.OK {
+			return &Result{Outcome: Aborted, Reason: ur.Reason, TaskID: checkin.TaskID}, nil
+		}
+	}
+	return nil, nil
+}
+
+// uploadSecAgg applies the client-side weight, encodes the weight-extended
+// vector, masks it, and ships the masked chunks plus the sealed seed
+// envelope. The plaintext delta never leaves the device.
+func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
+	report server.ReportResponse, delta []float32, numExamples, staleness int) (*Result, error) {
+	stale := r.Staleness
+	if stale == nil {
+		stale = fedopt.DefaultStaleness()
+	}
+	w := float64(numExamples) * stale(staleness)
+	if w <= 0 {
+		w = 1
+	}
+	weighted := vecf.Clone(delta)
+	vecf.Scale(weighted, float32(w))
+
+	codec := report.SecAggTrust.Params.Codec()
+	vec := make([]uint32, len(delta)+1)
+	for i, v := range weighted {
+		vec[i] = codec.Encode(float64(v))
+	}
+	vec[len(delta)] = codec.Encode(w)
+
+	sess, err := secagg.NewClientSession(report.SecAggTrust, *report.SecAggBundle, r.Random)
+	if err != nil {
+		return nil, fmt.Errorf("client: SecAgg validation failed, refusing to upload: %w", err)
+	}
+	up, err := sess.MaskGroupVector(vec, r.Random)
+	if err != nil {
+		return nil, err
+	}
+
+	for off := 0; off < len(up.Masked); off += report.ChunkSize {
+		end := off + report.ChunkSize
+		if end > len(up.Masked) {
+			end = len(up.Masked)
+		}
+		chunk := server.UploadChunk{
+			TaskID:      checkin.TaskID,
+			SessionID:   checkin.SessionID,
+			Offset:      off,
+			Masked:      up.Masked[off:end],
+			Done:        end == len(up.Masked),
+			NumExamples: numExamples,
+		}
+		if chunk.Done {
+			chunk.SecAggIndex = up.Index
+			chunk.SecAggCompleting = up.Completing
+			chunk.SecAggEncSeed = up.EncSeed
+		}
+		resp, err := r.route(selector, checkin.TaskID, "upload-chunk", chunk)
+		if err != nil {
+			return nil, err
+		}
+		ur := resp.(server.UploadResponse)
+		if !ur.OK {
+			return &Result{Outcome: Aborted, Reason: ur.Reason, TaskID: checkin.TaskID}, nil
+		}
+	}
+	return nil, nil
+}

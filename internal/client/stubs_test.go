@@ -1,0 +1,39 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// acceptAll is a stub selector that accepts every check-in and every
+// in-session call, returning minimally valid responses.
+func acceptAll(method string, payload any) (any, error) {
+	switch method {
+	case "checkin":
+		return server.CheckinResponse{
+			Accepted: true, TaskID: "t", Aggregator: "agg", SessionID: 1, Version: 0,
+		}, nil
+	case "route":
+		req := payload.(server.RouteRequest)
+		switch req.Method {
+		case "download":
+			// The 8x3 bilinear test model has 2*8*3+8 = 56 params.
+			return server.DownloadResponse{Params: make([]float32, 56), Version: 0}, nil
+		case "report":
+			return server.ReportResponse{OK: true, ChunkSize: 16}, nil
+		case "upload-chunk":
+			return server.UploadResponse{OK: true}, nil
+		}
+		return nil, fmt.Errorf("stub: unknown routed method %q", req.Method)
+	}
+	return nil, fmt.Errorf("stub: unknown method %q", method)
+}
+
+// rejectCheckin is a stub selector with no demand.
+func rejectCheckin(method string, payload any) (any, error) {
+	if method == "checkin" {
+		return server.CheckinResponse{Accepted: false, Reason: "no demand"}, nil
+	}
+	return nil, fmt.Errorf("stub: unexpected method %q", method)
+}

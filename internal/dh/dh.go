@@ -1,0 +1,177 @@
+// Package dh implements the Diffie–Hellman key exchange of Appendix A.1 as
+// used by the secure aggregation protocol (Figure 16, steps 1-3): the
+// trusted party pre-generates a batch of signed initial messages without
+// knowing which clients will claim them; a client validates the signature,
+// derives the shared secret from the initial message alone, and sends back a
+// completing message; the trusted party then derives the same secret and
+// retires the initial message so it can never be completed twice.
+//
+// The exchange uses X25519 with Ed25519 signatures over the initial
+// messages, and the shared secret is hashed with a protocol label before
+// use, so the raw ECDH output never leaves this package.
+package dh
+
+import (
+	"crypto/ecdh"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// SecretSize is the derived shared secret size in bytes.
+const SecretSize = 32
+
+var label = []byte("papaya/secagg/dh/v1")
+
+// InitialMessage is the trusted party's half of one key exchange: an indexed
+// X25519 public key signed by the trusted party's identity key.
+type InitialMessage struct {
+	Index     uint64
+	PublicKey []byte // 32-byte X25519 public key
+	Signature []byte // Ed25519 over (label, index, public key)
+}
+
+// signedPayload builds the byte string the signature covers.
+func signedPayload(index uint64, pub []byte) []byte {
+	buf := make([]byte, 0, len(label)+8+len(pub))
+	buf = append(buf, label...)
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], index)
+	buf = append(buf, idx[:]...)
+	return append(buf, pub...)
+}
+
+// Party is the trusted party's side of the protocol. It is safe for
+// concurrent use.
+type Party struct {
+	signKey ed25519.PrivateKey
+	pub     ed25519.PublicKey
+
+	mu    sync.Mutex
+	next  uint64
+	privs map[uint64]*ecdh.PrivateKey // pending exchanges; deleted on use
+}
+
+// NewParty creates a trusted party whose identity key is drawn from random.
+func NewParty(random io.Reader) (*Party, error) {
+	pub, priv, err := ed25519.GenerateKey(random)
+	if err != nil {
+		return nil, fmt.Errorf("dh: generating identity key: %w", err)
+	}
+	return &Party{signKey: priv, pub: pub, privs: make(map[uint64]*ecdh.PrivateKey)}, nil
+}
+
+// VerifyKey returns the public key clients use to validate initial messages.
+func (p *Party) VerifyKey() ed25519.PublicKey { return p.pub }
+
+// GenerateInitial produces n fresh signed initial messages. The paper's
+// trusted party runs "N > n" instances ahead of demand; callers may invoke
+// this repeatedly to replenish the pool.
+func (p *Party) GenerateInitial(random io.Reader, n int) ([]InitialMessage, error) {
+	if n <= 0 {
+		return nil, errors.New("dh: n must be positive")
+	}
+	msgs := make([]InitialMessage, 0, n)
+	for i := 0; i < n; i++ {
+		priv, err := ecdh.X25519().GenerateKey(random)
+		if err != nil {
+			return nil, fmt.Errorf("dh: generating X25519 key: %w", err)
+		}
+		p.mu.Lock()
+		idx := p.next
+		p.next++
+		p.privs[idx] = priv
+		p.mu.Unlock()
+		pub := priv.PublicKey().Bytes()
+		msgs = append(msgs, InitialMessage{
+			Index:     idx,
+			PublicKey: pub,
+			Signature: ed25519.Sign(p.signKey, signedPayload(idx, pub)),
+		})
+	}
+	return msgs, nil
+}
+
+// Complete finishes the exchange for the given initial-message index using
+// the client's completing message (its X25519 public key), returning the
+// derived shared secret. The index is retired: completing the same initial
+// message twice fails, which is what prevents a malicious server from
+// replaying one client's channel to a second enclave (Appendix C.1).
+func (p *Party) Complete(index uint64, completing []byte) ([]byte, error) {
+	p.mu.Lock()
+	priv, ok := p.privs[index]
+	if ok {
+		delete(p.privs, index)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dh: initial message %d unknown or already completed", index)
+	}
+	return deriveSecret(priv, completing)
+}
+
+// Pending returns the number of initial messages awaiting completion.
+func (p *Party) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.privs)
+}
+
+// VerifyInitial checks an initial message's signature against the trusted
+// party's public key.
+func VerifyInitial(verifyKey ed25519.PublicKey, msg InitialMessage) error {
+	if len(msg.PublicKey) == 0 {
+		return errors.New("dh: empty public key")
+	}
+	if !ed25519.Verify(verifyKey, signedPayload(msg.Index, msg.PublicKey), msg.Signature) {
+		return errors.New("dh: invalid signature on initial message")
+	}
+	return nil
+}
+
+// ClientComplete is the client's half: given a (pre-verified) initial
+// message it returns the completing message to send back and the shared
+// secret. The caller should run VerifyInitial first; ClientComplete verifies
+// again defensively and fails on tampered input.
+func ClientComplete(verifyKey ed25519.PublicKey, msg InitialMessage, random io.Reader) (completing, secret []byte, err error) {
+	if err := VerifyInitial(verifyKey, msg); err != nil {
+		return nil, nil, err
+	}
+	priv, err := ecdh.X25519().GenerateKey(random)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dh: generating client key: %w", err)
+	}
+	remote, err := ecdh.X25519().NewPublicKey(msg.PublicKey)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dh: parsing initial public key: %w", err)
+	}
+	shared, err := priv.ECDH(remote)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dh: ECDH: %w", err)
+	}
+	return priv.PublicKey().Bytes(), kdf(shared), nil
+}
+
+func deriveSecret(priv *ecdh.PrivateKey, completing []byte) ([]byte, error) {
+	remote, err := ecdh.X25519().NewPublicKey(completing)
+	if err != nil {
+		return nil, fmt.Errorf("dh: parsing completing message: %w", err)
+	}
+	shared, err := priv.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("dh: ECDH: %w", err)
+	}
+	return kdf(shared), nil
+}
+
+// kdf hashes the raw ECDH output with the protocol label.
+func kdf(shared []byte) []byte {
+	h := sha256.New()
+	h.Write(label)
+	h.Write(shared)
+	return h.Sum(nil)
+}

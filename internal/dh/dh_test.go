@@ -1,0 +1,174 @@
+package dh
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestExchangeDerivesSameSecret(t *testing.T) {
+	p, err := NewParty(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := p.GenerateInitial(rand.Reader, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, msg := range msgs {
+		completing, clientSecret, err := ClientComplete(p.VerifyKey(), msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partySecret, err := p.Complete(msg.Index, completing)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(clientSecret, partySecret) {
+			t.Fatal("client and party derived different secrets")
+		}
+		if len(clientSecret) != SecretSize {
+			t.Fatalf("secret size %d", len(clientSecret))
+		}
+	}
+}
+
+func TestSecretsDifferAcrossExchanges(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	msgs, _ := p.GenerateInitial(rand.Reader, 2)
+	var secrets [][]byte
+	for _, msg := range msgs {
+		completing, s, err := ClientComplete(p.VerifyKey(), msg, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Complete(msg.Index, completing); err != nil {
+			t.Fatal(err)
+		}
+		secrets = append(secrets, s)
+	}
+	if bytes.Equal(secrets[0], secrets[1]) {
+		t.Fatal("two exchanges produced identical secrets")
+	}
+}
+
+func TestDoubleCompleteRejected(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	msgs, _ := p.GenerateInitial(rand.Reader, 1)
+	completing, _, err := ClientComplete(p.VerifyKey(), msgs[0], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Complete(msgs[0].Index, completing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Complete(msgs[0].Index, completing); err == nil {
+		t.Fatal("second completion accepted")
+	}
+}
+
+func TestUnknownIndexRejected(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	if _, err := p.Complete(999, make([]byte, 32)); err == nil {
+		t.Fatal("unknown index accepted")
+	}
+}
+
+func TestTamperedSignatureRejected(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	msgs, _ := p.GenerateInitial(rand.Reader, 1)
+	msg := msgs[0]
+	msg.Signature = append([]byte(nil), msg.Signature...)
+	msg.Signature[0] ^= 1
+	if err := VerifyInitial(p.VerifyKey(), msg); err == nil {
+		t.Fatal("tampered signature accepted")
+	}
+	if _, _, err := ClientComplete(p.VerifyKey(), msg, rand.Reader); err == nil {
+		t.Fatal("ClientComplete accepted tampered message")
+	}
+}
+
+func TestTamperedKeyRejected(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	msgs, _ := p.GenerateInitial(rand.Reader, 1)
+	msg := msgs[0]
+	msg.PublicKey = append([]byte(nil), msg.PublicKey...)
+	msg.PublicKey[5] ^= 0xff
+	if err := VerifyInitial(p.VerifyKey(), msg); err == nil {
+		t.Fatal("tampered key accepted")
+	}
+}
+
+func TestTamperedIndexRejected(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	msgs, _ := p.GenerateInitial(rand.Reader, 1)
+	msg := msgs[0]
+	msg.Index = 12345
+	if err := VerifyInitial(p.VerifyKey(), msg); err == nil {
+		t.Fatal("reindexed message accepted")
+	}
+}
+
+func TestWrongVerifyKeyRejected(t *testing.T) {
+	p1, _ := NewParty(rand.Reader)
+	p2, _ := NewParty(rand.Reader)
+	msgs, _ := p1.GenerateInitial(rand.Reader, 1)
+	if err := VerifyInitial(p2.VerifyKey(), msgs[0]); err == nil {
+		t.Fatal("message verified under the wrong party key")
+	}
+}
+
+func TestMalformedCompletingRejected(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	msgs, _ := p.GenerateInitial(rand.Reader, 1)
+	if _, err := p.Complete(msgs[0].Index, []byte{1, 2, 3}); err == nil {
+		t.Fatal("malformed completing message accepted")
+	}
+}
+
+func TestPendingAccounting(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	if p.Pending() != 0 {
+		t.Fatal("fresh party has pending exchanges")
+	}
+	msgs, _ := p.GenerateInitial(rand.Reader, 5)
+	if p.Pending() != 5 {
+		t.Fatalf("Pending = %d", p.Pending())
+	}
+	completing, _, _ := ClientComplete(p.VerifyKey(), msgs[0], rand.Reader)
+	if _, err := p.Complete(msgs[0].Index, completing); err != nil {
+		t.Fatal(err)
+	}
+	if p.Pending() != 4 {
+		t.Fatalf("Pending after complete = %d", p.Pending())
+	}
+}
+
+func TestGenerateInitialValidation(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	if _, err := p.GenerateInitial(rand.Reader, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestIndicesAreUnique(t *testing.T) {
+	p, _ := NewParty(rand.Reader)
+	a, _ := p.GenerateInitial(rand.Reader, 3)
+	b, _ := p.GenerateInitial(rand.Reader, 3)
+	seen := map[uint64]bool{}
+	for _, m := range append(a, b...) {
+		if seen[m.Index] {
+			t.Fatalf("duplicate index %d", m.Index)
+		}
+		seen[m.Index] = true
+	}
+}
+
+func BenchmarkFullExchange(b *testing.B) {
+	p, _ := NewParty(rand.Reader)
+	for i := 0; i < b.N; i++ {
+		msgs, _ := p.GenerateInitial(rand.Reader, 1)
+		completing, _, _ := ClientComplete(p.VerifyKey(), msgs[0], rand.Reader)
+		_, _ = p.Complete(msgs[0].Index, completing)
+	}
+}

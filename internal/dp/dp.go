@@ -1,0 +1,120 @@
+// Package dp implements the differential-privacy extension the paper's
+// conclusion names as future work ("PAPAYA can be extended with features to
+// enable differential privacy"): central DP-FedAvg-style training in which
+// each client update is L2-clipped to bound its sensitivity and calibrated
+// Gaussian noise is added to every released aggregate.
+//
+// The accountant uses basic (linear) composition of zCDP converted from the
+// Gaussian mechanism: each release with noise multiplier z (noise stddev =
+// z * clip / K on the mean) costs rho = 1/(2 z^2) zCDP; after T releases the
+// (epsilon, delta) guarantee is epsilon = rho*T + 2*sqrt(rho*T*ln(1/delta)).
+// This is deliberately the simplest sound accountant; swapping in a tighter
+// one (RDP moments) changes only this file.
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecf"
+)
+
+// Config parameterizes central differential privacy for federated training.
+type Config struct {
+	// Clip is the L2 bound applied to every client update before
+	// aggregation; this is the mechanism's sensitivity.
+	Clip float64
+	// NoiseMultiplier z scales the Gaussian noise: the noise added to the
+	// *sum* of updates has standard deviation z * Clip per coordinate.
+	NoiseMultiplier float64
+	// Delta is the target delta for reporting epsilon.
+	Delta float64
+	// Seed drives the noise stream.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Clip <= 0:
+		return fmt.Errorf("dp: Clip must be positive")
+	case c.NoiseMultiplier <= 0:
+		return fmt.Errorf("dp: NoiseMultiplier must be positive")
+	case c.Delta <= 0 || c.Delta >= 1:
+		return fmt.Errorf("dp: Delta must be in (0,1)")
+	}
+	return nil
+}
+
+// Mechanism clips client updates and noises aggregates, tracking the
+// cumulative privacy cost. It is not safe for concurrent use; the
+// aggregator serializes releases.
+type Mechanism struct {
+	cfg      Config
+	noise    *rng.RNG
+	releases int
+}
+
+// New creates a mechanism. It panics on invalid configuration.
+func New(cfg Config) *Mechanism {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Mechanism{cfg: cfg, noise: rng.New(cfg.Seed)}
+}
+
+// ClipUpdate bounds a client update's L2 norm to the configured clip in
+// place and returns the pre-clip norm. Every update must pass through here
+// before entering the aggregation buffer, otherwise the sensitivity bound —
+// and therefore the privacy guarantee — is void.
+func (m *Mechanism) ClipUpdate(update []float32) float64 {
+	return vecf.ClipNorm(update, m.cfg.Clip)
+}
+
+// NoiseAggregate adds Gaussian noise calibrated for a sum of clipped
+// updates, then accounts for the release. aggregated must be the MEAN of k
+// updates (the buffer's output); the noise applied to the mean is
+// z*Clip/k per coordinate, equivalent to z*Clip on the sum.
+func (m *Mechanism) NoiseAggregate(aggregated []float32, k int) {
+	if k < 1 {
+		panic("dp: k must be >= 1")
+	}
+	sigma := m.cfg.NoiseMultiplier * m.cfg.Clip / float64(k)
+	for i := range aggregated {
+		aggregated[i] += float32(sigma * m.noise.NormFloat64())
+	}
+	m.releases++
+}
+
+// Releases returns the number of noised aggregates so far.
+func (m *Mechanism) Releases() int { return m.releases }
+
+// rho returns the per-release zCDP cost of the Gaussian mechanism.
+func (m *Mechanism) rho() float64 {
+	z := m.cfg.NoiseMultiplier
+	return 1 / (2 * z * z)
+}
+
+// Epsilon returns the cumulative (epsilon, delta) guarantee after all
+// releases so far, via zCDP composition: eps = rho*T + 2*sqrt(rho*T*ln(1/d)).
+func (m *Mechanism) Epsilon() float64 {
+	if m.releases == 0 {
+		return 0
+	}
+	rhoT := m.rho() * float64(m.releases)
+	return rhoT + 2*math.Sqrt(rhoT*math.Log(1/m.cfg.Delta))
+}
+
+// Delta returns the configured delta.
+func (m *Mechanism) Delta() float64 { return m.cfg.Delta }
+
+// EpsilonAfter predicts the guarantee after t releases, for budgeting runs
+// ahead of time.
+func (m *Mechanism) EpsilonAfter(t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	rhoT := m.rho() * float64(t)
+	return rhoT + 2*math.Sqrt(rhoT*math.Log(1/m.cfg.Delta))
+}

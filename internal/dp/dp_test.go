@@ -1,0 +1,177 @@
+package dp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/vecf"
+)
+
+func testConfig() Config {
+	return Config{Clip: 1.0, NoiseMultiplier: 1.0, Delta: 1e-6, Seed: 1}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Clip = 0 },
+		func(c *Config) { c.NoiseMultiplier = 0 },
+		func(c *Config) { c.Delta = 0 },
+		func(c *Config) { c.Delta = 1 },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestClipBoundsNorm(t *testing.T) {
+	m := New(testConfig())
+	u := []float32{3, 4} // norm 5
+	pre := m.ClipUpdate(u)
+	if pre != 5 {
+		t.Fatalf("pre-clip norm = %v", pre)
+	}
+	if n := vecf.Norm2(u); math.Abs(n-1) > 1e-5 {
+		t.Fatalf("post-clip norm = %v", n)
+	}
+	// Updates under the bound are untouched.
+	small := []float32{0.1, 0}
+	m.ClipUpdate(small)
+	if small[0] != 0.1 {
+		t.Fatal("clip modified an in-bound update")
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	m := New(testConfig())
+	const dim, k = 20000, 10
+	agg := make([]float32, dim)
+	m.NoiseAggregate(agg, k)
+	// Expected stddev = z*clip/k = 0.1.
+	var sumsq float64
+	for _, v := range agg {
+		sumsq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumsq / dim)
+	if std < 0.09 || std > 0.11 {
+		t.Fatalf("noise std = %v, want ~0.1", std)
+	}
+}
+
+func TestNoiseScalesInverselyWithK(t *testing.T) {
+	measure := func(k int) float64 {
+		m := New(testConfig())
+		agg := make([]float32, 5000)
+		m.NoiseAggregate(agg, k)
+		var s float64
+		for _, v := range agg {
+			s += float64(v) * float64(v)
+		}
+		return math.Sqrt(s / 5000)
+	}
+	if r := measure(1) / measure(100); r < 50 || r > 200 {
+		t.Fatalf("noise ratio k=1 vs k=100 is %v, want ~100", r)
+	}
+}
+
+func TestAccountantMonotone(t *testing.T) {
+	m := New(testConfig())
+	if m.Epsilon() != 0 {
+		t.Fatalf("epsilon before any release = %v", m.Epsilon())
+	}
+	prev := 0.0
+	agg := make([]float32, 4)
+	for i := 0; i < 50; i++ {
+		m.NoiseAggregate(agg, 10)
+		eps := m.Epsilon()
+		if eps <= prev {
+			t.Fatalf("epsilon not increasing at release %d: %v <= %v", i, eps, prev)
+		}
+		prev = eps
+	}
+	if m.Releases() != 50 {
+		t.Fatalf("Releases = %d", m.Releases())
+	}
+	if m.Delta() != 1e-6 {
+		t.Fatalf("Delta = %v", m.Delta())
+	}
+}
+
+func TestEpsilonAfterMatchesActual(t *testing.T) {
+	m := New(testConfig())
+	want := m.EpsilonAfter(7)
+	agg := make([]float32, 2)
+	for i := 0; i < 7; i++ {
+		m.NoiseAggregate(agg, 5)
+	}
+	if math.Abs(m.Epsilon()-want) > 1e-12 {
+		t.Fatalf("EpsilonAfter(7)=%v but actual=%v", want, m.Epsilon())
+	}
+	if m.EpsilonAfter(0) != 0 {
+		t.Fatal("EpsilonAfter(0) != 0")
+	}
+}
+
+func TestMoreNoiseLessEpsilon(t *testing.T) {
+	quiet := New(Config{Clip: 1, NoiseMultiplier: 4, Delta: 1e-6, Seed: 1})
+	loud := New(Config{Clip: 1, NoiseMultiplier: 0.5, Delta: 1e-6, Seed: 1})
+	if quiet.EpsilonAfter(100) >= loud.EpsilonAfter(100) {
+		t.Fatalf("higher noise should give lower epsilon: %v vs %v",
+			quiet.EpsilonAfter(100), loud.EpsilonAfter(100))
+	}
+}
+
+func TestNoiseAggregatePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	New(testConfig()).NoiseAggregate(make([]float32, 2), 0)
+}
+
+// Property: clipping is idempotent and never increases the norm.
+func TestQuickClipContract(t *testing.T) {
+	m := New(testConfig())
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		u := make([]float32, 1+r.Intn(30))
+		for i := range u {
+			u[i] = float32(r.NormFloat64() * 10)
+		}
+		m.ClipUpdate(u)
+		n1 := vecf.Norm2(u)
+		m.ClipUpdate(u)
+		n2 := vecf.Norm2(u)
+		return n1 <= 1+1e-4 && math.Abs(n1-n2) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkNoiseAggregate(b *testing.B) {
+	m := New(testConfig())
+	agg := make([]float32, 4096)
+	b.SetBytes(4096 * 4)
+	for i := 0; i < b.N; i++ {
+		m.NoiseAggregate(agg, 100)
+	}
+}

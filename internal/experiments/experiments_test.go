@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse pulls a float out of a table cell, tolerating the ">X (cap)" form.
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	cell = strings.TrimPrefix(cell, ">")
+	if i := strings.Index(cell, " "); i > 0 {
+		cell = cell[:i]
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func capped(cell string) bool { return strings.HasPrefix(cell, ">") }
+
+func TestRegistryCoversEveryFigure(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "table1"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if reg[i].Brief == "" || reg[i].Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if _, err := ByID("fig9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	tab.AddNote("note %d", 7)
+	if !strings.Contains(tab.Markdown(), "| 1 | 2 |") {
+		t.Fatalf("markdown: %s", tab.Markdown())
+	}
+	if !strings.Contains(tab.String(), "note 7") {
+		t.Fatalf("text: %s", tab.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged row accepted")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tab := Figure2(ScaleSmall())
+	if len(tab.Rows) < 10 {
+		t.Fatalf("histogram too coarse: %d rows", len(tab.Rows))
+	}
+	// Density sums to ~1.
+	var sum float64
+	for _, row := range tab.Rows {
+		sum += parse(t, row[1])
+	}
+	if sum < 0.97 || sum > 1.03 {
+		t.Fatalf("density sums to %v", sum)
+	}
+	// The straggler ratio note must report a multiple > 2.
+	found := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "round/client ratio") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing round/client ratio note")
+	}
+}
+
+func TestFigure3SyncPlateau(t *testing.T) {
+	tab := Figure3(ScaleSmall())
+	if len(tab.Rows) != len(ScaleSmall().ConcurrencySweep) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Communication trips must grow with concurrency.
+	firstTrips := parse(t, tab.Rows[0][2])
+	lastTrips := parse(t, tab.Rows[len(tab.Rows)-1][2])
+	if lastTrips <= firstTrips {
+		t.Fatalf("comm trips did not grow: %v -> %v", firstTrips, lastTrips)
+	}
+	// Time must not grow proportionally with concurrency (the plateau):
+	// last time >= first/ (sweep ratio) is the weak sub-linearity check.
+	if !capped(tab.Rows[0][1]) && !capped(tab.Rows[len(tab.Rows)-1][1]) {
+		sweep := ScaleSmall().ConcurrencySweep
+		ratio := float64(sweep[len(sweep)-1]) / float64(sweep[0])
+		timeGain := parse(t, tab.Rows[0][1]) / parse(t, tab.Rows[len(tab.Rows)-1][1])
+		if timeGain > ratio {
+			t.Fatalf("time improved %vx with only %vx concurrency: super-linear?", timeGain, ratio)
+		}
+	}
+}
+
+func TestFigure6Asymptotics(t *testing.T) {
+	s := ScaleSmall()
+	tab := Figure6(s)
+	if len(tab.Rows) != len(s.Fig6KSweep) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Naive grows linearly in K; async stays nearly flat; the gap at the
+	// largest K must be large.
+	firstNaive := parse(t, tab.Rows[0][1])
+	lastNaive := parse(t, tab.Rows[len(tab.Rows)-1][1])
+	kGrowth := float64(s.Fig6KSweep[len(s.Fig6KSweep)-1]) / float64(s.Fig6KSweep[0])
+	if lastNaive/firstNaive < 0.8*kGrowth {
+		t.Fatalf("naive cost not ~linear in K: %v -> %v for %vx K", firstNaive, lastNaive, kGrowth)
+	}
+	// Async is O(K+m): it may grow with K, but far slower than naive's
+	// O(K*m).
+	firstAsync := parse(t, tab.Rows[0][2])
+	lastAsync := parse(t, tab.Rows[len(tab.Rows)-1][2])
+	if (lastAsync / firstAsync) > 0.5*(lastNaive/firstNaive) {
+		t.Fatalf("async growth %vx not much below naive growth %vx",
+			lastAsync/firstAsync, lastNaive/firstNaive)
+	}
+	if gap := parse(t, tab.Rows[len(tab.Rows)-1][3]); gap < 5 {
+		t.Fatalf("naive/async gap %v too small at max K", gap)
+	}
+}
+
+func TestFigure7UtilizationGap(t *testing.T) {
+	tab := Figure7(ScaleSmall())
+	if len(tab.Rows) < 10 {
+		t.Fatalf("too few trace points: %d", len(tab.Rows))
+	}
+	// From the summary note: async mean must exceed sync mean.
+	var noteOK bool
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "mean active clients") {
+			noteOK = true
+		}
+	}
+	if !noteOK {
+		t.Fatal("missing mean utilization note")
+	}
+	// Pointwise: after warmup, async active >= sync active on average.
+	var aSum, sSum float64
+	warm := len(tab.Rows) / 4
+	for _, row := range tab.Rows[warm:] {
+		sSum += parse(t, row[1])
+		aSum += parse(t, row[2])
+	}
+	if aSum <= sSum {
+		t.Fatalf("async utilization (%v) not above sync (%v)", aSum, sSum)
+	}
+}
+
+func TestFigure8FrequencyScaling(t *testing.T) {
+	s := ScaleSmall()
+	tab := Figure8(s)
+	last := tab.Rows[len(tab.Rows)-1]
+	if ratio := parse(t, last[3]); ratio < 2 {
+		t.Fatalf("async/sync update frequency ratio %v < 2 at max concurrency", ratio)
+	}
+	// Async updates/hour must grow with concurrency (near-linear scaling).
+	firstA := parse(t, tab.Rows[0][2])
+	lastA := parse(t, last[2])
+	if lastA <= firstA {
+		t.Fatalf("async updates/h did not scale: %v -> %v", firstA, lastA)
+	}
+}
+
+func TestFigure9AsyncWins(t *testing.T) {
+	tab := Figure9(ScaleSmall())
+	rows := tab.Rows
+	wins := 0
+	for _, row := range rows {
+		if capped(row[1]) || capped(row[2]) {
+			continue
+		}
+		syncH, asyncH := parse(t, row[1]), parse(t, row[2])
+		if asyncH < syncH {
+			wins++
+		}
+	}
+	if wins < len(rows)-1 {
+		t.Fatalf("async won only %d/%d concurrency points", wins, len(rows))
+	}
+	// Communication gain at the top of the sweep must favour async.
+	last := rows[len(rows)-1]
+	if !capped(last[1]) && !capped(last[2]) {
+		if g := parse(t, last[6]); g < 1 {
+			t.Fatalf("comm gain %v < 1 at max concurrency", g)
+		}
+	}
+}
+
+func TestFigure10LargerKSlower(t *testing.T) {
+	s := ScaleSmall()
+	tab := Figure10(s)
+	// Server update frequency must fall as K grows.
+	firstFreq := parse(t, tab.Rows[0][2])
+	lastFreq := parse(t, tab.Rows[len(tab.Rows)-1][2])
+	if lastFreq >= firstFreq {
+		t.Fatalf("updates/h did not fall with K: %v -> %v", firstFreq, lastFreq)
+	}
+	// Time to target must be no better at the largest K than the smallest.
+	if !capped(tab.Rows[0][1]) && !capped(tab.Rows[len(tab.Rows)-1][1]) {
+		if parse(t, tab.Rows[len(tab.Rows)-1][1]) < parse(t, tab.Rows[0][1]) {
+			t.Fatal("largest K converged faster than smallest K")
+		}
+	}
+}
+
+func TestFigure11BiasDetected(t *testing.T) {
+	tab := Figure11(ScaleSmall())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Row order: truth, syncOS, async. Over-selection's participants are
+	// faster and hold less data than the truth.
+	truthExec := parse(t, tab.Rows[0][1])
+	syncExec := parse(t, tab.Rows[1][1])
+	if syncExec >= truthExec {
+		t.Fatalf("over-selection did not drop slow clients: %v vs %v", syncExec, truthExec)
+	}
+	truthEx := parse(t, tab.Rows[0][3])
+	syncEx := parse(t, tab.Rows[1][3])
+	if syncEx >= truthEx {
+		t.Fatalf("over-selection did not drop data-rich clients: %v vs %v", syncEx, truthEx)
+	}
+	// KS: sync+OS must diverge from truth far more than async does.
+	syncD := parse(t, tab.Rows[1][4])
+	asyncD := parse(t, tab.Rows[2][4])
+	if syncD < 2*asyncD {
+		t.Fatalf("KS D: sync %v vs async %v; bias not detected", syncD, asyncD)
+	}
+}
+
+func TestFigure12CurvesOrdered(t *testing.T) {
+	tab := Figure12(ScaleSmall())
+	if len(tab.Rows) < 6 {
+		t.Fatalf("too few grid points: %d", len(tab.Rows))
+	}
+	// At the last common grid point, AsyncFL K=small must be at or below
+	// SyncFL w/o OS (the straggler-bound config).
+	last := tab.Rows[len(tab.Rows)-1]
+	asyncSmallK := parse(t, last[1])
+	syncNoOS := parse(t, last[4])
+	if asyncSmallK > syncNoOS+0.02 {
+		t.Fatalf("AsyncFL small-K (%v) behind SyncFL w/o OS (%v) at end of grid",
+			asyncSmallK, syncNoOS)
+	}
+}
+
+func TestFigure13AsyncFastest(t *testing.T) {
+	tab := Figure13(ScaleSmall())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// AsyncFL K=small (row 0) must beat SyncFL w/ OS (row 2) when both
+	// reached target.
+	if !capped(tab.Rows[0][1]) && !capped(tab.Rows[2][1]) {
+		asyncH := parse(t, tab.Rows[0][1])
+		syncH := parse(t, tab.Rows[2][1])
+		if asyncH >= syncH {
+			t.Fatalf("async (%v h) not faster than sync w/ OS (%v h)", asyncH, syncH)
+		}
+	}
+	// SyncFL w/o OS (row 3) must be the slowest configuration (or capped).
+	if !capped(tab.Rows[3][1]) {
+		noOS := parse(t, tab.Rows[3][1])
+		for i := 0; i < 3; i++ {
+			if !capped(tab.Rows[i][1]) && parse(t, tab.Rows[i][1]) > noOS {
+				t.Fatalf("config %d slower than SyncFL w/o OS", i)
+			}
+		}
+	}
+}
+
+func TestTable1FairnessOrdering(t *testing.T) {
+	tab := Table1(ScaleSmall())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Row order: SyncFL w/o OS, SyncFL w/ OS, AsyncFL. Columns: method,
+	// All, 75%, 99%, time.
+	get := func(r, c int) float64 { return parse(t, tab.Rows[r][c]) }
+	// The over-selection fairness penalty: on the data-rich 99% bucket,
+	// SyncFL w/ OS must be worse (higher perplexity) than SyncFL w/o OS.
+	if get(1, 3) <= get(0, 3) {
+		t.Fatalf("no over-selection penalty on 99%% bucket: %v vs %v", get(1, 3), get(0, 3))
+	}
+	// AsyncFL must beat SyncFL w/ OS on the 99% bucket.
+	if get(2, 3) >= get(1, 3) {
+		t.Fatalf("async (%v) not fairer than sync w/ OS (%v) on 99%% bucket", get(2, 3), get(1, 3))
+	}
+	// SyncFL w/o OS must be by far the slowest (paper: 10x slower).
+	if get(0, 4) < 2*get(1, 4) {
+		t.Fatalf("sync w/o OS (%v h) not much slower than w/ OS (%v h)", get(0, 4), get(1, 4))
+	}
+}
+
+func TestBuildWorldShapes(t *testing.T) {
+	w := BuildWorld(ScaleSmall())
+	if w.Model.VocabSize() != ScaleSmall().Vocab {
+		t.Fatal("model vocab mismatch")
+	}
+	if len(w.Eval) == 0 {
+		t.Fatal("empty eval set")
+	}
+	if w.Pop.Size() != ScaleSmall().PopulationSize {
+		t.Fatal("population size mismatch")
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// fig11Runs executes the three participation-distribution runs: the ground
+// truth (SyncFL without over-selection receives every selected client),
+// SyncFL with over-selection (drops the slowest), and AsyncFL.
+func fig11Runs(w *World) (truth, syncOS, async *core.Result) {
+	s := w.Scale
+	run := func(cfg core.Config) *core.Result {
+		cfg.NoTraining = true
+		cfg.EvalSeqs = nil
+		cfg.RecordParticipants = s.ParticipantSample
+		cfg.MaxServerUpdates = 0
+		cfg.MaxSimTime = s.MaxSimTime
+		cfg.MaxClientUpdates = int64(s.ParticipantSample)
+		return core.Run(w.Model, w.Corpus, w.Pop, cfg)
+	}
+	truth = run(w.syncConfig(s.BaseConcurrency, 0))
+	syncOS = run(w.syncConfig(s.BaseConcurrency, s.OverSelection))
+	async = run(w.asyncConfig(s.BaseConcurrency, s.BaseGoal))
+	return truth, syncOS, async
+}
+
+// Figure11 reproduces the sampling-bias analysis: over-selection drops slow
+// clients, slow clients have more data, and the two-sample
+// Kolmogorov-Smirnov test shows AsyncFL's participants match the unbiased
+// distribution while SyncFL-with-over-selection's do not (Section 7.4).
+func Figure11(s Scale) *Table {
+	w := BuildWorld(s)
+	truth, syncOS, async := fig11Runs(w)
+
+	t := &Table{
+		ID:    "fig11",
+		Title: "Participating-client distributions and KS sampling-bias test",
+		Header: []string{"method", "mean exec (s)", "p90 exec (s)", "mean examples",
+			"KS D vs truth (examples)", "p-value"},
+	}
+	row := func(name string, res *core.Result) {
+		ksCell, pCell := "-", "-"
+		if res != truth {
+			ks := stats.KolmogorovSmirnov(res.ParticipantExamples, truth.ParticipantExamples)
+			ksCell, pCell = fmt.Sprintf("%.2e", ks.D), fmt.Sprintf("%.3f", ks.PValue)
+		}
+		t.AddRow(name,
+			fmtF(stats.Mean(res.ParticipantExecTime)),
+			fmtF(stats.Percentile(res.ParticipantExecTime, 90)),
+			fmtF(stats.Mean(res.ParticipantExamples)),
+			ksCell, pCell)
+	}
+	row("truth (SyncFL w/o OS)", truth)
+	row("SyncFL w/ OS", syncOS)
+	row("AsyncFL", async)
+
+	// Correlation between slowness and data volume on the unbiased sample.
+	logT := make([]float64, len(truth.ParticipantExecTime))
+	logE := make([]float64, len(truth.ParticipantExamples))
+	for i := range logT {
+		logT[i] = math.Log(truth.ParticipantExecTime[i])
+		logE[i] = math.Log(truth.ParticipantExamples[i])
+	}
+	t.AddNote("log exec-time / log examples correlation in the population: %.2f (paper: very high)",
+		stats.Pearson(logT, logE))
+	ksSync := stats.KolmogorovSmirnov(syncOS.ParticipantExamples, truth.ParticipantExamples)
+	ksAsync := stats.KolmogorovSmirnov(async.ParticipantExamples, truth.ParticipantExamples)
+	t.AddNote("KS exec-time D: SyncFL+OS %.2e vs AsyncFL %.2e",
+		stats.KolmogorovSmirnov(syncOS.ParticipantExecTime, truth.ParticipantExecTime).D,
+		stats.KolmogorovSmirnov(async.ParticipantExecTime, truth.ParticipantExecTime).D)
+	t.AddNote("paper: D(AsyncFL, truth)=8.8e-4 (p=0.98); D(SyncFL+OS, truth)=6.6e-2 (p=0.0); here %.1e (p=%.2f) vs %.1e (p=%.2f)",
+		ksAsync.D, ksAsync.PValue, ksSync.D, ksSync.PValue)
+	return t
+}
+
+// bucketEvalSets builds held-out evaluation sets for Table 1's data-volume
+// percentiles: All clients, clients at or above the 75th percentile of
+// example count, and at or above the 99th.
+func bucketEvalSets(w *World, perBucket int) (all, p75, p99 [][]int) {
+	r := rng.New(w.Scale.Seed + 31)
+	const sample = 4000
+	type cinfo struct {
+		examples int
+		dialect  int
+		weight   float64
+	}
+	infos := make([]cinfo, sample)
+	counts := make([]float64, sample)
+	for i := 0; i < sample; i++ {
+		c := w.Pop.Sample(r)
+		infos[i] = cinfo{examples: c.NumExamples, dialect: c.Dialect, weight: c.DialectWeight}
+		counts[i] = float64(c.NumExamples)
+	}
+	t75 := stats.Percentile(counts, 75)
+	t99 := stats.Percentile(counts, 99)
+
+	sort.Slice(infos, func(i, j int) bool { return infos[i].examples < infos[j].examples })
+	build := func(min float64, label string) [][]int {
+		var picked []cinfo
+		for _, ci := range infos {
+			if float64(ci.examples) >= min {
+				picked = append(picked, ci)
+			}
+		}
+		var out [][]int
+		per := perBucket / len(picked)
+		if per < 1 {
+			per = 1
+		}
+		for i, ci := range picked {
+			if len(out) >= perBucket {
+				break
+			}
+			out = append(out, w.Corpus.EvalSet(ci.dialect, ci.weight, per,
+				fmt.Sprintf("t1-%s-%d", label, i))...)
+		}
+		return out
+	}
+	return build(0, "all"), build(t75, "p75"), build(t99, "p99")
+}
+
+// Table1 reproduces the fairness table: test perplexity after a fixed budget
+// of client updates, overall and for data-rich clients. Over-selection's
+// sampling bias shows up as a large perplexity gap on the 75th/99th
+// percentile buckets; AsyncFL trains faster AND fairer.
+func Table1(s Scale) *Table {
+	w := BuildWorld(s)
+	all, p75, p99 := bucketEvalSets(w, 300)
+
+	type config struct {
+		name string
+		cfg  core.Config
+	}
+	configs := []config{
+		{"SyncFL w/o OS", w.syncConfig(syncNoOSConcurrency(s), 0)},
+		{"SyncFL w/ OS", w.syncConfig(s.BaseConcurrency, s.OverSelection)},
+		{"AsyncFL", w.asyncConfig(s.BaseConcurrency, s.BaseGoal)},
+	}
+
+	t := &Table{
+		ID:     "table1",
+		Title:  fmt.Sprintf("Test perplexity after %d client updates (lower is better)", s.Table1Updates),
+		Header: []string{"method", "All", "75%", "99%", "time (h)"},
+	}
+	ppl := make(map[string][3]float64)
+	for _, c := range configs {
+		cfg := c.cfg
+		cfg.MaxClientUpdates = s.Table1Updates
+		cfg.MaxServerUpdates = 0
+		cfg.MaxSimTime = s.MaxSimTime
+		cfg.EvalEvery = 0
+		cfg.EvalSeqs = nil
+		res := core.Run(w.Model, w.Corpus, w.Pop, cfg)
+		pAll := perplexityOf(w.Model, res.FinalParams, all)
+		p75v := perplexityOf(w.Model, res.FinalParams, p75)
+		p99v := perplexityOf(w.Model, res.FinalParams, p99)
+		ppl[c.name] = [3]float64{pAll, p75v, p99v}
+		t.AddRow(c.name, fmtF(pAll), fmtF(p75v), fmtF(p99v), fmtHours(res.SimSeconds))
+	}
+
+	async, syncOS, syncNoOS := ppl["AsyncFL"], ppl["SyncFL w/ OS"], ppl["SyncFL w/o OS"]
+	t.AddNote("AsyncFL beats SyncFL w/ OS on every bucket: All %.3g vs %.3g, 99%% %.3g vs %.3g (paper: 57.3 vs 73.0 and 38.5 vs 73.2)",
+		async[0], syncOS[0], async[2], syncOS[2])
+	t.AddNote("over-selection penalty on data-rich clients: 99%%-bucket perplexity %.3g (w/ OS) vs %.3g (w/o OS) (paper: 73.2 vs 47.8)",
+		syncOS[2], syncNoOS[2])
+	return t
+}
+
+// syncNoOSConcurrency mirrors the paper: the no-over-selection baseline runs
+// with concurrency equal to the large aggregation goal.
+func syncNoOSConcurrency(s Scale) int {
+	k := s.KSweep[len(s.KSweep)-1]
+	if k > s.BaseConcurrency {
+		k = s.BaseConcurrency
+	}
+	return k
+}

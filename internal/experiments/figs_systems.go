@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fedopt"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/secagg"
+	"repro/internal/stats"
+	"repro/internal/tee"
+)
+
+// scaledServerOpt applies the paper's methodology of tuning the server
+// optimizer in simulation: FedAdam's learning rate follows square-root
+// effective-batch scaling in the aggregation goal, anchored at the scale's
+// large sync cohort. Without this, small-K AsyncFL runs at an effective
+// step size sqrt(K_ref/K) times too large and plateaus at a staleness-noise
+// floor — exactly the miscalibration the paper's sweeps exist to avoid.
+func (w *World) scaledServerOpt(goal int) fedopt.Optimizer {
+	ref := float64(w.Scale.BaseConcurrency) / (1 + w.Scale.OverSelection)
+	lr := 0.02 * math.Sqrt(float64(goal)/ref)
+	if lr < 0.005 {
+		lr = 0.005
+	}
+	if lr > 0.03 {
+		lr = 0.03
+	}
+	return fedopt.NewFedAdam(lr, 0.9, 0.99, 1e-3)
+}
+
+// asyncConfig builds a baseline AsyncFL configuration.
+func (w *World) asyncConfig(concurrency, goal int) core.Config {
+	return core.Config{
+		Algorithm:       core.Async,
+		Concurrency:     concurrency,
+		AggregationGoal: goal,
+		Seed:            w.Scale.Seed,
+		EvalSeqs:        w.Eval,
+		EvalEvery:       5,
+		Server:          w.scaledServerOpt(goal),
+	}
+}
+
+// syncConfig builds a baseline SyncFL configuration; overSel 0 disables
+// over-selection (goal = concurrency).
+func (w *World) syncConfig(concurrency int, overSel float64) core.Config {
+	goal := int(float64(concurrency)/(1+overSel) + 0.5)
+	return core.Config{
+		Algorithm:     core.Sync,
+		Concurrency:   concurrency,
+		OverSelection: overSel,
+		Seed:          w.Scale.Seed,
+		EvalSeqs:      w.Eval,
+		EvalEvery:     2,
+		Server:        w.scaledServerOpt(goal),
+	}
+}
+
+// guard applies the scale's runaway caps to a config.
+func (w *World) guard(cfg core.Config) core.Config {
+	cfg.MaxServerUpdates = w.Scale.MaxServerUpdates
+	cfg.MaxSimTime = w.Scale.MaxSimTime
+	if cfg.MaxClientUpdates == 0 {
+		cfg.MaxClientUpdates = 400_000
+	}
+	return cfg
+}
+
+// Figure2 reproduces the client execution-time histogram and the
+// round-duration-vs-client-time gap: "the average round completion time is
+// 21x larger than the mean client training time" at concurrency 1000.
+func Figure2(s Scale) *Table {
+	w := BuildWorld(s)
+	r := rng.New(s.Seed + 7)
+
+	const samples = 20_000
+	times := make([]float64, samples)
+	for i := range times {
+		c := w.Pop.Sample(r)
+		times[i] = w.Pop.ExecTime(c, r)
+	}
+	hist := stats.NewLogHistogram(1, 1000, 13)
+	for _, t := range times {
+		hist.Observe(t)
+	}
+
+	// SyncFL with concurrency = aggregation goal (no over-selection), the
+	// configuration the paper quotes the 21x figure for.
+	conc := s.BaseConcurrency
+	cfg := w.syncConfig(conc, 0)
+	cfg.NoTraining = true
+	cfg.EvalSeqs = nil
+	cfg.MaxServerUpdates = 8
+	cfg.MaxSimTime = s.MaxSimTime
+	cfg.MaxClientUpdates = 1 << 40
+	res := core.Run(w.Model, w.Corpus, w.Pop, cfg)
+
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Client execution time distribution and SyncFL round duration",
+		Header: []string{"exec time bucket (s)", "density"},
+	}
+	prev := 0.0
+	density := hist.Density()
+	for i, edge := range hist.Edges {
+		t.AddRow(fmt.Sprintf("(%.1f, %.1f]", prev, edge), fmtF(density[i]))
+		prev = edge
+	}
+	t.AddRow(fmt.Sprintf("(%.1f, +inf)", prev), fmtF(density[len(density)-1]))
+
+	meanClient := stats.Mean(times)
+	meanRound := stats.Mean(res.RoundDurations)
+	t.AddNote("mean client execution time: %.1f s (median %.1f s, p99 %.0f s)",
+		meanClient, stats.Median(times), stats.Percentile(times, 99))
+	t.AddNote("mean SyncFL round duration at concurrency %d: %.1f s", conc, meanRound)
+	t.AddNote("round/client ratio: %.1fx (paper reports 21x at concurrency 1000)",
+		meanRound/meanClient)
+	t.AddNote("spread: p99.9/min = %.0fx (paper: >2 orders of magnitude)",
+		stats.Percentile(times, 99.9)/stats.Percentile(times, 0.1))
+	return t
+}
+
+// Figure6 reproduces the TEE boundary-transfer comparison: naive TSA moves
+// O(K*m) bytes across the boundary; Asynchronous SecAgg moves O(K+m). The
+// protocol is executed end to end at a reduced vector length and the
+// reported times are extrapolated to the full model size from the metered
+// per-call and per-byte counts — the same methodology the paper uses for
+// its naive line ("we ran a benchmark to obtain the data transfer time for
+// K=1 and use that to extrapolate other points").
+func Figure6(s Scale) *Table {
+	const probeVecLen = 4096 // real protocol runs at this size
+	cost := tee.DefaultCostModel()
+	fullElems := s.Fig6ModelBytes / 4
+
+	// Measure real boundary traffic for one async client (submit) and the
+	// epilogue (unmask), and for one naive client.
+	params := secagg.Params{VecLen: probeVecLen, Threshold: 1, Scale: 1 << 16}
+	dep, err := secagg.NewDeployment(params, []byte("fig6-tsa"), cost, rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	bundles, err := dep.FetchInitialBundles(2)
+	if err != nil {
+		panic(err)
+	}
+	trust := dep.ClientTrust()
+	update := make([]float32, probeVecLen)
+	agg := dep.NewAggregator()
+
+	dep.Enclave.ResetStats()
+	sess, err := secagg.NewClientSession(trust, bundles[0], rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	up, err := sess.MaskUpdate(update, rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	if err := agg.Add(up); err != nil {
+		panic(err)
+	}
+	perClient := dep.Enclave.Stats() // one submit crossing
+
+	dep.Enclave.ResetStats()
+	if _, _, err := agg.Unmask(); err != nil {
+		panic(err)
+	}
+	unmaskStats := dep.Enclave.Stats() // one unmask crossing at probe size
+
+	// Naive: one full-model submit at probe size.
+	naiveProg := secagg.NewNaiveTSA(probeVecLen, 1)
+	naiveEnc := tee.New(naiveProg, cost)
+	codec := params.Codec()
+	if _, err := naiveEnc.Call("submit-full", secagg.EncodeFullUpdate(codec, update)); err != nil {
+		panic(err)
+	}
+	naivePerClient := naiveEnc.Stats()
+
+	// Extrapolate to the full model size: async submit traffic is
+	// size-independent; the unmask and naive submissions scale with m.
+	asyncMillis := func(k int) float64 {
+		submit := float64(k) * (cost.PerCallNanos + cost.PerByteNanos*float64(perClient.BytesIn+perClient.BytesOut))
+		unmaskBytes := float64(unmaskStats.BytesOut) * float64(fullElems) / probeVecLen
+		unmask := cost.PerCallNanos + cost.PerByteNanos*(unmaskBytes+float64(unmaskStats.BytesIn))
+		return (submit + unmask) / 1e6
+	}
+	naiveMillis := func(k int) float64 {
+		bytesPer := float64(naivePerClient.BytesIn) * float64(fullElems) / probeVecLen
+		return float64(k) * (cost.PerCallNanos + cost.PerByteNanos*bytesPer) / 1e6
+	}
+
+	t := &Table{
+		ID:    "fig6",
+		Title: fmt.Sprintf("TEE boundary transfer time, %d MB model", s.Fig6ModelBytes>>20),
+		Header: []string{"aggregation goal K", "naive TSA (ms)", "AsyncSecAgg (ms)",
+			"naive/async"},
+	}
+	for _, k := range s.Fig6KSweep {
+		n, a := naiveMillis(k), asyncMillis(k)
+		t.AddRow(fmt.Sprintf("%d", k), fmtF(n), fmtF(a), fmtF(n/a))
+	}
+	t.AddNote("async per-client boundary payload: %d bytes (16-byte seed + DH completing + AEAD overhead)",
+		perClient.BytesIn)
+	t.AddNote("naive per-client boundary payload at full size: %.0f bytes (the whole model)",
+		float64(naivePerClient.BytesIn)*float64(fullElems)/probeVecLen)
+	t.AddNote("paper: ~6500 ms for naive at K=1000; async flat in K (O(K+m) vs O(K*m))")
+	return t
+}
+
+// Figure7 reproduces the utilization traces: AsyncFL holds active clients at
+// ~concurrency; SyncFL oscillates as cohorts form and drain.
+func Figure7(s Scale) *Table {
+	w := BuildWorld(s)
+	conc := s.BaseConcurrency
+
+	run := func(cfg core.Config) *core.Result {
+		cfg.NoTraining = true
+		cfg.EvalSeqs = nil
+		cfg.RecordUtilization = true
+		cfg.MaxSimTime = 40 * 60 * 10 // enough for many rounds
+		cfg.MaxServerUpdates = 0
+		cfg.MaxClientUpdates = 1 << 40
+		return core.Run(w.Model, w.Corpus, w.Pop, cfg)
+	}
+	async := run(w.asyncConfig(conc, s.BaseGoal))
+	sync := run(w.syncConfig(conc, s.OverSelection))
+
+	t := &Table{
+		ID:     "fig7",
+		Title:  fmt.Sprintf("Active clients over time, concurrency %d", conc),
+		Header: []string{"time (s)", "SyncFL active", "AsyncFL active"},
+	}
+	end := async.SimSeconds
+	if sync.SimSeconds < end {
+		end = sync.SimSeconds
+	}
+	const points = 24
+	for i := 0; i <= points; i++ {
+		ts := end * float64(i) / points
+		t.AddRow(fmt.Sprintf("%.0f", ts),
+			fmtF(valueAt(sync.Utilization, ts)),
+			fmtF(valueAt(async.Utilization, ts)))
+	}
+	warm := end * 0.2
+	aMean := timeAverage(async.Utilization, warm, end)
+	sMean := timeAverage(sync.Utilization, warm, end)
+	t.AddNote("mean active clients after warmup: AsyncFL %.0f (%.0f%% of concurrency), SyncFL %.0f (%.0f%%)",
+		aMean, 100*aMean/float64(conc), sMean, 100*sMean/float64(conc))
+	t.AddNote("paper: AsyncFL utilization is close to 100%% throughout; SyncFL fluctuates with round phase")
+	return t
+}
+
+// Figure8 reproduces server model updates per hour as concurrency grows:
+// AsyncFL with fixed K scales nearly linearly; SyncFL is round-bound. The
+// paper reports ~30x at concurrency 2300 with K=100.
+func Figure8(s Scale) *Table {
+	w := BuildWorld(s)
+	t := &Table{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Server model updates per hour (AsyncFL K=%d)", s.BaseGoal),
+		Header: []string{"concurrency", "SyncFL upd/h", "AsyncFL upd/h", "async/sync"},
+	}
+	run := func(cfg core.Config) *core.Result {
+		cfg.NoTraining = true
+		cfg.EvalSeqs = nil
+		cfg.MaxSimTime = 3600 * 4
+		cfg.MaxServerUpdates = 0
+		cfg.MaxClientUpdates = 1 << 40
+		return core.Run(w.Model, w.Corpus, w.Pop, cfg)
+	}
+	var lastRatio float64
+	for _, conc := range s.ConcurrencySweep {
+		goal := s.BaseGoal
+		if goal > conc {
+			goal = conc
+		}
+		a := run(w.asyncConfig(conc, goal))
+		sy := run(w.syncConfig(conc, s.OverSelection))
+		ratio := a.UpdatesPerHour() / sy.UpdatesPerHour()
+		lastRatio = ratio
+		t.AddRow(fmt.Sprintf("%d", conc),
+			fmtF(sy.UpdatesPerHour()), fmtF(a.UpdatesPerHour()), fmtF(ratio))
+	}
+	t.AddNote("ratio at max concurrency: %.1fx (paper: ~30x at 2300)", lastRatio)
+	return t
+}
+
+// valueAt step-interpolates a utilization trace.
+func valueAt(pts []metrics.Point, t float64) float64 {
+	v := 0.0
+	for _, p := range pts {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// timeAverage computes the time-weighted mean of a trace over [t0, t1].
+func timeAverage(pts []metrics.Point, t0, t1 float64) float64 {
+	var acc float64
+	cur, curT := 0.0, t0
+	for _, p := range pts {
+		if p.T <= t0 {
+			cur = p.V
+			continue
+		}
+		if p.T >= t1 {
+			break
+		}
+		acc += cur * (p.T - curT)
+		cur, curT = p.V, p.T
+	}
+	acc += cur * (t1 - curT)
+	return acc / (t1 - t0)
+}

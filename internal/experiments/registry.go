@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(Scale) *Table
+}
+
+// Registry lists every reproducible experiment, keyed by figure/table id.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig2", "client execution time histogram; round duration vs client time", Figure2},
+		{"fig3", "SyncFL scaling: time-to-target plateau, communication growth", Figure3},
+		{"fig6", "TEE boundary transfer: naive O(K*m) vs AsyncSecAgg O(K+m)", Figure6},
+		{"fig7", "active-client (utilization) traces for SyncFL vs AsyncFL", Figure7},
+		{"fig8", "server model updates per hour vs concurrency", Figure8},
+		{"fig9", "time-to-target and communication: AsyncFL vs SyncFL sweep", Figure9},
+		{"fig10", "aggregation goal K sweep at fixed concurrency", Figure10},
+		{"fig11", "participation distributions + KS sampling-bias test", Figure11},
+		{"fig12", "training curves for the four configurations", Figure12},
+		{"fig13", "hours to target for the four configurations", Figure13},
+		{"table1", "test perplexity by data-volume percentile (fairness)", Table1},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

@@ -1,0 +1,164 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation section (Section 7) on top of the simulation substrates. Each
+// experiment is a function from a Scale preset to a Table; the CLI and the
+// root-level benchmarks are thin wrappers around these functions, and
+// EXPERIMENTS.md records their output against the paper's numbers.
+//
+// Two presets are provided. ScaleSmall runs every experiment in seconds and
+// backs the test suite: it checks the qualitative claims (who wins, which
+// direction, crossovers) at toy scale. ScalePaper uses the paper's actual
+// concurrency range (130-2600), aggregation goals, and 4-minute timeout on
+// a fleet of 10^8 lazily-derived clients; it is what `papaya all` and the
+// benchmark harness run.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lmdata"
+	"repro/internal/nn"
+	"repro/internal/population"
+)
+
+// Scale bundles every knob that differs between the test-sized and
+// paper-sized runs.
+type Scale struct {
+	// Name labels report output.
+	Name string
+	// Seed drives all randomness.
+	Seed uint64
+
+	// PopulationSize is the client fleet size (attributes are lazy, so
+	// 10^8 costs nothing).
+	PopulationSize int64
+	// Vocab and EmbedDim size the log-bilinear model.
+	Vocab, EmbedDim int
+	// NumDialects is the number of distinct data distributions.
+	NumDialects int
+	// EvalSeqs is the held-out evaluation set size.
+	EvalSeqs int
+
+	// ConcurrencySweep is the x-axis of Figures 3, 8, 9.
+	ConcurrencySweep []int
+	// BaseConcurrency is the paper's 1300; BaseGoal is the paper's K=100.
+	BaseConcurrency, BaseGoal int
+	// KSweep is the x-axis of Figure 10.
+	KSweep []int
+	// OverSelection is the sync over-selection fraction (paper: 0.3).
+	OverSelection float64
+
+	// TargetLoss is the time-to-target threshold for Figures 3, 9, 10, 13.
+	TargetLoss float64
+	// Table1Updates is the client-update budget for Table 1 (paper: 1M).
+	Table1Updates int64
+
+	// MaxServerUpdates and MaxSimTime cap runs that never reach target.
+	MaxServerUpdates int
+	MaxSimTime       float64
+
+	// Fig6ModelBytes is the model size for the TEE boundary benchmark
+	// (paper: 20 MB).
+	Fig6ModelBytes int
+	// Fig6KSweep is Figure 6's aggregation-goal axis.
+	Fig6KSweep []int
+
+	// ParticipantSample caps recorded participants for Figure 11.
+	ParticipantSample int
+}
+
+// ScaleSmall is the test preset: every experiment finishes in seconds.
+func ScaleSmall() Scale {
+	return Scale{
+		Name:              "small",
+		Seed:              1,
+		PopulationSize:    300_000,
+		Vocab:             16,
+		EmbedDim:          4,
+		NumDialects:       4,
+		EvalSeqs:          80,
+		ConcurrencySweep:  []int{20, 40, 80},
+		BaseConcurrency:   60,
+		BaseGoal:          10,
+		KSweep:            []int{5, 10, 30, 60},
+		OverSelection:     0.3,
+		TargetLoss:        2.50,
+		Table1Updates:     2_500,
+		MaxServerUpdates:  400,
+		MaxSimTime:        2_000_000,
+		Fig6ModelBytes:    1 << 20, // 1 MiB
+		Fig6KSweep:        []int{5, 20, 50},
+		ParticipantSample: 20_000,
+	}
+}
+
+// ScalePaper mirrors the paper's experimental setup as closely as the
+// simulated substrate allows: the same concurrency range, over-selection,
+// aggregation goals, and client timeout; a smaller vocabulary (so that one
+// client update costs microseconds instead of phone-minutes); and absolute
+// loss targets recalibrated to this model family.
+func ScalePaper() Scale {
+	return Scale{
+		Name:              "paper",
+		Seed:              1,
+		PopulationSize:    100_000_000,
+		Vocab:             32,
+		EmbedDim:          8,
+		NumDialects:       8,
+		EvalSeqs:          400,
+		ConcurrencySweep:  []int{130, 260, 650, 1300, 2600},
+		BaseConcurrency:   1300,
+		BaseGoal:          100,
+		KSweep:            []int{100, 200, 400, 650, 1000, 1300},
+		OverSelection:     0.3,
+		TargetLoss:        2.90,
+		Table1Updates:     120_000,
+		MaxServerUpdates:  4_000,
+		MaxSimTime:        3_600 * 400, // 400 simulated hours
+		Fig6ModelBytes:    20 << 20,    // the paper's 20 MB model
+		Fig6KSweep:        []int{10, 50, 100, 500, 1000},
+		ParticipantSample: 50_000,
+	}
+}
+
+// World bundles the substrates an experiment runs on.
+type World struct {
+	Scale  Scale
+	Model  nn.Model
+	Corpus *lmdata.Corpus
+	Pop    *population.Population
+	Eval   [][]int
+}
+
+// BuildWorld constructs the model, corpus, population, and evaluation set
+// for a preset. The eval set mixes every dialect at the population's median
+// dialect weight, approximating a uniform draw of client data.
+func BuildWorld(s Scale) *World {
+	corpusCfg := lmdata.DefaultConfig()
+	corpusCfg.VocabSize = s.Vocab
+	corpusCfg.NumDialects = s.NumDialects
+	corpusCfg.Seed = s.Seed + 1000
+	corpus := lmdata.NewCorpus(corpusCfg)
+
+	popCfg := population.DefaultConfig()
+	popCfg.Size = s.PopulationSize
+	popCfg.Seed = s.Seed + 2000
+	popCfg.NumDialects = s.NumDialects
+	pop := population.New(popCfg)
+
+	perDialect := s.EvalSeqs / s.NumDialects
+	if perDialect < 1 {
+		perDialect = 1
+	}
+	var eval [][]int
+	for d := 0; d < s.NumDialects; d++ {
+		eval = append(eval, corpus.EvalSet(d, 0.5, perDialect,
+			fmt.Sprintf("eval-all-%d", d))...)
+	}
+	return &World{
+		Scale:  s,
+		Model:  nn.NewBilinear(s.Vocab, s.EmbedDim),
+		Corpus: corpus,
+		Pop:    pop,
+		Eval:   eval,
+	}
+}

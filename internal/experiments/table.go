@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an experiment's output: the rows/series a paper figure or table
+// reports, plus free-form notes (observations, caveats, paper comparison).
+type Table struct {
+	ID     string // e.g. "fig9", "table1"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Header) > 0 && len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("experiments: row has %d cells, header has %d",
+			len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	if len(t.Header) > 0 {
+		b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+		b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	}
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+		for _, n := range t.Notes {
+			b.WriteString("- " + n + "\n")
+		}
+	}
+	return b.String()
+}
+
+// String renders a fixed-width text view for terminals.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	pad := func(s string, w int) string { return s + strings.Repeat(" ", w-len(s)) }
+	if len(t.Header) > 0 {
+		for i, h := range t.Header {
+			b.WriteString(pad(h, widths[i]) + "  ")
+		}
+		b.WriteString("\n")
+		for _, w := range widths {
+			b.WriteString(strings.Repeat("-", w) + "  ")
+		}
+		b.WriteString("\n")
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			w := len(c)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			b.WriteString(pad(c, w) + "  ")
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	return b.String()
+}
+
+// fmtF formats a float for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// fmtHours formats simulated seconds as hours.
+func fmtHours(sec float64) string { return fmt.Sprintf("%.2f", sec/3600) }

@@ -1,0 +1,128 @@
+// Package fixedpoint implements Appendix D of the paper: the conversion
+// between real-valued model updates and elements of the finite group Z_n the
+// secure aggregation protocol operates over.
+//
+// A real number a is scaled by a factor c and rounded to the nearest
+// integer [ca]; integers in [-floor(n/2), ceil(n/2)) are then mapped onto
+// Z_n with non-negative integers keeping their value and negative integers
+// wrapping to the top of the group. Addition in Z_n then simulates plain
+// integer addition exactly as long as no intermediate sum wraps around, so
+// parties must budget the scaling factor against the expected update
+// magnitude and aggregation goal.
+//
+// The group used throughout the reproduction is Z_2^32 (elements are
+// uint32), matching the paper's example and making element addition a plain
+// machine add.
+package fixedpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Codec converts between float32 vectors and Z_2^32 vectors with a fixed
+// scaling factor.
+type Codec struct {
+	scale float64
+}
+
+// NewCodec returns a codec with the given scaling factor c. Larger c keeps
+// more precision but tolerates smaller magnitudes before wrapping: with
+// aggregation goal K, values up to roughly 2^31/(c*K) are safe.
+func NewCodec(scale float64) *Codec {
+	if scale <= 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		panic("fixedpoint: scale must be positive and finite")
+	}
+	return &Codec{scale: scale}
+}
+
+// DefaultCodec uses scale 2^16: ~4.8 decimal digits of precision and
+// headroom for sums up to ~32768 in magnitude, comfortable for aggregating
+// thousands of clipped model updates.
+func DefaultCodec() *Codec { return NewCodec(65536) }
+
+// Scale returns the scaling factor.
+func (c *Codec) Scale() float64 { return c.scale }
+
+// MaxMagnitude returns the largest absolute real value representable
+// without wrapping when summing k encoded values.
+func (c *Codec) MaxMagnitude(k int) float64 {
+	if k < 1 {
+		panic("fixedpoint: k must be >= 1")
+	}
+	return float64(math.MaxInt32) / (c.scale * float64(k))
+}
+
+// Encode maps a real value to a group element. It panics on NaN and
+// saturates at the representable range (values beyond +-2^31/scale), which
+// keeps a single pathological weight from silently corrupting the sum of a
+// whole cohort.
+func (c *Codec) Encode(a float64) uint32 {
+	if math.IsNaN(a) {
+		panic("fixedpoint: cannot encode NaN")
+	}
+	v := math.Round(a * c.scale)
+	if v > math.MaxInt32 {
+		v = math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		v = math.MinInt32
+	}
+	return uint32(int32(v))
+}
+
+// Decode maps a group element back to a real value, interpreting the top
+// half of the group as negative numbers.
+func (c *Codec) Decode(g uint32) float64 {
+	return float64(int32(g)) / c.scale
+}
+
+// EncodeVec encodes a float32 vector into dst. It panics if lengths differ.
+func (c *Codec) EncodeVec(dst []uint32, src []float32) {
+	if len(dst) != len(src) {
+		panic("fixedpoint: length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = c.Encode(float64(v))
+	}
+}
+
+// DecodeVec decodes a group vector into dst. It panics if lengths differ.
+func (c *Codec) DecodeVec(dst []float32, src []uint32) {
+	if len(dst) != len(src) {
+		panic("fixedpoint: length mismatch")
+	}
+	for i, g := range src {
+		dst[i] = float32(c.Decode(g))
+	}
+}
+
+// AddVec computes dst[i] += src[i] in Z_2^32 (wrapping add). It panics if
+// lengths differ.
+func AddVec(dst, src []uint32) {
+	if len(dst) != len(src) {
+		panic("fixedpoint: length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// SubVec computes dst[i] -= src[i] in Z_2^32. It panics if lengths differ.
+func SubVec(dst, src []uint32) {
+	if len(dst) != len(src) {
+		panic("fixedpoint: length mismatch")
+	}
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// RoundTripError returns the maximum absolute error introduced by encoding
+// then decoding a value of magnitude <= m: half a quantum.
+func (c *Codec) RoundTripError() float64 { return 0.5 / c.scale }
+
+// String describes the codec.
+func (c *Codec) String() string {
+	return fmt.Sprintf("fixedpoint.Codec(scale=%g, group=Z_2^32)", c.scale)
+}

@@ -1,0 +1,189 @@
+package fixedpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRoundTripScalar(t *testing.T) {
+	c := DefaultCodec()
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, 123.456, -123.456, 1e-5} {
+		got := c.Decode(c.Encode(v))
+		if math.Abs(got-v) > c.RoundTripError() {
+			t.Fatalf("round trip %v -> %v (err %v > %v)", v, got, math.Abs(got-v), c.RoundTripError())
+		}
+	}
+}
+
+func TestEncodeSaturates(t *testing.T) {
+	c := NewCodec(1)
+	hi := c.Encode(1e18)
+	if int32(hi) != math.MaxInt32 {
+		t.Fatalf("no positive saturation: %d", int32(hi))
+	}
+	lo := c.Encode(-1e18)
+	if int32(lo) != math.MinInt32 {
+		t.Fatalf("no negative saturation: %d", int32(lo))
+	}
+}
+
+func TestEncodeNaNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN accepted")
+		}
+	}()
+	DefaultCodec().Encode(math.NaN())
+}
+
+func TestNewCodecPanics(t *testing.T) {
+	for _, s := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("scale %v accepted", s)
+				}
+			}()
+			NewCodec(s)
+		}()
+	}
+}
+
+func TestNegativeMapping(t *testing.T) {
+	// Appendix D: negative integers map to the top of the group.
+	c := NewCodec(1)
+	g := c.Encode(-1)
+	if g != math.MaxUint32 {
+		t.Fatalf("Encode(-1) = %d, want 2^32-1", g)
+	}
+	if c.Decode(g) != -1 {
+		t.Fatalf("Decode(2^32-1) = %v, want -1", c.Decode(g))
+	}
+}
+
+func TestGroupAdditionSimulatesIntegerAddition(t *testing.T) {
+	c := NewCodec(100)
+	// a + b computed in the group must equal the real sum when no wrap
+	// occurs — including mixed signs.
+	cases := [][2]float64{{1.25, 2.5}, {-1.25, 2.5}, {1.25, -2.5}, {-1.25, -2.5}}
+	for _, ab := range cases {
+		g := c.Encode(ab[0]) + c.Encode(ab[1])
+		want := ab[0] + ab[1]
+		if math.Abs(c.Decode(g)-want) > 2*c.RoundTripError() {
+			t.Fatalf("group add %v + %v = %v, want %v", ab[0], ab[1], c.Decode(g), want)
+		}
+	}
+}
+
+func TestVecOps(t *testing.T) {
+	c := NewCodec(1000)
+	src := []float32{1.5, -2.25, 0}
+	enc := make([]uint32, 3)
+	c.EncodeVec(enc, src)
+	dec := make([]float32, 3)
+	c.DecodeVec(dec, enc)
+	for i := range src {
+		if math.Abs(float64(dec[i]-src[i])) > 1e-3 {
+			t.Fatalf("vec round trip: %v -> %v", src, dec)
+		}
+	}
+	// AddVec then SubVec restores.
+	a := []uint32{1, 2, 3}
+	b := []uint32{10, 20, math.MaxUint32}
+	orig := append([]uint32(nil), a...)
+	AddVec(a, b)
+	SubVec(a, b)
+	for i := range a {
+		if a[i] != orig[i] {
+			t.Fatal("Add/Sub not inverse")
+		}
+	}
+}
+
+func TestVecLengthPanics(t *testing.T) {
+	c := DefaultCodec()
+	for _, f := range []func(){
+		func() { c.EncodeVec(make([]uint32, 2), make([]float32, 3)) },
+		func() { c.DecodeVec(make([]float32, 2), make([]uint32, 3)) },
+		func() { AddVec(make([]uint32, 2), make([]uint32, 3)) },
+		func() { SubVec(make([]uint32, 2), make([]uint32, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("length mismatch accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxMagnitude(t *testing.T) {
+	c := NewCodec(65536)
+	m1 := c.MaxMagnitude(1)
+	m100 := c.MaxMagnitude(100)
+	if m100 >= m1 {
+		t.Fatalf("headroom should shrink with k: %v vs %v", m1, m100)
+	}
+	// Summing k values of magnitude just under MaxMagnitude(k) must not
+	// wrap.
+	k := 50
+	v := c.MaxMagnitude(k) * 0.99
+	var sum uint32
+	for i := 0; i < k; i++ {
+		sum += c.Encode(v)
+	}
+	if got := c.Decode(sum); math.Abs(got-v*float64(k)) > 1e-2*v*float64(k) {
+		t.Fatalf("k-sum wrapped: got %v want %v", got, v*float64(k))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxMagnitude(0) accepted")
+		}
+	}()
+	c.MaxMagnitude(0)
+}
+
+// Property: the group sum of encoded values decodes to the real sum within
+// quantization error, for bounded inputs (the wrap-free regime).
+func TestQuickSumHomomorphism(t *testing.T) {
+	c := NewCodec(1 << 12)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		k := 1 + r.Intn(64)
+		var gsum uint32
+		var fsum float64
+		for i := 0; i < k; i++ {
+			v := (r.Float64() - 0.5) * 100 // well within headroom
+			gsum += c.Encode(v)
+			fsum += v
+		}
+		return math.Abs(c.Decode(gsum)-fsum) <= float64(k)*c.RoundTripError()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if DefaultCodec().String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func BenchmarkEncodeVec(b *testing.B) {
+	c := DefaultCodec()
+	src := make([]float32, 4096)
+	dst := make([]uint32, 4096)
+	for i := range src {
+		src[i] = float32(i%100) * 0.01
+	}
+	b.SetBytes(4096 * 4)
+	for i := 0; i < b.N; i++ {
+		c.EncodeVec(dst, src)
+	}
+}

@@ -1,0 +1,241 @@
+package lmdata
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.VocabSize = 32
+	cfg.NumDialects = 4
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.VocabSize = 1 },
+		func(c *Config) { c.NumDialects = 0 },
+		func(c *Config) { c.SeqLenMin = 1 },
+		func(c *Config) { c.SeqLenMax = c.SeqLenMin - 1 },
+		func(c *Config) { c.BranchFactor = 0 },
+		func(c *Config) { c.BranchFactor = c.VocabSize + 1 },
+		func(c *Config) { c.SmoothMass = 1 },
+		func(c *Config) { c.ZipfS = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestChainRowsAreDistributions(t *testing.T) {
+	c := NewCorpus(testConfig())
+	for i := 0; i < c.VocabSize(); i++ {
+		var sum float64
+		for j := 0; j < c.VocabSize(); j++ {
+			p := c.global.prob(i, j)
+			if p < 0 {
+				t.Fatalf("negative probability P(%d|%d) = %v", j, i, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestClientExamplesDeterministic(t *testing.T) {
+	c := NewCorpus(testConfig())
+	a := c.ClientExamples(99, 1, 0.5, 5)
+	b := c.ClientExamples(99, 1, 0.5, 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("wrong example count: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("nondeterministic sequence lengths")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("nondeterministic client data")
+			}
+		}
+	}
+}
+
+func TestClientsHaveDistinctData(t *testing.T) {
+	c := NewCorpus(testConfig())
+	a := c.ClientExamples(1, 0, 0.5, 3)
+	b := c.ClientExamples(2, 0, 0.5, 3)
+	same := true
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			same = false
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("distinct clients generated identical data")
+	}
+}
+
+func TestSequenceBounds(t *testing.T) {
+	cfg := testConfig()
+	c := NewCorpus(cfg)
+	for _, seq := range c.ClientExamples(5, 2, 0.7, 50) {
+		if len(seq) < cfg.SeqLenMin || len(seq) > cfg.SeqLenMax {
+			t.Fatalf("sequence length %d outside [%d,%d]", len(seq), cfg.SeqLenMin, cfg.SeqLenMax)
+		}
+		for _, tok := range seq {
+			if tok < 0 || tok >= cfg.VocabSize {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+		}
+	}
+}
+
+func TestDialectOutOfRangePanics(t *testing.T) {
+	c := NewCorpus(testConfig())
+	for _, f := range []func(){
+		func() { c.ClientExamples(1, -1, 0.5, 1) },
+		func() { c.ClientExamples(1, 99, 0.5, 1) },
+		func() { c.EvalSet(-1, 0.5, 1, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEvalSetLabelsDiffer(t *testing.T) {
+	c := NewCorpus(testConfig())
+	a := c.EvalSet(0, 0.5, 4, "all")
+	b := c.EvalSet(0, 0.5, 4, "p99")
+	diff := false
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			diff = true
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different labels produced identical eval sets")
+	}
+}
+
+func TestMixtureProbIsDistribution(t *testing.T) {
+	c := NewCorpus(testConfig())
+	for _, w := range []float64{0, 0.3, 1} {
+		var sum float64
+		for j := 0; j < c.VocabSize(); j++ {
+			sum += c.MixtureProb(1, w, 3, j)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mixture w=%v sums to %v", w, sum)
+		}
+	}
+}
+
+func TestDialectsShiftDistribution(t *testing.T) {
+	c := NewCorpus(testConfig())
+	// With full dialect weight, transition probabilities must differ from
+	// the global chain for at least some (i,j).
+	differs := false
+	for i := 0; i < c.VocabSize() && !differs; i++ {
+		for j := 0; j < c.VocabSize(); j++ {
+			if math.Abs(c.MixtureProb(0, 1, i, j)-c.MixtureProb(0, 0, i, j)) > 0.01 {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("dialect chain is indistinguishable from global chain")
+	}
+}
+
+func TestEntropyFloorBelowUniform(t *testing.T) {
+	cfg := testConfig()
+	c := NewCorpus(cfg)
+	h := c.EntropyFloor(0, 0.5, 200, rng.New(3))
+	uniform := math.Log(float64(cfg.VocabSize))
+	if h <= 0 || h >= uniform {
+		t.Fatalf("entropy floor %v not in (0, log V = %v); corpus has no learnable structure", h, uniform)
+	}
+	// The corpus must be meaningfully predictable: floor well below uniform.
+	if h > 0.8*uniform {
+		t.Fatalf("entropy floor %v too close to uniform %v", h, uniform)
+	}
+}
+
+func TestTokenCount(t *testing.T) {
+	seqs := [][]int{{1, 2, 3}, {4, 5}, {6}}
+	if n := TokenCount(seqs); n != 3 {
+		t.Fatalf("TokenCount = %d, want 3", n)
+	}
+	if n := TokenCount(nil); n != 0 {
+		t.Fatalf("TokenCount(nil) = %d", n)
+	}
+}
+
+// Property: generation is deterministic and in-vocab for arbitrary client
+// ids and weights.
+func TestQuickClientExamples(t *testing.T) {
+	c := NewCorpus(testConfig())
+	f := func(id int64, wRaw uint8, d uint8) bool {
+		w := float64(wRaw) / 255
+		dialect := int(d) % c.Config().NumDialects
+		a := c.ClientExamples(id, dialect, w, 3)
+		b := c.ClientExamples(id, dialect, w, 3)
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] || a[i][j] < 0 || a[i][j] >= c.VocabSize() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClientExamples(b *testing.B) {
+	c := NewCorpus(DefaultConfig())
+	for i := 0; i < b.N; i++ {
+		_ = c.ClientExamples(int64(i), i%8, 0.5, 30)
+	}
+}

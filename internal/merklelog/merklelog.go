@@ -1,0 +1,240 @@
+// Package merklelog implements the append-only verifiable log of Appendix
+// C.2, used to publish every trusted binary that may run inside the enclave
+// so that the binary can be updated without shipping a new hash to every
+// client.
+//
+// The log is an RFC 6962-style Merkle tree: each record is a leaf; the root
+// hash is the log snapshot; inclusion proofs show a record is in a snapshot;
+// consistency proofs show one snapshot is an append-only extension of
+// another. Clients require an inclusion proof for the attested binary hash
+// before proceeding with secure aggregation; auditors poll snapshots and
+// verify consistency so a log operator cannot show different histories to
+// different parties without detection.
+package merklelog
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the node hash size in bytes.
+const HashSize = sha256.Size
+
+// Hash is a Merkle tree node hash.
+type Hash [HashSize]byte
+
+// LeafHash computes the domain-separated hash of a record (RFC 6962: 0x00
+// prefix for leaves).
+func LeafHash(record []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(record)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// largestPow2Below returns the largest power of two strictly less than n
+// (n must be >= 2).
+func largestPow2Below(n uint64) uint64 {
+	k := uint64(1)
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// Log is an append-only Merkle log. It retains leaf hashes only; callers
+// keep the records themselves.
+type Log struct {
+	leaves []Hash
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// Size returns the number of records.
+func (l *Log) Size() uint64 { return uint64(len(l.leaves)) }
+
+// Append adds a record and returns its index.
+func (l *Log) Append(record []byte) uint64 {
+	l.leaves = append(l.leaves, LeafHash(record))
+	return uint64(len(l.leaves) - 1)
+}
+
+// AppendLeafHash adds a pre-hashed leaf (for mirrors that only see hashes).
+func (l *Log) AppendLeafHash(h Hash) uint64 {
+	l.leaves = append(l.leaves, h)
+	return uint64(len(l.leaves) - 1)
+}
+
+// Root returns the Merkle tree hash over the first n leaves (a historical
+// snapshot). It panics if n exceeds the log size. Root(0) is the hash of the
+// empty string, per RFC 6962.
+func (l *Log) Root(n uint64) Hash {
+	if n > l.Size() {
+		panic(fmt.Sprintf("merklelog: snapshot %d beyond size %d", n, l.Size()))
+	}
+	if n == 0 {
+		var out Hash
+		copy(out[:], sha256.New().Sum(nil))
+		return out
+	}
+	return l.subtree(0, n)
+}
+
+// subtree computes MTH(D[lo:hi]).
+func (l *Log) subtree(lo, hi uint64) Hash {
+	n := hi - lo
+	if n == 1 {
+		return l.leaves[lo]
+	}
+	k := largestPow2Below(n)
+	return nodeHash(l.subtree(lo, lo+k), l.subtree(lo+k, hi))
+}
+
+// InclusionProof returns the audit path for leaf m within the snapshot of
+// size n (RFC 6962 2.1.1). It errors if m >= n or n exceeds the log.
+func (l *Log) InclusionProof(m, n uint64) ([]Hash, error) {
+	if n > l.Size() {
+		return nil, fmt.Errorf("merklelog: snapshot %d beyond size %d", n, l.Size())
+	}
+	if m >= n {
+		return nil, fmt.Errorf("merklelog: leaf %d outside snapshot %d", m, n)
+	}
+	return l.path(m, 0, n), nil
+}
+
+func (l *Log) path(m, lo, hi uint64) []Hash {
+	n := hi - lo
+	if n == 1 {
+		return nil
+	}
+	k := largestPow2Below(n)
+	if m-lo < k {
+		return append(l.path(m, lo, lo+k), l.subtree(lo+k, hi))
+	}
+	return append(l.path(m, lo+k, hi), l.subtree(lo, lo+k))
+}
+
+// VerifyInclusion checks that leaf (with the given leaf hash) is the m-th
+// record of the snapshot with the given root and size.
+func VerifyInclusion(root Hash, n, m uint64, leaf Hash, proof []Hash) bool {
+	if m >= n {
+		return false
+	}
+	computed, rest, ok := runInclusion(m, n, leaf, proof)
+	return ok && len(rest) == 0 && computed == root
+}
+
+// runInclusion consumes proof from the end, mirroring the recursion in path.
+func runInclusion(m, n uint64, leaf Hash, proof []Hash) (Hash, []Hash, bool) {
+	if n == 1 {
+		return leaf, proof, true
+	}
+	if len(proof) == 0 {
+		return Hash{}, nil, false
+	}
+	k := largestPow2Below(n)
+	sib := proof[len(proof)-1]
+	rest := proof[:len(proof)-1]
+	if m < k {
+		sub, rest, ok := runInclusion(m, k, leaf, rest)
+		if !ok {
+			return Hash{}, nil, false
+		}
+		return nodeHash(sub, sib), rest, true
+	}
+	sub, rest, ok := runInclusion(m-k, n-k, leaf, rest)
+	if !ok {
+		return Hash{}, nil, false
+	}
+	return nodeHash(sib, sub), rest, true
+}
+
+// ConsistencyProof returns a proof that the snapshot of size m is a prefix
+// of the snapshot of size n (RFC 6962 2.1.2). It errors unless
+// 1 <= m <= n <= Size.
+func (l *Log) ConsistencyProof(m, n uint64) ([]Hash, error) {
+	if n > l.Size() {
+		return nil, fmt.Errorf("merklelog: snapshot %d beyond size %d", n, l.Size())
+	}
+	if m < 1 || m > n {
+		return nil, errors.New("merklelog: need 1 <= m <= n")
+	}
+	return l.subProof(m, 0, n, true), nil
+}
+
+func (l *Log) subProof(m, lo, hi uint64, b bool) []Hash {
+	n := hi - lo
+	if m == n {
+		if b {
+			return nil
+		}
+		return []Hash{l.subtree(lo, hi)}
+	}
+	k := largestPow2Below(n)
+	if m <= k {
+		return append(l.subProof(m, lo, lo+k, b), l.subtree(lo+k, hi))
+	}
+	return append(l.subProof(m-k, lo+k, hi, false), l.subtree(lo, lo+k))
+}
+
+// VerifyConsistency checks that the log with root oldRoot at size m is a
+// prefix of the log with root newRoot at size n.
+func VerifyConsistency(oldRoot Hash, m uint64, newRoot Hash, n uint64, proof []Hash) bool {
+	if m < 1 || m > n {
+		return false
+	}
+	if m == n {
+		return oldRoot == newRoot && len(proof) == 0
+	}
+	old, nw, rest, ok := runConsistency(m, n, proof, oldRoot, true)
+	return ok && len(rest) == 0 && old == oldRoot && nw == newRoot
+}
+
+// runConsistency consumes proof from the end, mirroring subProof.
+func runConsistency(m, n uint64, proof []Hash, oldKnown Hash, b bool) (old, nw Hash, rest []Hash, ok bool) {
+	if m == n {
+		if b {
+			return oldKnown, oldKnown, proof, true
+		}
+		if len(proof) == 0 {
+			return Hash{}, Hash{}, nil, false
+		}
+		h := proof[len(proof)-1]
+		return h, h, proof[:len(proof)-1], true
+	}
+	if len(proof) == 0 {
+		return Hash{}, Hash{}, nil, false
+	}
+	k := largestPow2Below(n)
+	last := proof[len(proof)-1]
+	rest = proof[:len(proof)-1]
+	if m <= k {
+		// Old tree lives entirely in the left subtree; last is the right
+		// subtree hash, present only in the new root.
+		old, nwSub, rest, ok := runConsistency(m, k, rest, oldKnown, b)
+		if !ok {
+			return Hash{}, Hash{}, nil, false
+		}
+		return old, nodeHash(nwSub, last), rest, true
+	}
+	// Old tree spans the left subtree (hash = last) plus part of the right.
+	oldSub, nwSub, rest, ok := runConsistency(m-k, n-k, rest, oldKnown, false)
+	if !ok {
+		return Hash{}, Hash{}, nil, false
+	}
+	return nodeHash(last, oldSub), nodeHash(last, nwSub), rest, true
+}

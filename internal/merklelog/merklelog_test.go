@@ -1,0 +1,272 @@
+package merklelog
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func buildLog(n int) *Log {
+	l := New()
+	for i := 0; i < n; i++ {
+		l.Append([]byte(fmt.Sprintf("record-%d", i)))
+	}
+	return l
+}
+
+func TestEmptyRoot(t *testing.T) {
+	l := New()
+	root := l.Root(0)
+	// SHA-256 of the empty string.
+	want := "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+	got := fmt.Sprintf("%x", root[:])
+	if got != want {
+		t.Fatalf("empty root = %s, want %s", got, want)
+	}
+}
+
+func TestAppendChangesRoot(t *testing.T) {
+	l := New()
+	l.Append([]byte("a"))
+	r1 := l.Root(1)
+	l.Append([]byte("b"))
+	r2 := l.Root(2)
+	if r1 == r2 {
+		t.Fatal("append did not change root")
+	}
+	// Historical snapshot unchanged.
+	if l.Root(1) != r1 {
+		t.Fatal("historical root changed after append")
+	}
+}
+
+func TestRootDeterministic(t *testing.T) {
+	a, b := buildLog(13), buildLog(13)
+	if a.Root(13) != b.Root(13) {
+		t.Fatal("same records, different roots")
+	}
+}
+
+func TestRootOrderSensitive(t *testing.T) {
+	a := New()
+	a.Append([]byte("x"))
+	a.Append([]byte("y"))
+	b := New()
+	b.Append([]byte("y"))
+	b.Append([]byte("x"))
+	if a.Root(2) == b.Root(2) {
+		t.Fatal("root ignores record order")
+	}
+}
+
+func TestRootPanicsBeyondSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	buildLog(3).Root(4)
+}
+
+func TestInclusionProofAllLeavesAllSizes(t *testing.T) {
+	// Exhaustively verify every leaf in every snapshot size up to 17
+	// (covers balanced and ragged trees).
+	l := buildLog(17)
+	for n := uint64(1); n <= 17; n++ {
+		root := l.Root(n)
+		for m := uint64(0); m < n; m++ {
+			proof, err := l.InclusionProof(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leaf := LeafHash([]byte(fmt.Sprintf("record-%d", m)))
+			if !VerifyInclusion(root, n, m, leaf, proof) {
+				t.Fatalf("inclusion proof failed for leaf %d in snapshot %d", m, n)
+			}
+		}
+	}
+}
+
+func TestInclusionProofRejectsWrongLeaf(t *testing.T) {
+	l := buildLog(9)
+	proof, _ := l.InclusionProof(4, 9)
+	root := l.Root(9)
+	if VerifyInclusion(root, 9, 4, LeafHash([]byte("evil")), proof) {
+		t.Fatal("wrong leaf accepted")
+	}
+}
+
+func TestInclusionProofRejectsWrongIndex(t *testing.T) {
+	l := buildLog(9)
+	proof, _ := l.InclusionProof(4, 9)
+	root := l.Root(9)
+	leaf := LeafHash([]byte("record-4"))
+	if VerifyInclusion(root, 9, 5, leaf, proof) {
+		t.Fatal("wrong index accepted")
+	}
+}
+
+func TestInclusionProofRejectsTamperedProof(t *testing.T) {
+	l := buildLog(9)
+	proof, _ := l.InclusionProof(4, 9)
+	root := l.Root(9)
+	leaf := LeafHash([]byte("record-4"))
+	tampered := append([]Hash(nil), proof...)
+	tampered[0][0] ^= 1
+	if VerifyInclusion(root, 9, 4, leaf, tampered) {
+		t.Fatal("tampered proof accepted")
+	}
+	if VerifyInclusion(root, 9, 4, leaf, proof[:len(proof)-1]) {
+		t.Fatal("truncated proof accepted")
+	}
+	if VerifyInclusion(root, 9, 4, leaf, append(proof, Hash{})) {
+		t.Fatal("padded proof accepted")
+	}
+}
+
+func TestInclusionProofErrors(t *testing.T) {
+	l := buildLog(5)
+	if _, err := l.InclusionProof(5, 5); err == nil {
+		t.Fatal("leaf == size accepted")
+	}
+	if _, err := l.InclusionProof(0, 6); err == nil {
+		t.Fatal("snapshot beyond size accepted")
+	}
+}
+
+func TestConsistencyAllPairs(t *testing.T) {
+	l := buildLog(17)
+	for m := uint64(1); m <= 17; m++ {
+		for n := m; n <= 17; n++ {
+			proof, err := l.ConsistencyProof(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifyConsistency(l.Root(m), m, l.Root(n), n, proof) {
+				t.Fatalf("consistency proof failed for %d -> %d", m, n)
+			}
+		}
+	}
+}
+
+func TestConsistencyRejectsForkedLog(t *testing.T) {
+	honest := buildLog(8)
+	// The forked log shares the first 5 records, then diverges.
+	fork := New()
+	for i := 0; i < 5; i++ {
+		fork.Append([]byte(fmt.Sprintf("record-%d", i)))
+	}
+	fork.Append([]byte("evil-6"))
+	fork.Append([]byte("evil-7"))
+	fork.Append([]byte("evil-8"))
+
+	proof, err := fork.ConsistencyProof(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A proof from the forked log must not link the honest old snapshot to
+	// the forked new snapshot... (5-prefix matches, so it should pass)
+	if !VerifyConsistency(honest.Root(5), 5, fork.Root(8), 8, proof) {
+		t.Fatal("consistent prefix rejected")
+	}
+	// ...but must fail when the claimed old snapshot differs.
+	if VerifyConsistency(honest.Root(6), 6, fork.Root(8), 8, proof) {
+		t.Fatal("forked history accepted")
+	}
+}
+
+func TestConsistencyRejectsTamper(t *testing.T) {
+	l := buildLog(11)
+	proof, _ := l.ConsistencyProof(5, 11)
+	if len(proof) == 0 {
+		t.Fatal("expected non-empty proof")
+	}
+	tampered := append([]Hash(nil), proof...)
+	tampered[0][3] ^= 0x80
+	if VerifyConsistency(l.Root(5), 5, l.Root(11), 11, tampered) {
+		t.Fatal("tampered consistency proof accepted")
+	}
+	if VerifyConsistency(l.Root(5), 5, l.Root(11), 11, proof[:len(proof)-1]) {
+		t.Fatal("truncated consistency proof accepted")
+	}
+}
+
+func TestConsistencySameSize(t *testing.T) {
+	l := buildLog(6)
+	proof, err := l.ConsistencyProof(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof) != 0 {
+		t.Fatalf("m==n proof should be empty, got %d hashes", len(proof))
+	}
+	if !VerifyConsistency(l.Root(6), 6, l.Root(6), 6, nil) {
+		t.Fatal("identity consistency rejected")
+	}
+	if VerifyConsistency(l.Root(5), 5, l.Root(6), 6, nil) {
+		t.Fatal("empty proof accepted for m<n")
+	}
+}
+
+func TestConsistencyErrors(t *testing.T) {
+	l := buildLog(4)
+	if _, err := l.ConsistencyProof(0, 4); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := l.ConsistencyProof(3, 5); err == nil {
+		t.Fatal("n beyond size accepted")
+	}
+	if _, err := l.ConsistencyProof(4, 3); err == nil {
+		t.Fatal("m>n accepted")
+	}
+}
+
+func TestAppendLeafHashMirrorsAppend(t *testing.T) {
+	a := New()
+	a.Append([]byte("x"))
+	b := New()
+	b.AppendLeafHash(LeafHash([]byte("x")))
+	if a.Root(1) != b.Root(1) {
+		t.Fatal("AppendLeafHash diverges from Append")
+	}
+}
+
+// Property: for random log sizes, inclusion and consistency proofs verify
+// and tampering with the root is detected.
+func TestQuickProofs(t *testing.T) {
+	f := func(sizeRaw, mRaw, leafRaw uint16) bool {
+		n := uint64(sizeRaw%60) + 1
+		l := buildLog(int(n))
+		m := uint64(mRaw) % n
+		proof, err := l.InclusionProof(m, n)
+		if err != nil {
+			return false
+		}
+		leaf := LeafHash([]byte(fmt.Sprintf("record-%d", m)))
+		root := l.Root(n)
+		if !VerifyInclusion(root, n, m, leaf, proof) {
+			return false
+		}
+		badRoot := root
+		badRoot[0] ^= 1
+		if VerifyInclusion(badRoot, n, m, leaf, proof) {
+			return false
+		}
+		old := uint64(mRaw)%n + 1
+		cproof, err := l.ConsistencyProof(old, n)
+		if err != nil {
+			return false
+		}
+		return VerifyConsistency(l.Root(old), old, root, n, cproof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInclusionProof(b *testing.B) {
+	l := buildLog(1024)
+	for i := 0; i < b.N; i++ {
+		_, _ = l.InclusionProof(uint64(i)%1024, 1024)
+	}
+}

@@ -1,0 +1,245 @@
+// Package metrics provides the lightweight instrumentation used to produce
+// every figure in the evaluation: counters (communication trips, server model
+// updates), time series sampled against the simulation clock (training loss,
+// active-client traces for Figure 7), and a registry for snapshotting a run.
+//
+// All types are safe for concurrent use; the production-style server
+// components increment them from many goroutines.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which must be non-negative).
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down (e.g. number of active clients).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Point is a single (time, value) observation. Time is in simulated seconds
+// for event-driven runs and wall seconds for the live system.
+type Point struct {
+	T float64
+	V float64
+}
+
+// TimeSeries records (time, value) points in append order.
+type TimeSeries struct {
+	mu  sync.Mutex
+	pts []Point
+}
+
+// Record appends an observation.
+func (s *TimeSeries) Record(t, v float64) {
+	s.mu.Lock()
+	s.pts = append(s.pts, Point{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of all observations in append order.
+func (s *TimeSeries) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.pts...)
+}
+
+// Len returns the number of recorded points.
+func (s *TimeSeries) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pts)
+}
+
+// Last returns the most recent point and true, or a zero Point and false if
+// the series is empty.
+func (s *TimeSeries) Last() (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	return s.pts[len(s.pts)-1], true
+}
+
+// FirstTimeBelow returns the earliest recorded time at which the value was
+// <= threshold, scanning in append order. The boolean reports whether any
+// point qualified. This is how "hours to reach a target loss" is measured.
+func (s *TimeSeries) FirstTimeBelow(threshold float64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.pts {
+		if p.V <= threshold {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// ValueAt returns the value of the most recent point with T <= t (step
+// interpolation), or 0 and false if no point precedes t. Points are assumed
+// to have been recorded with non-decreasing T, which holds for both the
+// event simulator and wall-clock runs.
+func (s *TimeSeries) ValueAt(t float64) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return s.pts[i-1].V, true
+}
+
+// Resample returns the series evaluated at n evenly spaced times spanning
+// [t0, t1] using step interpolation. Useful for plotting utilization traces
+// on a common grid.
+func (s *TimeSeries) Resample(t0, t1 float64, n int) []Point {
+	if n < 2 || t1 <= t0 {
+		panic("metrics: Resample requires n >= 2 and t1 > t0")
+	}
+	out := make([]Point, n)
+	dt := (t1 - t0) / float64(n-1)
+	for i := range out {
+		t := t0 + dt*float64(i)
+		v, _ := s.ValueAt(t)
+		out[i] = Point{T: t, V: v}
+	}
+	return out
+}
+
+// TimeAverage returns the time-weighted mean of the series over [t0, t1]
+// using step interpolation; this is how mean utilization is computed.
+func (s *TimeSeries) TimeAverage(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		panic("metrics: TimeAverage requires t1 > t0")
+	}
+	s.mu.Lock()
+	pts := append([]Point(nil), s.pts...)
+	s.mu.Unlock()
+	var acc float64
+	cur := 0.0
+	curT := t0
+	for _, p := range pts {
+		if p.T <= t0 {
+			cur = p.V
+			continue
+		}
+		if p.T >= t1 {
+			break
+		}
+		acc += cur * (p.T - curT)
+		cur = p.V
+		curT = p.T
+	}
+	acc += cur * (t1 - curT)
+	return acc / (t1 - t0)
+}
+
+// Registry is a named collection of metrics for one run.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	series   map[string]*TimeSeries
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		series:   make(map[string]*TimeSeries),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Series returns the time series with the given name, creating it on first
+// use.
+func (r *Registry) Series(name string) *TimeSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok {
+		s = &TimeSeries{}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Snapshot returns a sorted, human-readable dump of all counters and gauges.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for n := range r.counters {
+		names = append(names, "counter/"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge/"+n)
+	}
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		if c, ok := r.counters[n[len("counter/"):]]; ok && n[:8] == "counter/" {
+			out += fmt.Sprintf("%s = %d\n", n, c.Value())
+			continue
+		}
+		if g, ok := r.gauges[n[len("gauge/"):]]; ok && n[:6] == "gauge/" {
+			out += fmt.Sprintf("%s = %d\n", n, g.Value())
+		}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative Add")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("Counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("Gauge = %d", g.Value())
+	}
+}
+
+func TestTimeSeriesBasics(t *testing.T) {
+	var s TimeSeries
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series should report false")
+	}
+	s.Record(1, 10)
+	s.Record(2, 5)
+	s.Record(3, 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.T != 3 || last.V != 1 {
+		t.Fatalf("Last = %+v", last)
+	}
+	pts := s.Points()
+	pts[0].V = 999
+	if p := s.Points()[0]; p.V != 10 {
+		t.Fatal("Points did not copy")
+	}
+}
+
+func TestFirstTimeBelow(t *testing.T) {
+	var s TimeSeries
+	s.Record(1, 10)
+	s.Record(2, 6)
+	s.Record(3, 4)
+	s.Record(4, 5)
+	tt, ok := s.FirstTimeBelow(5)
+	if !ok || tt != 3 {
+		t.Fatalf("FirstTimeBelow = %v, %v", tt, ok)
+	}
+	if _, ok := s.FirstTimeBelow(0.5); ok {
+		t.Fatal("threshold never reached but reported")
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	var s TimeSeries
+	s.Record(1, 100)
+	s.Record(5, 200)
+	if _, ok := s.ValueAt(0.5); ok {
+		t.Fatal("ValueAt before first point should be false")
+	}
+	if v, _ := s.ValueAt(1); v != 100 {
+		t.Fatalf("ValueAt(1) = %v", v)
+	}
+	if v, _ := s.ValueAt(3); v != 100 {
+		t.Fatalf("ValueAt(3) = %v", v)
+	}
+	if v, _ := s.ValueAt(5); v != 200 {
+		t.Fatalf("ValueAt(5) = %v", v)
+	}
+	if v, _ := s.ValueAt(100); v != 200 {
+		t.Fatalf("ValueAt(100) = %v", v)
+	}
+}
+
+func TestResample(t *testing.T) {
+	var s TimeSeries
+	s.Record(0, 1)
+	s.Record(10, 2)
+	pts := s.Resample(0, 10, 3)
+	if len(pts) != 3 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	if pts[0].V != 1 || pts[1].V != 1 || pts[2].V != 2 {
+		t.Fatalf("Resample = %+v", pts)
+	}
+}
+
+func TestResamplePanics(t *testing.T) {
+	var s TimeSeries
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Resample(0, 0, 3)
+}
+
+func TestTimeAverage(t *testing.T) {
+	var s TimeSeries
+	// Value 0 on [0,5), 10 on [5,10): average = 5.
+	s.Record(0, 0)
+	s.Record(5, 10)
+	avg := s.TimeAverage(0, 10)
+	if math.Abs(avg-5) > 1e-12 {
+		t.Fatalf("TimeAverage = %v", avg)
+	}
+	// Average over the second half only.
+	avg = s.TimeAverage(5, 10)
+	if math.Abs(avg-10) > 1e-12 {
+		t.Fatalf("TimeAverage half = %v", avg)
+	}
+}
+
+func TestTimeAverageWithInitialValueBeforeWindow(t *testing.T) {
+	var s TimeSeries
+	s.Record(0, 4)
+	avg := s.TimeAverage(2, 6)
+	if math.Abs(avg-4) > 1e-12 {
+		t.Fatalf("TimeAverage = %v", avg)
+	}
+}
+
+func TestRegistryReusesInstances(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("Counter not shared by name")
+	}
+	g := r.Gauge("g")
+	g.Set(2)
+	if r.Gauge("g").Value() != 2 {
+		t.Fatal("Gauge not shared by name")
+	}
+	s := r.Series("s")
+	s.Record(1, 1)
+	if r.Series("s").Len() != 1 {
+		t.Fatal("Series not shared by name")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("updates").Add(3)
+	r.Gauge("active").Set(7)
+	snap := r.Snapshot()
+	if snap == "" {
+		t.Fatal("empty snapshot")
+	}
+}
+
+func TestSeriesConcurrentRecord(t *testing.T) {
+	var s TimeSeries
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s.Record(float64(k*1000+j), 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", s.Len())
+	}
+}

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecf"
+)
+
+func exp(x float64) float64 { return math.Exp(x) }
+
+// Bilinear is a log-bilinear next-token model: the previous token's
+// embedding is projected through an output matrix to produce logits.
+//
+//	h_t      = E[x_t]                (embedding lookup, dim d)
+//	logits_t = U h_t + b             (V x d output matrix, V bias)
+//	P(x_{t+1} | x_t) = softmax(logits_t)
+//
+// Parameter layout (flat):
+//
+//	[0, V*d)        E, row-major V x d
+//	[V*d, 2*V*d)    U, row-major V x d
+//	[2*V*d, 2*V*d+V) b
+type Bilinear struct {
+	V, D int
+}
+
+// NewBilinear returns a log-bilinear model with vocabulary v and embedding
+// dimension d. It panics on non-positive sizes.
+func NewBilinear(v, d int) *Bilinear {
+	if v < 2 || d < 1 {
+		panic("nn: NewBilinear requires v >= 2 and d >= 1")
+	}
+	return &Bilinear{V: v, D: d}
+}
+
+// NumParams implements Model.
+func (m *Bilinear) NumParams() int { return 2*m.V*m.D + m.V }
+
+// VocabSize implements Model.
+func (m *Bilinear) VocabSize() int { return m.V }
+
+// InitParams implements Model with scaled Gaussian initialization.
+func (m *Bilinear) InitParams(r *rng.RNG) []float32 {
+	p := make([]float32, m.NumParams())
+	scale := 1 / math.Sqrt(float64(m.D))
+	for i := 0; i < 2*m.V*m.D; i++ {
+		p[i] = float32(r.NormFloat64() * scale)
+	}
+	// biases start at zero
+	return p
+}
+
+func (m *Bilinear) slices(params []float32) (e, u, b []float32) {
+	vd := m.V * m.D
+	return params[:vd], params[vd : 2*vd], params[2*vd:]
+}
+
+// Loss implements Model.
+func (m *Bilinear) Loss(params []float32, seqs [][]int) float64 {
+	checkParams(m, params)
+	e, u, b := m.slices(params)
+	logits := make([]float32, m.V)
+	var total float64
+	var count int
+	for _, seq := range seqs {
+		checkSeq(m, seq)
+		for t := 0; t+1 < len(seq); t++ {
+			h := e[seq[t]*m.D : (seq[t]+1)*m.D]
+			vecf.MatVec(logits, u, m.V, m.D, h)
+			vecf.Add(logits, b)
+			logZ := vecf.LogSumExp(logits)
+			total += logZ - float64(logits[seq[t+1]])
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Gradient implements Model.
+func (m *Bilinear) Gradient(params []float32, seqs [][]int, grad []float32) float64 {
+	checkParams(m, params)
+	checkParams(m, grad)
+	e, u, b := m.slices(params)
+	ge, gu, gb := m.slices(grad)
+
+	// Count targets first so the gradient is per-token averaged in one pass.
+	count := 0
+	for _, seq := range seqs {
+		if len(seq) > 1 {
+			count += len(seq) - 1
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	inv := float32(1 / float64(count))
+
+	logits := make([]float32, m.V)
+	probs := make([]float32, m.V)
+	dh := make([]float32, m.D)
+	var total float64
+	for _, seq := range seqs {
+		checkSeq(m, seq)
+		for t := 0; t+1 < len(seq); t++ {
+			x, y := seq[t], seq[t+1]
+			h := e[x*m.D : (x+1)*m.D]
+			vecf.MatVec(logits, u, m.V, m.D, h)
+			vecf.Add(logits, b)
+			logZ := vecf.Softmax(probs, logits)
+			total += logZ - float64(logits[y])
+
+			// dL/dlogits = probs - onehot(y); reuse probs in place.
+			probs[y] -= 1
+
+			// b gradient.
+			vecf.AXPY(gb, inv, probs)
+			// U gradient: outer(dlogits, h).
+			vecf.OuterAccum(gu, m.V, m.D, inv, probs, h)
+			// h gradient: U^T dlogits, accumulated into the embedding row.
+			vecf.MatTVec(dh, u, m.V, m.D, probs)
+			vecf.AXPY(ge[x*m.D:(x+1)*m.D], inv, dh)
+		}
+	}
+	return total / float64(count)
+}
+
+var _ Model = (*Bilinear)(nil)

@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/vecf"
+)
+
+// LSTM is a single-layer LSTM language model with an embedding input and a
+// softmax output, the architecture family the paper trains (an LSTM-based
+// next-word predictor, Kim et al. 2015). Backpropagation through time runs
+// over the full sequence (sequences here are short enough that no
+// truncation is needed).
+//
+// Parameter layout (flat):
+//
+//	E    V x D      token embeddings
+//	W    4H x (D+H) gate weights over [e_t ; h_{t-1}], gate order i,f,g,o
+//	bg   4H         gate biases
+//	U    V x H      output projection
+//	b    V          output bias
+type LSTM struct {
+	V, D, H int
+}
+
+// NewLSTM returns an LSTM LM with vocabulary v, embedding dim d, and hidden
+// size h. It panics on non-positive sizes.
+func NewLSTM(v, d, h int) *LSTM {
+	if v < 2 || d < 1 || h < 1 {
+		panic("nn: NewLSTM requires v >= 2, d >= 1, h >= 1")
+	}
+	return &LSTM{V: v, D: d, H: h}
+}
+
+// NumParams implements Model.
+func (m *LSTM) NumParams() int {
+	return m.V*m.D + 4*m.H*(m.D+m.H) + 4*m.H + m.V*m.H + m.V
+}
+
+// VocabSize implements Model.
+func (m *LSTM) VocabSize() int { return m.V }
+
+// InitParams implements Model. Weights use scaled Gaussian init; the forget
+// gate bias starts at 1.0, the standard trick for stable early training.
+func (m *LSTM) InitParams(r *rng.RNG) []float32 {
+	p := make([]float32, m.NumParams())
+	_, w, bg, u, _ := m.slices(p)
+	e := p[:m.V*m.D]
+	es := 1 / math.Sqrt(float64(m.D))
+	for i := range e {
+		e[i] = float32(r.NormFloat64() * es)
+	}
+	ws := 1 / math.Sqrt(float64(m.D+m.H))
+	for i := range w {
+		w[i] = float32(r.NormFloat64() * ws)
+	}
+	for i := m.H; i < 2*m.H; i++ {
+		bg[i] = 1 // forget gate bias
+	}
+	us := 1 / math.Sqrt(float64(m.H))
+	for i := range u {
+		u[i] = float32(r.NormFloat64() * us)
+	}
+	return p
+}
+
+func (m *LSTM) slices(params []float32) (e, w, bg, u, b []float32) {
+	o := 0
+	e = params[o : o+m.V*m.D]
+	o += m.V * m.D
+	w = params[o : o+4*m.H*(m.D+m.H)]
+	o += 4 * m.H * (m.D + m.H)
+	bg = params[o : o+4*m.H]
+	o += 4 * m.H
+	u = params[o : o+m.V*m.H]
+	o += m.V * m.H
+	b = params[o : o+m.V]
+	return
+}
+
+// step holds the forward-pass cache for one timestep, needed by BPTT.
+type step struct {
+	x, y       int // input and target tokens
+	in         []float32
+	i, f, g, o []float32
+	c, tanhC   []float32
+	h          []float32
+	probs      []float32
+	logit      float64 // logZ - logits[y], the per-step loss
+}
+
+// forwardSeq runs one sequence, returning the per-step caches (nil if the
+// sequence has no prediction targets) and the summed loss.
+func (m *LSTM) forwardSeq(params []float32, seq []int, keep bool) ([]*step, float64) {
+	if len(seq) < 2 {
+		return nil, 0
+	}
+	e, w, bg, u, b := m.slices(params)
+	H, D := m.H, m.D
+	hPrev := make([]float32, H)
+	cPrev := make([]float32, H)
+	var steps []*step
+	var total float64
+	z := make([]float32, 4*H)
+	logits := make([]float32, m.V)
+	for t := 0; t+1 < len(seq); t++ {
+		x, y := seq[t], seq[t+1]
+		in := make([]float32, D+H)
+		copy(in[:D], e[x*D:(x+1)*D])
+		copy(in[D:], hPrev)
+		vecf.MatVec(z, w, 4*H, D+H, in)
+		vecf.Add(z, bg)
+		st := &step{
+			x: x, y: y, in: in,
+			i: make([]float32, H), f: make([]float32, H),
+			g: make([]float32, H), o: make([]float32, H),
+			c: make([]float32, H), tanhC: make([]float32, H),
+			h: make([]float32, H),
+		}
+		copy(st.i, z[:H])
+		copy(st.f, z[H:2*H])
+		copy(st.g, z[2*H:3*H])
+		copy(st.o, z[3*H:])
+		vecf.Sigmoid(st.i)
+		vecf.Sigmoid(st.f)
+		vecf.Tanh(st.g)
+		vecf.Sigmoid(st.o)
+		for k := 0; k < H; k++ {
+			st.c[k] = st.f[k]*cPrev[k] + st.i[k]*st.g[k]
+		}
+		copy(st.tanhC, st.c)
+		vecf.Tanh(st.tanhC)
+		for k := 0; k < H; k++ {
+			st.h[k] = st.o[k] * st.tanhC[k]
+		}
+		vecf.MatVec(logits, u, m.V, H, st.h)
+		vecf.Add(logits, b)
+		st.probs = make([]float32, m.V)
+		logZ := vecf.Softmax(st.probs, logits)
+		st.logit = logZ - float64(logits[y])
+		total += st.logit
+		hPrev, cPrev = st.h, st.c
+		if keep {
+			steps = append(steps, st)
+		}
+	}
+	return steps, total
+}
+
+// Loss implements Model.
+func (m *LSTM) Loss(params []float32, seqs [][]int) float64 {
+	checkParams(m, params)
+	var total float64
+	count := 0
+	for _, seq := range seqs {
+		checkSeq(m, seq)
+		_, l := m.forwardSeq(params, seq, false)
+		total += l
+		if len(seq) > 1 {
+			count += len(seq) - 1
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Gradient implements Model via full backpropagation through time.
+func (m *LSTM) Gradient(params []float32, seqs [][]int, grad []float32) float64 {
+	checkParams(m, params)
+	checkParams(m, grad)
+	count := 0
+	for _, seq := range seqs {
+		if len(seq) > 1 {
+			count += len(seq) - 1
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+
+	// Accumulate an unscaled gradient, then add grad += tmp / count.
+	tmp := make([]float32, len(grad))
+	ge, gw, gbg, gu, gb := m.slices(tmp)
+	_, w, _, u, _ := m.slices(params)
+	H, D := m.H, m.D
+
+	dh := make([]float32, H)
+	dhNext := make([]float32, H)
+	dcNext := make([]float32, H)
+	dz := make([]float32, 4*H)
+	din := make([]float32, D+H)
+	var total float64
+	for _, seq := range seqs {
+		checkSeq(m, seq)
+		steps, l := m.forwardSeq(params, seq, true)
+		total += l
+		if steps == nil {
+			continue
+		}
+		vecf.Zero(dhNext)
+		vecf.Zero(dcNext)
+		for t := len(steps) - 1; t >= 0; t-- {
+			st := steps[t]
+			// Output layer.
+			dlogits := st.probs // reuse: dL/dlogits = probs - onehot(y)
+			dlogits[st.y] -= 1
+			vecf.Add(gb, dlogits)
+			vecf.OuterAccum(gu, m.V, H, 1, dlogits, st.h)
+			vecf.MatTVec(dh, u, m.V, H, dlogits)
+			vecf.Add(dh, dhNext)
+
+			// Cell backward.
+			var cPrev []float32
+			if t > 0 {
+				cPrev = steps[t-1].c
+			} else {
+				cPrev = make([]float32, H)
+			}
+			for k := 0; k < H; k++ {
+				do := dh[k] * st.tanhC[k]
+				dc := dh[k]*st.o[k]*(1-st.tanhC[k]*st.tanhC[k]) + dcNext[k]
+				di := dc * st.g[k]
+				dg := dc * st.i[k]
+				df := dc * cPrev[k]
+				dcNext[k] = dc * st.f[k]
+				dz[k] = di * st.i[k] * (1 - st.i[k])
+				dz[H+k] = df * st.f[k] * (1 - st.f[k])
+				dz[2*H+k] = dg * (1 - st.g[k]*st.g[k])
+				dz[3*H+k] = do * st.o[k] * (1 - st.o[k])
+			}
+			vecf.Add(gbg, dz)
+			vecf.OuterAccum(gw, 4*H, D+H, 1, dz, st.in)
+			vecf.MatTVec(din, w, 4*H, D+H, dz)
+			vecf.AXPY(ge[st.x*D:(st.x+1)*D], 1, din[:D])
+			copy(dhNext, din[D:])
+		}
+	}
+	vecf.AXPY(grad, float32(1/float64(count)), tmp)
+	return total / float64(count)
+}
+
+var _ Model = (*LSTM)(nil)

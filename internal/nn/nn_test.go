@@ -1,0 +1,362 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lmdata"
+	"repro/internal/rng"
+	"repro/internal/vecf"
+)
+
+// gradCheck compares the analytic gradient against central finite
+// differences at a sample of coordinates.
+func gradCheck(t *testing.T, m Model, seqs [][]int, nProbe int) {
+	t.Helper()
+	r := rng.New(42)
+	params := m.InitParams(r)
+	grad := make([]float32, m.NumParams())
+	m.Gradient(params, seqs, grad)
+
+	const eps = 1e-2
+	probe := rng.New(7)
+	for k := 0; k < nProbe; k++ {
+		i := probe.Intn(len(params))
+		orig := params[i]
+		params[i] = orig + eps
+		lp := m.Loss(params, seqs)
+		params[i] = orig - eps
+		lm := m.Loss(params, seqs)
+		params[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(grad[i])
+		diff := math.Abs(numeric - analytic)
+		scale := math.Max(1e-2, math.Max(math.Abs(numeric), math.Abs(analytic)))
+		if diff/scale > 0.08 {
+			t.Fatalf("grad mismatch at %d: numeric=%v analytic=%v", i, numeric, analytic)
+		}
+	}
+}
+
+func smallSeqs(v int) [][]int {
+	return [][]int{
+		{1, 2, 3, 0, 1},
+		{v - 1, v - 2, 0, 3},
+		{2, 2, 2},
+	}
+}
+
+func TestBilinearGradCheck(t *testing.T) {
+	m := NewBilinear(8, 4)
+	gradCheck(t, m, smallSeqs(8), 60)
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	m := NewLSTM(8, 4, 5)
+	gradCheck(t, m, smallSeqs(8), 80)
+}
+
+func TestBilinearShapes(t *testing.T) {
+	m := NewBilinear(16, 4)
+	if m.NumParams() != 2*16*4+16 {
+		t.Fatalf("NumParams = %d", m.NumParams())
+	}
+	if m.VocabSize() != 16 {
+		t.Fatalf("VocabSize = %d", m.VocabSize())
+	}
+	p := m.InitParams(rng.New(1))
+	if len(p) != m.NumParams() {
+		t.Fatalf("InitParams length %d", len(p))
+	}
+	if !vecf.AllFinite(p) {
+		t.Fatal("non-finite init")
+	}
+}
+
+func TestLSTMShapes(t *testing.T) {
+	m := NewLSTM(16, 4, 6)
+	want := 16*4 + 4*6*(4+6) + 4*6 + 16*6 + 16
+	if m.NumParams() != want {
+		t.Fatalf("NumParams = %d, want %d", m.NumParams(), want)
+	}
+	p := m.InitParams(rng.New(1))
+	if !vecf.AllFinite(p) {
+		t.Fatal("non-finite init")
+	}
+	// Forget-gate bias block must be 1.
+	_, _, bg, _, _ := m.slices(p)
+	for i := 6; i < 12; i++ {
+		if bg[i] != 1 {
+			t.Fatalf("forget bias not initialized: %v", bg[i])
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewBilinear(1, 4) },
+		func() { NewBilinear(4, 0) },
+		func() { NewLSTM(1, 2, 2) },
+		func() { NewLSTM(4, 0, 2) },
+		func() { NewLSTM(4, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLossAtInitNearUniform(t *testing.T) {
+	// At random init with small weights, the predictive distribution is
+	// close to uniform, so loss should be near log(V).
+	for _, m := range []Model{NewBilinear(32, 8), NewLSTM(32, 8, 8)} {
+		p := m.InitParams(rng.New(3))
+		seqs := smallSeqs(32)
+		loss := m.Loss(p, seqs)
+		if math.Abs(loss-math.Log(32)) > 1.0 {
+			t.Fatalf("%T init loss %v too far from log(32)=%v", m, loss, math.Log(32))
+		}
+	}
+}
+
+func TestEmptyAndShortSequences(t *testing.T) {
+	for _, m := range []Model{NewBilinear(8, 4), NewLSTM(8, 4, 4)} {
+		p := m.InitParams(rng.New(1))
+		g := make([]float32, m.NumParams())
+		if l := m.Loss(p, nil); l != 0 {
+			t.Fatalf("%T loss on empty batch = %v", m, l)
+		}
+		if l := m.Loss(p, [][]int{{3}}); l != 0 {
+			t.Fatalf("%T loss on length-1 seq = %v", m, l)
+		}
+		if l := m.Gradient(p, [][]int{{3}}, g); l != 0 {
+			t.Fatalf("%T gradient on length-1 seq = %v", m, l)
+		}
+		for _, v := range g {
+			if v != 0 {
+				t.Fatalf("%T gradient nonzero on empty input", m)
+			}
+		}
+	}
+}
+
+func TestOutOfVocabPanics(t *testing.T) {
+	m := NewBilinear(8, 4)
+	p := m.InitParams(rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-vocab token accepted")
+		}
+	}()
+	m.Loss(p, [][]int{{1, 99}})
+}
+
+func TestParamLengthPanics(t *testing.T) {
+	m := NewBilinear(8, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong param length accepted")
+		}
+	}()
+	m.Loss(make([]float32, 3), smallSeqs(8))
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	corpus := lmdata.NewCorpus(lmdata.Config{
+		VocabSize: 16, NumDialects: 2, Seed: 5,
+		SeqLenMin: 5, SeqLenMax: 10, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
+	})
+	seqs := corpus.ClientExamples(1, 0, 0.3, 200)
+	m := NewBilinear(16, 8)
+	params := m.InitParams(rng.New(2))
+	before := m.Loss(params, seqs)
+	cfg := SGDConfig{LearningRate: 0.5, Epochs: 5, BatchSize: 32, ClipNorm: 5}
+	SGD(m, params, seqs, cfg, rng.New(3))
+	after := m.Loss(params, seqs)
+	if after >= before-0.1 {
+		t.Fatalf("SGD did not reduce loss: before=%v after=%v", before, after)
+	}
+}
+
+func TestLSTMSGDReducesLoss(t *testing.T) {
+	corpus := lmdata.NewCorpus(lmdata.Config{
+		VocabSize: 16, NumDialects: 2, Seed: 5,
+		SeqLenMin: 5, SeqLenMax: 10, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
+	})
+	seqs := corpus.ClientExamples(1, 0, 0.3, 60)
+	m := NewLSTM(16, 6, 8)
+	params := m.InitParams(rng.New(2))
+	before := m.Loss(params, seqs)
+	cfg := SGDConfig{LearningRate: 0.3, Epochs: 4, BatchSize: 16, ClipNorm: 5}
+	SGD(m, params, seqs, cfg, rng.New(3))
+	after := m.Loss(params, seqs)
+	if after >= before-0.05 {
+		t.Fatalf("LSTM SGD did not reduce loss: before=%v after=%v", before, after)
+	}
+}
+
+func TestLocalUpdateDoesNotMutateInitial(t *testing.T) {
+	m := NewBilinear(8, 4)
+	initial := m.InitParams(rng.New(1))
+	snapshot := vecf.Clone(initial)
+	delta, _ := LocalUpdate(m, initial, smallSeqs(8), DefaultSGDConfig(), rng.New(2))
+	for i := range initial {
+		if initial[i] != snapshot[i] {
+			t.Fatal("LocalUpdate mutated the initial params")
+		}
+	}
+	// initial + delta must equal trained params: verify delta is nonzero.
+	if vecf.Norm2(delta) == 0 {
+		t.Fatal("LocalUpdate produced a zero delta")
+	}
+}
+
+func TestSGDDeterministicGivenRNG(t *testing.T) {
+	m := NewBilinear(8, 4)
+	seqs := smallSeqs(8)
+	p1 := m.InitParams(rng.New(1))
+	p2 := vecf.Clone(p1)
+	SGD(m, p1, seqs, DefaultSGDConfig(), rng.New(9))
+	SGD(m, p2, seqs, DefaultSGDConfig(), rng.New(9))
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("SGD not deterministic")
+		}
+	}
+}
+
+func TestSGDEmptyDataset(t *testing.T) {
+	m := NewBilinear(8, 4)
+	p := m.InitParams(rng.New(1))
+	snapshot := vecf.Clone(p)
+	loss := SGD(m, p, nil, DefaultSGDConfig(), rng.New(2))
+	if loss != 0 {
+		t.Fatalf("loss on empty dataset = %v", loss)
+	}
+	for i := range p {
+		if p[i] != snapshot[i] {
+			t.Fatal("SGD moved params with no data")
+		}
+	}
+}
+
+func TestSGDConfigValidate(t *testing.T) {
+	bad := []SGDConfig{
+		{LearningRate: 0, Epochs: 1, BatchSize: 1},
+		{LearningRate: 1, Epochs: 0, BatchSize: 1},
+		{LearningRate: 1, Epochs: 1, BatchSize: 0},
+		{LearningRate: 1, Epochs: 1, BatchSize: 1, ClipNorm: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if err := DefaultSGDConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	if p := Perplexity(0); p != 1 {
+		t.Fatalf("Perplexity(0) = %v", p)
+	}
+	if p := Perplexity(math.Log(64)); math.Abs(p-64) > 1e-9 {
+		t.Fatalf("Perplexity(log 64) = %v", p)
+	}
+	if p := Perplexity(1e9); math.IsInf(p, 0) {
+		t.Fatal("Perplexity overflowed")
+	}
+}
+
+// Property: gradients are finite for arbitrary valid sequences.
+func TestQuickGradientFinite(t *testing.T) {
+	m := NewBilinear(8, 3)
+	p := m.InitParams(rng.New(4))
+	g := make([]float32, m.NumParams())
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		seq := make([]int, len(raw))
+		for i, b := range raw {
+			seq[i] = int(b) % 8
+		}
+		vecf.Zero(g)
+		loss := m.Gradient(p, [][]int{seq}, g)
+		return !math.IsNaN(loss) && !math.IsInf(loss, 0) && vecf.AllFinite(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Training on dialect-pure data must fit that dialect better than another
+// dialect: the non-IID property the fairness experiments rely on.
+func TestDialectSpecialization(t *testing.T) {
+	corpus := lmdata.NewCorpus(lmdata.Config{
+		VocabSize: 16, NumDialects: 2, Seed: 11,
+		SeqLenMin: 6, SeqLenMax: 10, BranchFactor: 2, ZipfS: 1.5, SmoothMass: 0.03,
+	})
+	train := corpus.ClientExamples(1, 0, 1.0, 400)
+	evalSame := corpus.EvalSet(0, 1.0, 200, "same")
+	evalOther := corpus.EvalSet(1, 1.0, 200, "other")
+
+	m := NewBilinear(16, 8)
+	params := m.InitParams(rng.New(5))
+	SGD(m, params, train, SGDConfig{LearningRate: 0.5, Epochs: 8, BatchSize: 32, ClipNorm: 5}, rng.New(6))
+
+	lossSame := m.Loss(params, evalSame)
+	lossOther := m.Loss(params, evalOther)
+	if lossSame >= lossOther {
+		t.Fatalf("no dialect specialization: same=%v other=%v", lossSame, lossOther)
+	}
+}
+
+func BenchmarkBilinearGradient(b *testing.B) {
+	m := NewBilinear(64, 16)
+	p := m.InitParams(rng.New(1))
+	g := make([]float32, m.NumParams())
+	corpus := lmdata.NewCorpus(lmdata.DefaultConfig())
+	seqs := corpus.ClientExamples(1, 0, 0.5, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecf.Zero(g)
+		m.Gradient(p, seqs, g)
+	}
+}
+
+func BenchmarkLSTMGradient(b *testing.B) {
+	m := NewLSTM(64, 16, 16)
+	p := m.InitParams(rng.New(1))
+	g := make([]float32, m.NumParams())
+	corpus := lmdata.NewCorpus(lmdata.DefaultConfig())
+	seqs := corpus.ClientExamples(1, 0, 0.5, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecf.Zero(g)
+		m.Gradient(p, seqs, g)
+	}
+}
+
+func BenchmarkClientLocalUpdate(b *testing.B) {
+	m := NewBilinear(64, 16)
+	p := m.InitParams(rng.New(1))
+	corpus := lmdata.NewCorpus(lmdata.DefaultConfig())
+	seqs := corpus.ClientExamples(1, 0, 0.5, 30)
+	cfg := DefaultSGDConfig()
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = LocalUpdate(m, p, seqs, cfg, r)
+	}
+}

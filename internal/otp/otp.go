@@ -1,0 +1,124 @@
+// Package otp implements the additive one-time pad of Appendix A.2: a
+// PRNG-expanded mask over Z_2^32 that lets a 16-byte seed stand in for an
+// as-large-as-the-model random vector.
+//
+// Enc_k(v) = v + PRNG(k) element-wise in the group; ciphertexts add
+// homomorphically; decryption of an aggregate subtracts the sum of the
+// regenerated masks. The PRNG is AES-128 in counter mode, so mask expansion
+// is a cryptographically secure stream cipher keyed by the client's seed.
+// Compared to additively homomorphic encryption (Paillier, ElGamal), the
+// ciphertext stays exactly as large as the plaintext — the property that
+// makes the scheme attractive on mobile uplinks (Appendix A.2's argument).
+package otp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// SeedSize is the mask seed size in bytes: a 128-bit AES key, matching the
+// "usually 16 bytes" seed the paper describes.
+const SeedSize = 16
+
+// Seed is the shared secret from which a full-model mask is expanded.
+type Seed [SeedSize]byte
+
+// SeedFromBytes copies b into a Seed. It panics unless len(b) == SeedSize.
+func SeedFromBytes(b []byte) Seed {
+	if len(b) != SeedSize {
+		panic(fmt.Sprintf("otp: seed must be %d bytes, got %d", SeedSize, len(b)))
+	}
+	var s Seed
+	copy(s[:], b)
+	return s
+}
+
+// ExpandMask deterministically expands seed into n group elements using
+// AES-CTR over a zero plaintext.
+func ExpandMask(seed Seed, n int) []uint32 {
+	if n < 0 {
+		panic("otp: negative mask length")
+	}
+	mask := make([]uint32, n)
+	if n == 0 {
+		return mask
+	}
+	block, err := aes.NewCipher(seed[:])
+	if err != nil {
+		// aes.NewCipher only fails on bad key sizes, which Seed precludes.
+		panic(err)
+	}
+	var iv [aes.BlockSize]byte
+	stream := cipher.NewCTR(block, iv[:])
+	buf := make([]byte, 4*n)
+	stream.XORKeyStream(buf, buf)
+	for i := range mask {
+		mask[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return mask
+}
+
+// Mask adds the seed's expanded pad to v in place: v[i] += PRNG(seed)[i].
+// This is Enc_k(v) from Figure 14.
+func Mask(v []uint32, seed Seed) {
+	m := ExpandMask(seed, len(v))
+	for i := range v {
+		v[i] += m[i]
+	}
+}
+
+// Unmask subtracts the seed's expanded pad from v in place: the decryption
+// step for a single ciphertext, or — applied with an aggregated mask — for a
+// sum of ciphertexts.
+func Unmask(v []uint32, seed Seed) {
+	m := ExpandMask(seed, len(v))
+	for i := range v {
+		v[i] -= m[i]
+	}
+}
+
+// MaskAccumulator incrementally aggregates masks: the trusted party's side
+// of the protocol. It regenerates each client's mask from its seed and adds
+// it to a running sum, so the aggregated unmasking vector is available in
+// O(m) memory regardless of how many clients contributed.
+type MaskAccumulator struct {
+	sum []uint32
+	n   int
+}
+
+// NewMaskAccumulator creates an accumulator for masks of length n.
+func NewMaskAccumulator(n int) *MaskAccumulator {
+	if n <= 0 {
+		panic("otp: accumulator length must be positive")
+	}
+	return &MaskAccumulator{sum: make([]uint32, n)}
+}
+
+// Add regenerates the mask for seed and adds it to the running sum.
+func (a *MaskAccumulator) Add(seed Seed) {
+	m := ExpandMask(seed, len(a.sum))
+	for i := range a.sum {
+		a.sum[i] += m[i]
+	}
+	a.n++
+}
+
+// Count returns how many masks have been accumulated.
+func (a *MaskAccumulator) Count() int { return a.n }
+
+// Sum returns a copy of the aggregated mask vector.
+func (a *MaskAccumulator) Sum() []uint32 {
+	out := make([]uint32, len(a.sum))
+	copy(out, a.sum)
+	return out
+}
+
+// Reset clears the accumulator for reuse.
+func (a *MaskAccumulator) Reset() {
+	for i := range a.sum {
+		a.sum[i] = 0
+	}
+	a.n = 0
+}

@@ -1,0 +1,230 @@
+package otp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func seedFrom(r *rng.RNG) Seed {
+	var s Seed
+	r.Bytes(s[:])
+	return s
+}
+
+func TestMaskUnmaskRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	seed := seedFrom(r)
+	v := make([]uint32, 100)
+	for i := range v {
+		v[i] = uint32(r.Uint64())
+	}
+	orig := append([]uint32(nil), v...)
+	Mask(v, seed)
+	// Masked vector must differ (overwhelmingly likely).
+	same := 0
+	for i := range v {
+		if v[i] == orig[i] {
+			same++
+		}
+	}
+	if same > 3 {
+		t.Fatalf("mask left %d/100 elements unchanged", same)
+	}
+	Unmask(v, seed)
+	for i := range v {
+		if v[i] != orig[i] {
+			t.Fatal("round trip failed")
+		}
+	}
+}
+
+func TestExpandMaskDeterministic(t *testing.T) {
+	seed := Seed{1, 2, 3}
+	a := ExpandMask(seed, 64)
+	b := ExpandMask(seed, 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mask expansion not deterministic")
+		}
+	}
+}
+
+func TestExpandMaskPrefixStable(t *testing.T) {
+	// A shorter expansion must be a prefix of a longer one (CTR property),
+	// so chunked uploads can mask incrementally.
+	seed := Seed{9}
+	short := ExpandMask(seed, 10)
+	long := ExpandMask(seed, 100)
+	for i := range short {
+		if short[i] != long[i] {
+			t.Fatal("mask prefix not stable")
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentMasks(t *testing.T) {
+	a := ExpandMask(Seed{1}, 32)
+	b := ExpandMask(Seed{2}, 32)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("%d/32 collisions between different seeds", same)
+	}
+}
+
+func TestExpandMaskEdgeCases(t *testing.T) {
+	if len(ExpandMask(Seed{}, 0)) != 0 {
+		t.Fatal("zero-length mask")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative length accepted")
+		}
+	}()
+	ExpandMask(Seed{}, -1)
+}
+
+func TestSeedFromBytes(t *testing.T) {
+	s := SeedFromBytes(make([]byte, SeedSize))
+	if s != (Seed{}) {
+		t.Fatal("zero bytes should give zero seed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-size seed accepted")
+		}
+	}()
+	SeedFromBytes(make([]byte, 5))
+}
+
+func TestMaskUniformity(t *testing.T) {
+	// Crude bit-balance check on the expanded stream.
+	m := ExpandMask(Seed{42}, 10000)
+	ones := 0
+	for _, v := range m {
+		for b := 0; b < 32; b++ {
+			if v&(1<<b) != 0 {
+				ones++
+			}
+		}
+	}
+	total := 320000
+	frac := float64(ones) / float64(total)
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("bit balance %v far from 0.5", frac)
+	}
+}
+
+// The core homomorphic property behind the whole SecAgg protocol:
+// sum of masked vectors minus sum of masks equals sum of plaintexts.
+func TestAggregateUnmasking(t *testing.T) {
+	r := rng.New(7)
+	const n, clients = 50, 20
+	truth := make([]uint32, n)
+	masked := make([]uint32, n)
+	acc := NewMaskAccumulator(n)
+	for c := 0; c < clients; c++ {
+		seed := seedFrom(r)
+		v := make([]uint32, n)
+		for i := range v {
+			v[i] = uint32(r.Uint64() % 1000)
+			truth[i] += v[i]
+		}
+		Mask(v, seed)
+		for i := range masked {
+			masked[i] += v[i]
+		}
+		acc.Add(seed)
+	}
+	if acc.Count() != clients {
+		t.Fatalf("Count = %d", acc.Count())
+	}
+	sum := acc.Sum()
+	for i := range masked {
+		masked[i] -= sum[i]
+	}
+	for i := range masked {
+		if masked[i] != truth[i] {
+			t.Fatalf("aggregate unmask mismatch at %d: %d vs %d", i, masked[i], truth[i])
+		}
+	}
+}
+
+func TestAccumulatorSumIsCopy(t *testing.T) {
+	acc := NewMaskAccumulator(4)
+	acc.Add(Seed{1})
+	s := acc.Sum()
+	s[0] = 12345
+	if acc.Sum()[0] == 12345 {
+		t.Fatal("Sum exposed internal state")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	acc := NewMaskAccumulator(4)
+	acc.Add(Seed{1})
+	acc.Reset()
+	if acc.Count() != 0 {
+		t.Fatal("count not reset")
+	}
+	for _, v := range acc.Sum() {
+		if v != 0 {
+			t.Fatal("sum not reset")
+		}
+	}
+}
+
+func TestAccumulatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length accumulator accepted")
+		}
+	}()
+	NewMaskAccumulator(0)
+}
+
+// Property: masking is a bijection — round trip always restores, for
+// arbitrary seeds and data.
+func TestQuickMaskRoundTrip(t *testing.T) {
+	f := func(seedBytes [16]byte, data []uint32) bool {
+		seed := Seed(seedBytes)
+		v := append([]uint32(nil), data...)
+		Mask(v, seed)
+		Unmask(v, seed)
+		for i := range v {
+			if v[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExpandMask20MB(b *testing.B) {
+	// A 20MB model is 5M float32 params -> 5M group elements, the size the
+	// paper's Figure 6 benchmarks.
+	const n = 5 * 1024 * 1024
+	seed := Seed{1}
+	b.SetBytes(4 * n)
+	for i := 0; i < b.N; i++ {
+		_ = ExpandMask(seed, n)
+	}
+}
+
+func BenchmarkMask(b *testing.B) {
+	v := make([]uint32, 65536)
+	seed := Seed{2}
+	b.SetBytes(4 * 65536)
+	for i := 0; i < b.N; i++ {
+		Mask(v, seed)
+	}
+}

@@ -1,0 +1,237 @@
+// Package population models the cross-device client fleet the paper trains
+// on: nearly one hundred million phones with heterogeneous compute speeds and
+// heavily imbalanced local datasets.
+//
+// Client attributes are a pure function of (population seed, client ID), so a
+// population of 10^8 devices costs no memory: the i-th client's latent
+// "device quality" factor, speed, example count, dialect, and dropout rate
+// are derived lazily by splitting a deterministic RNG on the ID.
+//
+// Two facts from the paper's measurement section drive the model:
+//
+//   - Figure 2: per-client execution time spans more than two orders of
+//     magnitude (log-normal-shaped), so the mean SyncFL round duration at
+//     concurrency 1000 is ~21x the mean client execution time.
+//   - Figure 11: slow devices tend to have many more training examples, so
+//     over-selection (which drops the slowest responders) biases the trained
+//     model against data-rich clients.
+//
+// Both emerge here from a single latent factor z ~ N(0,1) per client: speed
+// decreases with z while example count increases with z, producing the high
+// speed/data-volume correlation the paper reports.
+package population
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Config parameterizes the synthetic fleet. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Size is the number of clients in the population. Attributes are lazy,
+	// so this can be hundreds of millions.
+	Size int64
+	// Seed makes the whole fleet reproducible.
+	Seed uint64
+
+	// MedianExamples is the median number of local training examples.
+	MedianExamples float64
+	// ExamplesSigmaLatent scales how strongly the latent factor inflates the
+	// example count; ExamplesSigmaNoise is idiosyncratic log-normal noise.
+	ExamplesSigmaLatent, ExamplesSigmaNoise float64
+	// MinExamples and MaxExamples clamp the per-client dataset size.
+	MinExamples, MaxExamples int
+
+	// SpeedSigmaLatent scales how strongly the latent factor slows a device;
+	// SpeedSigmaNoise is idiosyncratic noise. Speed multiplies compute rate:
+	// 1.0 is a median device, 0.1 is 10x slower.
+	SpeedSigmaLatent, SpeedSigmaNoise float64
+
+	// SetupSeconds is fixed per-participation overhead (model load, JIT).
+	// PerExampleSeconds is the per-example compute cost on a speed-1 device.
+	SetupSeconds, PerExampleSeconds float64
+	// DownloadSeconds and UploadSeconds model network transfer of the model
+	// and the update; they do not scale with device speed.
+	DownloadSeconds, UploadSeconds float64
+	// ExecJitterSigma is per-participation log-normal jitter (network
+	// variance, thermal throttling, background load).
+	ExecJitterSigma float64
+
+	// TimeoutSeconds is the server-imposed cap on client training time
+	// (Section 7.1 uses 4 minutes). A participation whose execution time
+	// exceeds it counts as a failure.
+	TimeoutSeconds float64
+
+	// BaseDropoutProb is the chance any participation is abandoned
+	// (app killed, network lost); SlowDropoutSlope adds extra risk for slow
+	// devices. The paper reports up to 10% of clients dropping.
+	BaseDropoutProb, SlowDropoutSlope float64
+
+	// NumDialects is the number of distinct data distributions ("dialects")
+	// in the corpus; each client belongs to one and mixes it with the global
+	// distribution according to its DialectWeight.
+	NumDialects int
+}
+
+// DefaultConfig returns parameters calibrated so that the induced execution
+// time distribution has a median of roughly 10 s, a >2-decade spread, and a
+// mean-round-to-mean-client ratio at concurrency 1000 of roughly 20x, per
+// Figures 2 and 11.
+func DefaultConfig() Config {
+	return Config{
+		Size:                100_000_000,
+		Seed:                1,
+		MedianExamples:      30,
+		ExamplesSigmaLatent: 0.80,
+		ExamplesSigmaNoise:  0.40,
+		MinExamples:         2,
+		MaxExamples:         400,
+		SpeedSigmaLatent:    0.70,
+		SpeedSigmaNoise:     0.50,
+		SetupSeconds:        2.0,
+		PerExampleSeconds:   0.25,
+		DownloadSeconds:     1.0,
+		UploadSeconds:       1.0,
+		ExecJitterSigma:     0.35,
+		TimeoutSeconds:      240,
+		BaseDropoutProb:     0.03,
+		SlowDropoutSlope:    0.04,
+		NumDialects:         8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 0:
+		return fmt.Errorf("population: Size must be positive, got %d", c.Size)
+	case c.MedianExamples <= 0:
+		return fmt.Errorf("population: MedianExamples must be positive")
+	case c.MinExamples < 1 || c.MaxExamples < c.MinExamples:
+		return fmt.Errorf("population: need 1 <= MinExamples <= MaxExamples")
+	case c.TimeoutSeconds <= 0:
+		return fmt.Errorf("population: TimeoutSeconds must be positive")
+	case c.NumDialects < 1:
+		return fmt.Errorf("population: NumDialects must be >= 1")
+	case c.PerExampleSeconds < 0 || c.SetupSeconds < 0:
+		return fmt.Errorf("population: per-participation costs must be >= 0")
+	}
+	return nil
+}
+
+// Client is the derived attribute bundle for one device.
+type Client struct {
+	ID int64
+	// Latent is the device-quality factor z; positive means slow and
+	// data-rich.
+	Latent float64
+	// Speed is the compute-rate multiplier (1.0 = median device).
+	Speed float64
+	// NumExamples is the size of the client's local dataset.
+	NumExamples int
+	// Dialect identifies which of the corpus's dialect distributions this
+	// client draws from.
+	Dialect int
+	// DialectWeight in [0,1] is how strongly the client's data leans toward
+	// its dialect rather than the global distribution. Data-rich clients
+	// lean harder, which is what makes over-selection bias costly.
+	DialectWeight float64
+	// DropoutProb is the per-participation probability the client abandons
+	// training.
+	DropoutProb float64
+}
+
+// Population derives client attributes on demand.
+type Population struct {
+	cfg  Config
+	root *rng.RNG
+}
+
+// New creates a population. It panics on invalid configuration, since a
+// mis-parameterized fleet invalidates every downstream experiment.
+func New(cfg Config) *Population {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Population{cfg: cfg, root: rng.New(cfg.Seed)}
+}
+
+// Config returns the population's configuration.
+func (p *Population) Config() Config { return p.cfg }
+
+// Size returns the number of clients.
+func (p *Population) Size() int64 { return p.cfg.Size }
+
+// Timeout returns the server-imposed client training timeout in seconds.
+func (p *Population) Timeout() float64 { return p.cfg.TimeoutSeconds }
+
+// Client returns the attributes of client id. It panics if id is out of
+// range. The result is deterministic: the same (seed, id) always yields the
+// same client.
+func (p *Population) Client(id int64) Client {
+	if id < 0 || id >= p.cfg.Size {
+		panic(fmt.Sprintf("population: client id %d out of range [0,%d)", id, p.cfg.Size))
+	}
+	r := p.root.SplitUint64(uint64(id))
+	z := r.NormFloat64()
+	speed := math.Exp(-p.cfg.SpeedSigmaLatent*z + p.cfg.SpeedSigmaNoise*r.NormFloat64())
+	ex := p.cfg.MedianExamples * math.Exp(p.cfg.ExamplesSigmaLatent*z+p.cfg.ExamplesSigmaNoise*r.NormFloat64())
+	n := int(math.Round(ex))
+	if n < p.cfg.MinExamples {
+		n = p.cfg.MinExamples
+	}
+	if n > p.cfg.MaxExamples {
+		n = p.cfg.MaxExamples
+	}
+	drop := p.cfg.BaseDropoutProb
+	if z > 0 {
+		drop += p.cfg.SlowDropoutSlope * z
+	}
+	if drop > 0.25 {
+		drop = 0.25
+	}
+	return Client{
+		ID:            id,
+		Latent:        z,
+		Speed:         speed,
+		NumExamples:   n,
+		Dialect:       int(r.Uint64() % uint64(p.cfg.NumDialects)),
+		DialectWeight: 1 / (1 + math.Exp(-z)),
+		DropoutProb:   drop,
+	}
+}
+
+// Sample returns a uniformly random client using the caller's RNG stream.
+// With a fleet of 10^8 and concurrencies of a few thousand, collisions are
+// negligible, matching the paper's setting where selection never exhausts
+// the eligible population.
+func (p *Population) Sample(r *rng.RNG) Client {
+	id := int64(r.Uint64() % uint64(p.cfg.Size))
+	return p.Client(id)
+}
+
+// ExecTime draws one participation's execution time in seconds for client c:
+// fixed setup plus one local epoch over the client's examples, divided by
+// device speed, plus network transfer, all under log-normal jitter. The
+// returned time is NOT truncated by the timeout; callers compare against
+// Timeout() to decide whether the participation failed.
+func (p *Population) ExecTime(c Client, r *rng.RNG) float64 {
+	compute := (p.cfg.SetupSeconds + p.cfg.PerExampleSeconds*float64(c.NumExamples)) / c.Speed
+	network := p.cfg.DownloadSeconds + p.cfg.UploadSeconds
+	jitter := math.Exp(p.cfg.ExecJitterSigma * r.NormFloat64())
+	return (compute + network) * jitter
+}
+
+// MeanExecTime estimates the mean participation execution time by sampling n
+// clients. Used to report the Figure 2 mean-client-time line.
+func (p *Population) MeanExecTime(r *rng.RNG, n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		c := p.Sample(r)
+		sum += p.ExecTime(c, r)
+	}
+	return sum / float64(n)
+}

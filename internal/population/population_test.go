@@ -1,0 +1,281 @@
+package population
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Size = 1_000_000
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Size = 0 },
+		func(c *Config) { c.MedianExamples = 0 },
+		func(c *Config) { c.MinExamples = 0 },
+		func(c *Config) { c.MaxExamples = c.MinExamples - 1 },
+		func(c *Config) { c.TimeoutSeconds = 0 },
+		func(c *Config) { c.NumDialects = 0 },
+		func(c *Config) { c.PerExampleSeconds = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with bad config did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Size = -1
+	New(cfg)
+}
+
+func TestClientDeterministic(t *testing.T) {
+	p := New(testConfig())
+	a := p.Client(12345)
+	b := p.Client(12345)
+	if a != b {
+		t.Fatalf("client attributes not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestClientsDiffer(t *testing.T) {
+	p := New(testConfig())
+	a, b := p.Client(1), p.Client(2)
+	if a.Speed == b.Speed && a.NumExamples == b.NumExamples && a.Latent == b.Latent {
+		t.Fatal("adjacent clients look identical")
+	}
+}
+
+func TestClientIDRangePanics(t *testing.T) {
+	p := New(testConfig())
+	for _, id := range []int64{-1, testConfig().Size} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("id %d accepted", id)
+				}
+			}()
+			p.Client(id)
+		}()
+	}
+}
+
+func TestAttributeBounds(t *testing.T) {
+	p := New(testConfig())
+	cfg := p.Config()
+	r := rng.New(9)
+	for i := 0; i < 5000; i++ {
+		c := p.Sample(r)
+		if c.NumExamples < cfg.MinExamples || c.NumExamples > cfg.MaxExamples {
+			t.Fatalf("examples out of bounds: %d", c.NumExamples)
+		}
+		if c.Speed <= 0 {
+			t.Fatalf("non-positive speed: %v", c.Speed)
+		}
+		if c.Dialect < 0 || c.Dialect >= cfg.NumDialects {
+			t.Fatalf("dialect out of range: %d", c.Dialect)
+		}
+		if c.DialectWeight < 0 || c.DialectWeight > 1 {
+			t.Fatalf("dialect weight out of range: %v", c.DialectWeight)
+		}
+		if c.DropoutProb < 0 || c.DropoutProb > 0.25 {
+			t.Fatalf("dropout out of range: %v", c.DropoutProb)
+		}
+	}
+}
+
+// The paper's Figure 2: execution times span more than two orders of
+// magnitude.
+func TestExecTimeSpansTwoDecades(t *testing.T) {
+	p := New(testConfig())
+	r := rng.New(3)
+	times := make([]float64, 20000)
+	for i := range times {
+		c := p.Sample(r)
+		times[i] = p.ExecTime(c, r)
+	}
+	s := stats.Summarize(times)
+	if s.P50 < 3 || s.P50 > 40 {
+		t.Fatalf("median exec time %v outside plausible range", s.P50)
+	}
+	spread := s.P999 / s.Min
+	if spread < 100 {
+		t.Fatalf("execution time spread %vx, want >= 100x (two decades)", spread)
+	}
+}
+
+// The paper's Figure 11: slow devices have more examples. The correlation
+// between log execution time and log example count should be strongly
+// positive.
+func TestSlowClientsHaveMoreExamples(t *testing.T) {
+	p := New(testConfig())
+	r := rng.New(4)
+	n := 20000
+	logT := make([]float64, n)
+	logE := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := p.Sample(r)
+		logT[i] = math.Log(p.ExecTime(c, r))
+		logE[i] = math.Log(float64(c.NumExamples))
+	}
+	corr := stats.Pearson(logT, logE)
+	if corr < 0.5 {
+		t.Fatalf("speed/data correlation %v too weak; paper reports very high correlation", corr)
+	}
+}
+
+// Dropping the slowest 23% (30% over-selection discards 0.3/1.3 of selected
+// clients) must remove clients with above-average data volume.
+func TestTailClientsAreDataRich(t *testing.T) {
+	p := New(testConfig())
+	r := rng.New(5)
+	n := 10000
+	type ct struct {
+		t  float64
+		ex int
+	}
+	cs := make([]ct, n)
+	times := make([]float64, n)
+	for i := 0; i < n; i++ {
+		c := p.Sample(r)
+		tt := p.ExecTime(c, r)
+		cs[i] = ct{t: tt, ex: c.NumExamples}
+		times[i] = tt
+	}
+	cut := stats.Percentile(times, 77)
+	var slowSum, fastSum, slowN, fastN float64
+	for _, c := range cs {
+		if c.t > cut {
+			slowSum += float64(c.ex)
+			slowN++
+		} else {
+			fastSum += float64(c.ex)
+			fastN++
+		}
+	}
+	if slowSum/slowN < 1.5*(fastSum/fastN) {
+		t.Fatalf("slow clients have %.1f examples vs %.1f for fast; want >= 1.5x",
+			slowSum/slowN, fastSum/fastN)
+	}
+}
+
+func TestDialectWeightIncreasesWithLatent(t *testing.T) {
+	p := New(testConfig())
+	r := rng.New(6)
+	var heavy, light []float64
+	for i := 0; i < 5000; i++ {
+		c := p.Sample(r)
+		if c.Latent > 0.5 {
+			heavy = append(heavy, c.DialectWeight)
+		} else if c.Latent < -0.5 {
+			light = append(light, c.DialectWeight)
+		}
+	}
+	if stats.Mean(heavy) <= stats.Mean(light) {
+		t.Fatalf("dialect weight not increasing with latent factor: heavy=%v light=%v",
+			stats.Mean(heavy), stats.Mean(light))
+	}
+}
+
+func TestExecTimeUsesCallerRNG(t *testing.T) {
+	p := New(testConfig())
+	c := p.Client(42)
+	a := p.ExecTime(c, rng.New(1))
+	b := p.ExecTime(c, rng.New(1))
+	if a != b {
+		t.Fatal("ExecTime not deterministic given the same RNG state")
+	}
+	c2 := p.ExecTime(c, rng.New(2))
+	if a == c2 {
+		t.Fatal("ExecTime ignores the RNG")
+	}
+}
+
+func TestMeanExecTimeFinite(t *testing.T) {
+	p := New(testConfig())
+	m := p.MeanExecTime(rng.New(7), 2000)
+	if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		t.Fatalf("mean exec time %v", m)
+	}
+	// With default calibration the mean should be tens of seconds, well
+	// under the 4-minute timeout.
+	if m < 5 || m > 120 {
+		t.Fatalf("mean exec time %v outside calibrated band [5,120]", m)
+	}
+}
+
+func TestDropoutRateAggregate(t *testing.T) {
+	p := New(testConfig())
+	r := rng.New(8)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += p.Sample(r).DropoutProb
+	}
+	mean := sum / float64(n)
+	// The paper reports "up to 10%" of clients dropping; our average should
+	// sit in the low single digits with a tail reaching ~10-25%.
+	if mean < 0.01 || mean > 0.12 {
+		t.Fatalf("mean dropout %v outside [0.01, 0.12]", mean)
+	}
+}
+
+// Property: attribute derivation never panics and always satisfies bounds
+// for arbitrary ids and seeds.
+func TestQuickClientBounds(t *testing.T) {
+	f := func(seed uint64, rawID int64) bool {
+		cfg := testConfig()
+		cfg.Seed = seed
+		p := New(cfg)
+		id := rawID % cfg.Size
+		if id < 0 {
+			id = -id
+		}
+		c := p.Client(id)
+		return c.Speed > 0 &&
+			c.NumExamples >= cfg.MinExamples && c.NumExamples <= cfg.MaxExamples &&
+			c.DialectWeight >= 0 && c.DialectWeight <= 1 &&
+			c.DropoutProb >= 0 && c.DropoutProb <= 0.25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkClientDerivation(b *testing.B) {
+	p := New(testConfig())
+	for i := 0; i < b.N; i++ {
+		_ = p.Client(int64(i) % p.Size())
+	}
+}
+
+func BenchmarkSampleAndExecTime(b *testing.B) {
+	p := New(testConfig())
+	r := rng.New(1)
+	for i := 0; i < b.N; i++ {
+		c := p.Sample(r)
+		_ = p.ExecTime(c, r)
+	}
+}

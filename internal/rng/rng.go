@@ -1,0 +1,260 @@
+// Package rng provides a deterministic, splittable random number generator
+// and the heavy-tailed distributions the PAPAYA reproduction depends on.
+//
+// Everything stochastic in this repository — device speeds, data volumes,
+// network latencies, dialect mixtures — flows from this package so that a
+// single seed reproduces an entire experiment. The generator is xoshiro256++
+// seeded through SplitMix64; Split derives independent child streams from
+// string labels, which lets a population of 10^8 clients draw per-client
+// attributes lazily without storing any state.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// RNG is a deterministic xoshiro256++ generator. It is not safe for
+// concurrent use; derive per-goroutine streams with Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output. It is the
+// recommended seeder for xoshiro-family generators.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators created with the
+// same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child generator from a string label. The
+// child stream is a pure function of (parent seed material, label); it does
+// not advance the parent, so attribute lookups can happen in any order.
+func (r *RNG) Split(label string) *RNG {
+	h := fnv.New64a()
+	// Hash the label together with the parent's state snapshot.
+	var buf [32]byte
+	for i, s := range r.s {
+		putUint64(buf[i*8:], s)
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(label))
+	return New(h.Sum64())
+}
+
+// SplitUint64 derives an independent child generator from an integer label,
+// avoiding string formatting in hot paths (e.g. per-client attribute draws).
+func (r *RNG) SplitUint64(label uint64) *RNG {
+	var buf [40]byte
+	for i, s := range r.s {
+		putUint64(buf[i*8:], s)
+	}
+	putUint64(buf[32:], label)
+	h := fnv.New64a()
+	_, _ = h.Write(buf[:])
+	return New(h.Sum64())
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here; a
+	// simple rejection loop over the top bits keeps the distribution exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform float64 in (0, 1), never exactly zero, which
+// is safe to pass to math.Log.
+func (r *RNG) Float64Open() float64 {
+	for {
+		v := r.Float64()
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(N(mu, sigma^2)). Device execution-time and
+// data-volume distributions in the population model are log-normal, matching
+// the multi-decade spread in the paper's Figure 2.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Exp returns an exponential variate with the given rate (mean 1/rate).
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(r.Float64Open()) / rate
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: xm * U^(-1/alpha).
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	return xm * math.Pow(r.Float64Open(), -1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function, in the manner of sort.Slice.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bytes fills b with random bytes.
+func (r *RNG) Bytes(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		putUint64(b[i:], r.Uint64())
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Zipf samples from a Zipf(s, v, imax) distribution over {0, ..., imax}
+// using Rejection Inversion (Hörmann & Derflinger), mirroring math/rand's
+// parameterization: P(k) proportional to (v+k)^(-s), s > 1, v >= 1.
+type Zipf struct {
+	r                *RNG
+	imax             float64
+	v                float64
+	q                float64
+	oneminusQ        float64
+	oneminusQinv     float64
+	hxm, hx0minusHxm float64
+	s                float64
+}
+
+// NewZipf returns a Zipf sampler. It panics if s <= 1 or v < 1.
+func NewZipf(r *RNG, s, v float64, imax uint64) *Zipf {
+	if s <= 1.0 || v < 1 {
+		panic("rng: NewZipf requires s > 1 and v >= 1")
+	}
+	z := &Zipf{r: r, imax: float64(imax), v: v, q: s}
+	z.oneminusQ = 1.0 - z.q
+	z.oneminusQinv = 1.0 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1.0)))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// Uint64 returns a Zipf-distributed value in [0, imax].
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}

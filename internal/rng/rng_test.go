@@ -1,0 +1,340 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("alpha")
+	c2 := parent.Split("beta")
+	c1again := parent.Split("alpha")
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Split is not a pure function of (parent, label)")
+	}
+	if c1.Uint64() == c2.Uint64() && c1.Uint64() == c2.Uint64() {
+		t.Fatal("children with different labels look identical")
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a, b := New(9), New(9)
+	_ = a.Split("x")
+	_ = a.Split("y")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+}
+
+func TestSplitUint64MatchesAcrossCalls(t *testing.T) {
+	parent := New(11)
+	if parent.SplitUint64(5).Uint64() != parent.SplitUint64(5).Uint64() {
+		t.Fatal("SplitUint64 not deterministic")
+	}
+	if parent.SplitUint64(5).Uint64() == parent.SplitUint64(6).Uint64() {
+		t.Fatal("SplitUint64 children for 5 and 6 collide")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(4)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for k, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("Intn(7) bucket %d has count %d, want ~10000", k, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(8)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(2.0, 0.5)
+	}
+	// Median of LogNormal(mu, sigma) is exp(mu).
+	median := quickSelectMedian(vals)
+	want := math.Exp(2.0)
+	if math.Abs(median-want)/want > 0.05 {
+		t.Fatalf("log-normal median %v, want ~%v", median, want)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(10)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(3.0, 2.5); v < 3.0 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate %v", rate)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(14)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(15)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum2 := 0
+	for _, v := range xs {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed contents: %v", xs)
+	}
+}
+
+func TestBytesDeterministic(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	New(77).Bytes(a)
+	New(77).Bytes(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Bytes not deterministic")
+		}
+	}
+	allZero := true
+	for _, v := range a {
+		if v != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(16)
+	z := NewZipf(r, 1.5, 1, 999)
+	counts := make(map[uint64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if v > 999 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Fatalf("Zipf not monotonically skewed: c0=%d c1=%d c10=%d",
+			counts[0], counts[1], counts[10])
+	}
+	if float64(counts[0])/n < 0.2 {
+		t.Fatalf("Zipf head mass too small: %d/%d", counts[0], n)
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(s=1) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 1, 10)
+}
+
+// Property: Float64 stays in range for arbitrary seeds.
+func TestQuickFloat64InRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split with equal labels is reproducible for arbitrary seeds.
+func TestQuickSplitReproducible(t *testing.T) {
+	f := func(seed uint64, label string) bool {
+		p := New(seed)
+		return p.Split(label).Uint64() == p.Split(label).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func quickSelectMedian(xs []float64) float64 {
+	// Simple nth_element by sorting a copy; n is small in tests.
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for lo < hi {
+		p := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < p {
+				i++
+			}
+			for cp[j] > p {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return cp[k]
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkSplitUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.SplitUint64(uint64(i))
+	}
+}

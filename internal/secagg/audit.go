@@ -1,0 +1,146 @@
+package secagg
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/attest"
+	"repro/internal/merklelog"
+	"repro/internal/tee"
+)
+
+// This file implements the verifiable-log update flow of Appendix C.2
+// (Figure 20): publishing a new trusted binary, advancing a client's pinned
+// snapshot via a consistency proof, and the auditor role that keeps the log
+// operator honest.
+//
+// The design goal is that the trusted binary can be updated on a regular
+// basis WITHOUT shipping a new hardcoded hash to every client: clients
+// accept any binary whose measurement is included in a snapshot that is a
+// verified append-only extension of the snapshot they already trust, and
+// public auditors watch the same snapshots so a forked history is detected.
+
+// LogSnapshot is a (root, size) pair identifying a log state.
+type LogSnapshot struct {
+	Root merklelog.Hash
+	Size uint64
+}
+
+// Snapshot returns the deployment's current log snapshot.
+func (d *Deployment) Snapshot() LogSnapshot {
+	return LogSnapshot{Root: d.logRoot, Size: d.logSize}
+}
+
+// PublishBinary launches a new TSA built from newBinary inside a fresh
+// enclave, appends its measurement to the verifiable log, and advances the
+// deployment's current snapshot. The previous enclave is revoked: a server
+// cannot keep using a retired binary without clients noticing (their
+// bundles would quote a binary at a stale snapshot).
+func (d *Deployment) PublishBinary(newBinary []byte, cost tee.CostModel, random io.Reader) error {
+	tsa, err := NewTSA(d.Params, newBinary, d.Hardware, random)
+	if err != nil {
+		return err
+	}
+	bh := tsa.BinaryHash()
+	d.Enclave.Revoke()
+	d.Enclave = tee.New(tsa, cost)
+	d.binaryHash = bh
+	d.leafIndex = d.Log.Append(bh[:])
+	d.logSize = d.Log.Size()
+	d.logRoot = d.Log.Root(d.logSize)
+	return nil
+}
+
+// ConsistencyEvidence proves that the current snapshot extends an older one.
+type ConsistencyEvidence struct {
+	Old      LogSnapshot
+	New      LogSnapshot
+	Proof    []merklelog.Hash
+	NewLeafs uint64 // number of records appended since Old
+}
+
+// ConsistencyEvidence builds the proof a client needs to advance its pinned
+// snapshot from oldSize to the current one.
+func (d *Deployment) ConsistencyEvidence(old LogSnapshot) (ConsistencyEvidence, error) {
+	proof, err := d.Log.ConsistencyProof(old.Size, d.logSize)
+	if err != nil {
+		return ConsistencyEvidence{}, err
+	}
+	return ConsistencyEvidence{
+		Old:      old,
+		New:      LogSnapshot{Root: d.logRoot, Size: d.logSize},
+		Proof:    proof,
+		NewLeafs: d.logSize - old.Size,
+	}, nil
+}
+
+// AdvanceTrust verifies that the new snapshot is an append-only extension of
+// the client's pinned snapshot and, if so, returns trust material pinned to
+// the new snapshot. A forked log — one that rewrote or dropped a published
+// binary — fails verification, so a client can never be walked onto an
+// alternate history (Figure 20: "any logged trusted binary cannot avoid
+// audition without being noticed").
+func AdvanceTrust(trust ClientTrust, ev ConsistencyEvidence) (ClientTrust, error) {
+	if ev.Old.Root != trust.LogRoot || ev.Old.Size != trust.LogSize {
+		return ClientTrust{}, fmt.Errorf("secagg: evidence starts from a different snapshot than the client pins")
+	}
+	if !merklelog.VerifyConsistency(ev.Old.Root, ev.Old.Size, ev.New.Root, ev.New.Size, ev.Proof) {
+		return ClientTrust{}, fmt.Errorf("secagg: log consistency proof failed; possible forked history")
+	}
+	trust.LogRoot = ev.New.Root
+	trust.LogSize = ev.New.Size
+	return trust, nil
+}
+
+// Auditor is the public watcher of Figure 20: it polls snapshots through the
+// same API clients use, records every snapshot it has seen, and verifies
+// each new snapshot is consistent with the last. Anyone can run one.
+type Auditor struct {
+	last    LogSnapshot
+	hasLast bool
+	checked int
+}
+
+// Observe ingests a snapshot with its consistency evidence from the
+// auditor's previous observation. The first observation is accepted as-is
+// (trust on first use, like a client's factory-pinned snapshot).
+func (a *Auditor) Observe(ev ConsistencyEvidence) error {
+	if !a.hasLast {
+		a.last = ev.New
+		a.hasLast = true
+		a.checked++
+		return nil
+	}
+	if ev.Old != a.last {
+		return fmt.Errorf("secagg: auditor was shown evidence from snapshot size %d, expected %d",
+			ev.Old.Size, a.last.Size)
+	}
+	if !merklelog.VerifyConsistency(ev.Old.Root, ev.Old.Size, ev.New.Root, ev.New.Size, ev.Proof) {
+		return fmt.Errorf("secagg: auditor detected an inconsistent log extension")
+	}
+	a.last = ev.New
+	a.checked++
+	return nil
+}
+
+// Checked returns how many snapshots the auditor has accepted.
+func (a *Auditor) Checked() int { return a.checked }
+
+// Current returns the auditor's latest accepted snapshot.
+func (a *Auditor) Current() (LogSnapshot, bool) { return a.last, a.hasLast }
+
+// VerifyPublishedBinary lets an auditor (or anyone) check that a given
+// source binary is what a log record commits to: rebuild-and-compare
+// (Figure 20's audit step 3).
+func VerifyPublishedBinary(log *merklelog.Log, leafIndex uint64, snapshot LogSnapshot, binary []byte) error {
+	bh := attest.MeasureBinary(binary)
+	proof, err := log.InclusionProof(leafIndex, snapshot.Size)
+	if err != nil {
+		return err
+	}
+	if !merklelog.VerifyInclusion(snapshot.Root, snapshot.Size, leafIndex,
+		merklelog.LeafHash(bh[:]), proof) {
+		return fmt.Errorf("secagg: binary does not match log record %d", leafIndex)
+	}
+	return nil
+}

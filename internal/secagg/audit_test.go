@@ -1,0 +1,172 @@
+package secagg
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"repro/internal/merklelog"
+	"repro/internal/tee"
+)
+
+func TestBinaryUpdateFlow(t *testing.T) {
+	d := newDeployment(t, testParams(8, 1))
+	oldTrust := d.ClientTrust()
+	oldSnap := d.Snapshot()
+
+	// Operator publishes v2 of the trusted binary.
+	if err := d.PublishBinary([]byte("tsa-binary-v2"), tee.DefaultCostModel(), rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if d.Snapshot().Size != oldSnap.Size+1 {
+		t.Fatalf("log did not grow: %d", d.Snapshot().Size)
+	}
+
+	// A client pinned to the old snapshot rejects new bundles outright.
+	bundles, err := d.FetchInitialBundles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClientSession(oldTrust, bundles[0], rand.Reader); err == nil {
+		t.Fatal("stale client accepted a bundle from the new snapshot")
+	}
+
+	// The client advances its trust via the consistency proof and then
+	// accepts.
+	ev, err := d.ConsistencyEvidence(oldSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newTrust, err := AdvanceTrust(oldTrust, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewClientSession(newTrust, bundles[0], rand.Reader)
+	if err != nil {
+		t.Fatalf("advanced client rejected valid bundle: %v", err)
+	}
+
+	// And the full protocol still works against the v2 enclave.
+	up, err := sess.MaskUpdate(make([]float32, 8), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := d.NewAggregator()
+	if err := agg.Add(up); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := agg.Unmask(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishRevokesOldEnclave(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	oldEnclave := d.Enclave
+	if err := d.PublishBinary([]byte("v2"), tee.DefaultCostModel(), rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oldEnclave.Call("initial", []byte{0, 0, 0, 1}); err == nil {
+		t.Fatal("retired enclave still serving")
+	}
+}
+
+func TestAdvanceTrustRejectsForkedLog(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	oldTrust := d.ClientTrust()
+	oldSnap := d.Snapshot()
+	if err := d.PublishBinary([]byte("v2"), tee.DefaultCostModel(), rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := d.ConsistencyEvidence(oldSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the new root: the client must refuse.
+	forged := ev
+	forged.New.Root[0] ^= 1
+	if _, err := AdvanceTrust(oldTrust, forged); err == nil {
+		t.Fatal("forked snapshot accepted")
+	}
+	// Evidence from the wrong starting snapshot must also be refused.
+	wrongStart := ev
+	wrongStart.Old.Size++
+	if _, err := AdvanceTrust(oldTrust, wrongStart); err == nil {
+		t.Fatal("mismatched starting snapshot accepted")
+	}
+}
+
+func TestAuditorTracksHonestLog(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	var aud Auditor
+	if _, ok := aud.Current(); ok {
+		t.Fatal("fresh auditor has a snapshot")
+	}
+	// First observation: trust on first use.
+	ev0, err := d.ConsistencyEvidence(d.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Observe(ev0); err != nil {
+		t.Fatal(err)
+	}
+	// Two binary updates, each observed with evidence from the previous
+	// snapshot.
+	for i := 0; i < 2; i++ {
+		prev := d.Snapshot()
+		if err := d.PublishBinary([]byte{byte(i + 2)}, tee.DefaultCostModel(), rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+		ev, err := d.ConsistencyEvidence(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aud.Observe(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if aud.Checked() != 3 {
+		t.Fatalf("Checked = %d", aud.Checked())
+	}
+	cur, _ := aud.Current()
+	if cur != d.Snapshot() {
+		t.Fatal("auditor lost sync with the log")
+	}
+}
+
+func TestAuditorDetectsFork(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	var aud Auditor
+	ev0, _ := d.ConsistencyEvidence(d.Snapshot())
+	if err := aud.Observe(ev0); err != nil {
+		t.Fatal(err)
+	}
+	prev := d.Snapshot()
+	if err := d.PublishBinary([]byte("v2"), tee.DefaultCostModel(), rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := d.ConsistencyEvidence(prev)
+	ev.New.Root[3] ^= 0x40 // operator tries to show the auditor a fork
+	if err := aud.Observe(ev); err == nil {
+		t.Fatal("auditor accepted a forked extension")
+	}
+}
+
+func TestVerifyPublishedBinary(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	snap := d.Snapshot()
+	// The deployed binary is record 0.
+	if err := VerifyPublishedBinary(d.Log, 0, snap, []byte("tsa-binary-v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyPublishedBinary(d.Log, 0, snap, []byte("evil")); err == nil {
+		t.Fatal("wrong source accepted as the published binary")
+	}
+}
+
+func TestConsistencyEvidenceErrors(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	if _, err := d.ConsistencyEvidence(LogSnapshot{Size: 99}); err == nil {
+		t.Fatal("evidence for a future snapshot accepted")
+	}
+	_ = merklelog.Hash{}
+}

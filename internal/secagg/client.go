@@ -1,0 +1,128 @@
+package secagg
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+
+	"repro/internal/attest"
+	"repro/internal/dh"
+	"repro/internal/fixedpoint"
+	"repro/internal/merklelog"
+	"repro/internal/otp"
+)
+
+// ClientTrust is the client's pinned trust material: the hardware
+// attestation collateral and a verifiable-log snapshot covering the trusted
+// binaries the client accepts (Figure 20). Clients obtain the snapshot
+// through the same API auditors use, so server and auditors cannot be shown
+// different histories without breaking log consistency.
+type ClientTrust struct {
+	Collateral ed25519.PublicKey
+	LogRoot    merklelog.Hash
+	LogSize    uint64
+	Params     Params
+}
+
+// ClientSession is one client's side of the protocol after a successful
+// check-in: a validated enclave identity and an established shared secret.
+type ClientSession struct {
+	params     Params
+	codec      *fixedpoint.Codec
+	index      uint64
+	secret     []byte
+	completing []byte
+}
+
+// NewClientSession validates an InitialBundle end to end — log inclusion of
+// the quoted binary, attestation quote, parameter hash, DH signature — and
+// completes the key exchange. Any failed check aborts (Figure 19 step 3).
+func NewClientSession(trust ClientTrust, bundle InitialBundle, random io.Reader) (*ClientSession, error) {
+	if err := trust.Params.Validate(); err != nil {
+		return nil, err
+	}
+	// (1) The quoted binary must be published in the verifiable log the
+	// client pins. The leaf is the binary hash itself.
+	leaf := merklelog.LeafHash(bundle.Quote.BinaryHash[:])
+	if bundle.LogRoot != trust.LogRoot || bundle.LogSize != trust.LogSize {
+		return nil, fmt.Errorf("secagg: server log snapshot (size %d) does not match pinned snapshot (size %d)",
+			bundle.LogSize, trust.LogSize)
+	}
+	if !merklelog.VerifyInclusion(trust.LogRoot, trust.LogSize, bundle.LeafIndex, leaf, bundle.Inclusion) {
+		return nil, fmt.Errorf("secagg: quoted binary is not in the verifiable log")
+	}
+	// (2) The quote must be genuine, for that binary, launched with our
+	// parameters, and bound to exactly this DH initial message + identity
+	// key.
+	if err := attest.Verify(trust.Collateral, bundle.Quote, bundle.Quote.BinaryHash,
+		trust.Params.Hash(), reportData(bundle.DH, bundle.DHVerifyKey)); err != nil {
+		return nil, err
+	}
+	// (3) The DH initial message must carry a valid signature under the
+	// attested identity key.
+	completing, secret, err := dh.ClientComplete(ed25519.PublicKey(bundle.DHVerifyKey), bundle.DH, random)
+	if err != nil {
+		return nil, err
+	}
+	return &ClientSession{
+		params:     trust.Params,
+		codec:      trust.Params.Codec(),
+		index:      bundle.DH.Index,
+		secret:     secret,
+		completing: completing,
+	}, nil
+}
+
+// MaskUpdate encodes the client's real-valued update into the group, masks
+// it with a fresh one-time pad, and seals the pad's seed for the TSA
+// (Figure 16 step 4). The returned Upload carries everything the server
+// needs; the plaintext update never leaves the device.
+func (s *ClientSession) MaskUpdate(update []float32, random io.Reader) (Upload, error) {
+	if len(update) != s.params.VecLen {
+		return Upload{}, fmt.Errorf("secagg: update length %d, params say %d",
+			len(update), s.params.VecLen)
+	}
+	var seed otp.Seed
+	if _, err := io.ReadFull(random, seed[:]); err != nil {
+		return Upload{}, fmt.Errorf("secagg: generating mask seed: %w", err)
+	}
+	masked := make([]uint32, s.params.VecLen)
+	s.codec.EncodeVec(masked, update)
+	otp.Mask(masked, seed)
+
+	encSeed, err := sealSeed(s.secret, s.index, seed[:], random)
+	if err != nil {
+		return Upload{}, err
+	}
+	return Upload{
+		Index:      s.index,
+		Masked:     masked,
+		Completing: s.completing,
+		EncSeed:    encSeed,
+	}, nil
+}
+
+// MaskGroupVector masks an already-encoded group vector; used when the
+// caller manages fixed-point encoding itself (e.g. to append a weight slot).
+func (s *ClientSession) MaskGroupVector(vec []uint32, random io.Reader) (Upload, error) {
+	if len(vec) != s.params.VecLen {
+		return Upload{}, fmt.Errorf("secagg: vector length %d, params say %d",
+			len(vec), s.params.VecLen)
+	}
+	var seed otp.Seed
+	if _, err := io.ReadFull(random, seed[:]); err != nil {
+		return Upload{}, fmt.Errorf("secagg: generating mask seed: %w", err)
+	}
+	masked := append([]uint32(nil), vec...)
+	otp.Mask(masked, seed)
+	encSeed, err := sealSeed(s.secret, s.index, seed[:], random)
+	if err != nil {
+		return Upload{}, err
+	}
+	return Upload{
+		Index:      s.index,
+		Masked:     masked,
+		Completing: s.completing,
+		EncSeed:    encSeed,
+	}, nil
+}

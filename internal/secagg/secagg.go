@@ -1,0 +1,149 @@
+// Package secagg implements PAPAYA's Asynchronous Secure Aggregation
+// protocol (Section 5, Appendix B, Figure 16) together with the deployment
+// machinery of Appendix C (SGX attestation, verifiable-log binary audit) and
+// the Naive TSA baseline of Figure 6.
+//
+// Protocol roles:
+//
+//   - The TSA (trusted secure aggregator) runs inside a tee.Enclave. It
+//     pre-generates signed Diffie–Hellman initial messages, recovers each
+//     client's 16-byte mask seed over the resulting secure channel,
+//     accumulates the regenerated masks, and — once at least Threshold
+//     clients have been processed — releases the aggregated unmasking
+//     vector exactly once.
+//
+//   - The client validates the enclave (attestation quote bound to the DH
+//     message, trusted-binary inclusion in the verifiable log, public
+//     parameter hash), completes the key exchange, masks its fixed-point
+//     encoded update with an AES-CTR one-time pad, and sends the masked
+//     vector to the untrusted server and the encrypted seed toward the TSA.
+//
+//   - The untrusted server aggregates masked vectors incrementally (O(m)
+//     state), forwards seed envelopes across the enclave boundary (O(1)
+//     bytes per client), and finally unmasks the aggregate. The server
+//     never observes an individual update: it sees only one-time-padded
+//     vectors and the final sum of at least Threshold clients.
+//
+// The boundary traffic is therefore O(K + m) per aggregate versus the naive
+// TSA's O(K * m), which is the entire content of Figure 6.
+package secagg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/fixedpoint"
+)
+
+// Params are the public protocol parameters. Their hash is baked into the
+// attestation quote, so an enclave launched with different parameters (say,
+// threshold 1) is rejected by clients.
+type Params struct {
+	// VecLen is the group vector length (model parameters, possibly plus
+	// bookkeeping slots such as a total-weight element).
+	VecLen int
+	// Threshold is t: the minimum number of client seeds the TSA must have
+	// processed before it agrees to release the unmasking vector.
+	Threshold int
+	// Scale is the fixed-point scaling factor for real-valued updates.
+	Scale float64
+	// OneShot makes the TSA release exactly one aggregate and then ignore
+	// all further traffic, exactly as in Figure 16 step 7. Buffered
+	// asynchronous aggregation sets OneShot=false: the TSA resets its
+	// accumulator after each release (equivalent to launching a fresh TSA
+	// per buffer while amortizing attestation).
+	OneShot bool
+}
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	switch {
+	case p.VecLen < 1:
+		return errors.New("secagg: VecLen must be >= 1")
+	case p.Threshold < 1:
+		return errors.New("secagg: Threshold must be >= 1")
+	case p.Scale <= 0:
+		return errors.New("secagg: Scale must be positive")
+	}
+	return nil
+}
+
+// Hash returns the parameter hash embedded in attestation quotes.
+func (p Params) Hash() [32]byte {
+	var buf [25]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(p.VecLen))
+	binary.BigEndian.PutUint64(buf[8:], uint64(p.Threshold))
+	binary.BigEndian.PutUint64(buf[16:], uint64(int64(p.Scale*1e6)))
+	if p.OneShot {
+		buf[24] = 1
+	}
+	h := sha256.New()
+	h.Write([]byte("papaya/secagg/params/v1"))
+	h.Write(buf[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Codec returns the fixed-point codec for these parameters.
+func (p Params) Codec() *fixedpoint.Codec { return fixedpoint.NewCodec(p.Scale) }
+
+// Protocol errors.
+var (
+	ErrThresholdNotMet = errors.New("secagg: fewer than Threshold clients processed")
+	ErrAlreadyReleased = errors.New("secagg: unmasking vector already released")
+	ErrTampered        = errors.New("secagg: envelope failed authentication")
+	ErrDuplicate       = errors.New("secagg: initial message already completed")
+)
+
+// sealSeed encrypts a mask seed under the DH shared secret with AES-GCM.
+// The DH index rides along as additional data — the "MAC and sequential
+// number" tamper detection from Figure 16 step 4.
+func sealSeed(secret []byte, index uint64, seed []byte, random io.Reader) ([]byte, error) {
+	aead, err := newAEAD(secret)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(random, nonce); err != nil {
+		return nil, fmt.Errorf("secagg: generating nonce: %w", err)
+	}
+	var ad [8]byte
+	binary.BigEndian.PutUint64(ad[:], index)
+	return append(nonce, aead.Seal(nil, nonce, seed, ad[:])...), nil
+}
+
+// openSeed decrypts and authenticates a sealed seed.
+func openSeed(secret []byte, index uint64, envelope []byte) ([]byte, error) {
+	aead, err := newAEAD(secret)
+	if err != nil {
+		return nil, err
+	}
+	ns := aead.NonceSize()
+	if len(envelope) < ns {
+		return nil, ErrTampered
+	}
+	var ad [8]byte
+	binary.BigEndian.PutUint64(ad[:], index)
+	seed, err := aead.Open(nil, envelope[:ns], envelope[ns:], ad[:])
+	if err != nil {
+		return nil, ErrTampered
+	}
+	return seed, nil
+}
+
+func newAEAD(secret []byte) (cipher.AEAD, error) {
+	if len(secret) != 32 {
+		return nil, fmt.Errorf("secagg: secret must be 32 bytes, got %d", len(secret))
+	}
+	block, err := aes.NewCipher(secret)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}

@@ -1,0 +1,454 @@
+package secagg
+
+import (
+	"crypto/rand"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tee"
+)
+
+func testParams(vecLen, threshold int) Params {
+	return Params{VecLen: vecLen, Threshold: threshold, Scale: 1 << 16}
+}
+
+func newDeployment(t *testing.T, p Params) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(p, []byte("tsa-binary-v1"), tee.DefaultCostModel(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// runClients performs the full client protocol for n clients with the given
+// updates and returns their uploads.
+func runClients(t *testing.T, d *Deployment, updates [][]float32) []Upload {
+	t.Helper()
+	bundles, err := d.FetchInitialBundles(len(updates))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := d.ClientTrust()
+	uploads := make([]Upload, len(updates))
+	for i, u := range updates {
+		sess, err := NewClientSession(trust, bundles[i], rand.Reader)
+		if err != nil {
+			t.Fatalf("client %d session: %v", i, err)
+		}
+		up, err := sess.MaskUpdate(u, rand.Reader)
+		if err != nil {
+			t.Fatalf("client %d mask: %v", i, err)
+		}
+		uploads[i] = up
+	}
+	return uploads
+}
+
+func TestEndToEndAggregation(t *testing.T) {
+	const n, dim = 7, 25
+	d := newDeployment(t, testParams(dim, 5))
+	r := rng.New(3)
+	updates := make([][]float32, n)
+	want := make([]float64, dim)
+	for i := range updates {
+		updates[i] = make([]float32, dim)
+		for j := range updates[i] {
+			updates[i][j] = float32(r.NormFloat64())
+			want[j] += float64(updates[i][j])
+		}
+	}
+	agg := d.NewAggregator()
+	for _, up := range runClients(t, d, updates) {
+		if err := agg.Add(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, count, err := agg.Unmask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("count = %d", count)
+	}
+	for j := range want {
+		if math.Abs(float64(got[j])-want[j]) > 1e-3 {
+			t.Fatalf("aggregate[%d] = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestMaskedUpdateHidesPlaintext(t *testing.T) {
+	d := newDeployment(t, testParams(50, 1))
+	update := make([]float32, 50) // all zeros: worst case for leakage
+	uploads := runClients(t, d, [][]float32{update})
+	zeroEncoding := d.Params.Codec()
+	var zeros int
+	for _, v := range uploads[0].Masked {
+		if v == zeroEncoding.Encode(0) {
+			zeros++
+		}
+	}
+	// A 50-element all-zero update must not survive masking: expect ~0
+	// coincidental zeros.
+	if zeros > 3 {
+		t.Fatalf("%d/50 masked elements equal the plaintext encoding", zeros)
+	}
+}
+
+func TestThresholdEnforced(t *testing.T) {
+	d := newDeployment(t, testParams(5, 3))
+	updates := [][]float32{{1, 1, 1, 1, 1}, {2, 2, 2, 2, 2}}
+	agg := d.NewAggregator()
+	for _, up := range runClients(t, d, updates) {
+		if err := agg.Add(up); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := agg.Unmask(); !errors.Is(err, ErrThresholdNotMet) {
+		t.Fatalf("unmask below threshold: err = %v", err)
+	}
+	// Meeting the threshold afterwards succeeds.
+	more := runClients(t, d, [][]float32{{3, 3, 3, 3, 3}})
+	if err := agg.Add(more[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := agg.Unmask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+	if math.Abs(float64(got[0])-6) > 1e-3 {
+		t.Fatalf("aggregate = %v", got[0])
+	}
+}
+
+func TestOneShotTSADiesAfterRelease(t *testing.T) {
+	p := testParams(4, 1)
+	p.OneShot = true
+	d := newDeployment(t, p)
+	agg := d.NewAggregator()
+	ups := runClients(t, d, [][]float32{{1, 2, 3, 4}})
+	if err := agg.Add(ups[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := agg.Unmask(); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 16 step 7: all further traffic is ignored.
+	if _, err := d.FetchInitialBundles(1); err == nil {
+		t.Fatal("one-shot TSA answered after release")
+	}
+	if _, _, err := agg.Unmask(); err == nil {
+		t.Fatal("second unmask accepted")
+	}
+}
+
+func TestBufferedTSAResetsBetweenAggregates(t *testing.T) {
+	d := newDeployment(t, testParams(3, 2))
+	agg := d.NewAggregator()
+	for round := 0; round < 3; round++ {
+		ups := runClients(t, d, [][]float32{{1, 0, 0}, {0, 1, 0}})
+		for _, up := range ups {
+			if err := agg.Add(up); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, n, err := agg.Unmask()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if n != 2 {
+			t.Fatalf("round %d: n = %d", round, n)
+		}
+		// Each round must aggregate exactly its own two clients: no
+		// contamination from earlier rounds.
+		if math.Abs(float64(got[0])-1) > 1e-3 || math.Abs(float64(got[1])-1) > 1e-3 {
+			t.Fatalf("round %d: aggregate = %v", round, got)
+		}
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	ups := runClients(t, d, [][]float32{{1, 1, 1, 1}})
+	agg := d.NewAggregator()
+	if err := agg.Add(ups[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same upload must be rejected (DH index retired) and
+	// must not corrupt the host-side sum.
+	if err := agg.Add(ups[0]); err == nil {
+		t.Fatal("replay accepted")
+	}
+	got, n, err := agg.Unmask()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("n = %d", n)
+	}
+	if math.Abs(float64(got[0])-1) > 1e-3 {
+		t.Fatalf("sum corrupted by replay: %v", got)
+	}
+}
+
+func TestTamperedEnvelopeRejected(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	ups := runClients(t, d, [][]float32{{1, 1, 1, 1}})
+	up := ups[0]
+	up.EncSeed = append([]byte(nil), up.EncSeed...)
+	up.EncSeed[len(up.EncSeed)-1] ^= 1
+	agg := d.NewAggregator()
+	if err := agg.Add(up); err == nil {
+		t.Fatal("tampered envelope accepted")
+	}
+	if agg.Received() != 0 {
+		t.Fatal("rejected upload counted")
+	}
+}
+
+func TestClientRejectsWrongBinary(t *testing.T) {
+	// Deploy an enclave whose binary is NOT in the log the client pins.
+	good := newDeployment(t, testParams(4, 1))
+	evil := newDeployment(t, testParams(4, 1))
+	bundles, err := evil.FetchInitialBundles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client pins good's trust material but receives evil's bundle.
+	if _, err := NewClientSession(good.ClientTrust(), bundles[0], rand.Reader); err == nil {
+		t.Fatal("client accepted an enclave outside its trust root")
+	}
+}
+
+func TestClientRejectsWrongParams(t *testing.T) {
+	d := newDeployment(t, testParams(4, 3))
+	bundles, err := d.FetchInitialBundles(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := d.ClientTrust()
+	trust.Params.Threshold = 1 // client expects a weaker threshold
+	if _, err := NewClientSession(trust, bundles[0], rand.Reader); err == nil {
+		t.Fatal("client accepted an enclave with mismatched parameters")
+	}
+}
+
+func TestClientRejectsTamperedQuote(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	bundles, _ := d.FetchInitialBundles(1)
+	b := bundles[0]
+	b.Quote.Signature = append([]byte(nil), b.Quote.Signature...)
+	b.Quote.Signature[0] ^= 1
+	if _, err := NewClientSession(d.ClientTrust(), b, rand.Reader); err == nil {
+		t.Fatal("tampered quote accepted")
+	}
+}
+
+func TestClientRejectsSwappedDHKey(t *testing.T) {
+	// A malicious server substituting its own DH message under a valid
+	// quote must be caught: the quote binds the original message.
+	d := newDeployment(t, testParams(4, 1))
+	bundles, _ := d.FetchInitialBundles(2)
+	b := bundles[0]
+	b.DH = bundles[1].DH // swap in a different (valid, signed) message
+	if _, err := NewClientSession(d.ClientTrust(), b, rand.Reader); err == nil {
+		t.Fatal("swapped DH message accepted")
+	}
+}
+
+func TestUpdateLengthValidation(t *testing.T) {
+	d := newDeployment(t, testParams(4, 1))
+	bundles, _ := d.FetchInitialBundles(1)
+	sess, err := NewClientSession(d.ClientTrust(), bundles[0], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.MaskUpdate(make([]float32, 3), rand.Reader); err == nil {
+		t.Fatal("wrong-length update accepted")
+	}
+	agg := d.NewAggregator()
+	if err := agg.Add(Upload{Masked: make([]uint32, 3)}); err == nil {
+		t.Fatal("wrong-length masked vector accepted")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	bad := []Params{
+		{VecLen: 0, Threshold: 1, Scale: 1},
+		{VecLen: 1, Threshold: 0, Scale: 1},
+		{VecLen: 1, Threshold: 1, Scale: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if err := testParams(1, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsHashBindsEverything(t *testing.T) {
+	base := testParams(10, 5)
+	variants := []Params{
+		{VecLen: 11, Threshold: 5, Scale: base.Scale},
+		{VecLen: 10, Threshold: 6, Scale: base.Scale},
+		{VecLen: 10, Threshold: 5, Scale: base.Scale * 2},
+		{VecLen: 10, Threshold: 5, Scale: base.Scale, OneShot: true},
+	}
+	for i, v := range variants {
+		if v.Hash() == base.Hash() {
+			t.Fatalf("variant %d hash collides with base", i)
+		}
+	}
+	if base.Hash() != testParams(10, 5).Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+// Figure 6: AsyncSecAgg boundary traffic is O(K+m); the naive TSA is O(K*m).
+func TestBoundaryTrafficAsymptotics(t *testing.T) {
+	const dim = 2000
+	makeUpdates := func(k int) [][]float32 {
+		ups := make([][]float32, k)
+		for i := range ups {
+			ups[i] = make([]float32, dim)
+			ups[i][0] = 1
+		}
+		return ups
+	}
+	asyncBytes := func(k int) int64 {
+		d := newDeployment(t, testParams(dim, 1))
+		d.Enclave.ResetStats() // exclude deployment setup
+		agg := d.NewAggregator()
+		for _, up := range runClients(t, d, makeUpdates(k)) {
+			if err := agg.Add(up); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := agg.Unmask(); err != nil {
+			t.Fatal(err)
+		}
+		s := d.Enclave.Stats()
+		return s.BytesIn
+	}
+	naiveBytes := func(k int) int64 {
+		prog := NewNaiveTSA(dim, 1)
+		enc := tee.New(prog, tee.DefaultCostModel())
+		codec := testParams(dim, 1).Codec()
+		for _, u := range makeUpdates(k) {
+			if _, err := enc.Call("submit-full", EncodeFullUpdate(codec, u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := enc.Call("result", nil); err != nil {
+			t.Fatal(err)
+		}
+		return enc.Stats().BytesIn
+	}
+
+	a10, a40 := asyncBytes(10), asyncBytes(40)
+	n10, n40 := naiveBytes(10), naiveBytes(40)
+
+	// Naive grows ~linearly in K with slope ~4*dim bytes per client.
+	naiveSlope := float64(n40-n10) / 30
+	if naiveSlope < 0.9*4*dim {
+		t.Fatalf("naive per-client boundary cost %.0fB, want ~%dB", naiveSlope, 4*dim)
+	}
+	// Async per-client boundary cost is O(1): far below the model size.
+	asyncSlope := float64(a40-a10) / 30
+	if asyncSlope > 300 {
+		t.Fatalf("async per-client boundary cost %.0fB, want O(100B)", asyncSlope)
+	}
+	if n40 < 10*a40 {
+		t.Fatalf("naive total %dB vs async %dB: expected >= 10x gap", n40, a40)
+	}
+}
+
+func TestNaiveTSAThreshold(t *testing.T) {
+	enc := tee.New(NewNaiveTSA(4, 2), tee.DefaultCostModel())
+	codec := testParams(4, 2).Codec()
+	if _, err := enc.Call("submit-full", EncodeFullUpdate(codec, []float32{1, 2, 3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Call("result", nil); err == nil {
+		t.Fatal("naive result below threshold accepted")
+	}
+}
+
+func TestNaiveTSAAggregates(t *testing.T) {
+	enc := tee.New(NewNaiveTSA(2, 2), tee.DefaultCostModel())
+	p := testParams(2, 2)
+	codec := p.Codec()
+	_, _ = enc.Call("submit-full", EncodeFullUpdate(codec, []float32{1, 2}))
+	_, _ = enc.Call("submit-full", EncodeFullUpdate(codec, []float32{3, 4}))
+	resp, err := enc.Call("result", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := decodeGroupVec(resp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 2)
+	codec.DecodeVec(out, vec)
+	if math.Abs(float64(out[0])-4) > 1e-3 || math.Abs(float64(out[1])-6) > 1e-3 {
+		t.Fatalf("naive aggregate = %v", out)
+	}
+}
+
+func TestMaskGroupVector(t *testing.T) {
+	d := newDeployment(t, testParams(3, 1))
+	bundles, _ := d.FetchInitialBundles(1)
+	sess, err := NewClientSession(d.ClientTrust(), bundles[0], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := []uint32{10, 20, 30}
+	up, err := sess.MaskGroupVector(vec, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := d.NewAggregator()
+	if err := agg.Add(up); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := agg.UnmaskGroup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if got[i] != vec[i] {
+			t.Fatalf("group round trip: %v vs %v", got, vec)
+		}
+	}
+	if _, err := sess.MaskGroupVector([]uint32{1}, rand.Reader); err == nil {
+		t.Fatal("wrong-length group vector accepted")
+	}
+}
+
+func BenchmarkClientMaskUpdate(b *testing.B) {
+	d, err := NewDeployment(testParams(2048, 1), []byte("bin"), tee.DefaultCostModel(), rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bundles, _ := d.FetchInitialBundles(b.N + 1)
+	trust := d.ClientTrust()
+	update := make([]float32, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := NewClientSession(trust, bundles[i], rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.MaskUpdate(update, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package secagg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/attest"
+	"repro/internal/fixedpoint"
+	"repro/internal/merklelog"
+	"repro/internal/tee"
+)
+
+// Deployment wires a full Asynchronous SecAgg installation: the TSA inside a
+// metered enclave, the attestation hardware root, and the verifiable log
+// holding the trusted binary (Appendix C).
+type Deployment struct {
+	Params   Params
+	Enclave  *tee.Enclave
+	Hardware *attest.Hardware
+	Log      *merklelog.Log
+
+	binaryHash [32]byte
+	leafIndex  uint64
+	logSize    uint64
+	logRoot    merklelog.Hash
+}
+
+// NewDeployment launches a TSA built from the given trusted binary inside an
+// enclave with the given boundary cost model, and publishes the binary's
+// measurement to a fresh verifiable log.
+func NewDeployment(params Params, binary []byte, cost tee.CostModel, random io.Reader) (*Deployment, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	hw, err := attest.NewHardware(random)
+	if err != nil {
+		return nil, err
+	}
+	tsa, err := NewTSA(params, binary, hw, random)
+	if err != nil {
+		return nil, err
+	}
+	log := merklelog.New()
+	bh := tsa.BinaryHash()
+	leafIndex := log.Append(bh[:])
+	return &Deployment{
+		Params:     params,
+		Enclave:    tee.New(tsa, cost),
+		Hardware:   hw,
+		Log:        log,
+		binaryHash: bh,
+		leafIndex:  leafIndex,
+		logSize:    log.Size(),
+		logRoot:    log.Root(log.Size()),
+	}, nil
+}
+
+// ClientTrust returns the pinned trust material a client of this deployment
+// holds: collateral plus the current log snapshot.
+func (d *Deployment) ClientTrust() ClientTrust {
+	return ClientTrust{
+		Collateral: d.Hardware.Collateral(),
+		LogRoot:    d.logRoot,
+		LogSize:    d.logSize,
+		Params:     d.Params,
+	}
+}
+
+// FetchInitialBundles asks the enclave for n fresh signed initial messages
+// and packages each with its quote and log evidence, ready to hand to
+// checking-in clients.
+func (d *Deployment) FetchInitialBundles(n int) ([]InitialBundle, error) {
+	var count [4]byte
+	binary.BigEndian.PutUint32(count[:], uint32(n))
+	resp, err := d.Enclave.Call("initial", count[:])
+	if err != nil {
+		return nil, err
+	}
+	msgs, quotes, verifyKey, err := decodeInitialBatch(resp)
+	if err != nil {
+		return nil, err
+	}
+	proof, err := d.Log.InclusionProof(d.leafIndex, d.logSize)
+	if err != nil {
+		return nil, err
+	}
+	bundles := make([]InitialBundle, len(msgs))
+	for i := range msgs {
+		bundles[i] = InitialBundle{
+			DH:          msgs[i],
+			DHVerifyKey: verifyKey,
+			Quote:       quotes[i],
+			LogRoot:     d.logRoot,
+			LogSize:     d.logSize,
+			LeafIndex:   d.leafIndex,
+			Inclusion:   proof,
+		}
+	}
+	return bundles, nil
+}
+
+// Aggregator is the untrusted server's aggregation state for one secure
+// aggregate: the running sum of masked vectors (Figure 16 step 5). Masked
+// data stays on the host; only the O(1) seed envelopes cross into the
+// enclave.
+type Aggregator struct {
+	dep      *Deployment
+	sum      []uint32
+	received int
+}
+
+// NewAggregator creates an empty aggregate for the deployment.
+func (d *Deployment) NewAggregator() *Aggregator {
+	return &Aggregator{dep: d, sum: make([]uint32, d.Params.VecLen)}
+}
+
+// Received returns how many uploads have been accepted.
+func (a *Aggregator) Received() int { return a.received }
+
+// Add incrementally aggregates one client upload: the masked vector folds
+// into the host-side sum; the envelope is forwarded across the boundary. If
+// the enclave rejects the envelope (replay, tamper), the masked vector is
+// rolled back so the host sum and the enclave mask sum never diverge.
+func (a *Aggregator) Add(u Upload) error {
+	if len(u.Masked) != a.dep.Params.VecLen {
+		return fmt.Errorf("secagg: masked vector length %d, want %d",
+			len(u.Masked), a.dep.Params.VecLen)
+	}
+	fixedpoint.AddVec(a.sum, u.Masked)
+	_, err := a.dep.Enclave.Call("submit", encodeSubmit(u.Index, u.Completing, u.EncSeed))
+	if err != nil {
+		fixedpoint.SubVec(a.sum, u.Masked)
+		return err
+	}
+	a.received++
+	return nil
+}
+
+// Unmask requests the unmasking vector (Figure 16 step 7) and returns the
+// aggregated plaintext sum decoded to floats. It fails if the enclave's
+// threshold is not met. On success the aggregator resets for the next
+// buffer.
+func (a *Aggregator) Unmask() ([]float32, int, error) {
+	resp, err := a.dep.Enclave.Call("unmask", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	maskSum, err := decodeGroupVec(resp, a.dep.Params.VecLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	fixedpoint.SubVec(a.sum, maskSum)
+	out := make([]float32, a.dep.Params.VecLen)
+	a.dep.Params.Codec().DecodeVec(out, a.sum)
+	n := a.received
+	a.sum = make([]uint32, a.dep.Params.VecLen)
+	a.received = 0
+	return out, n, nil
+}
+
+// UnmaskGroup is Unmask without fixed-point decoding, for callers that
+// manage encoding themselves.
+func (a *Aggregator) UnmaskGroup() ([]uint32, int, error) {
+	resp, err := a.dep.Enclave.Call("unmask", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	maskSum, err := decodeGroupVec(resp, a.dep.Params.VecLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	fixedpoint.SubVec(a.sum, maskSum)
+	out := a.sum
+	n := a.received
+	a.sum = make([]uint32, a.dep.Params.VecLen)
+	a.received = 0
+	return out, n, nil
+}
+
+// --- Naive TSA baseline (Figure 6) ---
+
+// NaiveTSA is the strawman the paper compares against: every client's full
+// update crosses the enclave boundary (O(K*m) traffic) and is aggregated
+// inside. It implements tee.Program with methods "submit-full" and "result".
+type NaiveTSA struct {
+	vecLen    int
+	threshold int
+	sum       []uint32
+	received  int
+}
+
+// NewNaiveTSA constructs the baseline program.
+func NewNaiveTSA(vecLen, threshold int) *NaiveTSA {
+	if vecLen < 1 || threshold < 1 {
+		panic("secagg: NaiveTSA requires positive vecLen and threshold")
+	}
+	return &NaiveTSA{vecLen: vecLen, threshold: threshold, sum: make([]uint32, vecLen)}
+}
+
+// Handle implements tee.Program.
+func (n *NaiveTSA) Handle(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case "submit-full":
+		v, err := decodeGroupVec(payload, n.vecLen)
+		if err != nil {
+			return nil, err
+		}
+		fixedpoint.AddVec(n.sum, v)
+		n.received++
+		return []byte("ok"), nil
+	case "result":
+		if n.received < n.threshold {
+			return nil, ErrThresholdNotMet
+		}
+		out := encodeGroupVec(n.sum)
+		n.sum = make([]uint32, n.vecLen)
+		n.received = 0
+		return out, nil
+	default:
+		return nil, fmt.Errorf("secagg: unknown NaiveTSA method %q", method)
+	}
+}
+
+// EncodeFullUpdate is the naive baseline's client side: fixed-point encode
+// the whole update for boundary crossing.
+func EncodeFullUpdate(codec *fixedpoint.Codec, update []float32) []byte {
+	vec := make([]uint32, len(update))
+	codec.EncodeVec(vec, update)
+	return encodeGroupVec(vec)
+}

@@ -1,0 +1,158 @@
+package secagg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/attest"
+	"repro/internal/dh"
+	"repro/internal/otp"
+)
+
+// TSA is the Trusted Secure Aggregator: the trusted binary that runs inside
+// the enclave. It implements tee.Program with three methods:
+//
+//	"initial"  host->enclave: uint32 count
+//	           enclave->host: count signed DH initial messages, each with an
+//	           attestation quote binding it (Figure 19 step 1)
+//	"submit"   host->enclave: (index, completing message, sealed seed)
+//	           enclave->host: "ok"
+//	           Recovers the client's seed over the DH channel, regenerates
+//	           the mask, and folds it into the running sum (Figure 16
+//	           step 6). Replays and tampered envelopes are rejected.
+//	"unmask"   host->enclave: empty
+//	           enclave->host: the aggregated mask vector, only if at least
+//	           Threshold seeds were processed (Figure 16 step 7).
+type TSA struct {
+	params     Params
+	paramsHash [32]byte
+	binaryHash [32]byte
+	hw         *attest.Hardware
+	party      *dh.Party
+	random     io.Reader
+
+	acc       *otp.MaskAccumulator
+	processed int
+	released  bool
+	dead      bool // one-shot TSA after release
+}
+
+// NewTSA constructs the trusted binary's in-enclave state. binary is the
+// code whose measurement appears in quotes and in the verifiable log; hw is
+// the attestation root ("the CPU").
+func NewTSA(params Params, binary []byte, hw *attest.Hardware, random io.Reader) (*TSA, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	party, err := dh.NewParty(random)
+	if err != nil {
+		return nil, err
+	}
+	return &TSA{
+		params:     params,
+		paramsHash: params.Hash(),
+		binaryHash: attest.MeasureBinary(binary),
+		hw:         hw,
+		party:      party,
+		random:     random,
+		acc:        otp.NewMaskAccumulator(params.VecLen),
+	}, nil
+}
+
+// BinaryHash returns the trusted binary's measurement (what gets published
+// to the verifiable log before deployment, Figure 20 step 0).
+func (t *TSA) BinaryHash() [32]byte { return t.binaryHash }
+
+// DHVerifyKey returns the TSA's DH identity key. Its authenticity is
+// established through the attestation quote, which binds it into every
+// initial message's report data.
+func (t *TSA) DHVerifyKey() []byte { return t.party.VerifyKey() }
+
+// Handle implements tee.Program.
+func (t *TSA) Handle(method string, payload []byte) ([]byte, error) {
+	if t.dead {
+		return nil, ErrAlreadyReleased
+	}
+	switch method {
+	case "initial":
+		return t.handleInitial(payload)
+	case "submit":
+		return t.handleSubmit(payload)
+	case "unmask":
+		return t.handleUnmask()
+	default:
+		return nil, fmt.Errorf("secagg: unknown TSA method %q", method)
+	}
+}
+
+func (t *TSA) handleInitial(payload []byte) ([]byte, error) {
+	if len(payload) != 4 {
+		return nil, errors.New("secagg: initial payload must be a uint32 count")
+	}
+	n := int(binary.BigEndian.Uint32(payload))
+	if n <= 0 || n > 1<<20 {
+		return nil, fmt.Errorf("secagg: unreasonable initial batch size %d", n)
+	}
+	msgs, err := t.party.GenerateInitial(t.random, n)
+	if err != nil {
+		return nil, err
+	}
+	quotes := make([]attest.Quote, len(msgs))
+	vk := t.party.VerifyKey()
+	for i, m := range msgs {
+		quotes[i] = t.hw.Attest(t.binaryHash, t.paramsHash, reportData(m, vk))
+	}
+	return encodeInitialBatch(msgs, quotes, vk), nil
+}
+
+func (t *TSA) handleSubmit(payload []byte) ([]byte, error) {
+	index, completing, encSeed, err := decodeSubmit(payload)
+	if err != nil {
+		return nil, err
+	}
+	secret, err := t.party.Complete(index, completing)
+	if err != nil {
+		// Either an unknown index or a replayed completing message; in both
+		// cases the submission is rejected and no state changes.
+		return nil, fmt.Errorf("%w: %v", ErrDuplicate, err)
+	}
+	seed, err := openSeed(secret, index, encSeed)
+	if err != nil {
+		// Tampered by the server in transit: decryption fails, the update
+		// is ignored (Appendix C.1: "the decryption fails if any of them is
+		// modified by the server").
+		return nil, err
+	}
+	if len(seed) != otp.SeedSize {
+		return nil, fmt.Errorf("secagg: seed is %d bytes, want %d", len(seed), otp.SeedSize)
+	}
+	t.acc.Add(otp.SeedFromBytes(seed))
+	t.processed++
+	return []byte("ok"), nil
+}
+
+func (t *TSA) handleUnmask() ([]byte, error) {
+	if t.released && t.params.OneShot {
+		return nil, ErrAlreadyReleased
+	}
+	if t.processed < t.params.Threshold {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrThresholdNotMet,
+			t.processed, t.params.Threshold)
+	}
+	sum := t.acc.Sum()
+	t.released = true
+	if t.params.OneShot {
+		// Figure 16 step 7: "The trusted party ignores any further messages
+		// from the server."
+		t.dead = true
+	} else {
+		// Buffered mode: reset for the next aggregate (equivalent to
+		// launching a fresh TSA per buffer, with attestation amortized).
+		t.acc.Reset()
+		t.processed = 0
+		t.released = false
+	}
+	return encodeGroupVec(sum), nil
+}

@@ -1,0 +1,155 @@
+package secagg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attest"
+	"repro/internal/dh"
+	"repro/internal/rng"
+)
+
+// The wire decoders parse data a malicious server controls; they must reject
+// malformed input with errors, never panic, and round-trip valid input.
+
+func TestSubmitRoundTrip(t *testing.T) {
+	completing := []byte{1, 2, 3, 4}
+	encSeed := []byte{9, 8, 7}
+	buf := encodeSubmit(42, completing, encSeed)
+	idx, c, s, err := decodeSubmit(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 42 || string(c) != string(completing) || string(s) != string(encSeed) {
+		t.Fatalf("round trip mismatch: %d %v %v", idx, c, s)
+	}
+}
+
+func TestSubmitRejectsTruncationsAndTrailing(t *testing.T) {
+	buf := encodeSubmit(1, []byte{1, 2}, []byte{3})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, _, err := decodeSubmit(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, _, err := decodeSubmit(append(buf, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestGroupVecRoundTrip(t *testing.T) {
+	v := []uint32{0, 1, 1 << 31, 0xffffffff}
+	got, err := decodeGroupVec(encodeGroupVec(v), len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatal("group vec round trip failed")
+		}
+	}
+	if _, err := decodeGroupVec(encodeGroupVec(v), len(v)+1); err == nil {
+		t.Fatal("wrong expected length accepted")
+	}
+}
+
+func TestInitialBatchRoundTrip(t *testing.T) {
+	msgs := []dh.InitialMessage{
+		{Index: 7, PublicKey: []byte{1, 2}, Signature: []byte{3}},
+		{Index: 8, PublicKey: []byte{4}, Signature: []byte{5, 6}},
+	}
+	quotes := []attest.Quote{
+		{Signature: []byte{9}},
+		{Signature: []byte{10, 11}},
+	}
+	quotes[0].BinaryHash[0] = 0xAA
+	quotes[1].ReportData[5] = 0xBB
+	vk := []byte{0xCC, 0xDD}
+
+	gotMsgs, gotQuotes, gotVK, err := decodeInitialBatch(encodeInitialBatch(msgs, quotes, vk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotMsgs) != 2 || len(gotQuotes) != 2 {
+		t.Fatalf("lengths: %d msgs, %d quotes", len(gotMsgs), len(gotQuotes))
+	}
+	if gotMsgs[0].Index != 7 || gotMsgs[1].Index != 8 {
+		t.Fatal("indices corrupted")
+	}
+	if gotQuotes[0].BinaryHash[0] != 0xAA || gotQuotes[1].ReportData[5] != 0xBB {
+		t.Fatal("quote fields corrupted")
+	}
+	if string(gotVK) != string(vk) {
+		t.Fatal("verify key corrupted")
+	}
+}
+
+func TestInitialBatchRejectsTruncations(t *testing.T) {
+	msgs := []dh.InitialMessage{{Index: 1, PublicKey: []byte{1}, Signature: []byte{2}}}
+	quotes := []attest.Quote{{Signature: []byte{3}}}
+	buf := encodeInitialBatch(msgs, quotes, []byte{4})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, _, err := decodeInitialBatch(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, _, _, err := decodeInitialBatch(append(buf, 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// Property: the decoders never panic on arbitrary attacker bytes.
+func TestQuickDecodersNeverPanic(t *testing.T) {
+	f := func(raw []byte, wantLen uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decoder panicked on %v: %v", raw, r)
+			}
+		}()
+		_, _, _, _ = decodeSubmit(raw)
+		_, _ = decodeGroupVec(raw, int(wantLen))
+		_, _, _, _ = decodeInitialBatch(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: flipping any single byte of a sealed seed is detected.
+func TestQuickSealedSeedTamperDetected(t *testing.T) {
+	secret := make([]byte, 32)
+	for i := range secret {
+		secret[i] = byte(i)
+	}
+	seed := make([]byte, 16)
+	env, err := sealSeed(secret, 5, seed, zeroReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openSeed(secret, 5, env); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		tampered := append([]byte(nil), env...)
+		tampered[r.Intn(len(tampered))] ^= byte(1 + r.Intn(255))
+		if _, err := openSeed(secret, 5, tampered); err == nil {
+			t.Fatal("tampered envelope accepted")
+		}
+	}
+	// Wrong index (sequence number) is also rejected.
+	if _, err := openSeed(secret, 6, env); err == nil {
+		t.Fatal("wrong-index envelope accepted")
+	}
+}
+
+// zeroReader is a deterministic nonce source for tamper tests only.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}

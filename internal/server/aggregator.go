@@ -1,0 +1,506 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/fedopt"
+	"repro/internal/secagg"
+	"repro/internal/transport"
+	"repro/internal/vecf"
+)
+
+// sessionState tracks one client's virtual session on a task.
+type sessionState struct {
+	clientID     int64
+	startVersion int
+	aborted      bool
+	abortReason  string
+	// upload assembly
+	pending   []float32
+	pendingGp []uint32
+	received  int
+}
+
+// taskState is a task's runtime state on its owning aggregator. Aggregators
+// are persistent and stateful (Section 6.3): the task stays here until the
+// Coordinator moves it.
+type taskState struct {
+	mu   sync.Mutex
+	spec TaskSpec
+	seq  uint64
+
+	params  []float32
+	version int
+	opt     fedopt.Optimizer
+	buf     *buffer.Buffered
+	secAgg  *secagg.Aggregator
+	stale   fedopt.StalenessWeight
+
+	sessions    map[uint64]*sessionState
+	nextSession uint64
+	updates     int64 // client updates received
+	// roundReceived counts updates in the current sync round.
+	roundReceived int
+}
+
+func newTaskState(req AssignTaskRequest) *taskState {
+	spec := req.Spec
+	shards := spec.AggShards
+	if shards == 0 {
+		shards = 8
+	}
+	ts := &taskState{
+		spec:     spec,
+		seq:      req.Seq,
+		opt:      optimizerFor(spec),
+		buf:      buffer.New(spec.NumParams, spec.AggregationGoal, shards),
+		stale:    fedopt.DefaultStaleness(),
+		sessions: make(map[uint64]*sessionState),
+		version:  req.Version,
+	}
+	if req.Checkpoint != nil {
+		ts.params = vecf.Clone(req.Checkpoint)
+	} else {
+		ts.params = vecf.Clone(spec.InitParams)
+	}
+	if spec.SecAgg != nil {
+		ts.secAgg = spec.SecAgg.NewAggregator()
+	}
+	return ts
+}
+
+// Aggregator is a production aggregation node. One Aggregator executes many
+// tasks; every task is assigned to exactly one Aggregator (Section 4).
+type Aggregator struct {
+	name    string
+	net     *transport.Network
+	coord   string
+	timings Timings
+
+	mu    sync.Mutex
+	tasks map[string]*taskState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewAggregator registers an aggregator node on the network and starts its
+// heartbeat loop toward the coordinator.
+func NewAggregator(name string, net *transport.Network, coordinator string, timings Timings) *Aggregator {
+	a := &Aggregator{
+		name:    name,
+		net:     net,
+		coord:   coordinator,
+		timings: timings,
+		tasks:   make(map[string]*taskState),
+		stop:    make(chan struct{}),
+	}
+	net.Register(name, a.handle)
+	a.wg.Add(1)
+	go a.heartbeatLoop()
+	return a
+}
+
+// Stop halts the heartbeat loop and unregisters the node. It is idempotent.
+func (a *Aggregator) Stop() {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		a.wg.Wait()
+		a.net.Unregister(a.name)
+	})
+}
+
+func (a *Aggregator) handle(method string, payload any) (any, error) {
+	switch method {
+	case "assign-task":
+		return a.assignTask(payload.(AssignTaskRequest))
+	case "drop-task":
+		return a.dropTask(payload.(string))
+	case "join":
+		return a.join(payload.(JoinRequest))
+	case "download":
+		return a.download(payload.(DownloadRequest))
+	case "report":
+		return a.report(payload.(ReportRequest))
+	case "upload-chunk":
+		return a.uploadChunk(payload.(UploadChunk))
+	case "fail-session":
+		return a.failSession(payload.(FailRequest))
+	case "task-info":
+		return a.taskInfo(payload.(string))
+	case "reconfigure-task":
+		return a.reconfigureTask(payload.(ReconfigureRequest))
+	default:
+		return nil, fmt.Errorf("aggregator %s: unknown method %q", a.name, method)
+	}
+}
+
+// ReconfigureRequest switches a task between SyncFL and AsyncFL at runtime
+// (Appendix E.3: "switching between SyncFL and AsyncFL can be done via a
+// configuration change"). The three behaviour changes the paper lists —
+// demand computation, stale-client handling, and model aggregation — all
+// key off the task's Mode and goal, so the switch is exactly this state
+// change.
+type ReconfigureRequest struct {
+	TaskID          string
+	Mode            core.Algorithm
+	AggregationGoal int
+	MaxStaleness    int
+}
+
+func (a *Aggregator) reconfigureTask(req ReconfigureRequest) (any, error) {
+	if req.Mode != core.Async && req.Mode != core.Sync {
+		return nil, fmt.Errorf("aggregator %s: unknown mode %q", a.name, req.Mode)
+	}
+	if req.AggregationGoal < 1 {
+		return nil, fmt.Errorf("aggregator %s: aggregation goal must be >= 1", a.name)
+	}
+	ts, err := a.task(req.TaskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.spec.Mode = req.Mode
+	ts.spec.AggregationGoal = req.AggregationGoal
+	ts.spec.MaxStaleness = req.MaxStaleness
+	ts.buf.SetGoal(req.AggregationGoal)
+	ts.roundReceived = 0
+	return true, nil
+}
+
+func (a *Aggregator) assignTask(req AssignTaskRequest) (any, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cur, ok := a.tasks[req.Spec.ID]; ok {
+		if cur.seq >= req.Seq {
+			return true, nil // idempotent re-assignment
+		}
+	}
+	a.tasks[req.Spec.ID] = newTaskState(req)
+	return true, nil
+}
+
+func (a *Aggregator) dropTask(taskID string) (any, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.tasks, taskID)
+	return true, nil
+}
+
+func (a *Aggregator) task(id string) (*taskState, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ts, ok := a.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("aggregator %s: task %q not assigned here", a.name, id)
+	}
+	return ts, nil
+}
+
+// join enforces max concurrency (Appendix E.1) and opens a virtual session.
+func (a *Aggregator) join(req JoinRequest) (any, error) {
+	ts, err := a.task(req.TaskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if len(ts.sessions) >= ts.spec.Concurrency {
+		return JoinResponse{Accepted: false, Reason: "task at max concurrency"}, nil
+	}
+	ts.nextSession++
+	id := ts.nextSession
+	ts.sessions[id] = &sessionState{clientID: req.ClientID, startVersion: ts.version}
+	return JoinResponse{Accepted: true, SessionID: id, Version: ts.version}, nil
+}
+
+func (a *Aggregator) download(req DownloadRequest) (any, error) {
+	ts, err := a.task(req.TaskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	s, ok := ts.sessions[req.SessionID]
+	if !ok {
+		return nil, fmt.Errorf("aggregator %s: unknown session %d", a.name, req.SessionID)
+	}
+	// The client trains against the model version it joined with; if the
+	// model moved between join and download, restart the session at the
+	// current version (equivalent to AFL's version check).
+	s.startVersion = ts.version
+	return DownloadResponse{Params: vecf.Clone(ts.params), Version: ts.version}, nil
+}
+
+// report hands the client its upload configuration (participation stage 3),
+// including the SecAgg bundle when the task runs with secure aggregation.
+func (a *Aggregator) report(req ReportRequest) (any, error) {
+	ts, err := a.task(req.TaskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	s, ok := ts.sessions[req.SessionID]
+	if !ok {
+		ts.mu.Unlock()
+		return ReportResponse{OK: false, Reason: "unknown session"}, nil
+	}
+	if s.aborted {
+		reason := s.abortReason
+		delete(ts.sessions, req.SessionID)
+		ts.mu.Unlock()
+		return ReportResponse{OK: false, Reason: reason}, nil
+	}
+	chunk := ts.spec.UploadChunkSize
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	resp := ReportResponse{OK: true, ChunkSize: chunk, CurrentVersion: ts.version}
+	dep := ts.spec.SecAgg
+	ts.mu.Unlock()
+
+	if dep != nil {
+		bundles, err := dep.FetchInitialBundles(1)
+		if err != nil {
+			return nil, fmt.Errorf("aggregator %s: fetching SecAgg bundle: %w", a.name, err)
+		}
+		resp.SecAggEnabled = true
+		resp.SecAggBundle = &bundles[0]
+		resp.SecAggTrust = dep.ClientTrust()
+	}
+	return resp, nil
+}
+
+func (a *Aggregator) failSession(req FailRequest) (any, error) {
+	ts, err := a.task(req.TaskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	delete(ts.sessions, req.SessionID)
+	ts.mu.Unlock()
+	return true, nil
+}
+
+// uploadChunk assembles a session's update; the final chunk triggers
+// aggregation. Model updates arrive in chunks (participation stage 4).
+func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
+	ts, err := a.task(c.TaskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	s, ok := ts.sessions[c.SessionID]
+	if !ok {
+		return UploadResponse{OK: false, Reason: "unknown session"}, nil
+	}
+	if s.aborted {
+		delete(ts.sessions, c.SessionID)
+		return UploadResponse{OK: false, Reason: s.abortReason}, nil
+	}
+
+	if ts.spec.SecAgg != nil {
+		if s.pendingGp == nil {
+			s.pendingGp = make([]uint32, ts.spec.NumParams+1)
+		}
+		if c.Offset+len(c.Masked) > len(s.pendingGp) {
+			return UploadResponse{OK: false, Reason: "chunk out of bounds"}, nil
+		}
+		copy(s.pendingGp[c.Offset:], c.Masked)
+		s.received += len(c.Masked)
+	} else {
+		if s.pending == nil {
+			s.pending = make([]float32, ts.spec.NumParams)
+		}
+		if c.Offset+len(c.Data) > len(s.pending) {
+			return UploadResponse{OK: false, Reason: "chunk out of bounds"}, nil
+		}
+		copy(s.pending[c.Offset:], c.Data)
+		s.received += len(c.Data)
+	}
+	if !c.Done {
+		return UploadResponse{OK: true}, nil
+	}
+	return a.finishUploadLocked(ts, c, s)
+}
+
+// finishUploadLocked completes a session's upload and runs the aggregation
+// path. Caller holds ts.mu.
+func (a *Aggregator) finishUploadLocked(ts *taskState, c UploadChunk, s *sessionState) (any, error) {
+	staleness := ts.version - s.startVersion
+	if ts.spec.MaxStaleness > 0 && staleness > ts.spec.MaxStaleness {
+		delete(ts.sessions, c.SessionID)
+		return UploadResponse{OK: false, Reason: "staleness exceeded"}, nil
+	}
+
+	ready := false
+	if ts.spec.SecAgg != nil {
+		if s.received != ts.spec.NumParams+1 {
+			return UploadResponse{OK: false, Reason: "incomplete masked upload"}, nil
+		}
+		up := secagg.Upload{
+			Index:      c.SecAggIndex,
+			Masked:     s.pendingGp,
+			Completing: c.SecAggCompleting,
+			EncSeed:    c.SecAggEncSeed,
+		}
+		if err := ts.secAgg.Add(up); err != nil {
+			delete(ts.sessions, c.SessionID)
+			return UploadResponse{OK: false, Reason: err.Error()}, nil
+		}
+		ready = ts.secAgg.Received() >= ts.spec.AggregationGoal
+	} else {
+		if s.received != ts.spec.NumParams {
+			return UploadResponse{OK: false, Reason: "incomplete upload"}, nil
+		}
+		w := float64(c.NumExamples)
+		if w <= 0 {
+			w = 1
+		}
+		if ts.spec.Mode == core.Async {
+			w *= ts.stale(staleness)
+		}
+		ready = ts.buf.Add(s.pending, w, int(s.clientID))
+		// After a runtime mode/goal switch (Appendix E.3) the buffer may
+		// already hold more than the new goal; the exact-equality trigger
+		// alone would then never fire.
+		if !ready && ts.buf.Count() >= ts.spec.AggregationGoal {
+			ready = true
+		}
+	}
+
+	ts.updates++
+	ts.roundReceived++
+	delete(ts.sessions, c.SessionID)
+
+	goalMet := ready
+	if ts.spec.Mode == core.Sync {
+		goalMet = ts.roundReceived >= ts.spec.AggregationGoal
+	}
+	if goalMet {
+		if err := a.serverStepLocked(ts); err != nil {
+			return nil, err
+		}
+	}
+	return UploadResponse{OK: true}, nil
+}
+
+// serverStepLocked releases the buffer (or unmasks the secure aggregate) and
+// applies the server optimizer. Caller holds ts.mu.
+func (a *Aggregator) serverStepLocked(ts *taskState) error {
+	var update []float32
+	if ts.spec.SecAgg != nil {
+		group, _, err := ts.secAgg.UnmaskGroup()
+		if err != nil {
+			return fmt.Errorf("aggregator %s: unmask: %w", a.name, err)
+		}
+		// Slots [0,n) hold sum(w_i * delta_i); slot n holds sum(w_i).
+		codec := ts.spec.SecAgg.Params.Codec()
+		decoded := make([]float32, len(group))
+		codec.DecodeVec(decoded, group)
+		totalW := decoded[len(decoded)-1]
+		if totalW <= 0 {
+			return fmt.Errorf("aggregator %s: secure aggregate has non-positive total weight", a.name)
+		}
+		update = decoded[:len(decoded)-1]
+		vecf.Scale(update, 1/totalW)
+	} else {
+		update, _, _ = ts.buf.Release()
+	}
+	ts.opt.Step(ts.params, update)
+	ts.version++
+	ts.roundReceived = 0
+
+	// Appendix E.2: abort sessions whose staleness now exceeds the limit.
+	// Appendix E.3: in Sync mode, abort everyone still training (the
+	// over-selection discard).
+	for id, s := range ts.sessions {
+		if ts.spec.Mode == core.Sync {
+			s.aborted = true
+			s.abortReason = "round closed"
+			_ = id
+			continue
+		}
+		if ts.spec.MaxStaleness > 0 && ts.version-s.startVersion > ts.spec.MaxStaleness {
+			s.aborted = true
+			s.abortReason = "staleness exceeded"
+		}
+	}
+	return nil
+}
+
+// taskInfo returns (version, updates, active) for tests and the CLI.
+type TaskInfo struct {
+	Version int
+	Updates int64
+	Active  int
+	Params  []float32
+}
+
+func (a *Aggregator) taskInfo(taskID string) (any, error) {
+	ts, err := a.task(taskID)
+	if err != nil {
+		return nil, err
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return TaskInfo{
+		Version: ts.version,
+		Updates: ts.updates,
+		Active:  len(ts.sessions),
+		Params:  vecf.Clone(ts.params),
+	}, nil
+}
+
+// heartbeatLoop reports demand and checkpoints to the coordinator
+// (Section 6.2: "each Aggregator tracks client demand for the tasks that are
+// assigned to it") and executes drop directives for stale assignments.
+func (a *Aggregator) heartbeatLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.timings.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-ticker.C:
+			a.sendReport()
+		}
+	}
+}
+
+func (a *Aggregator) sendReport() {
+	report := AggReport{Aggregator: a.name, Tasks: make(map[string]TaskReport)}
+	a.mu.Lock()
+	for id, ts := range a.tasks {
+		ts.mu.Lock()
+		report.Tasks[id] = TaskReport{
+			Spec:          ts.spec,
+			Seq:           ts.seq,
+			ActiveClients: len(ts.sessions),
+			Demand:        ts.spec.Concurrency - len(ts.sessions),
+			Version:       ts.version,
+			Updates:       ts.updates,
+			Checkpoint:    vecf.Clone(ts.params),
+		}
+		ts.mu.Unlock()
+	}
+	a.mu.Unlock()
+
+	resp, err := a.net.Call(a.name, a.coord, "agg-report", report)
+	if err != nil {
+		return // coordinator unreachable; keep executing last assignments (E.4)
+	}
+	if directive, ok := resp.(AggDirective); ok {
+		for _, id := range directive.DropTasks {
+			_, _ = a.dropTask(id)
+		}
+	}
+}

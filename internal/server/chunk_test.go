@@ -1,0 +1,141 @@
+package server_test
+
+import (
+	"crypto/rand"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/lmdata"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/secagg"
+	"repro/internal/server"
+	"repro/internal/tee"
+	"repro/internal/transport"
+)
+
+// TestChunkedUpload forces a tiny chunk size so a single model update spans
+// many chunks, exercising the reassembly path on both the plaintext and
+// SecAgg uploads.
+func TestChunkedUpload(t *testing.T) {
+	for _, useSecAgg := range []bool{false, true} {
+		name := "plain"
+		if useSecAgg {
+			name = "secagg"
+		}
+		t.Run(name, func(t *testing.T) {
+			net := transport.NewNetwork(5)
+			coord := server.NewCoordinator("coordinator", net, testTimings(), 7, false)
+			defer coord.Stop()
+			agg := server.NewAggregator("agg", net, "coordinator", testTimings())
+			defer agg.Stop()
+			sel := server.NewSelector("sel", net, "coordinator", testTimings())
+			defer sel.Stop()
+			if _, err := net.Call("test", "coordinator", "register-aggregator", "agg"); err != nil {
+				t.Fatal(err)
+			}
+
+			model := nn.NewBilinear(16, 4) // 144 params
+			spec := server.TaskSpec{
+				ID:              "chunky",
+				Mode:            core.Async,
+				NumParams:       model.NumParams(),
+				Concurrency:     4,
+				AggregationGoal: 1,
+				Capability:      "lm",
+				InitParams:      model.InitParams(rng.New(1)),
+				UploadChunkSize: 13, // 144 params -> 12 chunks
+			}
+			if useSecAgg {
+				dep, err := secagg.NewDeployment(secagg.Params{
+					VecLen: model.NumParams() + 1, Threshold: 1, Scale: 1 << 16,
+				}, []byte("tsa"), tee.DefaultCostModel(), rand.Reader)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec.SecAgg = dep
+			}
+			if _, err := net.Call("test", "coordinator", "create-task", spec); err != nil {
+				t.Fatal(err)
+			}
+
+			corpus := lmdata.NewCorpus(lmdata.Config{
+				VocabSize: 16, NumDialects: 2, Seed: 3,
+				SeqLenMin: 5, SeqLenMax: 8, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
+			})
+			store := client.NewExampleStore(0, 0)
+			for _, seq := range corpus.ClientExamples(1, 0, 0.5, 6) {
+				store.Add(seq, time.Now())
+			}
+			dev := &client.Runtime{
+				ClientID:     1,
+				Capabilities: []string{"lm"},
+				Store:        store,
+				Exec:         &client.SGDExecutor{Model: model, Config: nn.DefaultSGDConfig(), Rng: rng.New(2)},
+				Net:          net,
+				Selectors:    []string{"sel"},
+				State:        client.DeviceState{Idle: true, Charging: true, Unmetered: true},
+				Random:       rand.Reader,
+			}
+			res, err := dev.RunOnce(time.Now())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcome != client.Completed {
+				t.Fatalf("outcome = %s (%s)", res.Outcome, res.Reason)
+			}
+			// The goal-1 task must have stepped once.
+			info, err := net.Call("test", "agg", "task-info", "chunky")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := info.(server.TaskInfo).Version; v != 1 {
+				t.Fatalf("version = %d after one chunked upload", v)
+			}
+		})
+	}
+}
+
+// TestChunkOutOfBoundsRejected guards the reassembly buffer.
+func TestChunkOutOfBoundsRejected(t *testing.T) {
+	w := newWorld(t, 1, 1)
+	spec := lmSpec("oob", w.model, core.Async, 2, 1)
+	w.createTask(spec)
+	resp, _ := w.net.Call("test", selName(0), "checkin", server.CheckinRequest{
+		ClientID: 1, Capabilities: []string{"lm"},
+	})
+	cr := resp.(server.CheckinResponse)
+	ur, err := w.net.Call("test", agName(0), "upload-chunk", server.UploadChunk{
+		TaskID: "oob", SessionID: cr.SessionID,
+		Offset: w.model.NumParams() - 1, Data: []float32{1, 2, 3}, Done: true, NumExamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.(server.UploadResponse).OK {
+		t.Fatal("out-of-bounds chunk accepted")
+	}
+}
+
+// TestIncompleteUploadRejected: a Done chunk without full coverage fails.
+func TestIncompleteUploadRejected(t *testing.T) {
+	w := newWorld(t, 1, 1)
+	spec := lmSpec("short", w.model, core.Async, 2, 1)
+	w.createTask(spec)
+	resp, _ := w.net.Call("test", selName(0), "checkin", server.CheckinRequest{
+		ClientID: 1, Capabilities: []string{"lm"},
+	})
+	cr := resp.(server.CheckinResponse)
+	ur, err := w.net.Call("test", agName(0), "upload-chunk", server.UploadChunk{
+		TaskID: "short", SessionID: cr.SessionID,
+		Offset: 0, Data: []float32{1, 2, 3}, Done: true, NumExamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.(server.UploadResponse).OK {
+		t.Fatal("incomplete upload accepted")
+	}
+}

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Coordinator is the singleton control node (Section 4): it places tasks on
+// Aggregators, pools demand, assigns clients to tasks, and drives failure
+// recovery. There is exactly one live Coordinator; restarting it rebuilds
+// state from aggregator reports (Appendix E.4 "the coordinator enters the
+// recovery period to rebuild the current assignment map from aggregator
+// reports").
+type Coordinator struct {
+	name    string
+	net     *transport.Network
+	timings Timings
+	rnd     *rand.Rand
+
+	mu          sync.Mutex
+	specs       map[string]TaskSpec
+	assignments map[string]Assignment
+	demand      map[string]int // pooled, from aggregator reports
+	pending     map[string]int // assigned but not yet confirmed (Section 6.2)
+	lastReport  map[string]time.Time
+	aggregators map[string]bool
+	checkpoints map[string][]float32 // latest per-task model, for failover
+	versions    map[string]int
+	recovering  bool
+	started     time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewCoordinator registers the coordinator on the network and starts its
+// failure-detection loop. recovery=true models a restarted coordinator: it
+// serves no client assignments until the recovery period elapses, while
+// aggregator reports repopulate its state.
+func NewCoordinator(name string, net *transport.Network, timings Timings, seed int64, recovery bool) *Coordinator {
+	c := &Coordinator{
+		name:        name,
+		net:         net,
+		timings:     timings,
+		rnd:         rand.New(rand.NewSource(seed)),
+		specs:       make(map[string]TaskSpec),
+		assignments: make(map[string]Assignment),
+		demand:      make(map[string]int),
+		pending:     make(map[string]int),
+		lastReport:  make(map[string]time.Time),
+		aggregators: make(map[string]bool),
+		checkpoints: make(map[string][]float32),
+		versions:    make(map[string]int),
+		recovering:  recovery,
+		started:     time.Now(),
+		stop:        make(chan struct{}),
+	}
+	net.Register(name, c.handle)
+	c.wg.Add(1)
+	go c.failureLoop()
+	return c
+}
+
+// Stop halts background loops and unregisters the node. It is idempotent.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+		c.net.Unregister(c.name)
+	})
+}
+
+func (c *Coordinator) handle(method string, payload any) (any, error) {
+	switch method {
+	case "register-aggregator":
+		return c.registerAggregator(payload.(string))
+	case "create-task":
+		return c.createTask(payload.(TaskSpec))
+	case "agg-report":
+		return c.aggReport(payload.(AggReport))
+	case "assign-client":
+		return c.assignClient(payload.(AssignClientRequest))
+	case "map-request":
+		return c.mapRequest()
+	default:
+		return nil, fmt.Errorf("coordinator: unknown method %q", method)
+	}
+}
+
+func (c *Coordinator) registerAggregator(name string) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aggregators[name] = true
+	c.lastReport[name] = time.Now()
+	return true, nil
+}
+
+// createTask places a new task on the least-loaded live aggregator
+// (Section 6.3: "The Coordinator evenly distributes tasks among available
+// Aggregators using the estimated workload of a task").
+func (c *Coordinator) createTask(spec TaskSpec) (any, error) {
+	c.mu.Lock()
+	if _, dup := c.specs[spec.ID]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("coordinator: task %q already exists", spec.ID)
+	}
+	target := c.leastLoadedLocked()
+	if target == "" {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("coordinator: no live aggregators")
+	}
+	c.specs[spec.ID] = spec
+	asg := Assignment{TaskID: spec.ID, Aggregator: target, Seq: 1}
+	c.assignments[spec.ID] = asg
+	c.demand[spec.ID] = spec.Concurrency
+	c.mu.Unlock()
+
+	_, err := c.net.Call(c.name, target, "assign-task",
+		AssignTaskRequest{Spec: spec, Seq: asg.Seq})
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: placing task on %s: %w", target, err)
+	}
+	return asg, nil
+}
+
+// leastLoadedLocked estimates workload as assigned task count (the paper
+// uses task concurrency x model size; task counts are an adequate proxy at
+// test scale).
+func (c *Coordinator) leastLoadedLocked() string {
+	load := make(map[string]int)
+	for name := range c.aggregators {
+		load[name] = 0
+	}
+	for _, asg := range c.assignments {
+		load[asg.Aggregator]++
+	}
+	best, bestLoad := "", 1<<31-1
+	for name, l := range load {
+		if l < bestLoad || (l == bestLoad && name < best) || best == "" {
+			best, bestLoad = name, l
+		}
+	}
+	return best
+}
+
+// aggReport ingests a heartbeat: refresh liveness, pool demand, learn about
+// tasks (recovery), and instruct the aggregator to drop stale assignments.
+func (c *Coordinator) aggReport(r AggReport) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aggregators[r.Aggregator] = true
+	c.lastReport[r.Aggregator] = time.Now()
+
+	var drops []string
+	for taskID, tr := range r.Tasks {
+		asg, known := c.assignments[taskID]
+		switch {
+		case !known && c.recovering:
+			// Recovery: adopt the aggregator's view, including the spec, so
+			// client assignment resumes without operator intervention.
+			c.assignments[taskID] = Assignment{TaskID: taskID, Aggregator: r.Aggregator, Seq: tr.Seq}
+			c.specs[taskID] = tr.Spec
+			c.demand[taskID] = tr.Demand
+		case !known:
+			// Unknown task outside recovery: stale leftover; drop it.
+			drops = append(drops, taskID)
+		case asg.Aggregator != r.Aggregator || asg.Seq > tr.Seq:
+			// Stale assignment: the task has moved (E.4).
+			drops = append(drops, taskID)
+		default:
+			c.demand[taskID] = tr.Demand
+			// Confirmed state supersedes the optimistic pending counter.
+			c.pending[taskID] = 0
+			// Retain the newest checkpoint for failover.
+			if tr.Version >= c.versions[taskID] && tr.Checkpoint != nil {
+				c.checkpoints[taskID] = tr.Checkpoint
+				c.versions[taskID] = tr.Version
+			}
+		}
+	}
+	if c.recovering && time.Since(c.started) > c.timings.RecoveryPeriod {
+		c.recovering = false
+	}
+	return AggDirective{DropTasks: drops}, nil
+}
+
+// assignClient implements Section 6.2's three steps: build the eligible task
+// list (capability match and positive demand), pick one at random, and
+// account for the not-yet-confirmed assignment.
+func (c *Coordinator) assignClient(req AssignClientRequest) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.recovering && time.Since(c.started) <= c.timings.RecoveryPeriod {
+		return AssignClientResponse{}, nil // no assignments during recovery
+	}
+	caps := make(map[string]bool, len(req.Capabilities))
+	for _, cp := range req.Capabilities {
+		caps[cp] = true
+	}
+	var eligible []string
+	for id, spec := range c.specs {
+		if spec.Capability != "" && !caps[spec.Capability] {
+			continue
+		}
+		if c.demand[id]-c.pending[id] > 0 {
+			eligible = append(eligible, id)
+		}
+	}
+	if len(eligible) == 0 {
+		return AssignClientResponse{}, nil
+	}
+	taskID := eligible[c.rnd.Intn(len(eligible))]
+	c.pending[taskID]++
+	asg := c.assignments[taskID]
+	return AssignClientResponse{
+		Assigned:   true,
+		TaskID:     taskID,
+		Aggregator: asg.Aggregator,
+		Seq:        asg.Seq,
+	}, nil
+}
+
+func (c *Coordinator) mapRequest() (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Assignment, len(c.assignments))
+	for id, asg := range c.assignments {
+		out[id] = asg
+	}
+	return MapResponse{Assignments: out}, nil
+}
+
+// failureLoop detects dead aggregators by missed heartbeats and reassigns
+// their tasks (E.4 "coordinator detects failures after several missed
+// heartbeats and reassigns all tasks to other aggregators").
+func (c *Coordinator) failureLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.timings.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			c.checkFailures()
+		}
+	}
+}
+
+func (c *Coordinator) checkFailures() {
+	type move struct {
+		req    AssignTaskRequest
+		target string
+	}
+	var moves []move
+
+	c.mu.Lock()
+	now := time.Now()
+	for name, last := range c.lastReport {
+		if !c.aggregators[name] || now.Sub(last) <= c.timings.FailureDeadline {
+			continue
+		}
+		// name is dead: remove and reassign its tasks.
+		delete(c.aggregators, name)
+		delete(c.lastReport, name)
+		for taskID, asg := range c.assignments {
+			if asg.Aggregator != name {
+				continue
+			}
+			target := c.leastLoadedLocked()
+			if target == "" {
+				continue // no live aggregator; retry next tick
+			}
+			newAsg := Assignment{TaskID: taskID, Aggregator: target, Seq: asg.Seq + 1}
+			c.assignments[taskID] = newAsg
+			spec := c.specs[taskID]
+			moves = append(moves, move{
+				req: AssignTaskRequest{
+					Spec:       spec,
+					Seq:        newAsg.Seq,
+					Checkpoint: c.checkpoints[taskID],
+					Version:    c.versions[taskID],
+				},
+				target: target,
+			})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, m := range moves {
+		// Best effort; placement is retried via the same path if the target
+		// also fails.
+		_, _ = c.net.Call(c.name, m.target, "assign-task", m.req)
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Selector is the only component clients talk to directly (Section 4). It
+// advertises tasks, forwards client check-ins to the Coordinator for
+// assignment, and routes in-session requests to the owning Aggregator using
+// a cached assignment map. On a stale route the map is refreshed from the
+// Coordinator and the call retried once; if that fails too, the client
+// retries through a different Selector (Appendix E.4 "Client Routing").
+type Selector struct {
+	name    string
+	net     *transport.Network
+	coord   string
+	timings Timings
+
+	mu          sync.Mutex
+	assignments map[string]Assignment
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewSelector registers a selector node and starts its map refresh loop.
+func NewSelector(name string, net *transport.Network, coordinator string, timings Timings) *Selector {
+	s := &Selector{
+		name:        name,
+		net:         net,
+		coord:       coordinator,
+		timings:     timings,
+		assignments: make(map[string]Assignment),
+		stop:        make(chan struct{}),
+	}
+	net.Register(name, s.handle)
+	s.wg.Add(1)
+	go s.refreshLoop()
+	return s
+}
+
+// Stop halts the refresh loop and unregisters the node. It is idempotent.
+func (s *Selector) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		s.net.Unregister(s.name)
+	})
+}
+
+func (s *Selector) handle(method string, payload any) (any, error) {
+	switch method {
+	case "checkin":
+		return s.checkin(payload.(CheckinRequest))
+	case "route":
+		return s.route(payload.(RouteRequest))
+	default:
+		return nil, fmt.Errorf("selector %s: unknown method %q", s.name, method)
+	}
+}
+
+// RouteRequest asks the selector to forward an in-session call to the
+// aggregator that owns the task.
+type RouteRequest struct {
+	TaskID  string
+	Method  string
+	Payload any
+}
+
+// checkin runs the selection phase for one client: ask the Coordinator for
+// an eligible task with positive demand, then open a session on the owning
+// Aggregator. Rejection is a normal outcome ("the client will try to
+// participate at another time").
+func (s *Selector) checkin(req CheckinRequest) (any, error) {
+	resp, err := s.net.Call(s.name, s.coord, "assign-client", AssignClientRequest{
+		ClientID:     req.ClientID,
+		Capabilities: req.Capabilities,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("selector %s: coordinator unreachable: %w", s.name, err)
+	}
+	asg := resp.(AssignClientResponse)
+	if !asg.Assigned {
+		return CheckinResponse{Accepted: false, Reason: "no task with demand"}, nil
+	}
+	s.learn(Assignment{TaskID: asg.TaskID, Aggregator: asg.Aggregator, Seq: asg.Seq})
+
+	joinResp, err := s.net.Call(s.name, asg.Aggregator, "join",
+		JoinRequest{TaskID: asg.TaskID, ClientID: req.ClientID})
+	if err != nil {
+		return CheckinResponse{Accepted: false, Reason: err.Error()}, nil
+	}
+	jr := joinResp.(JoinResponse)
+	if !jr.Accepted {
+		return CheckinResponse{Accepted: false, Reason: jr.Reason}, nil
+	}
+	return CheckinResponse{
+		Accepted:   true,
+		TaskID:     asg.TaskID,
+		Aggregator: asg.Aggregator,
+		SessionID:  jr.SessionID,
+		Version:    jr.Version,
+	}, nil
+}
+
+// route forwards a session call to the owning aggregator, refreshing the
+// assignment map once on failure (stale map after a task moved).
+func (s *Selector) route(req RouteRequest) (any, error) {
+	asg, ok := s.lookup(req.TaskID)
+	if ok {
+		out, err := s.net.Call(s.name, asg.Aggregator, req.Method, req.Payload)
+		if err == nil {
+			return out, nil
+		}
+	}
+	// Stale or missing: refresh and retry once.
+	if err := s.refreshMap(); err != nil {
+		return nil, fmt.Errorf("selector %s: map refresh failed: %w", s.name, err)
+	}
+	asg, ok = s.lookup(req.TaskID)
+	if !ok {
+		return nil, fmt.Errorf("selector %s: no assignment for task %q", s.name, req.TaskID)
+	}
+	return s.net.Call(s.name, asg.Aggregator, req.Method, req.Payload)
+}
+
+func (s *Selector) lookup(taskID string) (Assignment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	asg, ok := s.assignments[taskID]
+	return asg, ok
+}
+
+func (s *Selector) learn(asg Assignment) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.assignments[asg.TaskID]; !ok || asg.Seq >= cur.Seq {
+		s.assignments[asg.TaskID] = asg
+	}
+}
+
+func (s *Selector) refreshMap() error {
+	resp, err := s.net.Call(s.name, s.coord, "map-request", nil)
+	if err != nil {
+		return err
+	}
+	m := resp.(MapResponse)
+	s.mu.Lock()
+	s.assignments = m.Assignments
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Selector) refreshLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.timings.MapRefresh)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			_ = s.refreshMap()
+		}
+	}
+}

@@ -1,0 +1,240 @@
+// Package server implements PAPAYA's production control plane (Section 4):
+// a single Coordinator, elastically scalable Selectors and Aggregators, and
+// the protocols between them — client assignment driven by per-task demand
+// (Section 6.2), persistent stateful Aggregators with parallel buffered
+// aggregation (Section 6.3), heartbeat-based failure detection with task
+// reassignment and sequence-numbered assignment maps (Appendix E.4), max
+// concurrency enforcement and staleness aborts (Appendix E.1/E.2), and
+// optional Asynchronous SecAgg on the upload path (Section 5).
+//
+// Components communicate over internal/transport, so tests inject crashes
+// and partitions and assert the system keeps training.
+package server
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fedopt"
+	"repro/internal/secagg"
+)
+
+// TaskSpec describes one FL task. A task lives on exactly one Aggregator at
+// a time (apart from failures); the Coordinator owns placement.
+type TaskSpec struct {
+	// ID names the task.
+	ID string
+	// Mode selects buffered-asynchronous or synchronous-round aggregation.
+	// Switching between them is a configuration change (Appendix E.3).
+	Mode core.Algorithm
+	// NumParams is the model size.
+	NumParams int
+	// Concurrency is the max clients training simultaneously (E.1).
+	Concurrency int
+	// AggregationGoal is K: client updates per server model update.
+	AggregationGoal int
+	// MaxStaleness aborts async clients whose staleness exceeds it; 0 means
+	// unlimited.
+	MaxStaleness int
+	// Capability must be present in a client's capability set for the task
+	// to be eligible (Section 6.2 "task eligibility").
+	Capability string
+	// InitParams is the initial server model.
+	InitParams []float32
+	// AggShards is the number of parallel intermediate aggregates; 0 means 8.
+	AggShards int
+	// UploadChunkSize is the number of elements per upload chunk
+	// (participation stage 4 uploads the model in chunks); 0 means 4096.
+	UploadChunkSize int
+	// SecAgg, when non-nil, enables Asynchronous SecAgg on uploads. The
+	// deployment's VecLen must be NumParams+1 (the extra slot carries the
+	// update's total weight through the masked aggregation).
+	SecAgg *secagg.Deployment
+}
+
+// optimizerFor builds the server optimizer for a task. Each placement gets a
+// fresh optimizer seeded from the checkpoint; moments are not preserved
+// across failovers (they are soft state).
+func optimizerFor(TaskSpec) fedopt.Optimizer { return fedopt.DefaultFedAdam() }
+
+// Assignment maps a task to its owning aggregator. Seq increases every time
+// the Coordinator moves the task; Aggregators and Selectors discard
+// directives and routes with stale sequence numbers (E.4 "Coordinator
+// detects stale assignments in aggregator reports via sequence numbers").
+type Assignment struct {
+	TaskID     string
+	Aggregator string
+	Seq        uint64
+}
+
+// --- RPC payloads ---
+
+// JoinRequest asks to participate in a task.
+type JoinRequest struct {
+	TaskID   string
+	ClientID int64
+}
+
+// JoinResponse opens a virtual session. Everything the client does next
+// happens within this session (Section 6.1).
+type JoinResponse struct {
+	Accepted  bool
+	Reason    string
+	SessionID uint64
+	Version   int // model version the client will download
+}
+
+// DownloadRequest fetches model parameters (the paper serves these from a
+// CDN; the aggregator plays that role here).
+type DownloadRequest struct {
+	TaskID    string
+	SessionID uint64
+}
+
+// DownloadResponse carries the model.
+type DownloadResponse struct {
+	Params  []float32
+	Version int
+}
+
+// ReportRequest is participation stage 3: the client reports training
+// completion and receives the upload configuration.
+type ReportRequest struct {
+	TaskID    string
+	SessionID uint64
+}
+
+// ReportResponse tells the client how to upload, including the SecAgg
+// configuration when enabled.
+type ReportResponse struct {
+	OK             bool
+	Reason         string
+	ChunkSize      int
+	CurrentVersion int // for client-side staleness weighting under SecAgg
+	SecAggEnabled  bool
+	SecAggBundle   *secagg.InitialBundle
+	SecAggTrust    secagg.ClientTrust
+}
+
+// UploadChunk carries one chunk of a (possibly masked) model update.
+// Plaintext uploads fill Data; SecAgg uploads fill Masked, and the final
+// chunk carries the envelope fields.
+type UploadChunk struct {
+	TaskID      string
+	SessionID   uint64
+	Offset      int
+	Data        []float32
+	Masked      []uint32
+	Done        bool
+	NumExamples int
+	// SecAgg envelope (final chunk only).
+	SecAggIndex      uint64
+	SecAggCompleting []byte
+	SecAggEncSeed    []byte
+}
+
+// UploadResponse acknowledges a chunk.
+type UploadResponse struct {
+	OK     bool
+	Reason string
+}
+
+// FailRequest tells the aggregator a session died client-side (the paper
+// also detects this via missed heartbeats; the explicit path keeps tests
+// deterministic).
+type FailRequest struct {
+	TaskID    string
+	SessionID uint64
+}
+
+// CheckinRequest is a client's check-in with a Selector.
+type CheckinRequest struct {
+	ClientID     int64
+	Capabilities []string
+}
+
+// CheckinResponse tells the client whether it was accepted and where to go.
+type CheckinResponse struct {
+	Accepted   bool
+	Reason     string
+	TaskID     string
+	Aggregator string
+	SessionID  uint64
+	Version    int
+}
+
+// AssignClientRequest is Selector -> Coordinator.
+type AssignClientRequest struct {
+	ClientID     int64
+	Capabilities []string
+}
+
+// AssignClientResponse names the chosen task.
+type AssignClientResponse struct {
+	Assigned   bool
+	TaskID     string
+	Aggregator string
+	Seq        uint64
+}
+
+// TaskReport is one task's state inside an aggregator heartbeat. It carries
+// the full spec so a restarted Coordinator can rebuild its task table during
+// the recovery period (Appendix E.4).
+type TaskReport struct {
+	Spec          TaskSpec
+	Seq           uint64
+	ActiveClients int
+	Demand        int
+	Version       int
+	Updates       int64
+	Checkpoint    []float32 // latest model, so a failover can resume
+}
+
+// AggReport is Aggregator -> Coordinator (heartbeat + consolidated demand,
+// Section 6.2 "the Coordinator pools together information from all
+// Aggregators").
+type AggReport struct {
+	Aggregator string
+	Tasks      map[string]TaskReport
+}
+
+// AggDirective is the Coordinator's response to a heartbeat: tasks the
+// aggregator must stop executing (stale assignments) — E.4 "requests to stop
+// executing stale assignments".
+type AggDirective struct {
+	DropTasks []string
+}
+
+// AssignTaskRequest places a task on an aggregator.
+type AssignTaskRequest struct {
+	Spec       TaskSpec
+	Seq        uint64
+	Checkpoint []float32 // nil on first placement
+	Version    int
+}
+
+// MapResponse is the full assignment map Selectors cache.
+type MapResponse struct {
+	Assignments map[string]Assignment
+}
+
+// Timings groups the control-plane intervals so tests can shrink them.
+type Timings struct {
+	Heartbeat        time.Duration // aggregator report cadence
+	FailureDeadline  time.Duration // missed-report window before reassignment
+	MapRefresh       time.Duration // selector assignment-map refresh cadence
+	RecoveryPeriod   time.Duration // coordinator state rebuild window (E.4)
+	SelectorJoinWait time.Duration // retry backoff for selector routing
+}
+
+// DefaultTimings returns production-flavoured values; tests use much
+// shorter ones.
+func DefaultTimings() Timings {
+	return Timings{
+		Heartbeat:        1 * time.Second,
+		FailureDeadline:  5 * time.Second,
+		MapRefresh:       2 * time.Second,
+		RecoveryPeriod:   30 * time.Second,
+		SelectorJoinWait: 100 * time.Millisecond,
+	}
+}

@@ -1,0 +1,165 @@
+// Package simclock implements the discrete-event simulation engine that lets
+// this reproduction replay "130 hours of federated training across 100
+// million devices" in seconds of real time.
+//
+// The engine is a single-threaded priority queue of timestamped events.
+// Handlers run sequentially in virtual-time order; ties are broken by
+// insertion order so runs are fully deterministic. The FL orchestration in
+// internal/core schedules client start/finish/timeout events against this
+// clock, and all reported quantities (hours to target loss, server updates
+// per hour, utilization traces) are functions of these virtual timestamps.
+package simclock
+
+import "container/heap"
+
+// Event is a scheduled callback. The callback receives the engine so it can
+// schedule follow-up events.
+type Event struct {
+	At float64 // virtual time, seconds
+	Fn func(*Engine)
+
+	seq   uint64 // insertion order; breaks timestamp ties deterministically
+	index int    // heap bookkeeping
+	dead  bool   // cancelled
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use:
+// all event handlers run on the caller's goroutine.
+type Engine struct {
+	now    float64
+	queue  eventHeap
+	nextID uint64
+	halted bool
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at the absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would silently reorder causality. It returns a
+// handle that can be cancelled.
+func (e *Engine) At(t float64, fn func(*Engine)) *Event {
+	if t < e.now {
+		panic("simclock: scheduling event in the past")
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.nextID}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func(*Engine)) *Event {
+	if d < 0 {
+		panic("simclock: negative delay")
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel marks an event so it will not fire. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.dead = true
+	}
+}
+
+// Halt stops the run loop after the current handler returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet popped).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Step fires the next event. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.At
+		ev.Fn(e)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline. If the run exhausts the
+// window (queue drained or all remaining events lie beyond the deadline) the
+// clock advances to exactly deadline; if a handler calls Halt the clock
+// stays at the halting event's time.
+func (e *Engine) RunUntil(deadline float64) {
+	e.halted = false
+	for !e.halted {
+		if e.queue.Len() == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if !e.halted && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek returns the next live event without popping, discarding dead ones.
+func (e *Engine) peek() *Event {
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if !ev.dead {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// eventHeap orders events by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

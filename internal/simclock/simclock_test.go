@@ -1,0 +1,198 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3, func(*Engine) { order = append(order, 3) })
+	e.At(1, func(*Engine) { order = append(order, 1) })
+	e.At(2, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(1, func(*Engine) { order = append(order, "a") })
+	e.At(1, func(*Engine) { order = append(order, "b") })
+	e.At(1, func(*Engine) { order = append(order, "c") })
+	e.Run()
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("tie order = %v", order)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(5, func(en *Engine) {
+		en.After(2.5, func(en2 *Engine) { at = en2.Now() })
+	})
+	e.Run()
+	if at != 7.5 {
+		t.Fatalf("relative event fired at %v", at)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(10, func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.At(5, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	New().After(-1, func(*Engine) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, func(*Engine) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Cancel(nil)
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	e := New()
+	count := 0
+	e.At(1, func(en *Engine) { count++; en.Halt() })
+	e.At(2, func(*Engine) { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("Halt did not stop the loop: count=%d", count)
+	}
+	// Remaining event still pending.
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.At(at, func(*Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(2.5)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("Now = %v, want 2.5", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 4 {
+		t.Fatalf("fired after second window = %v", fired)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+}
+
+func TestRunUntilWithCancelledHead(t *testing.T) {
+	e := New()
+	ev := e.At(1, func(*Engine) { t.Error("cancelled event fired") })
+	e.Cancel(ev)
+	e.RunUntil(5)
+	if e.Now() != 5 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// An event chain: each event schedules the next until n reaches 0.
+	e := New()
+	n := 100
+	var schedule func(en *Engine)
+	schedule = func(en *Engine) {
+		n--
+		if n > 0 {
+			en.After(1, schedule)
+		}
+	}
+	e.After(1, schedule)
+	e.Run()
+	if n != 0 {
+		t.Fatalf("chain stopped early: n=%d", n)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+// Property: for any random schedule, events fire in non-decreasing time
+// order and the clock ends at the max timestamp.
+func TestQuickOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		e := New()
+		n := 1 + r.Intn(200)
+		var maxAt float64
+		last := -1.0
+		ok := true
+		for i := 0; i < n; i++ {
+			at := r.Float64() * 1000
+			if at > maxAt {
+				maxAt = at
+			}
+			e.At(at, func(en *Engine) {
+				if en.Now() < last {
+					ok = false
+				}
+				last = en.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Now() == maxAt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.At(float64(j%97), func(*Engine) {})
+		}
+		e.Run()
+	}
+}

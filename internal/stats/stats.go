@@ -1,0 +1,295 @@
+// Package stats implements the statistical machinery the evaluation section
+// of the paper relies on: summary statistics, percentiles, histograms with
+// logarithmic buckets (client execution times span more than two decades,
+// Figure 2), Pearson correlation (slow devices vs. data volume, Figure 11),
+// and the two-sample Kolmogorov–Smirnov test used in Section 7.4 to show
+// that over-selection biases the participating-client distribution while
+// AsyncFL does not.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics on empty input or p outside
+// [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile p out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted assumes xs is sorted ascending.
+func percentileSorted(xs []float64, p float64) float64 {
+	if len(xs) == 1 {
+		return xs[0]
+	}
+	rank := p / 100 * float64(len(xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return xs[lo]
+	}
+	frac := rank - float64(lo)
+	return xs[lo]*(1-frac) + xs[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Pearson returns the Pearson correlation coefficient between xs and ys.
+// It panics if the lengths differ, and returns 0 when either input has zero
+// variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Summary holds descriptive statistics for a sample.
+type Summary struct {
+	N              int
+	Mean, StdDev   float64
+	Min, Max       float64
+	P25, P50, P75  float64
+	P90, P99, P999 float64
+}
+
+// Summarize computes a Summary for xs. It returns a zero Summary for empty
+// input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P25:    percentileSorted(sorted, 25),
+		P50:    percentileSorted(sorted, 50),
+		P75:    percentileSorted(sorted, 75),
+		P90:    percentileSorted(sorted, 90),
+		P99:    percentileSorted(sorted, 99),
+		P999:   percentileSorted(sorted, 99.9),
+	}
+}
+
+// Histogram is a fixed-bucket histogram. Buckets are defined by their upper
+// edges; values above the last edge land in an overflow bucket.
+type Histogram struct {
+	Edges  []float64 // ascending upper edges; bucket i covers (Edges[i-1], Edges[i]]
+	Counts []int     // len(Edges)+1; last entry is overflow
+	total  int
+}
+
+// NewHistogram creates a histogram with the given ascending bucket edges.
+// It panics if fewer than one edge is provided or edges are not strictly
+// increasing.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) == 0 {
+		panic("stats: NewHistogram needs at least one edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic("stats: histogram edges must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		Edges:  append([]float64(nil), edges...),
+		Counts: make([]int, len(edges)+1),
+	}
+}
+
+// NewLogHistogram creates a histogram with nBuckets log-spaced edges between
+// lo and hi (both must be positive, lo < hi). Log spacing is the natural
+// choice for client execution times, which span multiple decades.
+func NewLogHistogram(lo, hi float64, nBuckets int) *Histogram {
+	if lo <= 0 || hi <= lo || nBuckets < 1 {
+		panic("stats: NewLogHistogram requires 0 < lo < hi and nBuckets >= 1")
+	}
+	edges := make([]float64, nBuckets)
+	ratio := math.Pow(hi/lo, 1/float64(nBuckets-1))
+	if nBuckets == 1 {
+		edges[0] = hi
+	} else {
+		e := lo
+		for i := range edges {
+			edges[i] = e
+			e *= ratio
+		}
+		edges[nBuckets-1] = hi // avoid accumulation error on the last edge
+	}
+	return NewHistogram(edges)
+}
+
+// Observe adds a value to the histogram.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.Edges, v)
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of observed values.
+func (h *Histogram) Total() int { return h.total }
+
+// Density returns the fraction of observations in each bucket (including
+// overflow as the final entry).
+func (h *Histogram) Density() []float64 {
+	d := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return d
+	}
+	for i, c := range h.Counts {
+		d[i] = float64(c) / float64(h.total)
+	}
+	return d
+}
+
+// String renders a compact text view, useful in experiment reports.
+func (h *Histogram) String() string {
+	out := ""
+	prev := math.Inf(-1)
+	for i, e := range h.Edges {
+		out += fmt.Sprintf("(%.3g, %.3g]: %d\n", prev, e, h.Counts[i])
+		prev = e
+	}
+	out += fmt.Sprintf("(%.3g, +inf): %d\n", prev, h.Counts[len(h.Counts)-1])
+	return out
+}
+
+// KSResult is the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D      float64 // max |F1 - F2| between the two empirical CDFs
+	PValue float64 // asymptotic two-sided p-value
+}
+
+// KolmogorovSmirnov runs the two-sample KS test on a and b. Section 7.4 uses
+// this test to compare the participating-client distributions of AsyncFL and
+// SyncFL-with-over-selection against the unbiased ground truth: a large D
+// with p~0 signals sampling bias. It panics if either sample is empty.
+func KolmogorovSmirnov(a, b []float64) KSResult {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: KolmogorovSmirnov requires non-empty samples")
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+
+	var d float64
+	i, j := 0, 0
+	n1, n2 := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		v1, v2 := as[i], bs[j]
+		v := math.Min(v1, v2)
+		for i < len(as) && as[i] <= v {
+			i++
+		}
+		for j < len(bs) && bs[j] <= v {
+			j++
+		}
+		diff := math.Abs(float64(i)/n1 - float64(j)/n2)
+		if diff > d {
+			d = diff
+		}
+	}
+
+	ne := n1 * n2 / (n1 + n2)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return KSResult{D: d, PValue: ksQ(lambda)}
+}
+
+// ksQ evaluates the Kolmogorov asymptotic survival function
+// Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// ECDF returns the empirical CDF of xs evaluated at x (fraction of samples
+// <= x). It panics on empty input.
+func ECDF(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: ECDF of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return float64(sort.SearchFloat64s(sorted, math.Nextafter(x, math.Inf(1)))) / float64(len(sorted))
+}

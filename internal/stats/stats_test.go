@@ -1,0 +1,308 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("StdDev = %v", s)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-input statistics should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Fatalf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 25); got != 2.5 {
+		t.Fatalf("interpolated P25 = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{10, 20, 30, 40}
+	if r := Pearson(xs, ys); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{40, 30, 20, 10}
+	if r := Pearson(xs, neg); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonZeroVariance(t *testing.T) {
+	if r := Pearson([]float64{1, 1}, []float64{2, 3}); r != 0 {
+		t.Fatalf("Pearson with constant input = %v", r)
+	}
+}
+
+func TestPearsonMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("bounds wrong: %+v", s)
+	}
+	if s.P50 != 50 {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.Mean != 50 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty Summarize should have N=0")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	want := []int{1, 1, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	d := h.Density()
+	for _, f := range d {
+		if f != 0.25 {
+			t.Fatalf("Density = %v", d)
+		}
+	}
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogramEdgeInclusion(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on first edge: belongs to bucket 0 ( (-inf,1] )
+	if h.Counts[0] != 1 {
+		t.Fatalf("edge value fell into bucket %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(nil) },
+		func() { NewHistogram([]float64{2, 1}) },
+		func() { NewLogHistogram(0, 1, 3) },
+		func() { NewLogHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 100, 5)
+	if len(h.Edges) != 5 {
+		t.Fatalf("edges = %v", h.Edges)
+	}
+	if h.Edges[0] != 1 || h.Edges[4] != 100 {
+		t.Fatalf("edge endpoints = %v", h.Edges)
+	}
+	for i := 1; i < len(h.Edges); i++ {
+		ratio := h.Edges[i] / h.Edges[i-1]
+		if math.Abs(ratio-math.Pow(100, 0.25)) > 1e-9 {
+			t.Fatalf("edges not log-spaced: %v", h.Edges)
+		}
+	}
+}
+
+func TestKSIdenticalSamples(t *testing.T) {
+	r := rng.New(1)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64()
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.D > 0.05 {
+		t.Fatalf("same-distribution D = %v too large", res.D)
+	}
+	if res.PValue < 0.01 {
+		t.Fatalf("same-distribution p-value = %v too small", res.PValue)
+	}
+}
+
+func TestKSDifferentSamples(t *testing.T) {
+	r := rng.New(2)
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = r.NormFloat64()
+		b[i] = r.NormFloat64() + 1.0 // shifted distribution
+	}
+	res := KolmogorovSmirnov(a, b)
+	if res.D < 0.2 {
+		t.Fatalf("shifted-distribution D = %v too small", res.D)
+	}
+	if res.PValue > 1e-6 {
+		t.Fatalf("shifted-distribution p-value = %v too large", res.PValue)
+	}
+}
+
+func TestKSSelfTestExactZero(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	res := KolmogorovSmirnov(a, a)
+	if res.D != 0 {
+		t.Fatalf("KS(a,a).D = %v", res.D)
+	}
+	if res.PValue != 1 {
+		t.Fatalf("KS(a,a).p = %v", res.PValue)
+	}
+}
+
+func TestKSPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KolmogorovSmirnov(nil, []float64{1})
+}
+
+func TestECDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if f := ECDF(xs, 0); f != 0 {
+		t.Fatalf("ECDF(0) = %v", f)
+	}
+	if f := ECDF(xs, 2); f != 0.5 {
+		t.Fatalf("ECDF(2) = %v", f)
+	}
+	if f := ECDF(xs, 10); f != 1 {
+		t.Fatalf("ECDF(10) = %v", f)
+	}
+}
+
+// Property: D is always in [0,1] and symmetric in its arguments.
+func TestQuickKSSymmetric(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		ra, rb := rng.New(seedA), rng.New(seedB)
+		a := make([]float64, 50)
+		b := make([]float64, 70)
+		for i := range a {
+			a[i] = ra.Float64()
+		}
+		for i := range b {
+			b[i] = rb.Float64() * 2
+		}
+		r1 := KolmogorovSmirnov(a, b)
+		r2 := KolmogorovSmirnov(b, a)
+		return r1.D >= 0 && r1.D <= 1 && math.Abs(r1.D-r2.D) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKolmogorovSmirnov(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 10000)
+	y := make([]float64, 10000)
+	for i := range x {
+		x[i] = r.NormFloat64()
+		y[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KolmogorovSmirnov(x, y)
+	}
+}

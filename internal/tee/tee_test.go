@@ -1,0 +1,150 @@
+package tee
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// echoProg returns its payload, optionally failing on demand.
+type echoProg struct {
+	failOn string
+}
+
+func (p *echoProg) Handle(method string, payload []byte) ([]byte, error) {
+	if method == p.failOn {
+		return nil, errors.New("program fault")
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	e := New(&echoProg{}, DefaultCostModel())
+	out, err := e.Call("echo", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestMetering(t *testing.T) {
+	e := New(&echoProg{}, CostModel{PerCallNanos: 100, PerByteNanos: 1})
+	_, _ = e.Call("m", make([]byte, 10)) // in: 1+10, out: 10
+	s := e.Stats()
+	if s.Calls != 1 {
+		t.Fatalf("Calls = %d", s.Calls)
+	}
+	if s.BytesIn != 11 {
+		t.Fatalf("BytesIn = %d", s.BytesIn)
+	}
+	if s.BytesOut != 10 {
+		t.Fatalf("BytesOut = %d", s.BytesOut)
+	}
+	want := 100.0 + 21.0
+	if s.SimulatedNanos != want {
+		t.Fatalf("SimulatedNanos = %v, want %v", s.SimulatedNanos, want)
+	}
+	if s.SimulatedMillis() != want/1e6 {
+		t.Fatalf("SimulatedMillis = %v", s.SimulatedMillis())
+	}
+}
+
+func TestMeteringAccumulates(t *testing.T) {
+	e := New(&echoProg{}, DefaultCostModel())
+	for i := 0; i < 5; i++ {
+		_, _ = e.Call("x", make([]byte, 100))
+	}
+	if s := e.Stats(); s.Calls != 5 || s.BytesIn != 5*101 {
+		t.Fatalf("stats = %+v", s)
+	}
+	e.ResetStats()
+	if s := e.Stats(); s.Calls != 0 || s.SimulatedNanos != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestProgramErrorsAreWrappedAndMetered(t *testing.T) {
+	e := New(&echoProg{failOn: "bad"}, DefaultCostModel())
+	_, err := e.Call("bad", []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v", err)
+	}
+	// Failed calls still crossed the boundary.
+	if e.Stats().Calls != 1 {
+		t.Fatal("failed call not metered")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	e := New(&echoProg{}, DefaultCostModel())
+	e.Revoke()
+	if _, err := e.Call("echo", nil); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v, want ErrRevoked", err)
+	}
+}
+
+func TestNilProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil program accepted")
+		}
+	}()
+	New(nil, DefaultCostModel())
+}
+
+func TestConcurrentCallsAreSerialized(t *testing.T) {
+	e := New(&echoProg{}, DefaultCostModel())
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if _, err := e.Call("echo", []byte("p")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := e.Stats(); s.Calls != 1600 {
+		t.Fatalf("Calls = %d, want 1600", s.Calls)
+	}
+}
+
+// Figure 6's asymptotics: shipping K full models costs ~K*m bytes; shipping
+// K seeds costs ~K*16. The simulated time ratio must reflect that.
+func TestBoundaryCostAsymptotics(t *testing.T) {
+	const k, m = 100, 1 << 20 // 100 clients, 1 MiB models
+	naive := New(&echoProg{}, DefaultCostModel())
+	for i := 0; i < k; i++ {
+		_, _ = naive.Call("aggregate", make([]byte, m))
+	}
+	seeds := New(&echoProg{}, DefaultCostModel())
+	for i := 0; i < k; i++ {
+		_, _ = seeds.Call("seed", make([]byte, 16))
+	}
+	// One unmasking vector leaves the enclave in the seed design.
+	_, _ = seeds.Call("unmask", make([]byte, m))
+
+	nT := naive.Stats().SimulatedNanos
+	sT := seeds.Stats().SimulatedNanos
+	if nT < 10*sT {
+		t.Fatalf("naive %.0fns vs seeds %.0fns: expected >= 10x gap", nT, sT)
+	}
+}
+
+func BenchmarkBoundaryCall(b *testing.B) {
+	e := New(&echoProg{}, DefaultCostModel())
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		_, _ = e.Call("echo", payload)
+	}
+}

@@ -1,0 +1,172 @@
+// Package transport is the in-memory RPC fabric connecting the
+// production-style PAPAYA components (Coordinator, Selectors, Aggregators,
+// clients). It stands in for the data-center network: synchronous
+// request/response calls with injectable latency, message loss, partitions,
+// and node crashes, so the failure-recovery behaviour of Appendix E.4 can be
+// exercised deterministically in tests.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Handler processes one request addressed to a node.
+type Handler func(method string, payload any) (any, error)
+
+// Errors surfaced to callers. Components treat all of them as transient and
+// retry through their failover paths.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrPartitioned = errors.New("transport: nodes are partitioned")
+	ErrDropped     = errors.New("transport: message dropped")
+	ErrCrashed     = errors.New("transport: node crashed")
+)
+
+// Network routes calls between registered nodes. It is safe for concurrent
+// use.
+type Network struct {
+	mu       sync.RWMutex
+	nodes    map[string]Handler
+	crashed  map[string]bool
+	cuts     map[[2]string]bool
+	lossProb float64
+	latency  time.Duration
+	rnd      *rand.Rand
+	rndMu    sync.Mutex
+}
+
+// NewNetwork returns an empty network with no faults.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		nodes:   make(map[string]Handler),
+		crashed: make(map[string]bool),
+		cuts:    make(map[[2]string]bool),
+		rnd:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a node. Re-registering a name replaces its handler and
+// clears any crash marker (a restarted process).
+func (n *Network) Register(name string, h Handler) {
+	if h == nil {
+		panic("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[name] = h
+	delete(n.crashed, name)
+}
+
+// Unregister detaches a node entirely.
+func (n *Network) Unregister(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, name)
+}
+
+// Crash marks a node as crashed: calls to it fail until it re-registers.
+func (n *Network) Crash(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[name] = true
+}
+
+// Partition cuts connectivity between a and b (both directions).
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cuts[cutKey(a, b)] = true
+}
+
+// Heal restores connectivity between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cuts, cutKey(a, b))
+}
+
+// SetLoss sets the independent per-call drop probability.
+func (n *Network) SetLoss(p float64) {
+	if p < 0 || p >= 1 {
+		panic("transport: loss probability must be in [0, 1)")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossProb = p
+}
+
+// SetLatency sets a fixed one-way call latency (applied once per call).
+func (n *Network) SetLatency(d time.Duration) {
+	if d < 0 {
+		panic("transport: negative latency")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+func cutKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Call sends a synchronous request from one node to another and returns the
+// response. Fault checks happen before the handler runs, so a dropped or
+// partitioned call has no server-side effect.
+func (n *Network) Call(from, to, method string, payload any) (any, error) {
+	n.mu.RLock()
+	h, ok := n.nodes[to]
+	crashedTo := n.crashed[to]
+	crashedFrom := n.crashed[from]
+	cut := n.cuts[cutKey(from, to)]
+	loss := n.lossProb
+	latency := n.latency
+	n.mu.RUnlock()
+
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	if crashedTo {
+		return nil, fmt.Errorf("%w: %s", ErrCrashed, to)
+	}
+	// A crashed process cannot send either: without this, a "dead"
+	// aggregator would keep heartbeating and failure detection could never
+	// fire.
+	if crashedFrom {
+		return nil, fmt.Errorf("%w: %s (sender)", ErrCrashed, from)
+	}
+	if cut {
+		return nil, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, from, to)
+	}
+	if loss > 0 {
+		n.rndMu.Lock()
+		drop := n.rnd.Float64() < loss
+		n.rndMu.Unlock()
+		if drop {
+			return nil, fmt.Errorf("%w: %s -> %s %s", ErrDropped, from, to, method)
+		}
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return h(method, payload)
+}
+
+// Nodes returns the names of all registered, non-crashed nodes.
+func (n *Network) Nodes() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.nodes))
+	for name := range n.nodes {
+		if !n.crashed[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func echoNode(t *testing.T, n *Network, name string) {
+	t.Helper()
+	n.Register(name, func(method string, payload any) (any, error) {
+		if method == "fail" {
+			return nil, errors.New("handler error")
+		}
+		return payload, nil
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "b")
+	out, err := n.Call("a", "b", "echo", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(int) != 42 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestUnknownNode(t *testing.T) {
+	n := NewNetwork(1)
+	if _, err := n.Call("a", "ghost", "x", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHandlerErrorsPropagate(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "b")
+	if _, err := n.Call("a", "b", "fail", nil); err == nil {
+		t.Fatal("handler error swallowed")
+	}
+}
+
+func TestCrashAndRestart(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "b")
+	n.Crash("b")
+	if _, err := n.Call("a", "b", "echo", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v", err)
+	}
+	// Re-registration models a restart.
+	echoNode(t, n, "b")
+	if _, err := n.Call("a", "b", "echo", 1); err != nil {
+		t.Fatalf("restarted node unreachable: %v", err)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "b")
+	n.Partition("a", "b")
+	if _, err := n.Call("a", "b", "echo", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("err = %v", err)
+	}
+	// Partition is symmetric.
+	echoNode(t, n, "a")
+	if _, err := n.Call("b", "a", "echo", 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("reverse direction not cut: %v", err)
+	}
+	// Other pairs unaffected.
+	echoNode(t, n, "c")
+	if _, err := n.Call("a", "c", "echo", 1); err != nil {
+		t.Fatalf("unrelated pair cut: %v", err)
+	}
+	n.Heal("b", "a") // order-insensitive
+	if _, err := n.Call("a", "b", "echo", 1); err != nil {
+		t.Fatalf("heal failed: %v", err)
+	}
+}
+
+func TestLoss(t *testing.T) {
+	n := NewNetwork(7)
+	echoNode(t, n, "b")
+	n.SetLoss(0.5)
+	drops := 0
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if _, err := n.Call("a", "b", "echo", i); errors.Is(err, ErrDropped) {
+			drops++
+		}
+	}
+	if drops < total/4 || drops > 3*total/4 {
+		t.Fatalf("drops = %d/%d with p=0.5", drops, total)
+	}
+	n.SetLoss(0)
+	if _, err := n.Call("a", "b", "echo", 1); err != nil {
+		t.Fatal("loss=0 still dropping")
+	}
+}
+
+func TestSetLossValidation(t *testing.T) {
+	n := NewNetwork(1)
+	for _, p := range []float64{-0.1, 1.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("loss %v accepted", p)
+				}
+			}()
+			n.SetLoss(p)
+		}()
+	}
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler accepted")
+		}
+	}()
+	NewNetwork(1).Register("x", nil)
+}
+
+func TestNodesExcludesCrashed(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "a")
+	echoNode(t, n, "b")
+	n.Crash("b")
+	nodes := n.Nodes()
+	if len(nodes) != 1 || nodes[0] != "a" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "b")
+	n.Unregister("b")
+	if _, err := n.Call("a", "b", "echo", 1); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	n := NewNetwork(1)
+	var mu sync.Mutex
+	count := 0
+	n.Register("b", func(string, any) (any, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_, _ = n.Call("a", "b", "x", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 1600 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestCrashedSenderCannotCall(t *testing.T) {
+	n := NewNetwork(1)
+	echoNode(t, n, "b")
+	echoNode(t, n, "a")
+	n.Crash("a")
+	if _, err := n.Call("a", "b", "echo", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed sender's call went through: %v", err)
+	}
+	// The healthy direction toward the crashed node also fails.
+	if _, err := n.Call("b", "a", "echo", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("call to crashed node went through: %v", err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package vecf provides the small float32 vector/matrix kernel the model and
+// aggregation code are built on. Model parameters, client updates, and
+// aggregated buffers are all flat []float32 vectors; keeping the math here in
+// one place lets the aggregator, optimizers, and networks share it.
+package vecf
+
+import "math"
+
+// Zero sets every element of x to 0.
+func Zero(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Clone returns a copy of x.
+func Clone(x []float32) []float32 {
+	out := make([]float32, len(x))
+	copy(out, x)
+	return out
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Add computes dst[i] += src[i]. It panics if lengths differ.
+func Add(dst, src []float32) {
+	checkLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Sub computes dst[i] -= src[i]. It panics if lengths differ.
+func Sub(dst, src []float32) {
+	checkLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] -= v
+	}
+}
+
+// Scale computes x[i] *= a.
+func Scale(x []float32, a float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// AXPY computes dst[i] += a*src[i]. It panics if lengths differ.
+func AXPY(dst []float32, a float32, src []float32) {
+	checkLen(len(dst), len(src))
+	for i, v := range src {
+		dst[i] += a * v
+	}
+}
+
+// Dot returns the inner product of a and b, accumulated in float64 for
+// stability. It panics if lengths differ.
+func Dot(a, b []float32) float64 {
+	checkLen(len(a), len(b))
+	var s float64
+	for i, v := range a {
+		s += float64(v) * float64(b[i])
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the largest absolute element of x (0 for empty input).
+func MaxAbs(x []float32) float64 {
+	var m float64
+	for _, v := range x {
+		a := math.Abs(float64(v))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ClipNorm rescales x in place so its Euclidean norm does not exceed c.
+// It returns the norm before clipping.
+func ClipNorm(x []float32, c float64) float64 {
+	n := Norm2(x)
+	if n > c && n > 0 {
+		Scale(x, float32(c/n))
+	}
+	return n
+}
+
+// Diff computes dst[i] = a[i] - b[i]. It panics if lengths differ.
+func Diff(dst, a, b []float32) {
+	checkLen(len(dst), len(a))
+	checkLen(len(a), len(b))
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// WeightedSumInto computes dst[i] += w*src[i] and returns w, as a convenience
+// for weighted-aggregation call sites.
+func WeightedSumInto(dst []float32, w float64, src []float32) float64 {
+	AXPY(dst, float32(w), src)
+	return w
+}
+
+// Softmax writes softmax(logits) into probs (which may alias logits) and
+// returns the log of the partition function for use in cross-entropy:
+// logZ = log(sum_i exp(logits_i)) computed stably.
+func Softmax(probs, logits []float32) float64 {
+	checkLen(len(probs), len(logits))
+	maxv := float32(math.Inf(-1))
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(float64(v - maxv))
+		probs[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range probs {
+		probs[i] *= inv
+	}
+	return math.Log(sum) + float64(maxv)
+}
+
+// LogSumExp returns log(sum_i exp(x_i)) computed stably.
+func LogSumExp(x []float32) float64 {
+	maxv := float32(math.Inf(-1))
+	for _, v := range x {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(float64(v - maxv))
+	}
+	return math.Log(sum) + float64(maxv)
+}
+
+// ArgMax returns the index of the largest element (first on ties), or -1 for
+// an empty slice.
+func ArgMax(x []float32) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best, bi := x[0], 0
+	for i, v := range x[1:] {
+		if v > best {
+			best, bi = v, i+1
+		}
+	}
+	return bi
+}
+
+// MatVec computes y = W x where W is an r-by-c row-major matrix. It panics
+// if dimensions do not line up.
+func MatVec(y []float32, w []float32, r, c int, x []float32) {
+	if len(w) != r*c || len(x) != c || len(y) != r {
+		panic("vecf: MatVec dimension mismatch")
+	}
+	for i := 0; i < r; i++ {
+		row := w[i*c : (i+1)*c]
+		var s float64
+		for j, v := range row {
+			s += float64(v) * float64(x[j])
+		}
+		y[i] = float32(s)
+	}
+}
+
+// MatTVec computes y = W^T x where W is an r-by-c row-major matrix, i.e.
+// y[j] = sum_i W[i][j]*x[i]. It panics if dimensions do not line up.
+func MatTVec(y []float32, w []float32, r, c int, x []float32) {
+	if len(w) != r*c || len(x) != r || len(y) != c {
+		panic("vecf: MatTVec dimension mismatch")
+	}
+	Zero(y)
+	for i := 0; i < r; i++ {
+		row := w[i*c : (i+1)*c]
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+}
+
+// OuterAccum computes W[i][j] += a * x[i]*y[j] for the r-by-c row-major W.
+func OuterAccum(w []float32, r, c int, a float32, x, y []float32) {
+	if len(w) != r*c || len(x) != r || len(y) != c {
+		panic("vecf: OuterAccum dimension mismatch")
+	}
+	for i := 0; i < r; i++ {
+		row := w[i*c : (i+1)*c]
+		ax := a * x[i]
+		if ax == 0 {
+			continue
+		}
+		for j, v := range y {
+			row[j] += ax * v
+		}
+	}
+}
+
+// Tanh applies tanh element-wise in place.
+func Tanh(x []float32) {
+	for i, v := range x {
+		x[i] = float32(math.Tanh(float64(v)))
+	}
+}
+
+// Sigmoid applies the logistic function element-wise in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// AllFinite reports whether every element is a finite number.
+func AllFinite(x []float32) bool {
+	for _, v := range x {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func checkLen(a, b int) {
+	if a != b {
+		panic("vecf: length mismatch")
+	}
+}

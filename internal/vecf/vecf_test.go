@@ -1,0 +1,340 @@
+package vecf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestZeroAndFill(t *testing.T) {
+	x := []float32{1, 2, 3}
+	Zero(x)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+	Fill(x, 2.5)
+	for _, v := range x {
+		if v != 2.5 {
+			t.Fatal("Fill failed")
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	x := []float32{1, 2}
+	y := Clone(x)
+	y[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestAddSubScaleAXPY(t *testing.T) {
+	x := []float32{1, 2, 3}
+	Add(x, []float32{1, 1, 1})
+	if x[0] != 2 || x[2] != 4 {
+		t.Fatalf("Add: %v", x)
+	}
+	Sub(x, []float32{2, 2, 2})
+	if x[0] != 0 || x[2] != 2 {
+		t.Fatalf("Sub: %v", x)
+	}
+	Scale(x, 3)
+	if x[1] != 3 {
+		t.Fatalf("Scale: %v", x)
+	}
+	AXPY(x, 2, []float32{1, 1, 1})
+	if x[0] != 2 || x[1] != 5 {
+		t.Fatalf("AXPY: %v", x)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { Add([]float32{1}, []float32{1, 2}) },
+		func() { Sub([]float32{1}, []float32{1, 2}) },
+		func() { AXPY([]float32{1}, 1, []float32{1, 2}) },
+		func() { Dot([]float32{1}, []float32{1, 2}) },
+		func() { Diff([]float32{1}, []float32{1}, []float32{1, 2}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := []float32{3, 4}
+	if d := Dot(a, a); !almostEq(d, 25, 1e-9) {
+		t.Fatalf("Dot = %v", d)
+	}
+	if n := Norm2(a); !almostEq(n, 5, 1e-9) {
+		t.Fatalf("Norm2 = %v", n)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if m := MaxAbs([]float32{-7, 3, 5}); m != 7 {
+		t.Fatalf("MaxAbs = %v", m)
+	}
+	if m := MaxAbs(nil); m != 0 {
+		t.Fatalf("MaxAbs(nil) = %v", m)
+	}
+}
+
+func TestClipNorm(t *testing.T) {
+	x := []float32{3, 4}
+	before := ClipNorm(x, 1)
+	if !almostEq(before, 5, 1e-9) {
+		t.Fatalf("pre-norm = %v", before)
+	}
+	if n := Norm2(x); !almostEq(n, 1, 1e-6) {
+		t.Fatalf("post-norm = %v", n)
+	}
+	// No clipping when already under the cap.
+	y := []float32{0.1, 0}
+	ClipNorm(y, 1)
+	if y[0] != 0.1 {
+		t.Fatal("ClipNorm modified a vector under the cap")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	d := make([]float32, 2)
+	Diff(d, []float32{5, 7}, []float32{2, 3})
+	if d[0] != 3 || d[1] != 4 {
+		t.Fatalf("Diff = %v", d)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	logits := []float32{1, 2, 3}
+	probs := make([]float32, 3)
+	logZ := Softmax(probs, logits)
+	var sum float64
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("prob out of range: %v", p)
+		}
+		sum += float64(p)
+	}
+	if !almostEq(sum, 1, 1e-5) {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if probs[2] <= probs[1] || probs[1] <= probs[0] {
+		t.Fatalf("softmax not monotone: %v", probs)
+	}
+	// logZ should equal LogSumExp of the logits.
+	if !almostEq(logZ, LogSumExp(logits), 1e-9) {
+		t.Fatalf("logZ = %v, LSE = %v", logZ, LogSumExp(logits))
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	logits := []float32{1000, 1001, 1002}
+	probs := make([]float32, 3)
+	Softmax(probs, logits)
+	if !AllFinite(probs) {
+		t.Fatalf("softmax overflowed: %v", probs)
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	x := []float32{0, 0, 0, 0}
+	Softmax(x, x)
+	for _, p := range x {
+		if !almostEq(float64(p), 0.25, 1e-6) {
+			t.Fatalf("uniform softmax = %v", x)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if i := ArgMax([]float32{1, 5, 3}); i != 1 {
+		t.Fatalf("ArgMax = %d", i)
+	}
+	if i := ArgMax([]float32{2, 2}); i != 0 {
+		t.Fatalf("ArgMax tie = %d", i)
+	}
+	if i := ArgMax(nil); i != -1 {
+		t.Fatalf("ArgMax(nil) = %d", i)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	// W = [[1 2],[3 4],[5 6]] (3x2), x = [1, 10]
+	w := []float32{1, 2, 3, 4, 5, 6}
+	x := []float32{1, 10}
+	y := make([]float32, 3)
+	MatVec(y, w, 3, 2, x)
+	want := []float32{21, 43, 65}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("MatVec = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	w := []float32{1, 2, 3, 4, 5, 6} // 3x2
+	x := []float32{1, 1, 1}
+	y := make([]float32, 2)
+	MatTVec(y, w, 3, 2, x)
+	if y[0] != 9 || y[1] != 12 {
+		t.Fatalf("MatTVec = %v", y)
+	}
+}
+
+func TestMatVecDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatVec with bad dims did not panic")
+		}
+	}()
+	MatVec(make([]float32, 3), make([]float32, 5), 3, 2, make([]float32, 2))
+}
+
+func TestOuterAccum(t *testing.T) {
+	w := make([]float32, 6) // 3x2
+	OuterAccum(w, 3, 2, 2, []float32{1, 0, 2}, []float32{3, 4})
+	want := []float32{6, 8, 0, 0, 12, 16}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("OuterAccum = %v, want %v", w, want)
+		}
+	}
+}
+
+func TestMatTVecConsistentWithMatVec(t *testing.T) {
+	// <W x, y> must equal <x, W^T y>.
+	w := []float32{1, -2, 0.5, 3, -1, 2, 4, 0, 1, 1, -3, 2} // 4x3
+	x := []float32{0.3, -1, 2}
+	y := []float32{1, 0.5, -2, 0.25}
+	wx := make([]float32, 4)
+	MatVec(wx, w, 4, 3, x)
+	wty := make([]float32, 3)
+	MatTVec(wty, w, 4, 3, y)
+	if !almostEq(Dot(wx, y), Dot(x, wty), 1e-5) {
+		t.Fatalf("adjoint identity violated: %v vs %v", Dot(wx, y), Dot(x, wty))
+	}
+}
+
+func TestTanhSigmoid(t *testing.T) {
+	x := []float32{0}
+	Tanh(x)
+	if x[0] != 0 {
+		t.Fatalf("tanh(0) = %v", x[0])
+	}
+	y := []float32{0}
+	Sigmoid(y)
+	if !almostEq(float64(y[0]), 0.5, 1e-6) {
+		t.Fatalf("sigmoid(0) = %v", y[0])
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite([]float32{1, 2, 3}) {
+		t.Fatal("finite vector flagged")
+	}
+	if AllFinite([]float32{1, float32(math.NaN())}) {
+		t.Fatal("NaN not flagged")
+	}
+	if AllFinite([]float32{float32(math.Inf(1))}) {
+		t.Fatal("Inf not flagged")
+	}
+}
+
+// Property: Add then Sub with the same operand restores the input (within
+// float32 rounding).
+func TestQuickAddSubRoundTrip(t *testing.T) {
+	f := func(a, b []float32) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, v := range append(Clone(a), b...) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) ||
+				math.Abs(float64(v)) > 1e6 {
+				return true // skip pathological float inputs
+			}
+		}
+		orig := Clone(a)
+		Add(a, b)
+		Sub(a, b)
+		for i := range a {
+			if math.Abs(float64(a[i]-orig[i])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: softmax output is a probability vector for finite inputs.
+func TestQuickSoftmaxSimplex(t *testing.T) {
+	f := func(logits []float32) bool {
+		if len(logits) == 0 {
+			return true
+		}
+		for i, v := range logits {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				logits[i] = 0
+			}
+		}
+		probs := make([]float32, len(logits))
+		Softmax(probs, logits)
+		var sum float64
+		for _, p := range probs {
+			if p < 0 {
+				return false
+			}
+			sum += float64(p)
+		}
+		return almostEq(sum, 1, 1e-3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAXPY(b *testing.B) {
+	x := make([]float32, 4096)
+	y := make([]float32, 4096)
+	for i := range y {
+		y[i] = float32(i)
+	}
+	b.SetBytes(4096 * 4)
+	for i := 0; i < b.N; i++ {
+		AXPY(x, 0.001, y)
+	}
+}
+
+func BenchmarkMatVec(b *testing.B) {
+	const r, c = 64, 64
+	w := make([]float32, r*c)
+	x := make([]float32, c)
+	y := make([]float32, r)
+	for i := range w {
+		w[i] = float32(i%7) * 0.1
+	}
+	for i := range x {
+		x[i] = 0.5
+	}
+	for i := 0; i < b.N; i++ {
+		MatVec(y, w, r, c, x)
+	}
+}
