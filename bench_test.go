@@ -119,6 +119,36 @@ func BenchmarkTable1(b *testing.B) {
 
 // --- Ablations ---
 
+// BenchmarkParallelTrainingWorkers measures the parallel training engine on
+// a Figure 2-class FedBuff workload (training enabled) across worker-pool
+// sizes. On a multi-core host the workers>=4 variants should cut wall-clock
+// by >=2x over workers=1; `papaya bench` records the same sweep as JSON
+// (BENCH_baseline.json) together with the host topology. The final-params
+// hash is reported so a determinism regression across worker counts is
+// visible directly in the bench output.
+func BenchmarkParallelTrainingWorkers(b *testing.B) {
+	w := experiments.BuildWorld(experiments.ScaleSmall())
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			var hash uint64
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					Algorithm:        core.Async,
+					Concurrency:      80,
+					AggregationGoal:  10,
+					Seed:             1,
+					EvalSeqs:         w.Eval,
+					EvalEvery:        10,
+					MaxServerUpdates: 120,
+					Workers:          workers,
+				}
+				hash = core.Run(w.Model, w.Corpus, w.Pop, cfg).FinalParamsHash()
+			}
+			b.ReportMetric(float64(hash%1e6), "params-hash-mod1e6")
+		})
+	}
+}
+
 // BenchmarkAblationStalenessWeight compares FedBuff's 1/sqrt(1+s)
 // down-weighting against no weighting in a deliberately stale regime
 // (small K, large concurrency). The reported metric is final eval loss:

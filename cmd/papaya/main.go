@@ -8,6 +8,7 @@
 //	papaya <id> [flags]                run one experiment (fig2..fig13, table1)
 //	papaya all [flags]                 run every experiment in order
 //	papaya sim [flags]                 run one training simulation
+//	papaya bench [flags]               benchmark the parallel engine, emit JSON
 //	papaya secagg-demo                 narrated secure aggregation run
 //
 // Flags for experiments:
@@ -18,7 +19,16 @@
 // Flags for sim:
 //
 //	-algo async|sync -concurrency N -goal K -overselect F -seed S
-//	-updates N (server updates)
+//	-updates N (server updates) -workers W -shards K
+//
+// Flags for bench:
+//
+//	-o FILE                            output path (default BENCH_baseline.json)
+//	-workers 1,2,4                     worker counts to sweep
+//	-scale small|paper -updates N -concurrency N -goal K -seed S
+//	-gotest                            also wrap `go test -run=NONE -bench=. -benchmem`
+//	                                   at -benchtime=1x (a smoke record, not stable
+//	                                   timings); -gotestdir points it at the checkout
 package main
 
 import (
@@ -51,6 +61,8 @@ func main() {
 		runExperiments(args, experiments.Registry())
 	case "sim":
 		runSim(args)
+	case "bench":
+		runBench(args)
 	case "secagg-demo":
 		secaggDemo()
 	case "help", "-h", "--help":
@@ -72,7 +84,8 @@ func usage() {
   papaya list                      list reproducible experiments
   papaya <id> [-scale small|paper] [-markdown]
   papaya all  [-scale small|paper] [-markdown]
-  papaya sim  [-algo async|sync] [-concurrency N] [-goal K] [-overselect F] [-updates N] [-seed S] [-scale small|paper]
+  papaya sim  [-algo async|sync] [-concurrency N] [-goal K] [-overselect F] [-updates N] [-seed S] [-scale small|paper] [-workers W] [-shards K]
+  papaya bench [-o FILE] [-workers 1,2,4] [-scale small|paper] [-updates N] [-concurrency N] [-goal K] [-seed S] [-gotest]
   papaya secagg-demo`)
 }
 
@@ -118,6 +131,8 @@ func runSim(args []string) {
 	updates := fs.Int("updates", 100, "server updates to run")
 	seed := fs.Uint64("seed", 1, "run seed")
 	scaleName := fs.String("scale", "paper", "workload preset: small|paper")
+	workers := fs.Int("workers", 0, "training worker goroutines (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "aggregation shards (0 = default 8)")
 	_ = fs.Parse(args)
 
 	s := scaleByName(*scaleName)
@@ -129,6 +144,8 @@ func runSim(args []string) {
 		EvalEvery:        5,
 		MaxServerUpdates: *updates,
 		MaxSimTime:       s.MaxSimTime,
+		Workers:          *workers,
+		AggShards:        *shards,
 	}
 	switch *algo {
 	case "async":

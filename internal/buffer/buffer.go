@@ -58,6 +58,12 @@ func New(numParams, goal, shards int) *Buffered {
 // Goal returns the aggregation goal K.
 func (b *Buffered) Goal() int { return b.goal }
 
+// NumShards returns the number of intermediate aggregates. The parallel
+// training engine runs one aggregation consumer per shard, so each shard's
+// lock is uncontended and adds within a shard happen in a deterministic
+// order.
+func (b *Buffered) NumShards() int { return len(b.shards) }
+
 // SetGoal changes the aggregation goal. It must not be called concurrently
 // with Add; it exists so a task can be reconfigured between rounds (e.g.
 // when switching between SyncFL and AsyncFL, Appendix E.3).
@@ -107,10 +113,23 @@ func (b *Buffered) Add(update []float32, weight float64, shardHint int) bool {
 // aggregates. Calling Release on an empty buffer panics: it signals a
 // protocol bug (a release without a triggering Add).
 func (b *Buffered) Release() (update []float32, totalWeight float64, n int) {
+	update = make([]float32, b.numParams)
+	totalWeight, n = b.ReleaseInto(update)
+	return update, totalWeight, n
+}
+
+// ReleaseInto is Release writing the aggregated update into dst (which it
+// zeroes first), so callers on a hot path can recycle the output vector. It
+// panics if dst has the wrong length or the buffer is empty.
+func (b *Buffered) ReleaseInto(dst []float32) (totalWeight float64, n int) {
+	if len(dst) != b.numParams {
+		panic(fmt.Sprintf("buffer: dst length %d, want %d", len(dst), b.numParams))
+	}
 	b.releaseMu.Lock()
 	defer b.releaseMu.Unlock()
 
-	update = make([]float32, b.numParams)
+	update := dst
+	vecf.Zero(update)
 	for i := range b.shards {
 		s := &b.shards[i]
 		s.mu.Lock()
@@ -130,5 +149,5 @@ func (b *Buffered) Release() (update []float32, totalWeight float64, n int) {
 	b.count.Add(int64(-n))
 	b.released.Add(1)
 	vecf.Scale(update, float32(1/totalWeight))
-	return update, totalWeight, n
+	return totalWeight, n
 }

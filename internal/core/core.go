@@ -18,10 +18,19 @@
 // against simulated wall-clock, communication trips, server update
 // frequency, utilization traces, staleness, and the participating-client
 // samples behind the fairness analysis.
+//
+// Client local SGD executes on a parallel training engine (parallel.go): a
+// worker pool sized by Config.Workers feeding per-shard aggregation
+// consumers, with copy-on-write model snapshots. The event loop keeps
+// making every decision, so results are bit-for-bit identical for any
+// worker count; see DESIGN.md for the determinism contract.
 package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
 
 	"repro/internal/dp"
 	"repro/internal/fedopt"
@@ -110,6 +119,12 @@ type Config struct {
 	// NoTraining skips local SGD and server steps, turning the run into a
 	// pure systems simulation (used by Figures 2, 7, 8).
 	NoTraining bool
+	// Workers sizes the parallel training engine: the number of goroutines
+	// running client local SGD concurrently with the event loop. 0 defaults
+	// to runtime.GOMAXPROCS(0). The Result is bit-for-bit identical for any
+	// Workers value (see DESIGN.md, "Determinism contract"), so this knob
+	// trades wall-clock time only, never reproducibility.
+	Workers int
 	// AggShards is the number of parallel intermediate aggregates
 	// (Section 6.3); 0 defaults to 8.
 	AggShards int
@@ -194,6 +209,12 @@ func (c *Config) Validate() error {
 	if c.AggShards < 0 {
 		return fmt.Errorf("core: AggShards must be >= 1")
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 1")
+	}
 	if c.MaxServerUpdates <= 0 && c.MaxClientUpdates <= 0 && c.MaxSimTime <= 0 {
 		return fmt.Errorf("core: set at least one stop condition")
 	}
@@ -205,6 +226,10 @@ type Result struct {
 	// Algorithm and Goal echo the effective configuration.
 	Algorithm Algorithm
 	Goal      int
+	// Workers echoes the effective worker-pool size. It never influences
+	// any other Result field; the determinism regression tests enforce
+	// this.
+	Workers int
 
 	// ServerUpdates is the number of server model versions produced.
 	ServerUpdates int
@@ -253,6 +278,27 @@ type Result struct {
 	// DPEpsilon and DPDelta report the cumulative privacy guarantee when
 	// the DP extension was enabled (0, 0 otherwise).
 	DPEpsilon, DPDelta float64
+}
+
+// FinalParamsHash returns a 64-bit FNV-1a hash over the exact bit patterns
+// of FinalParams (0 when FinalParams is nil). The determinism regression
+// tests and the benchmark emitter use it to compare whole models cheaply;
+// two runs with equal hashes trained bit-for-bit identical parameters.
+func (r *Result) FinalParamsHash() uint64 {
+	if r.FinalParams == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, v := range r.FinalParams {
+		bits := math.Float32bits(v)
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		buf[2] = byte(bits >> 16)
+		buf[3] = byte(bits >> 24)
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
 }
 
 // UpdatesPerHour returns server model updates per simulated hour (Figure 8).

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dp"
+)
+
+// resultFingerprint collects every Result field that must be independent of
+// the worker count.
+type resultFingerprint struct {
+	serverUpdates int
+	commTrips     int64
+	discarded     int64
+	dropouts      int64
+	timeouts      int64
+	simSeconds    float64
+	finalLoss     float64
+	paramsHash    uint64
+	lossCurve     []float64
+	lossTimes     []float64
+}
+
+func fingerprint(res *Result) resultFingerprint {
+	fp := resultFingerprint{
+		serverUpdates: res.ServerUpdates,
+		commTrips:     res.CommTrips,
+		discarded:     res.Discarded,
+		dropouts:      res.Dropouts,
+		timeouts:      res.Timeouts,
+		simSeconds:    res.SimSeconds,
+		finalLoss:     res.FinalLoss,
+		paramsHash:    res.FinalParamsHash(),
+	}
+	for _, p := range res.LossCurve {
+		fp.lossTimes = append(fp.lossTimes, p.T)
+		fp.lossCurve = append(fp.lossCurve, p.V)
+	}
+	return fp
+}
+
+func requireSameResult(t *testing.T, want, got resultFingerprint, label string) {
+	t.Helper()
+	if want.serverUpdates != got.serverUpdates || want.commTrips != got.commTrips ||
+		want.discarded != got.discarded || want.dropouts != got.dropouts ||
+		want.timeouts != got.timeouts {
+		t.Fatalf("%s: counters diverged: want %+v, got %+v", label, want, got)
+	}
+	if want.simSeconds != got.simSeconds {
+		t.Fatalf("%s: SimSeconds %v != %v", label, want.simSeconds, got.simSeconds)
+	}
+	if want.paramsHash != got.paramsHash {
+		t.Fatalf("%s: final params hash %#x != %#x (bit-level divergence)",
+			label, want.paramsHash, got.paramsHash)
+	}
+	if len(want.lossCurve) != len(got.lossCurve) {
+		t.Fatalf("%s: loss curve length %d != %d", label, len(want.lossCurve), len(got.lossCurve))
+	}
+	for i := range want.lossCurve {
+		if want.lossCurve[i] != got.lossCurve[i] || want.lossTimes[i] != got.lossTimes[i] {
+			t.Fatalf("%s: loss curve point %d: (%v, %v) != (%v, %v)", label, i,
+				want.lossTimes[i], want.lossCurve[i], got.lossTimes[i], got.lossCurve[i])
+		}
+	}
+	if want.finalLoss != got.finalLoss {
+		t.Fatalf("%s: final loss %v != %v", label, want.finalLoss, got.finalLoss)
+	}
+}
+
+// TestWorkersDeterminism is the determinism regression test for the parallel
+// training engine: the same seed must produce a bit-for-bit identical Result
+// (loss curve, communication counters, final-parameter hash) at Workers=1
+// and Workers=8, for both algorithms, with staleness aborts exercised.
+func TestWorkersDeterminism(t *testing.T) {
+	w := newTestWorld()
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"async", func() Config {
+			cfg := asyncCfg()
+			cfg.EvalSeqs = w.eval
+			return cfg
+		}()},
+		{"async-staleness-aborts", func() Config {
+			cfg := asyncCfg()
+			cfg.EvalSeqs = w.eval
+			cfg.MaxStaleness = 2
+			cfg.Concurrency = 60
+			cfg.AggregationGoal = 5
+			return cfg
+		}()},
+		{"sync", func() Config {
+			cfg := syncCfg()
+			cfg.EvalSeqs = w.eval
+			return cfg
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var want resultFingerprint
+			for i, workers := range []int{1, 8} {
+				cfg := tc.cfg
+				cfg.Workers = workers
+				res := Run(w.model, w.corpus, w.pop, cfg)
+				if res.Workers != workers {
+					t.Fatalf("Result.Workers = %d, want %d", res.Workers, workers)
+				}
+				if res.FinalParamsHash() == 0 {
+					t.Fatal("final params hash is zero; did the run train?")
+				}
+				fp := fingerprint(res)
+				if i == 0 {
+					want = fp
+					continue
+				}
+				requireSameResult(t, want, fp, tc.name)
+			}
+		})
+	}
+}
+
+// TestWorkersDeterminismWithDP covers the privacy path: clipping runs on the
+// workers while noise stays on the event loop, so the (epsilon, delta)
+// accounting and the noised model must also be worker-count-invariant.
+func TestWorkersDeterminismWithDP(t *testing.T) {
+	w := newTestWorld()
+	run := func(workers int) *Result {
+		cfg := asyncCfg()
+		cfg.EvalSeqs = w.eval
+		cfg.Workers = workers
+		cfg.DP = &dp.Config{Clip: 1, NoiseMultiplier: 0.5, Delta: 1e-6, Seed: 11}
+		return Run(w.model, w.corpus, w.pop, cfg)
+	}
+	a, b := run(1), run(8)
+	requireSameResult(t, fingerprint(a), fingerprint(b), "dp")
+	if a.DPEpsilon != b.DPEpsilon || a.DPDelta != b.DPDelta {
+		t.Fatalf("privacy accounting diverged: (%v, %v) != (%v, %v)",
+			a.DPEpsilon, a.DPDelta, b.DPEpsilon, b.DPDelta)
+	}
+	if a.DPEpsilon <= 0 || math.IsNaN(a.DPEpsilon) {
+		t.Fatalf("DPEpsilon = %v, want positive", a.DPEpsilon)
+	}
+}
+
+// TestWorkersRepeatedRunsIdentical guards against hidden global state: two
+// back-to-back runs of the same config must agree exactly, even at high
+// worker counts.
+func TestWorkersRepeatedRunsIdentical(t *testing.T) {
+	w := newTestWorld()
+	cfg := asyncCfg()
+	cfg.EvalSeqs = w.eval
+	cfg.Workers = 4
+	a := Run(w.model, w.corpus, w.pop, cfg)
+	b := Run(w.model, w.corpus, w.pop, cfg)
+	requireSameResult(t, fingerprint(a), fingerprint(b), "repeat")
+}
+
+// TestNoTrainingSkipsEngine checks the systems-only path never spins up
+// workers (Result.FinalParams nil, hash zero) and still reproduces exactly.
+func TestNoTrainingSkipsEngine(t *testing.T) {
+	w := newTestWorld()
+	cfg := asyncCfg()
+	cfg.NoTraining = true
+	cfg.Workers = 8
+	res := Run(w.model, w.corpus, w.pop, cfg)
+	if res.FinalParams != nil || res.FinalParamsHash() != 0 {
+		t.Fatal("NoTraining run produced parameters")
+	}
+	if res.ServerUpdates != cfg.MaxServerUpdates {
+		t.Fatalf("ServerUpdates = %d, want %d", res.ServerUpdates, cfg.MaxServerUpdates)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"repro/internal/population"
 	"repro/internal/rng"
 	"repro/internal/simclock"
-	"repro/internal/vecf"
 )
 
 // Run executes one federated training run and returns its Result. The model,
@@ -37,11 +36,18 @@ type session struct {
 	id           int64
 	client       population.Client
 	startVersion int
-	initParams   []float32 // snapshot of the model the client downloaded
 	execTime     float64
 	outcome      outcome
 	finishEv     *simclock.Event
 	round        int // sync only
+
+	// Parallel-engine state, set only for sessions that train (outSuccess
+	// with training enabled): the shared model snapshot the client
+	// downloaded, the computed delta, and the completion signal the shard
+	// consumer waits on. done is closed by the worker after delta is ready.
+	snap  *paramsSnap
+	delta []float32
+	done  chan struct{}
 }
 
 type runner struct {
@@ -51,14 +57,17 @@ type runner struct {
 	pop    *population.Population
 
 	eng    *simclock.Engine
-	rnd    *rng.RNG // selection / timing stream
-	params []float32
+	rnd    *rng.RNG    // selection / timing stream
+	cur    *paramsSnap // current server model snapshot (nil when NoTraining)
+	pool   *nn.Pool
 	buf    *buffer.Buffered
+	train  *trainEngine
 	dpMech *dp.Mechanism
 
 	version       int
 	serverUpdates int
 	commTrips     int64
+	received      int // updates accepted into the buffer since last release
 	discarded     int64
 	dropouts      int64
 	timeouts      int64
@@ -89,17 +98,22 @@ func newRunner(model nn.Model, corpus *lmdata.Corpus, pop *population.Population
 		inflight: make(map[int64]*session),
 		res:      &Result{Algorithm: cfg.Algorithm, Goal: cfg.AggregationGoal},
 	}
-	if !cfg.NoTraining {
-		r.params = model.InitParams(r.rnd.Split("init"))
-		r.buf = buffer.New(model.NumParams(), cfg.AggregationGoal, cfg.AggShards)
-	}
 	if cfg.DP != nil {
 		r.dpMech = dp.New(*cfg.DP)
+	}
+	if !cfg.NoTraining {
+		r.cur = newSnap(model.InitParams(r.rnd.Split("init")))
+		r.pool = nn.NewPool(model.NumParams())
+		r.buf = buffer.New(model.NumParams(), cfg.AggregationGoal, cfg.AggShards)
+		r.train = newTrainEngine(model, corpus, cfg, r.dpMech, r.buf, r.pool)
 	}
 	return r
 }
 
 func (r *runner) run() *Result {
+	if r.train != nil {
+		defer r.train.stop()
+	}
 	switch r.cfg.Algorithm {
 	case Async:
 		for i := 0; i < r.cfg.Concurrency; i++ {
@@ -123,7 +137,12 @@ func (r *runner) run() *Result {
 	r.res.Dropouts = r.dropouts
 	r.res.Timeouts = r.timeouts
 	r.res.SimSeconds = r.eng.Now()
-	r.res.FinalParams = r.params
+	if r.cur != nil {
+		// The final snapshot's storage is handed to the caller; the
+		// runner's reference is never released, so it cannot be recycled.
+		r.res.FinalParams = r.cur.data
+	}
+	r.res.Workers = r.cfg.Workers
 	r.res.RoundDurations = r.roundDurations
 	if r.execTimeCount > 0 {
 		r.res.MeanClientExecTime = r.execTimeSum / float64(r.execTimeCount)
@@ -166,9 +185,6 @@ func (r *runner) startSession(round int) {
 		round:        round,
 	}
 	r.nextSessionID++
-	if !r.cfg.NoTraining {
-		s.initParams = vecf.Clone(r.params)
-	}
 
 	// Decide the participation outcome up front; the event fires at the
 	// moment the outcome becomes known to the server.
@@ -180,6 +196,17 @@ func (r *runner) startSession(round int) {
 	} else if s.execTime > r.pop.Timeout() {
 		s.outcome = outTimeout
 		fireAt = r.pop.Timeout()
+	}
+
+	if r.train != nil && s.outcome == outSuccess {
+		// The client "downloads" the current model by retaining its
+		// snapshot; local training is submitted to the worker pool only if
+		// the upload is accepted at finish time, so sessions that drop
+		// out, time out, or get discarded (staleness aborts, round-close
+		// over-selection) cost no training compute — exactly matching the
+		// serial implementation's work, just off the event loop.
+		s.snap = r.cur
+		s.snap.retain()
 	}
 
 	r.inflight[s.id] = s
@@ -225,6 +252,9 @@ func (r *runner) finishSession(s *session) {
 	if r.cfg.Algorithm == Async && r.cfg.MaxStaleness > 0 && staleness > r.cfg.MaxStaleness {
 		// Appendix E.1: the server aborts updates beyond max staleness.
 		r.discarded++
+		if s.snap != nil {
+			s.snap.release(r.pool)
+		}
 		r.replaceAfterSelection(s.round)
 		return
 	}
@@ -234,15 +264,6 @@ func (r *runner) finishSession(s *session) {
 	r.recordParticipant(s, staleness)
 
 	if !r.cfg.NoTraining {
-		seqs := r.corpus.ClientExamples(s.client.ID, s.client.Dialect,
-			s.client.DialectWeight, s.client.NumExamples)
-		clientRng := r.rnd.SplitUint64(uint64(s.id))
-		delta, _ := nn.LocalUpdate(r.model, s.initParams, seqs, r.cfg.Client, clientRng)
-		if r.dpMech != nil {
-			// DP sensitivity bound: every update is clipped before it can
-			// influence the aggregate.
-			r.dpMech.ClipUpdate(delta)
-		}
 		w := 1.0
 		if !r.cfg.DisableExampleWeighting {
 			w = float64(s.client.NumExamples)
@@ -253,10 +274,20 @@ func (r *runner) finishSession(s *session) {
 		if r.cfg.Algorithm == Async {
 			w *= r.cfg.Staleness(staleness)
 		}
-		ready := r.buf.Add(delta, w, int(s.client.ID))
-		// Async releases on the buffer trigger; Sync releases when the
-		// round closes (below), so the trigger is intentionally ignored.
-		if r.cfg.Algorithm == Async && ready {
+		// The update is accepted: train it on the worker pool (against the
+		// snapshot downloaded at start, with randomness keyed on session
+		// ID) and enqueue the weighted add on the session's shard, where
+		// the consumer waits for the delta. Adds apply in the order this
+		// event loop enqueues them; the loop tracks the received count
+		// itself (it must decide the release point deterministically; the
+		// buffer's own count lags behind).
+		s.done = make(chan struct{})
+		r.train.submit(s)
+		r.train.submitAdd(s, w)
+		r.received++
+		// Async releases when the goal is met; Sync releases when the round
+		// closes (below).
+		if r.cfg.Algorithm == Async && r.received >= r.cfg.AggregationGoal {
 			r.serverStep()
 		}
 	} else if r.cfg.Algorithm == Async {
@@ -281,14 +312,25 @@ func (r *runner) finishSession(s *session) {
 	r.checkBudgets()
 }
 
-// serverStep releases the aggregation buffer and applies the server
-// optimizer.
+// serverStep flushes the shard queues, releases the aggregation buffer, and
+// applies the server optimizer to a fresh copy-on-write snapshot. This is
+// the only point where the event loop waits on the parallel engine; in-
+// flight clients keep training against the snapshot they downloaded.
 func (r *runner) serverStep() {
-	update, _, n := r.buf.Release()
+	r.train.flush()
+	update := r.pool.Get()
+	_, n := r.buf.ReleaseInto(update)
 	if r.dpMech != nil {
 		r.dpMech.NoiseAggregate(update, n)
 	}
-	r.cfg.Server.Step(r.params, update)
+	next := r.pool.Get()
+	copy(next, r.cur.data)
+	r.cfg.Server.Step(next, update)
+	r.pool.Put(update)
+	old := r.cur
+	r.cur = newSnap(next)
+	old.release(r.pool)
+	r.received = 0
 	r.version++
 	r.serverUpdates++
 	if r.cfg.Algorithm == Async {
@@ -309,6 +351,9 @@ func (r *runner) abortStale() {
 			r.eng.Cancel(s.finishEv)
 			delete(r.inflight, id)
 			r.discarded++
+			if s.snap != nil {
+				s.snap.release(r.pool)
+			}
 			r.replaceAfterSelection(s.round)
 		}
 	}
@@ -324,7 +369,7 @@ func (r *runner) maybeEval() {
 	if r.serverUpdates%r.cfg.EvalEvery != 0 {
 		return
 	}
-	loss := r.model.Loss(r.params, r.cfg.EvalSeqs)
+	loss := r.model.Loss(r.cur.data, r.cfg.EvalSeqs)
 	r.res.LossCurve = append(r.res.LossCurve, metrics.Point{T: r.eng.Now(), V: loss})
 	if r.cfg.TargetLoss > 0 && loss <= r.cfg.TargetLoss && !r.res.TargetReached {
 		r.res.TargetReached = true
@@ -387,6 +432,9 @@ func (r *runner) closeRound() {
 		r.eng.Cancel(s.finishEv)
 		delete(r.inflight, id)
 		r.discarded++
+		if s.snap != nil {
+			s.snap.release(r.pool)
+		}
 	}
 	r.recordUtilization()
 

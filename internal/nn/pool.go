@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/vecf"
+)
+
+// Pool recycles fixed-length []float32 vectors — parameter snapshots, client
+// deltas, aggregation scratch — across training sessions. A federated run at
+// concurrency C used to clone the full model once per participation; with a
+// pool the steady-state allocation rate is zero regardless of fleet size,
+// which is what keeps the parallel training engine's garbage-collector
+// pressure flat as worker counts grow.
+//
+// Pool is safe for concurrent use. Vectors returned by Get have unspecified
+// contents; callers that need zeroes must clear them.
+type Pool struct {
+	n int
+	p sync.Pool
+}
+
+// NewPool returns a pool of vectors of length n. It panics if n <= 0.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		panic("nn: pool length must be positive")
+	}
+	p := &Pool{n: n}
+	p.p.New = func() any { return make([]float32, n) }
+	return p
+}
+
+// Len returns the length of the vectors the pool manages.
+func (p *Pool) Len() int { return p.n }
+
+// Get returns a vector of length Len with unspecified contents.
+func (p *Pool) Get() []float32 { return p.p.Get().([]float32) }
+
+// Put returns a vector to the pool. It panics if the length does not match,
+// which catches buffers crossing between pools of different models.
+func (p *Pool) Put(buf []float32) {
+	if len(buf) != p.n {
+		panic(fmt.Sprintf("nn: pool length %d, got buffer of length %d", p.n, len(buf)))
+	}
+	p.p.Put(buf) //nolint:staticcheck // slice header boxing is fine here
+}
+
+// Trainer runs repeated client local updates on behalf of one goroutine,
+// reusing its parameter and gradient scratch between sessions so that a
+// local update allocates nothing proportional to the model. Each worker of
+// the parallel training engine owns one Trainer; the type itself is NOT safe
+// for concurrent use.
+type Trainer struct {
+	m      Model
+	params []float32
+	grad   []float32
+}
+
+// NewTrainer returns a Trainer for the given model.
+func NewTrainer(m Model) *Trainer {
+	n := m.NumParams()
+	return &Trainer{m: m, params: make([]float32, n), grad: make([]float32, n)}
+}
+
+// LocalUpdateInto trains a copy of initial on seqs with the given SGD
+// configuration and writes the resulting delta (trained - initial) into dst,
+// returning the final-epoch mean training loss. initial is only read, so
+// many Trainers may share one immutable parameter snapshot. The result is a
+// pure function of (initial, seqs, cfg, the RNG's state), which is the
+// determinism contract the parallel engine relies on.
+func (t *Trainer) LocalUpdateInto(dst, initial []float32, seqs [][]int, cfg SGDConfig, r *rng.RNG) float64 {
+	checkParams(t.m, dst)
+	checkParams(t.m, initial)
+	copy(t.params, initial)
+	loss := sgdScratch(t.m, t.params, t.grad, seqs, cfg, r)
+	vecf.Diff(dst, t.params, initial)
+	return loss
+}

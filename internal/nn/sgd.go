@@ -46,14 +46,20 @@ func (c SGDConfig) Validate() error {
 // shuffled per epoch with the caller's RNG, so local training is
 // deterministic given the RNG state.
 func SGD(m Model, params []float32, seqs [][]int, cfg SGDConfig, r *rng.RNG) float64 {
+	return sgdScratch(m, params, make([]float32, m.NumParams()), seqs, cfg, r)
+}
+
+// sgdScratch is SGD with a caller-provided gradient scratch buffer, the
+// allocation-free core shared by SGD and Trainer.LocalUpdateInto.
+func sgdScratch(m Model, params, grad []float32, seqs [][]int, cfg SGDConfig, r *rng.RNG) float64 {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	checkParams(m, params)
+	checkParams(m, grad)
 	if len(seqs) == 0 {
 		return 0
 	}
-	grad := make([]float32, m.NumParams())
 	order := make([]int, len(seqs))
 	for i := range order {
 		order[i] = i

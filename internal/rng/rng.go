@@ -45,32 +45,51 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// splitSeed hashes the parent's state snapshot with optional integer and
+// string label material into a child seed. It is the single definition of
+// the stream-derivation scheme shared by Split, SplitUint64, and SplitAt;
+// it reads but never advances the parent state.
+func (r *RNG) splitSeed(n uint64, useN bool, label string) uint64 {
+	var buf [40]byte
+	for i, s := range r.s {
+		putUint64(buf[i*8:], s)
+	}
+	h := fnv.New64a()
+	if useN {
+		putUint64(buf[32:], n)
+		_, _ = h.Write(buf[:])
+	} else {
+		_, _ = h.Write(buf[:32])
+	}
+	if label != "" {
+		_, _ = h.Write([]byte(label))
+	}
+	return h.Sum64()
+}
+
 // Split derives an independent child generator from a string label. The
 // child stream is a pure function of (parent seed material, label); it does
 // not advance the parent, so attribute lookups can happen in any order.
 func (r *RNG) Split(label string) *RNG {
-	h := fnv.New64a()
-	// Hash the label together with the parent's state snapshot.
-	var buf [32]byte
-	for i, s := range r.s {
-		putUint64(buf[i*8:], s)
-	}
-	_, _ = h.Write(buf[:])
-	_, _ = h.Write([]byte(label))
-	return New(h.Sum64())
+	return New(r.splitSeed(0, false, label))
+}
+
+// SplitAt derives an independent child generator from a (domain, index)
+// pair: the child stream is a pure function of the parent's state snapshot,
+// the domain string, and n. Like Split it does not advance the parent, so
+// calling it concurrently from many goroutines is safe as long as nobody
+// draws from the parent. The parallel training engine keys every client's
+// local-SGD stream on SplitAt("local-update", sessionID) over a frozen root,
+// which is what makes results independent of worker count and completion
+// order.
+func (r *RNG) SplitAt(domain string, n uint64) *RNG {
+	return New(r.splitSeed(n, true, domain))
 }
 
 // SplitUint64 derives an independent child generator from an integer label,
 // avoiding string formatting in hot paths (e.g. per-client attribute draws).
 func (r *RNG) SplitUint64(label uint64) *RNG {
-	var buf [40]byte
-	for i, s := range r.s {
-		putUint64(buf[i*8:], s)
-	}
-	putUint64(buf[32:], label)
-	h := fnv.New64a()
-	_, _ = h.Write(buf[:])
-	return New(h.Sum64())
+	return New(r.splitSeed(label, true, ""))
 }
 
 func putUint64(b []byte, v uint64) {

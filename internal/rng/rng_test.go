@@ -60,6 +60,25 @@ func TestSplitUint64MatchesAcrossCalls(t *testing.T) {
 	}
 }
 
+func TestSplitAt(t *testing.T) {
+	parent := New(13)
+	if parent.SplitAt("local-update", 5).Uint64() != parent.SplitAt("local-update", 5).Uint64() {
+		t.Fatal("SplitAt not deterministic")
+	}
+	if parent.SplitAt("local-update", 5).Uint64() == parent.SplitAt("local-update", 6).Uint64() {
+		t.Fatal("SplitAt children for adjacent indices collide")
+	}
+	if parent.SplitAt("a", 5).Uint64() == parent.SplitAt("b", 5).Uint64() {
+		t.Fatal("SplitAt children for different domains collide")
+	}
+	// The parallel engine shares one frozen root across goroutines; SplitAt
+	// must not advance the parent.
+	fresh := New(13)
+	if parent.Uint64() != fresh.Uint64() {
+		t.Fatal("SplitAt advanced the parent stream")
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
 	r := New(3)
 	for i := 0; i < 10000; i++ {

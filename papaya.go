@@ -10,7 +10,12 @@
 //   - Training runs: Config/Run execute AsyncFL (FedBuff) or SyncFL over a
 //     discrete-event simulation of a heterogeneous device fleet, returning
 //     the loss curves, communication counts, utilization traces, and
-//     fairness samples the paper's evaluation reports.
+//     fairness samples the paper's evaluation reports. Client local SGD
+//     executes on a parallel worker pool (Config.Workers, default
+//     GOMAXPROCS) feeding sharded aggregation (Config.AggShards); results
+//     are bit-for-bit identical for any worker count, so parallelism is
+//     purely a wall-clock knob. `papaya bench` records the measured
+//     speedup as JSON.
 //   - Workload: NewPopulation models ~10^8 devices with correlated
 //     speed/data-volume heterogeneity; NewCorpus generates the non-IID
 //     federated language corpus; NewBilinearLM / NewLSTMLM are pure-Go
