@@ -1,0 +1,279 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/transport/httptransport"
+)
+
+// loadReport is the JSON document `papaya loadtest` writes: measured
+// control-plane throughput against a live server, committed as data (the
+// networked counterpart of BENCH_baseline.json). Repeated runs against the
+// same output file append, so one file records e.g. both Sync and Async
+// mode measurements.
+type loadReport struct {
+	CreatedUnix int64     `json:"created_unix"`
+	Runs        []loadRun `json:"runs"`
+}
+
+// loadRun is one loadtest execution.
+type loadRun struct {
+	Label            string  `json:"label,omitempty"`
+	Server           string  `json:"server"`
+	Codec            string  `json:"codec"`
+	Task             string  `json:"task"`
+	Mode             string  `json:"mode"`
+	NumParams        int     `json:"num_params"`
+	Clients          int     `json:"clients"`
+	TargetUploads    int     `json:"target_uploads"`
+	CompletedUploads int64   `json:"completed_uploads"`
+	RejectedCheckins int64   `json:"rejected_checkins"`
+	AbortedSessions  int64   `json:"aborted_sessions"`
+	TransportErrors  int64   `json:"transport_errors"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	UploadsPerSecond float64 `json:"uploads_per_second"`
+	P50Millis        float64 `json:"p50_session_millis"`
+	P99Millis        float64 `json:"p99_session_millis"`
+	Calls            uint64  `json:"rpc_calls"`
+	BytesSent        uint64  `json:"bytes_sent"`
+	BytesReceived    uint64  `json:"bytes_received"`
+	FinalVersion     int     `json:"final_server_version"`
+	FinalUpdates     int64   `json:"final_server_updates"`
+}
+
+// fixedDeltaExecutor skips real SGD: the loadtest measures the control
+// plane and wire path, not local training, so every session "trains" a
+// constant update of the right dimensionality.
+type fixedDeltaExecutor struct{ delta []float32 }
+
+func (f fixedDeltaExecutor) Train(params []float32, examples [][]int) ([]float32, float64) {
+	out := make([]float32, len(f.delta))
+	copy(out, f.delta)
+	return out, 1.0
+}
+
+// runLoadtest drives K concurrent simulated clients through full
+// participation sessions — check-in, download, report, chunked upload
+// (Section 6.1's four stages) — against a live `papaya serve`/`papaya
+// agent` deployment, until the upload target is met, and reports
+// uploads/sec, session latency percentiles, and bytes moved.
+func runLoadtest(args []string) {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	serverURL := fs.String("server", "http://127.0.0.1:7070", "base URL of the papaya serve process")
+	task := fs.String("task", "default", "task ID to drive")
+	clients := fs.Int("clients", 16, "concurrent simulated clients")
+	uploads := fs.Int("uploads", 200, "successful upload target (run ends when reached)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "abort if the target is not reached in time")
+	codec := fs.String("codec", "gob", "wire codec: gob|json (must match the server)")
+	out := fs.String("o", "BENCH_loadtest.json", "output path (- for stdout); existing reports are appended to")
+	label := fs.String("label", "", "free-form run label recorded in the report")
+	_ = fs.Parse(args)
+
+	fabric, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Codec: *codec, Seed: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer fabric.Close()
+
+	// Discover the server's selectors; retry briefly so CI can start serve
+	// and loadtest back to back.
+	var selectors []string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		nodes, err := httptransport.ListNodes(*serverURL)
+		if err == nil {
+			for _, n := range nodes {
+				fabric.AddRoute(n, *serverURL)
+				if strings.HasPrefix(n, "sel-") {
+					selectors = append(selectors, n)
+				}
+			}
+			if len(selectors) > 0 {
+				break
+			}
+			err = fmt.Errorf("no selector nodes among %v", nodes)
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "papaya loadtest: discovering selectors at %s: %v\n", *serverURL, err)
+			os.Exit(1)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	info, err := taskInfo(fabric, selectors[0], *task)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "papaya loadtest: querying task %q: %v\n", *task, err)
+		os.Exit(1)
+	}
+	numParams := len(info.Params)
+	fmt.Fprintf(os.Stderr, "papaya loadtest: task %q mode=%s params=%d, %d clients, target %d uploads\n",
+		*task, info.Mode, numParams, *clients, *uploads)
+
+	delta := make([]float32, numParams)
+	for i := range delta {
+		delta[i] = 0.001
+	}
+
+	var (
+		completed, rejected, aborted, terrors atomic.Int64
+		latMu                                 sync.Mutex
+		latencies                             []time.Duration
+	)
+	stopAt := time.Now().Add(*timeout)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int64) {
+			defer wg.Done()
+			store := client.NewExampleStore(0, 0)
+			store.Add([]int{1, 2, 3}, time.Now())
+			// Spread initial selector choice across the fleet.
+			sels := append([]string(nil), selectors[id%int64(len(selectors)):]...)
+			sels = append(sels, selectors[:id%int64(len(selectors))]...)
+			dev := &client.Runtime{
+				ClientID:  id,
+				Store:     store,
+				Exec:      fixedDeltaExecutor{delta: delta},
+				Net:       fabric,
+				Selectors: sels,
+				State:     client.DeviceState{Idle: true, Charging: true, Unmetered: true},
+				Random:    rand.Reader,
+			}
+			for completed.Load() < int64(*uploads) && time.Now().Before(stopAt) {
+				sessStart := time.Now()
+				res, err := dev.RunOnce(sessStart)
+				if err != nil {
+					terrors.Add(1)
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				switch res.Outcome {
+				case client.Completed:
+					completed.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, time.Since(sessStart))
+					latMu.Unlock()
+				case client.Rejected:
+					rejected.Add(1)
+					time.Sleep(10 * time.Millisecond)
+				case client.Aborted:
+					aborted.Add(1)
+				}
+			}
+		}(int64(1000 + c))
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	final, err := taskInfo(fabric, selectors[0], *task)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "papaya loadtest: final task query: %v\n", err)
+	}
+	stats := fabric.Stats()
+	run := loadRun{
+		Label:            *label,
+		Server:           *serverURL,
+		Codec:            *codec,
+		Task:             *task,
+		Mode:             string(info.Mode),
+		NumParams:        numParams,
+		Clients:          *clients,
+		TargetUploads:    *uploads,
+		CompletedUploads: completed.Load(),
+		RejectedCheckins: rejected.Load(),
+		AbortedSessions:  aborted.Load(),
+		TransportErrors:  terrors.Load(),
+		WallSeconds:      wall.Seconds(),
+		UploadsPerSecond: float64(completed.Load()) / wall.Seconds(),
+		P50Millis:        percentileMillis(latencies, 0.50),
+		P99Millis:        percentileMillis(latencies, 0.99),
+		Calls:            stats.Calls,
+		BytesSent:        stats.BytesSent,
+		BytesReceived:    stats.BytesReceived,
+		FinalVersion:     final.Version,
+		FinalUpdates:     final.Updates,
+	}
+
+	if err := writeLoadReport(*out, run); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"papaya loadtest: %d uploads in %.1fs (%.1f/s), p50 %.1fms p99 %.1fms, %d rejected, %d aborted, %.1f MB moved\n",
+		run.CompletedUploads, run.WallSeconds, run.UploadsPerSecond, run.P50Millis, run.P99Millis,
+		run.RejectedCheckins, run.AbortedSessions,
+		float64(run.BytesSent+run.BytesReceived)/1e6)
+
+	if run.CompletedUploads < int64(*uploads) {
+		fmt.Fprintf(os.Stderr, "papaya loadtest: FAIL: reached %d/%d uploads before timeout\n",
+			run.CompletedUploads, *uploads)
+		os.Exit(1)
+	}
+}
+
+// taskInfo queries a task through a selector route, like any client would.
+func taskInfo(fabric *httptransport.Fabric, selector, task string) (server.TaskInfo, error) {
+	resp, err := fabric.Call("loadtest", selector, "route", server.RouteRequest{
+		TaskID: task, Method: "task-info", Payload: task,
+	})
+	if err != nil {
+		return server.TaskInfo{}, err
+	}
+	info, ok := resp.(server.TaskInfo)
+	if !ok {
+		return server.TaskInfo{}, fmt.Errorf("task-info returned %T", resp)
+	}
+	return info, nil
+}
+
+func percentileMillis(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx]) / float64(time.Millisecond)
+}
+
+// writeLoadReport appends the run to an existing report at path (or starts
+// a fresh one), so multi-mode measurements accumulate in one document.
+func writeLoadReport(path string, run loadRun) error {
+	rep := loadReport{CreatedUnix: time.Now().Unix()}
+	if path != "-" {
+		if raw, err := os.ReadFile(path); err == nil {
+			if json.Unmarshal(raw, &rep) != nil {
+				// Unreadable prior report: start over rather than refuse.
+				rep = loadReport{CreatedUnix: time.Now().Unix()}
+			}
+		}
+	}
+	rep.Runs = append(rep.Runs, run)
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

@@ -10,6 +10,13 @@
 //	papaya sim [flags]                 run one training simulation
 //	papaya bench [flags]               benchmark the parallel engine, emit JSON
 //	papaya secagg-demo                 narrated secure aggregation run
+//	papaya serve [flags]               run the control plane over HTTP
+//	papaya agent [flags]               run a remote aggregator joining a coordinator
+//	papaya loadtest [flags]            drive concurrent clients against a live server
+//
+// serve/agent/loadtest make the Section 4 control plane deployable as real
+// OS processes over the HTTP transport; see docs/DEPLOYMENT.md for the
+// multi-process quickstart and the full flag reference.
 //
 // Flags for experiments:
 //
@@ -63,6 +70,12 @@ func main() {
 		runSim(args)
 	case "bench":
 		runBench(args)
+	case "serve":
+		runServe(args)
+	case "agent":
+		runAgent(args)
+	case "loadtest":
+		runLoadtest(args)
 	case "secagg-demo":
 		secaggDemo()
 	case "help", "-h", "--help":
@@ -86,6 +99,9 @@ func usage() {
   papaya all  [-scale small|paper] [-markdown]
   papaya sim  [-algo async|sync] [-concurrency N] [-goal K] [-overselect F] [-updates N] [-seed S] [-scale small|paper] [-workers W] [-shards K]
   papaya bench [-o FILE] [-workers 1,2,4] [-scale small|paper] [-updates N] [-concurrency N] [-goal K] [-seed S] [-gotest]
+  papaya serve [-listen H:P] [-codec gob|json] [-aggregators N] [-selectors M] [-task ID] [-mode async|sync] [-params N] [-concurrency N] [-goal K] [-secagg]
+  papaya agent -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json]
+  papaya loadtest [-server URL] [-clients K] [-uploads N] [-codec gob|json] [-o FILE]
   papaya secagg-demo`)
 }
 

@@ -162,8 +162,9 @@ type Runtime struct {
 	Exec Executor
 	// Net and Selectors connect the device to the service; selectors are
 	// tried in order on failure (Appendix E.4 "clients retry through a
-	// different selector").
-	Net       *transport.Network
+	// different selector"). Any transport.Fabric works: the in-memory
+	// Network in tests, the HTTP backend against a live deployment.
+	Net       transport.Fabric
 	Selectors []string
 	// State is the current device condition.
 	State DeviceState

@@ -1,13 +1,18 @@
 package secagg
 
 import (
+	"bytes"
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
 	"errors"
 	"fmt"
 
 	"repro/internal/attest"
 	"repro/internal/dh"
 	"repro/internal/merklelog"
+	"repro/internal/tee"
 )
 
 // The wire encodings below are deliberately hand-rolled: every byte that
@@ -48,6 +53,83 @@ type Upload struct {
 	Masked     []uint32 // one-time-padded fixed-point update
 	Completing []byte   // DH completing message
 	EncSeed    []byte   // AES-GCM sealed mask seed
+}
+
+// --- deployment recipe serialization (transport wire format) ---
+//
+// A Deployment holds host-local trust anchors — the live enclave, the
+// hardware attestation root, the verifiable log. None of those can
+// meaningfully cross a process boundary (an enclave does not serialize, and
+// shipping a private attestation key would defeat its purpose). What a task
+// spec carries over the network is therefore a *recipe*: the public
+// protocol parameters. The receiving host launches a fresh TSA from the
+// recipe, and clients pick up that host's trust material through the normal
+// report path (ReportResponse.SecAggTrust), so every deployment stays
+// self-consistent. This mirrors the paper's operational reality: each
+// Aggregator host runs its own enclave (Section 5, Appendix C).
+
+// wireBinary is the trusted binary a recipe-reconstructed TSA is built
+// from. In this simulation the binary's content only feeds the measurement
+// clients verify against the deployment's own log, so a fixed label keeps
+// reconstructed deployments self-consistent.
+var wireBinary = []byte("papaya-tsa-binary-wire/v1")
+
+type deploymentRecipe struct {
+	Params Params
+}
+
+// Live returns a deployment ready to serve: d itself when its enclave is
+// running, otherwise a fresh local launch from the recipe. Decoding is
+// deliberately inert — task specs ride every heartbeat, and decoding a
+// report must not launch enclaves — so the host that actually *places* a
+// task (server.Aggregator) calls Live once at placement time.
+func (d *Deployment) Live() (*Deployment, error) {
+	if d.Enclave != nil {
+		return d, nil
+	}
+	nd, err := NewDeployment(d.Params, wireBinary, tee.DefaultCostModel(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: launching deployment from wire recipe: %w", err)
+	}
+	return nd, nil
+}
+
+// GobEncode implements gob.GobEncoder: only the parameter recipe crosses
+// the wire (see the recipe comment above).
+func (d *Deployment) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(deploymentRecipe{Params: d.Params}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder: the result is an inert recipe
+// (Params only); call Live before serving traffic from it.
+func (d *Deployment) GobDecode(b []byte) error {
+	var r deploymentRecipe
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return err
+	}
+	*d = Deployment{Params: r.Params}
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler with the same recipe semantics as
+// GobEncode.
+func (d *Deployment) MarshalJSON() ([]byte, error) {
+	return json.Marshal(deploymentRecipe{Params: d.Params})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with the same inert-recipe
+// semantics as GobDecode.
+func (d *Deployment) UnmarshalJSON(b []byte) error {
+	var r deploymentRecipe
+	if err := json.Unmarshal(b, &r); err != nil {
+		return err
+	}
+	*d = Deployment{Params: r.Params}
+	return nil
 }
 
 // --- enclave boundary payload encodings ---

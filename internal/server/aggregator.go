@@ -47,11 +47,21 @@ type taskState struct {
 	roundReceived int
 }
 
-func newTaskState(req AssignTaskRequest) *taskState {
+func newTaskState(req AssignTaskRequest) (*taskState, error) {
 	spec := req.Spec
 	shards := spec.AggShards
 	if shards == 0 {
 		shards = 8
+	}
+	if spec.SecAgg != nil {
+		// A spec that crossed the wire carries an inert deployment recipe;
+		// placement is where this host launches its own enclave from it
+		// (Section 5 — each aggregator host runs its own TSA).
+		live, err := spec.SecAgg.Live()
+		if err != nil {
+			return nil, err
+		}
+		spec.SecAgg = live
 	}
 	ts := &taskState{
 		spec:     spec,
@@ -70,35 +80,42 @@ func newTaskState(req AssignTaskRequest) *taskState {
 	if spec.SecAgg != nil {
 		ts.secAgg = spec.SecAgg.NewAggregator()
 	}
-	return ts
+	return ts, nil
 }
 
 // Aggregator is a production aggregation node. One Aggregator executes many
 // tasks; every task is assigned to exactly one Aggregator (Section 4).
 type Aggregator struct {
 	name    string
-	net     *transport.Network
+	net     transport.Fabric
 	coord   string
 	timings Timings
 
 	mu    sync.Mutex
 	tasks map[string]*taskState
+	// lastCkptVersion tracks, per task, the model version whose checkpoint
+	// the coordinator last acknowledged, so heartbeats ship the (possibly
+	// large) model only when it moved; beats drives the periodic re-send
+	// that covers coordinator restarts (Appendix E.4 recovery).
+	lastCkptVersion map[string]int
+	beats           uint64
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 }
 
-// NewAggregator registers an aggregator node on the network and starts its
-// heartbeat loop toward the coordinator.
-func NewAggregator(name string, net *transport.Network, coordinator string, timings Timings) *Aggregator {
+// NewAggregator registers an aggregator node on the fabric and starts its
+// heartbeat loop toward the coordinator (Section 6.2).
+func NewAggregator(name string, net transport.Fabric, coordinator string, timings Timings) *Aggregator {
 	a := &Aggregator{
-		name:    name,
-		net:     net,
-		coord:   coordinator,
-		timings: timings,
-		tasks:   make(map[string]*taskState),
-		stop:    make(chan struct{}),
+		name:            name,
+		net:             net,
+		coord:           coordinator,
+		timings:         timings,
+		tasks:           make(map[string]*taskState),
+		lastCkptVersion: make(map[string]int),
+		stop:            make(chan struct{}),
 	}
 	net.Register(name, a.handle)
 	a.wg.Add(1)
@@ -182,7 +199,11 @@ func (a *Aggregator) assignTask(req AssignTaskRequest) (any, error) {
 			return true, nil // idempotent re-assignment
 		}
 	}
-	a.tasks[req.Spec.ID] = newTaskState(req)
+	ts, err := newTaskState(req)
+	if err != nil {
+		return nil, fmt.Errorf("aggregator %s: placing task %q: %w", a.name, req.Spec.ID, err)
+	}
+	a.tasks[req.Spec.ID] = ts
 	return true, nil
 }
 
@@ -190,6 +211,7 @@ func (a *Aggregator) dropTask(taskID string) (any, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	delete(a.tasks, taskID)
+	delete(a.lastCkptVersion, taskID)
 	return true, nil
 }
 
@@ -436,12 +458,21 @@ func (a *Aggregator) serverStepLocked(ts *taskState) error {
 	return nil
 }
 
-// taskInfo returns (version, updates, active) for tests and the CLI.
+// TaskInfo is the "task-info" response: a task's observable state (model
+// version, accepted client updates per Section 6.3's buffered aggregation,
+// live sessions) for tests, operators, and the loadtest driver.
 type TaskInfo struct {
+	// Version is the server model version (increments per server step).
 	Version int
+	// Updates counts accepted client updates since placement.
 	Updates int64
-	Active  int
-	Params  []float32
+	// Active is the number of open virtual sessions (Section 6.1).
+	Active int
+	// Params is a snapshot of the current server model.
+	Params []float32
+	// Mode is the task's current aggregation mode (Appendix E.3 switches
+	// it at runtime).
+	Mode core.Algorithm
 }
 
 func (a *Aggregator) taskInfo(taskID string) (any, error) {
@@ -456,6 +487,7 @@ func (a *Aggregator) taskInfo(taskID string) (any, error) {
 		Updates: ts.updates,
 		Active:  len(ts.sessions),
 		Params:  vecf.Clone(ts.params),
+		Mode:    ts.spec.Mode,
 	}, nil
 }
 
@@ -478,18 +510,30 @@ func (a *Aggregator) heartbeatLoop() {
 
 func (a *Aggregator) sendReport() {
 	report := AggReport{Aggregator: a.name, Tasks: make(map[string]TaskReport)}
+	// Checkpoints are the expensive part of a report (a full model clone,
+	// and over the HTTP fabric a full model transfer): ship one only when
+	// the version moved past what the coordinator acknowledged, plus a
+	// periodic refresh so a restarted coordinator repopulates its
+	// checkpoint table within a few beats (E.4 recovery).
+	ckptSent := make(map[string]int)
 	a.mu.Lock()
+	a.beats++
+	refresh := a.beats%8 == 0
 	for id, ts := range a.tasks {
 		ts.mu.Lock()
-		report.Tasks[id] = TaskReport{
+		tr := TaskReport{
 			Spec:          ts.spec,
 			Seq:           ts.seq,
 			ActiveClients: len(ts.sessions),
 			Demand:        ts.spec.Concurrency - len(ts.sessions),
 			Version:       ts.version,
 			Updates:       ts.updates,
-			Checkpoint:    vecf.Clone(ts.params),
 		}
+		if acked, ok := a.lastCkptVersion[id]; refresh || !ok || acked != ts.version {
+			tr.Checkpoint = vecf.Clone(ts.params)
+			ckptSent[id] = ts.version
+		}
+		report.Tasks[id] = tr
 		ts.mu.Unlock()
 	}
 	a.mu.Unlock()
@@ -498,6 +542,11 @@ func (a *Aggregator) sendReport() {
 	if err != nil {
 		return // coordinator unreachable; keep executing last assignments (E.4)
 	}
+	a.mu.Lock()
+	for id, v := range ckptSent {
+		a.lastCkptVersion[id] = v
+	}
+	a.mu.Unlock()
 	if directive, ok := resp.(AggDirective); ok {
 		for _, id := range directive.DropTasks {
 			_, _ = a.dropTask(id)

@@ -13,20 +13,21 @@ import (
 	"repro/internal/secagg"
 	"repro/internal/server"
 	"repro/internal/tee"
-	"repro/internal/transport"
 )
 
 // TestChunkedUpload forces a tiny chunk size so a single model update spans
 // many chunks, exercising the reassembly path on both the plaintext and
 // SecAgg uploads.
-func TestChunkedUpload(t *testing.T) {
+func TestChunkedUpload(t *testing.T) { forEachFabric(t, testChunkedUpload) }
+
+func testChunkedUpload(t *testing.T, fx fabricFactory) {
 	for _, useSecAgg := range []bool{false, true} {
 		name := "plain"
 		if useSecAgg {
 			name = "secagg"
 		}
 		t.Run(name, func(t *testing.T) {
-			net := transport.NewNetwork(5)
+			net := fx.make(t, 5)
 			coord := server.NewCoordinator("coordinator", net, testTimings(), 7, false)
 			defer coord.Stop()
 			agg := server.NewAggregator("agg", net, "coordinator", testTimings())
@@ -99,8 +100,10 @@ func TestChunkedUpload(t *testing.T) {
 }
 
 // TestChunkOutOfBoundsRejected guards the reassembly buffer.
-func TestChunkOutOfBoundsRejected(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestChunkOutOfBoundsRejected(t *testing.T) { forEachFabric(t, testChunkOutOfBoundsRejected) }
+
+func testChunkOutOfBoundsRejected(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("oob", w.model, core.Async, 2, 1)
 	w.createTask(spec)
 	resp, _ := w.net.Call("test", selName(0), "checkin", server.CheckinRequest{
@@ -120,8 +123,10 @@ func TestChunkOutOfBoundsRejected(t *testing.T) {
 }
 
 // TestIncompleteUploadRejected: a Done chunk without full coverage fails.
-func TestIncompleteUploadRejected(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestIncompleteUploadRejected(t *testing.T) { forEachFabric(t, testIncompleteUploadRejected) }
+
+func testIncompleteUploadRejected(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("short", w.model, core.Async, 2, 1)
 	w.createTask(spec)
 	resp, _ := w.net.Call("test", selName(0), "checkin", server.CheckinRequest{

@@ -1,0 +1,50 @@
+package server_test
+
+// The transport conformance suite: every integration, reconfiguration,
+// multi-tenant, and chunk-reassembly test in this package runs twice — once
+// over the deterministic in-memory transport.Network and once over real
+// HTTP via transport/httptransport — so the networked backend inherits the
+// full Appendix E.3/E.4 behaviour matrix (failover, recovery, routing,
+// mode switches) already proven on the in-memory fabric. Test bodies are
+// shared verbatim; only the fabric construction is parameterized.
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/httptransport"
+)
+
+// testFabric is what the suite needs from a backend: the RPC surface the
+// components use plus the fault-injection surface the failure drills use.
+type testFabric interface {
+	transport.Fabric
+	transport.FaultInjector
+}
+
+// fabricFactory builds one backend under test.
+type fabricFactory struct {
+	name string
+	make func(t *testing.T, seed int64) testFabric
+}
+
+var fabricFactories = []fabricFactory{
+	{name: "inmem", make: func(t *testing.T, seed int64) testFabric {
+		return transport.NewNetwork(seed)
+	}},
+	{name: "http", make: func(t *testing.T, seed int64) testFabric {
+		f, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Seed: seed})
+		if err != nil {
+			t.Fatalf("starting http fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
+}
+
+// forEachFabric runs a conformance test body once per backend.
+func forEachFabric(t *testing.T, run func(t *testing.T, fx fabricFactory)) {
+	for _, fx := range fabricFactories {
+		t.Run(fx.name, func(t *testing.T) { run(t, fx) })
+	}
+}

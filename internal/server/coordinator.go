@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,13 @@ import (
 
 	"repro/internal/transport"
 )
+
+// ErrNoLiveAggregators is returned by create-task when placement is
+// impossible because no aggregator has registered. Its message is part of
+// the wire contract: application errors cross the HTTP fabric as text, so
+// remote callers (e.g. `papaya serve -aggregators 0` waiting for agents)
+// match on this exact string.
+var ErrNoLiveAggregators = errors.New("coordinator: no live aggregators")
 
 // Coordinator is the singleton control node (Section 4): it places tasks on
 // Aggregators, pools demand, assigns clients to tasks, and drives failure
@@ -17,7 +25,7 @@ import (
 // reports").
 type Coordinator struct {
 	name    string
-	net     *transport.Network
+	net     transport.Fabric
 	timings Timings
 	rnd     *rand.Rand
 
@@ -38,11 +46,11 @@ type Coordinator struct {
 	wg       sync.WaitGroup
 }
 
-// NewCoordinator registers the coordinator on the network and starts its
+// NewCoordinator registers the coordinator on the fabric and starts its
 // failure-detection loop. recovery=true models a restarted coordinator: it
 // serves no client assignments until the recovery period elapses, while
-// aggregator reports repopulate its state.
-func NewCoordinator(name string, net *transport.Network, timings Timings, seed int64, recovery bool) *Coordinator {
+// aggregator reports repopulate its state (Appendix E.4).
+func NewCoordinator(name string, net transport.Fabric, timings Timings, seed int64, recovery bool) *Coordinator {
 	c := &Coordinator{
 		name:        name,
 		net:         net,
@@ -112,7 +120,7 @@ func (c *Coordinator) createTask(spec TaskSpec) (any, error) {
 	target := c.leastLoadedLocked()
 	if target == "" {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("coordinator: no live aggregators")
+		return nil, ErrNoLiveAggregators
 	}
 	c.specs[spec.ID] = spec
 	asg := Assignment{TaskID: spec.ID, Aggregator: target, Seq: 1}

@@ -28,19 +28,19 @@ func testTimings() server.Timings {
 	}
 }
 
-// world is a full control plane plus a device fleet.
+// world is a full control plane plus a device fleet, on any fabric backend.
 type world struct {
 	t     *testing.T
-	net   *transport.Network
+	net   testFabric
 	coord *server.Coordinator
 	aggs  []*server.Aggregator
 	sels  []*server.Selector
 	model nn.Model
 }
 
-func newWorld(t *testing.T, nAggs, nSels int) *world {
+func newWorld(t *testing.T, fx fabricFactory, nAggs, nSels int) *world {
 	t.Helper()
-	w := &world{t: t, net: transport.NewNetwork(1), model: nn.NewBilinear(16, 4)}
+	w := &world{t: t, net: fx.make(t, 1), model: nn.NewBilinear(16, 4)}
 	w.coord = NewTestCoordinator(w.net)
 	for i := 0; i < nAggs; i++ {
 		name := agName(i)
@@ -65,7 +65,7 @@ func newWorld(t *testing.T, nAggs, nSels int) *world {
 	return w
 }
 
-func NewTestCoordinator(net *transport.Network) *server.Coordinator {
+func NewTestCoordinator(net transport.Fabric) *server.Coordinator {
 	return server.NewCoordinator("coordinator", net, testTimings(), 7, false)
 }
 
@@ -152,8 +152,10 @@ func (w *world) driveTraining(taskID string, corpus *lmdata.Corpus, devices, tar
 	return server.TaskInfo{}
 }
 
-func TestEndToEndAsyncTraining(t *testing.T) {
-	w := newWorld(t, 2, 2)
+func TestEndToEndAsyncTraining(t *testing.T) { forEachFabric(t, testEndToEndAsyncTraining) }
+
+func testEndToEndAsyncTraining(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 2, 2)
 	corpus := lmdata.NewCorpus(lmdata.Config{
 		VocabSize: 16, NumDialects: 4, Seed: 3,
 		SeqLenMin: 5, SeqLenMax: 9, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
@@ -174,8 +176,10 @@ func TestEndToEndAsyncTraining(t *testing.T) {
 	}
 }
 
-func TestMaxConcurrencyEnforced(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestMaxConcurrencyEnforced(t *testing.T) { forEachFabric(t, testMaxConcurrencyEnforced) }
+
+func testMaxConcurrencyEnforced(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("tight", w.model, core.Async, 2, 100)
 	w.createTask(spec)
 
@@ -196,8 +200,10 @@ func TestMaxConcurrencyEnforced(t *testing.T) {
 	}
 }
 
-func TestCapabilityGating(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestCapabilityGating(t *testing.T) { forEachFabric(t, testCapabilityGating) }
+
+func testCapabilityGating(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("caps", w.model, core.Async, 4, 2)
 	spec.Capability = "gpu"
 	w.createTask(spec)
@@ -219,8 +225,10 @@ func TestCapabilityGating(t *testing.T) {
 	}
 }
 
-func TestAggregatorFailover(t *testing.T) {
-	w := newWorld(t, 2, 1)
+func TestAggregatorFailover(t *testing.T) { forEachFabric(t, testAggregatorFailover) }
+
+func testAggregatorFailover(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 2, 1)
 	corpus := lmdata.NewCorpus(lmdata.Config{
 		VocabSize: 16, NumDialects: 4, Seed: 3,
 		SeqLenMin: 5, SeqLenMax: 9, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
@@ -265,8 +273,10 @@ func TestAggregatorFailover(t *testing.T) {
 	}
 }
 
-func TestCoordinatorRecovery(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestCoordinatorRecovery(t *testing.T) { forEachFabric(t, testCoordinatorRecovery) }
+
+func testCoordinatorRecovery(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("recovery", w.model, core.Async, 4, 2)
 	w.createTask(spec)
 
@@ -295,7 +305,11 @@ func TestCoordinatorRecovery(t *testing.T) {
 }
 
 func TestSyncModeRoundClosesAndAborts(t *testing.T) {
-	w := newWorld(t, 1, 1)
+	forEachFabric(t, testSyncModeRoundClosesAndAborts)
+}
+
+func testSyncModeRoundClosesAndAborts(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("sync-task", w.model, core.Sync, 3, 2)
 	w.createTask(spec)
 
@@ -348,8 +362,10 @@ func TestSyncModeRoundClosesAndAborts(t *testing.T) {
 	}
 }
 
-func TestMaxStalenessAbortsUpload(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestMaxStalenessAbortsUpload(t *testing.T) { forEachFabric(t, testMaxStalenessAbortsUpload) }
+
+func testMaxStalenessAbortsUpload(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("stale-task", w.model, core.Async, 10, 1)
 	spec.MaxStaleness = 1
 	w.createTask(spec)
@@ -418,13 +434,17 @@ func (f fixedExecutor) Train(params []float32, examples [][]int) ([]float32, flo
 }
 
 func TestSecAggMatchesPlaintextAggregation(t *testing.T) {
+	forEachFabric(t, testSecAggMatchesPlaintextAggregation)
+}
+
+func testSecAggMatchesPlaintextAggregation(t *testing.T, fx fabricFactory) {
 	const dim = 30
 	model := nn.NewBilinear(5, 3) // NumParams = 2*5*3+5 = 35
 	numParams := model.NumParams()
 	_ = dim
 
 	runWorld := func(useSecAgg bool) []float32 {
-		net := transport.NewNetwork(3)
+		net := fx.make(t, 3)
 		coord := server.NewCoordinator("coordinator", net, testTimings(), 7, false)
 		defer coord.Stop()
 		agg := server.NewAggregator("agg", net, "coordinator", testTimings())
@@ -505,8 +525,10 @@ func TestSecAggMatchesPlaintextAggregation(t *testing.T) {
 	}
 }
 
-func TestSelectorFailover(t *testing.T) {
-	w := newWorld(t, 1, 2)
+func TestSelectorFailover(t *testing.T) { forEachFabric(t, testSelectorFailover) }
+
+func testSelectorFailover(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 2)
 	spec := lmSpec("sel-failover", w.model, core.Async, 4, 1)
 	w.createTask(spec)
 
@@ -528,7 +550,11 @@ func TestSelectorFailover(t *testing.T) {
 }
 
 func TestCheckinRejectedWhenNoDemand(t *testing.T) {
-	w := newWorld(t, 1, 1)
+	forEachFabric(t, testCheckinRejectedWhenNoDemand)
+}
+
+func testCheckinRejectedWhenNoDemand(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	// No tasks at all.
 	resp, err := w.net.Call("test", selName(0), "checkin", server.CheckinRequest{
 		ClientID: 1, Capabilities: []string{"lm"},
@@ -541,8 +567,10 @@ func TestCheckinRejectedWhenNoDemand(t *testing.T) {
 	}
 }
 
-func TestDuplicateTaskRejected(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestDuplicateTaskRejected(t *testing.T) { forEachFabric(t, testDuplicateTaskRejected) }
+
+func testDuplicateTaskRejected(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("dup", w.model, core.Async, 2, 1)
 	w.createTask(spec)
 	if _, err := w.net.Call("test", "coordinator", "create-task", spec); err == nil {

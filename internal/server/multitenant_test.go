@@ -14,7 +14,11 @@ import (
 // exercise demand-driven assignment across tenants.
 
 func TestMultiTenantAssignmentSpreadsClients(t *testing.T) {
-	w := newWorld(t, 2, 1)
+	forEachFabric(t, testMultiTenantAssignmentSpreadsClients)
+}
+
+func testMultiTenantAssignmentSpreadsClients(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 2, 1)
 	specA := lmSpec("tenant-a", w.model, core.Async, 3, 2)
 	specB := lmSpec("tenant-b", w.model, core.Async, 3, 2)
 	w.createTask(specA)
@@ -62,7 +66,11 @@ func TestMultiTenantAssignmentSpreadsClients(t *testing.T) {
 }
 
 func TestMultiTenantCapabilityIsolation(t *testing.T) {
-	w := newWorld(t, 1, 1)
+	forEachFabric(t, testMultiTenantCapabilityIsolation)
+}
+
+func testMultiTenantCapabilityIsolation(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	specLM := lmSpec("lm-tenant", w.model, core.Async, 2, 1)
 	specGPU := lmSpec("gpu-tenant", w.model, core.Async, 2, 1)
 	specGPU.Capability = "gpu"

@@ -48,8 +48,10 @@ func uploadOne(t *testing.T, w *world, taskID string, clientID int64) server.Upl
 
 // Appendix E.3: a task switches between SyncFL and AsyncFL via a
 // configuration change, with no restart.
-func TestRuntimeModeSwitch(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestRuntimeModeSwitch(t *testing.T) { forEachFabric(t, testRuntimeModeSwitch) }
+
+func testRuntimeModeSwitch(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	spec := lmSpec("switch", w.model, core.Sync, 4, 2)
 	w.createTask(spec)
 
@@ -103,8 +105,10 @@ func TestRuntimeModeSwitch(t *testing.T) {
 	}
 }
 
-func TestReconfigureValidation(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestReconfigureValidation(t *testing.T) { forEachFabric(t, testReconfigureValidation) }
+
+func testReconfigureValidation(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	w.createTask(lmSpec("rv", w.model, core.Sync, 4, 2))
 	if _, err := w.net.Call("test", agName(0), "reconfigure-task", server.ReconfigureRequest{
 		TaskID: "rv", Mode: "bogus", AggregationGoal: 1,
@@ -125,8 +129,10 @@ func TestReconfigureValidation(t *testing.T) {
 
 // Switching to a smaller goal with a fuller buffer must still release on the
 // next upload (the exact-equality trigger alone would miss).
-func TestSwitchWithOverfullBuffer(t *testing.T) {
-	w := newWorld(t, 1, 1)
+func TestSwitchWithOverfullBuffer(t *testing.T) { forEachFabric(t, testSwitchWithOverfullBuffer) }
+
+func testSwitchWithOverfullBuffer(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
 	w.createTask(lmSpec("overfull", w.model, core.Async, 8, 5))
 	for i := int64(0); i < 3; i++ {
 		if ur := uploadOne(t, w, "overfull", i); !ur.OK {

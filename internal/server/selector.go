@@ -16,7 +16,7 @@ import (
 // retries through a different Selector (Appendix E.4 "Client Routing").
 type Selector struct {
 	name    string
-	net     *transport.Network
+	net     transport.Fabric
 	coord   string
 	timings Timings
 
@@ -28,8 +28,9 @@ type Selector struct {
 	wg       sync.WaitGroup
 }
 
-// NewSelector registers a selector node and starts its map refresh loop.
-func NewSelector(name string, net *transport.Network, coordinator string, timings Timings) *Selector {
+// NewSelector registers a selector node on the fabric and starts its map
+// refresh loop (Appendix E.4 "Client Routing").
+func NewSelector(name string, net transport.Fabric, coordinator string, timings Timings) *Selector {
 	s := &Selector{
 		name:        name,
 		net:         net,
@@ -150,6 +151,11 @@ func (s *Selector) refreshMap() error {
 		return err
 	}
 	m := resp.(MapResponse)
+	if m.Assignments == nil {
+		// An empty map arrives as nil over wire codecs that elide empty
+		// containers (gob); learn() must still be able to write into it.
+		m.Assignments = make(map[string]Assignment)
+	}
 	s.mu.Lock()
 	s.assignments = m.Assignments
 	s.mu.Unlock()

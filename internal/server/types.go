@@ -69,7 +69,8 @@ type Assignment struct {
 
 // --- RPC payloads ---
 
-// JoinRequest asks to participate in a task.
+// JoinRequest asks to participate in a task (the selection phase handoff,
+// Section 6.1).
 type JoinRequest struct {
 	TaskID   string
 	ClientID int64
@@ -133,7 +134,8 @@ type UploadChunk struct {
 	SecAggEncSeed    []byte
 }
 
-// UploadResponse acknowledges a chunk.
+// UploadResponse acknowledges a chunk (participation stage 4; a rejection
+// carries the abort reason of Appendix E.2/E.3).
 type UploadResponse struct {
 	OK     bool
 	Reason string
@@ -147,13 +149,17 @@ type FailRequest struct {
 	SessionID uint64
 }
 
-// CheckinRequest is a client's check-in with a Selector.
+// CheckinRequest is a client's check-in with a Selector — the entry point
+// of the selection phase (Section 6.1; capabilities feed the Section 6.2
+// eligibility match).
 type CheckinRequest struct {
 	ClientID     int64
 	Capabilities []string
 }
 
-// CheckinResponse tells the client whether it was accepted and where to go.
+// CheckinResponse tells the client whether it was accepted and where to go;
+// rejection is a normal outcome ("the client will try to participate at
+// another time", Section 6.1).
 type CheckinResponse struct {
 	Accepted   bool
 	Reason     string
@@ -163,13 +169,16 @@ type CheckinResponse struct {
 	Version    int
 }
 
-// AssignClientRequest is Selector -> Coordinator.
+// AssignClientRequest is Selector -> Coordinator: pick an eligible task
+// with positive demand for this client (Section 6.2's three-step client
+// assignment).
 type AssignClientRequest struct {
 	ClientID     int64
 	Capabilities []string
 }
 
-// AssignClientResponse names the chosen task.
+// AssignClientResponse names the chosen task and its owning aggregator
+// (sequence-numbered so stale routes are detectable, Appendix E.4).
 type AssignClientResponse struct {
 	Assigned   bool
 	TaskID     string
@@ -187,7 +196,12 @@ type TaskReport struct {
 	Demand        int
 	Version       int
 	Updates       int64
-	Checkpoint    []float32 // latest model, so a failover can resume
+	// Checkpoint is the latest model, so a failover can resume. It is
+	// included when the version advanced past the coordinator's last
+	// acknowledgement (plus a periodic refresh for E.4 recovery), not on
+	// every beat — over a real network a heartbeat must not cost a full
+	// model transfer.
+	Checkpoint []float32
 }
 
 // AggReport is Aggregator -> Coordinator (heartbeat + consolidated demand,
@@ -205,7 +219,9 @@ type AggDirective struct {
 	DropTasks []string
 }
 
-// AssignTaskRequest places a task on an aggregator.
+// AssignTaskRequest places a task on an aggregator (Coordinator-owned
+// placement, Section 6.3; Checkpoint/Version restore state on failover,
+// Appendix E.4).
 type AssignTaskRequest struct {
 	Spec       TaskSpec
 	Seq        uint64
@@ -213,12 +229,15 @@ type AssignTaskRequest struct {
 	Version    int
 }
 
-// MapResponse is the full assignment map Selectors cache.
+// MapResponse is the full assignment map Selectors cache for client
+// routing (Appendix E.4 "Client Routing").
 type MapResponse struct {
 	Assignments map[string]Assignment
 }
 
-// Timings groups the control-plane intervals so tests can shrink them.
+// Timings groups the control-plane intervals (heartbeats, failure
+// deadlines, the Appendix E.4 recovery period) so tests can shrink them
+// and deployments can tune them.
 type Timings struct {
 	Heartbeat        time.Duration // aggregator report cadence
 	FailureDeadline  time.Duration // missed-report window before reassignment

@@ -1,0 +1,542 @@
+// Package httptransport is the networked transport.Fabric: the same
+// Coordinator/Aggregator/Selector control plane that runs over the
+// in-memory Network in tests serves real traffic across OS processes and
+// machines here, over plain stdlib net/http with the versioned wire codec
+// (internal/transport/wire). This is the deployment step the paper takes
+// for granted — PAPAYA's Section 4 components are data-center services —
+// and the repo's ROADMAP names as the north star.
+//
+// One Fabric instance backs one process: nodes registered locally are
+// served from this process's HTTP listener; calls to any other node are
+// routed by name through a route table (name -> peer base URL) populated
+// either statically (AddRoute) or by peers announcing themselves
+// (Advertise). Every call — even node-to-node within one process — crosses
+// the real HTTP stack, so a single-process deployment exercises exactly the
+// code paths a multi-host one does.
+//
+// The fabric also implements transport.FaultInjector with the in-memory
+// backend's semantics (crashes, partitions, probabilistic drops, fixed
+// latency), which is what lets the server conformance suite run the
+// Appendix E.4 failure drills unchanged against both backends. Injected
+// faults are per-fabric (this process's view); between real processes, a
+// dead peer surfaces as a connection error and maps onto the same
+// transport.ErrCrashed that components already retry through.
+package httptransport
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// Compile-time interface checks against the contracts in internal/transport.
+var (
+	_ transport.Fabric        = (*Fabric)(nil)
+	_ transport.FaultInjector = (*Fabric)(nil)
+)
+
+// Error kinds carried in wire.Response.Kind so transport-level failure
+// semantics survive serialization (the fault-parity contract with the
+// in-memory backend).
+const (
+	kindCrashed     = "crashed"
+	kindDropped     = "dropped"
+	kindPartitioned = "partitioned"
+	kindUnknownNode = "unknown-node"
+)
+
+const apiPrefix = "/papaya/v1"
+
+// Options configures a Fabric.
+type Options struct {
+	// Listen is the TCP listen address (e.g. "127.0.0.1:8070"; port 0
+	// picks a free port).
+	Listen string
+	// Codec selects the wire codec: "gob" (default) or "json".
+	Codec string
+	// AdvertiseURL is the base URL peers should use to reach this fabric.
+	// Defaults to "http://<bound address>", which is correct on localhost;
+	// set it explicitly when listening on 0.0.0.0 behind NAT or a proxy.
+	AdvertiseURL string
+	// Seed seeds the probabilistic-loss RNG (SetLoss); 0 is a valid seed.
+	Seed int64
+	// CallTimeout bounds one RPC end to end (default 30s). The in-memory
+	// fabric always returns, and every failover path is built on calls
+	// failing fast — a blackholed peer must surface as an error, not a
+	// stuck heartbeat loop that hangs shutdown.
+	CallTimeout time.Duration
+}
+
+// Stats counts this fabric's client-side traffic: outbound calls, request
+// bytes written and response bytes read. The loadtest reports them as
+// "bytes moved".
+type Stats struct {
+	Calls         uint64
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// Fabric is the HTTP-backed transport.Fabric for one process. It is safe
+// for concurrent use.
+type Fabric struct {
+	codec   wire.Codec
+	baseURL string
+	srv     *http.Server
+	ln      net.Listener
+	client  *http.Client
+
+	mu       sync.RWMutex
+	local    map[string]transport.Handler
+	routes   map[string]string // node name -> peer base URL
+	crashed  map[string]bool
+	cuts     map[[2]string]bool
+	lossProb float64
+	latency  time.Duration
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	calls     atomic.Uint64
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// New binds the listener and starts serving. The returned fabric is ready
+// for Register/Call immediately; Close releases the port.
+func New(opts Options) (*Fabric, error) {
+	codecName := opts.Codec
+	if codecName == "" {
+		codecName = "gob"
+	}
+	codec, err := wire.ByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("httptransport: listen %s: %w", opts.Listen, err)
+	}
+	baseURL := opts.AdvertiseURL
+	if baseURL == "" {
+		baseURL = "http://" + ln.Addr().String()
+	}
+	callTimeout := opts.CallTimeout
+	if callTimeout == 0 {
+		callTimeout = 30 * time.Second
+	}
+	f := &Fabric{
+		codec:   codec,
+		baseURL: baseURL,
+		ln:      ln,
+		local:   make(map[string]transport.Handler),
+		routes:  make(map[string]string),
+		crashed: make(map[string]bool),
+		cuts:    make(map[[2]string]bool),
+		rnd:     rand.New(rand.NewSource(opts.Seed)),
+		client: &http.Client{
+			// One client per fabric with a generous idle pool: the control
+			// plane makes many small concurrent calls to few hosts, the
+			// worst case for net/http's default 2-per-host idle cap.
+			Transport: &http.Transport{MaxIdleConnsPerHost: 64, MaxIdleConns: 256},
+			Timeout:   callTimeout,
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+apiPrefix+"/rpc/{node}", f.handleRPC)
+	mux.HandleFunc("GET "+apiPrefix+"/nodes", f.handleNodes)
+	mux.HandleFunc("POST "+apiPrefix+"/advertise", f.handleAdvertise)
+	f.srv = &http.Server{Handler: mux}
+	go func() { _ = f.srv.Serve(ln) }()
+	return f, nil
+}
+
+// BaseURL returns the URL peers use to reach this fabric.
+func (f *Fabric) BaseURL() string { return f.baseURL }
+
+// CodecName returns the active wire codec's name.
+func (f *Fabric) CodecName() string { return f.codec.Name() }
+
+// Stats returns a snapshot of the client-side traffic counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		Calls:         f.calls.Load(),
+		BytesSent:     f.bytesSent.Load(),
+		BytesReceived: f.bytesRecv.Load(),
+	}
+}
+
+// Close stops serving and closes idle connections. It is idempotent.
+func (f *Fabric) Close() error {
+	var err error
+	f.closeOnce.Do(func() {
+		err = f.srv.Close()
+		f.client.CloseIdleConnections()
+	})
+	return err
+}
+
+// Register attaches a node served from this process. Re-registering a name
+// replaces its handler and clears any crash marker (a restarted process).
+func (f *Fabric) Register(name string, h transport.Handler) {
+	if h == nil {
+		panic("httptransport: nil handler")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.local[name] = h
+	delete(f.crashed, name)
+}
+
+// Unregister detaches a locally served node.
+func (f *Fabric) Unregister(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.local, name)
+}
+
+// AddRoute teaches this fabric that node lives at a peer fabric's base URL.
+func (f *Fabric) AddRoute(node, baseURL string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes[node] = baseURL
+}
+
+// Nodes returns the locally served, non-crashed node names, sorted.
+func (f *Fabric) Nodes() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.local))
+	for name := range f.local {
+		if !f.crashed[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- transport.FaultInjector ---
+
+// Crash marks a node as crashed: calls to and from it fail with ErrCrashed
+// until it re-registers. Per-fabric, like every injected fault.
+func (f *Fabric) Crash(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashed[name] = true
+}
+
+// Partition cuts connectivity between a and b (both directions).
+func (f *Fabric) Partition(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cuts[cutKey(a, b)] = true
+}
+
+// Heal restores connectivity between a and b.
+func (f *Fabric) Heal(a, b string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.cuts, cutKey(a, b))
+}
+
+// SetLoss sets the independent per-call drop probability.
+func (f *Fabric) SetLoss(p float64) {
+	if p < 0 || p >= 1 {
+		panic("httptransport: loss probability must be in [0, 1)")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossProb = p
+}
+
+// SetLatency sets a fixed one-way call latency added on top of the real
+// network's.
+func (f *Fabric) SetLatency(d time.Duration) {
+	if d < 0 {
+		panic("httptransport: negative latency")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.latency = d
+}
+
+func cutKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// --- client side ---
+
+// Call implements transport.Fabric: fault checks mirror the in-memory
+// Network's order (unknown node, crashed callee, crashed caller, partition,
+// loss, latency), then one HTTP POST to wherever the callee lives — through
+// the loopback listener when it is this same process, so every call
+// exercises the full wire path.
+func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
+	f.mu.RLock()
+	_, isLocal := f.local[to]
+	route := f.routes[to]
+	crashedTo := f.crashed[to]
+	crashedFrom := f.crashed[from]
+	cut := f.cuts[cutKey(from, to)]
+	loss := f.lossProb
+	latency := f.latency
+	f.mu.RUnlock()
+
+	target := route
+	if isLocal {
+		target = f.baseURL
+	}
+	if target == "" {
+		return nil, fmt.Errorf("%w: %s", transport.ErrUnknownNode, to)
+	}
+	if crashedTo {
+		return nil, fmt.Errorf("%w: %s", transport.ErrCrashed, to)
+	}
+	if crashedFrom {
+		return nil, fmt.Errorf("%w: %s (sender)", transport.ErrCrashed, from)
+	}
+	if cut {
+		return nil, fmt.Errorf("%w: %s <-> %s", transport.ErrPartitioned, from, to)
+	}
+	if loss > 0 {
+		f.rndMu.Lock()
+		drop := f.rnd.Float64() < loss
+		f.rndMu.Unlock()
+		if drop {
+			return nil, fmt.Errorf("%w: %s -> %s %s", transport.ErrDropped, from, to, method)
+		}
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+
+	body, err := f.codec.EncodeRequest(&wire.Request{From: from, Method: method, Payload: payload})
+	if err != nil {
+		return nil, fmt.Errorf("httptransport: encoding %s call to %s: %w", method, to, err)
+	}
+	f.calls.Add(1)
+	f.bytesSent.Add(uint64(len(body)))
+	httpResp, err := f.client.Post(target+apiPrefix+"/rpc/"+url.PathEscape(to),
+		f.codec.ContentType(), bytes.NewReader(body))
+	if err != nil {
+		// Connection-level failure: the peer process is gone or unreachable
+		// — the networked equivalent of a crashed node.
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
+	}
+	raw, err := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: reading response: %v", transport.ErrCrashed, to, err)
+	}
+	f.bytesRecv.Add(uint64(len(raw)))
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("httptransport: %s returned HTTP %d: %s", to, httpResp.StatusCode, raw)
+	}
+	resp, err := f.codec.DecodeResponse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("httptransport: decoding response from %s: %w", to, err)
+	}
+	if resp.Kind != "" {
+		return nil, kindToError(resp.Kind, resp.Err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Payload, nil
+}
+
+// kindToError rebuilds the sentinel transport errors from a wire response
+// so errors.Is works identically on both fabrics (fault parity).
+func kindToError(kind, msg string) error {
+	switch kind {
+	case kindCrashed:
+		return fmt.Errorf("%w: %s", transport.ErrCrashed, msg)
+	case kindDropped:
+		return fmt.Errorf("%w: %s", transport.ErrDropped, msg)
+	case kindPartitioned:
+		return fmt.Errorf("%w: %s", transport.ErrPartitioned, msg)
+	case kindUnknownNode:
+		return fmt.Errorf("%w: %s", transport.ErrUnknownNode, msg)
+	default:
+		return fmt.Errorf("httptransport: %s: %s", kind, msg)
+	}
+}
+
+// errorToKind classifies a handler error for the wire; the inverse of
+// kindToError. Application errors ship with an empty kind.
+func errorToKind(err error) string {
+	switch {
+	case errors.Is(err, transport.ErrCrashed):
+		return kindCrashed
+	case errors.Is(err, transport.ErrDropped):
+		return kindDropped
+	case errors.Is(err, transport.ErrPartitioned):
+		return kindPartitioned
+	case errors.Is(err, transport.ErrUnknownNode):
+		return kindUnknownNode
+	default:
+		return ""
+	}
+}
+
+// --- server side ---
+
+func (f *Fabric) respond(w http.ResponseWriter, resp *wire.Response) {
+	body, err := f.codec.EncodeResponse(resp)
+	if err != nil {
+		// Encoding an already-handled response failed (unregistered return
+		// type): surface it as an application error instead of silence.
+		body, err = f.codec.EncodeResponse(&wire.Response{Err: "httptransport: encoding response: " + err.Error()})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", f.codec.ContentType())
+	_, _ = w.Write(body)
+}
+
+func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
+	node := r.PathValue("node")
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	req, err := f.codec.DecodeRequest(raw)
+	if err != nil {
+		// Includes version mismatches: a frame from an incompatible build
+		// fails loudly here (wire versioning rule 1).
+		http.Error(w, "decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	f.mu.RLock()
+	h, ok := f.local[node]
+	crashed := f.crashed[node]
+	cut := f.cuts[cutKey(req.From, node)]
+	f.mu.RUnlock()
+
+	switch {
+	case !ok:
+		f.respond(w, &wire.Response{Kind: kindUnknownNode, Err: node})
+	case crashed:
+		f.respond(w, &wire.Response{Kind: kindCrashed, Err: node})
+	case cut:
+		f.respond(w, &wire.Response{Kind: kindPartitioned, Err: req.From + " <-> " + node})
+	default:
+		out, err := safeInvoke(h, req.Method, req.Payload)
+		if err != nil {
+			f.respond(w, &wire.Response{Kind: errorToKind(err), Err: err.Error()})
+			return
+		}
+		f.respond(w, &wire.Response{Payload: out})
+	}
+}
+
+// safeInvoke contains handler panics. In-memory callers are trusted code,
+// but network peers are not: a well-formed frame carrying the wrong
+// registered type for a method would otherwise panic the handler's type
+// assertion — a remote crash lever. The panic becomes an ordinary
+// application error on the wire.
+func safeInvoke(h transport.Handler, method string, payload any) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("httptransport: handler panic on %q: %v", method, r)
+		}
+	}()
+	return h(method, payload)
+}
+
+// nodesDoc is the GET /nodes body: which nodes a fabric serves, and where.
+type nodesDoc struct {
+	BaseURL string   `json:"base_url"`
+	Nodes   []string `json:"nodes"`
+}
+
+func (f *Fabric) handleNodes(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(nodesDoc{BaseURL: f.baseURL, Nodes: f.Nodes()})
+}
+
+func (f *Fabric) handleAdvertise(w http.ResponseWriter, r *http.Request) {
+	var doc nodesDoc
+	if err := json.NewDecoder(r.Body).Decode(&doc); err != nil {
+		http.Error(w, "decoding advertisement: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if doc.BaseURL == "" {
+		http.Error(w, "advertisement missing base_url", http.StatusBadRequest)
+		return
+	}
+	for _, node := range doc.Nodes {
+		f.AddRoute(node, doc.BaseURL)
+	}
+	f.handleNodes(w, r)
+}
+
+// Advertise announces this fabric's locally served nodes to the peer fabric
+// at peerURL, so the peer can route calls back here (an agent process
+// announcing its Aggregator to the coordinator process), and returns the
+// peer's own node list for symmetric route setup.
+func (f *Fabric) Advertise(peerURL string) ([]string, error) {
+	body, err := json.Marshal(nodesDoc{BaseURL: f.baseURL, Nodes: f.Nodes()})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := f.client.Post(peerURL+apiPrefix+"/advertise", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("httptransport: advertising to %s: %w", peerURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("httptransport: advertise to %s: HTTP %d: %s", peerURL, resp.StatusCode, msg)
+	}
+	var doc nodesDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	for _, node := range doc.Nodes {
+		f.AddRoute(node, doc.BaseURL)
+	}
+	return doc.Nodes, nil
+}
+
+// ListNodes fetches the node inventory of the fabric at baseURL — how a
+// loadtest or agent process discovers selector and coordinator names
+// without out-of-band configuration.
+func ListNodes(baseURL string) ([]string, error) {
+	resp, err := http.Get(baseURL + apiPrefix + "/nodes")
+	if err != nil {
+		return nil, fmt.Errorf("httptransport: listing nodes at %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("httptransport: list nodes at %s: HTTP %d: %s", baseURL, resp.StatusCode, msg)
+	}
+	var doc nodesDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Nodes, nil
+}

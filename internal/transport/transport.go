@@ -1,9 +1,13 @@
-// Package transport is the in-memory RPC fabric connecting the
-// production-style PAPAYA components (Coordinator, Selectors, Aggregators,
-// clients). It stands in for the data-center network: synchronous
-// request/response calls with injectable latency, message loss, partitions,
-// and node crashes, so the failure-recovery behaviour of Appendix E.4 can be
-// exercised deterministically in tests.
+// Package transport defines the RPC fabric connecting the production-style
+// PAPAYA components (Coordinator, Selectors, Aggregators, clients; Section 4)
+// and provides the in-memory reference implementation. Components program
+// against the Fabric interface, so the same control plane runs over the
+// deterministic in-memory Network in tests and over real HTTP between OS
+// processes via internal/transport/httptransport. The in-memory backend
+// stands in for the data-center network: synchronous request/response calls
+// with injectable latency, message loss, partitions, and node crashes, so the
+// failure-recovery behaviour of Appendix E.4 can be exercised
+// deterministically.
 package transport
 
 import (
@@ -17,6 +21,51 @@ import (
 // Handler processes one request addressed to a node.
 type Handler func(method string, payload any) (any, error)
 
+// Fabric is the RPC surface the control plane is written against: named
+// nodes exchanging synchronous request/response calls (the paper's
+// Coordinator <-> Aggregator <-> Selector <-> client protocols, Section 4).
+// Implementations must be safe for concurrent use. Two backends exist: the
+// in-memory Network below (deterministic, fault-injectable, the test
+// fabric) and httptransport.Fabric (real HTTP between processes).
+type Fabric interface {
+	// Call sends a synchronous request from one node to another and
+	// returns the response. Transport-level failures are reported as (or
+	// wrap) ErrUnknownNode, ErrPartitioned, ErrDropped, or ErrCrashed;
+	// components treat all of them as transient and retry through their
+	// failover paths (Appendix E.4).
+	Call(from, to, method string, payload any) (any, error)
+	// Register attaches a node under a name, replacing any previous
+	// handler (a restarted process) and clearing its crash marker.
+	Register(name string, h Handler)
+	// Unregister detaches a node entirely.
+	Unregister(name string)
+}
+
+// FaultInjector is the optional fault-injection surface a Fabric may offer
+// so the failure-recovery protocols of Appendix E.4 can be exercised. Both
+// the in-memory Network and the HTTP backend implement it; the conformance
+// suite in internal/server runs the same failover tests against each.
+type FaultInjector interface {
+	// Crash marks a node as crashed: calls to and from it fail with
+	// ErrCrashed until it re-registers.
+	Crash(name string)
+	// Partition cuts connectivity between a and b (both directions).
+	Partition(a, b string)
+	// Heal restores connectivity between a and b.
+	Heal(a, b string)
+	// SetLoss sets the independent per-call drop probability in [0, 1).
+	SetLoss(p float64)
+	// SetLatency sets a fixed one-way call latency (applied once per call).
+	SetLatency(d time.Duration)
+}
+
+// Network implements both interfaces; httptransport.Fabric asserts the same
+// at its definition site.
+var (
+	_ Fabric        = (*Network)(nil)
+	_ FaultInjector = (*Network)(nil)
+)
+
 // Errors surfaced to callers. Components treat all of them as transient and
 // retry through their failover paths.
 var (
@@ -26,8 +75,9 @@ var (
 	ErrCrashed     = errors.New("transport: node crashed")
 )
 
-// Network routes calls between registered nodes. It is safe for concurrent
-// use.
+// Network is the in-memory Fabric: it routes calls between registered nodes
+// within one process, with deterministic fault injection (the test backend;
+// Appendix E.4 failure drills run here). It is safe for concurrent use.
 type Network struct {
 	mu       sync.RWMutex
 	nodes    map[string]Handler

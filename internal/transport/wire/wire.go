@@ -1,0 +1,346 @@
+// Package wire is the versioned message codec the networked transport
+// backends use. The in-memory transport.Network passes payloads between
+// goroutines as plain `any` values; crossing a process boundary instead
+// forces an explicit wire format: every message type that may appear as a
+// call payload or response is registered here under a stable name, and the
+// two codecs (gob for the production path, JSON for debugging and non-Go
+// tooling) frame it in a versioned envelope.
+//
+// # Versioning rules
+//
+//  1. Every frame starts with the envelope version (Version). A decoder
+//     rejects frames whose version it does not know — mixed-version fleets
+//     fail loudly at the transport instead of corrupting task state.
+//  2. Registered names are namespaced "papaya/v1/...". Adding a field to a
+//     message is compatible (both codecs default missing fields to their
+//     zero values). Removing or renaming a field, or changing its type, is
+//     not: register the changed message under a new "/v2/" name and keep
+//     serving the old one for the deprecation window.
+//  3. Handlers must treat zero values as "absent": empty slices and maps
+//     may decode as nil.
+//
+// The registry is populated by the packages that own the messages
+// (internal/server registers the Section 4/6 control-plane payloads at init
+// time), so the set of types that can cross the network is explicit and
+// testable: see Names and NewValue.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// Version is the envelope version emitted by both codecs. Decoders reject
+// any other value (versioning rule 1).
+const Version = 1
+
+// Request is one RPC crossing the fabric: who is calling, which method, and
+// the registered payload message.
+type Request struct {
+	From    string
+	Method  string
+	Payload any
+}
+
+// Response is the other half: either a payload or an error. Kind carries
+// the transport-level error class so fault semantics (ErrCrashed,
+// ErrDropped, ...) survive serialization; see httptransport.
+type Response struct {
+	Payload any
+	Err     string
+	Kind    string
+}
+
+// Codec frames requests and responses for one wire format.
+type Codec interface {
+	// Name identifies the codec ("gob" or "json").
+	Name() string
+	// ContentType is the HTTP content type the codec ships under.
+	ContentType() string
+	// EncodeRequest serializes a request into a versioned frame.
+	EncodeRequest(r *Request) ([]byte, error)
+	// DecodeRequest parses a versioned frame back into a request.
+	DecodeRequest(b []byte) (*Request, error)
+	// EncodeResponse serializes a response into a versioned frame.
+	EncodeResponse(r *Response) ([]byte, error)
+	// DecodeResponse parses a versioned frame back into a response.
+	DecodeResponse(b []byte) (*Response, error)
+}
+
+// ByName returns the codec for a -codec flag value.
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "gob":
+		return Gob{}, nil
+	case "json":
+		return JSON{}, nil
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q (want gob|json)", name)
+	}
+}
+
+// --- registry ---
+
+var (
+	regMu      sync.RWMutex
+	nameToType = make(map[string]reflect.Type)
+	typeToName = make(map[reflect.Type]string)
+)
+
+// Register records a message type under a stable wire name and registers it
+// with gob so it can travel inside interface-typed fields. sample is a zero
+// value of the concrete type (not a pointer). Registering the same pair
+// twice is a no-op; re-registering a name for a different type panics, as
+// does reusing a type under a second name — both are wire-format bugs.
+func Register(name string, sample any) {
+	t := reflect.TypeOf(sample)
+	if t == nil {
+		panic("wire: cannot register nil")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := nameToType[name]; ok {
+		if prev != t {
+			panic(fmt.Sprintf("wire: name %q already registered for %v", name, prev))
+		}
+		return
+	}
+	if prev, ok := typeToName[t]; ok {
+		panic(fmt.Sprintf("wire: type %v already registered as %q", t, prev))
+	}
+	nameToType[name] = t
+	typeToName[t] = name
+	// gob predefines the unnamed primitives (string, bool, ints, floats)
+	// for interface transmission under their own names; re-registering them
+	// panics. The registry entry above still gives them a stable JSON name.
+	if t.PkgPath() != "" || t.Kind() == reflect.Struct || t.Kind() == reflect.Slice ||
+		t.Kind() == reflect.Map || t.Kind() == reflect.Ptr || t.Kind() == reflect.Array {
+		gob.RegisterName(name, sample)
+	}
+}
+
+// Names returns every registered wire name, sorted — the explicit set of
+// messages that may cross the network (round-trip tests enumerate it).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(nameToType))
+	for name := range nameToType {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewValue returns a new zero value of the type registered under name.
+func NewValue(name string) (any, error) {
+	regMu.RLock()
+	t, ok := nameToType[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unregistered message type %q", name)
+	}
+	return reflect.New(t).Elem().Interface(), nil
+}
+
+func lookupName(v any) (string, error) {
+	regMu.RLock()
+	name, ok := typeToName[reflect.TypeOf(v)]
+	regMu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("wire: message type %T is not registered", v)
+	}
+	return name, nil
+}
+
+// MarshalAny encodes an interface-typed value as a self-describing JSON
+// object {"type": name, "body": ...}; nil encodes as JSON null. Messages
+// with `any` fields (server.RouteRequest's forwarded payload) use it to
+// keep the JSON codec type-faithful end to end.
+func MarshalAny(v any) ([]byte, error) {
+	if v == nil {
+		return []byte("null"), nil
+	}
+	name, err := lookupName(v)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(struct {
+		Type string          `json:"type"`
+		Body json.RawMessage `json:"body"`
+	}{Type: name, Body: body})
+}
+
+// UnmarshalAny reverses MarshalAny, reconstructing the registered concrete
+// type.
+func UnmarshalAny(b []byte) (any, error) {
+	if len(b) == 0 || bytes.Equal(b, []byte("null")) {
+		return nil, nil
+	}
+	var env struct {
+		Type string          `json:"type"`
+		Body json.RawMessage `json:"body"`
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, err
+	}
+	regMu.RLock()
+	t, ok := nameToType[env.Type]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: unregistered message type %q", env.Type)
+	}
+	p := reflect.New(t)
+	if err := json.Unmarshal(env.Body, p.Interface()); err != nil {
+		return nil, err
+	}
+	return p.Elem().Interface(), nil
+}
+
+// --- gob codec ---
+
+// Gob is the production codec: a 3-byte header ("PW" + version) followed by
+// a gob stream. Payloads travel as interface values, so only registered
+// messages encode.
+type Gob struct{}
+
+var gobHeader = []byte{'P', 'W', Version}
+
+// Name implements Codec.
+func (Gob) Name() string { return "gob" }
+
+// ContentType implements Codec.
+func (Gob) ContentType() string { return "application/x-papaya-gob" }
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(gobHeader)
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(b []byte, into any) error {
+	if len(b) < len(gobHeader) || b[0] != 'P' || b[1] != 'W' {
+		return errors.New("wire: not a papaya gob frame")
+	}
+	if b[2] != Version {
+		return fmt.Errorf("wire: envelope version %d, this build speaks %d", b[2], Version)
+	}
+	return gob.NewDecoder(bytes.NewReader(b[len(gobHeader):])).Decode(into)
+}
+
+// EncodeRequest implements Codec.
+func (Gob) EncodeRequest(r *Request) ([]byte, error) { return gobEncode(r) }
+
+// DecodeRequest implements Codec.
+func (Gob) DecodeRequest(b []byte) (*Request, error) {
+	var r Request
+	if err := gobDecode(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// EncodeResponse implements Codec.
+func (Gob) EncodeResponse(r *Response) ([]byte, error) { return gobEncode(r) }
+
+// DecodeResponse implements Codec.
+func (Gob) DecodeResponse(b []byte) (*Response, error) {
+	var r Response
+	if err := gobDecode(b, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// --- JSON codec ---
+
+// JSON is the debug/interop codec: the same envelope as Gob but as a JSON
+// object with a self-describing payload, so any HTTP client can speak to a
+// papaya server and humans can read captures. Slower and wider than gob;
+// the deployment guide recommends it only for inspection.
+type JSON struct{}
+
+// Name implements Codec.
+func (JSON) Name() string { return "json" }
+
+// ContentType implements Codec.
+func (JSON) ContentType() string { return "application/json" }
+
+type jsonFrame struct {
+	V       int             `json:"v"`
+	From    string          `json:"from,omitempty"`
+	Method  string          `json:"method,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Err     string          `json:"err,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+}
+
+func (f *jsonFrame) checkVersion() error {
+	if f.V != Version {
+		return fmt.Errorf("wire: envelope version %d, this build speaks %d", f.V, Version)
+	}
+	return nil
+}
+
+// EncodeRequest implements Codec.
+func (JSON) EncodeRequest(r *Request) ([]byte, error) {
+	payload, err := MarshalAny(r.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonFrame{V: Version, From: r.From, Method: r.Method, Payload: payload})
+}
+
+// DecodeRequest implements Codec.
+func (JSON) DecodeRequest(b []byte) (*Request, error) {
+	var f jsonFrame
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, err
+	}
+	if err := f.checkVersion(); err != nil {
+		return nil, err
+	}
+	payload, err := UnmarshalAny(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{From: f.From, Method: f.Method, Payload: payload}, nil
+}
+
+// EncodeResponse implements Codec.
+func (JSON) EncodeResponse(r *Response) ([]byte, error) {
+	payload, err := MarshalAny(r.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(jsonFrame{V: Version, Payload: payload, Err: r.Err, Kind: r.Kind})
+}
+
+// DecodeResponse implements Codec.
+func (JSON) DecodeResponse(b []byte) (*Response, error) {
+	var f jsonFrame
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, err
+	}
+	if err := f.checkVersion(); err != nil {
+		return nil, err
+	}
+	payload, err := UnmarshalAny(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Payload: payload, Err: f.Err, Kind: f.Kind}, nil
+}

@@ -28,7 +28,9 @@
 //   - Production control plane: NewCoordinator / NewAggregator /
 //     NewSelector and the client Runtime run the paper's Section 4
 //     architecture on real goroutines with heartbeats, failover, and
-//     sequence-numbered assignment maps.
+//     sequence-numbered assignment maps — over any Fabric: the in-memory
+//     Network here, or real HTTP between OS processes via `papaya serve`,
+//     `papaya agent`, and `papaya loadtest` (see docs/DEPLOYMENT.md).
 //   - Experiments: Experiments() lists a regenerator for every table and
 //     figure in Section 7.
 //
@@ -193,6 +195,10 @@ type interfaceReader interface {
 
 // Production control plane (the paper's Section 4).
 type (
+	// Fabric is the RPC surface the control plane runs over; the in-memory
+	// Network and the HTTP backend (internal/transport/httptransport) both
+	// implement it.
+	Fabric = transport.Fabric
 	// Network is the in-memory RPC fabric with fault injection.
 	Network = transport.Network
 	// Coordinator is the singleton control node.
@@ -216,18 +222,18 @@ type (
 // NewNetwork creates the in-memory fabric.
 func NewNetwork(seed int64) *Network { return transport.NewNetwork(seed) }
 
-// NewCoordinator starts the singleton coordinator.
-func NewCoordinator(name string, net *Network, timings Timings, seed int64, recovering bool) *Coordinator {
+// NewCoordinator starts the singleton coordinator on any Fabric.
+func NewCoordinator(name string, net Fabric, timings Timings, seed int64, recovering bool) *Coordinator {
 	return server.NewCoordinator(name, net, timings, seed, recovering)
 }
 
 // NewAggregator starts an aggregation node reporting to the coordinator.
-func NewAggregator(name string, net *Network, coordinator string, timings Timings) *Aggregator {
+func NewAggregator(name string, net Fabric, coordinator string, timings Timings) *Aggregator {
 	return server.NewAggregator(name, net, coordinator, timings)
 }
 
 // NewSelector starts a selector node.
-func NewSelector(name string, net *Network, coordinator string, timings Timings) *Selector {
+func NewSelector(name string, net Fabric, coordinator string, timings Timings) *Selector {
 	return server.NewSelector(name, net, coordinator, timings)
 }
 
