@@ -26,6 +26,7 @@ func runAgent(args []string) {
 	coordName := fs.String("coordinator-name", "coordinator", "coordinator node name")
 	name := fs.String("name", "", "aggregator node name (default agent-<pid>)")
 	codec := fs.String("codec", "gob", "wire codec: gob|json (must match the server)")
+	compressName := fs.String("compress", "", "wire compression codec for RPC bodies toward /v2/ peers: none|streamed|flate (heartbeat checkpoints are the win here)")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat cadence (match the server)")
 	_ = fs.Parse(args)
 
@@ -40,6 +41,7 @@ func runAgent(args []string) {
 
 	fabric, err := httptransport.New(httptransport.Options{
 		Listen: *listen, Codec: *codec, AdvertiseURL: *advertise, Seed: 1,
+		Compress: *compressName,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

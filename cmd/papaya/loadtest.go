@@ -6,6 +6,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -13,6 +15,10 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/compress"
+	"repro/internal/lmdata"
+	"repro/internal/nn"
+	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/transport/httptransport"
 )
@@ -27,11 +33,18 @@ type loadReport struct {
 	Runs        []loadRun `json:"runs"`
 }
 
-// loadRun is one loadtest execution.
+// loadRun is one loadtest execution. Commit and GOMAXPROCS attribute each
+// entry to a build and host shape, so the perf trajectory in a report that
+// accumulates across machines stays interpretable; the bytesRaw/bytesWire
+// pair meters the upload path before and after wire compression.
 type loadRun struct {
 	Label            string  `json:"label,omitempty"`
+	Commit           string  `json:"commit,omitempty"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
 	Server           string  `json:"server"`
 	Codec            string  `json:"codec"`
+	Compress         string  `json:"compress,omitempty"`
+	Train            bool    `json:"train,omitempty"`
 	Task             string  `json:"task"`
 	Mode             string  `json:"mode"`
 	NumParams        int     `json:"num_params"`
@@ -48,8 +61,28 @@ type loadRun struct {
 	Calls            uint64  `json:"rpc_calls"`
 	BytesSent        uint64  `json:"bytes_sent"`
 	BytesReceived    uint64  `json:"bytes_received"`
+	BytesRaw         int64   `json:"bytes_raw_upload"`
+	BytesWire        int64   `json:"bytes_wire_upload"`
+	CompressionRatio float64 `json:"compression_ratio"`
 	FinalVersion     int     `json:"final_server_version"`
 	FinalUpdates     int64   `json:"final_server_updates"`
+}
+
+// gitCommit best-efforts the build's VCS revision from the binary's build
+// info ("unknown" for non-VCS builds), so committed bench entries are
+// attributable without shelling out to git.
+func gitCommit() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // fixedDeltaExecutor skips real SGD: the loadtest measures the control
@@ -76,26 +109,45 @@ func runLoadtest(args []string) {
 	uploads := fs.Int("uploads", 200, "successful upload target (run ends when reached)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "abort if the target is not reached in time")
 	codec := fs.String("codec", "gob", "wire codec: gob|json (must match the server)")
+	compressFlag := fs.String("compress", "", "upload codecs clients offer: empty = all registered, \"none\" = opt out, or one codec name (server picks per task)")
+	train := fs.Bool("train", false, "run real local SGD (internal/nn log-bilinear) instead of a fixed delta, so deltas — and compression ratios — are realistic")
+	vocab := fs.Int("vocab", 16, "with -train: model vocabulary (params = 2*vocab*dim + vocab, must equal the task's -params)")
+	dim := fs.Int("dim", 4, "with -train: embedding dimension")
 	out := fs.String("o", "BENCH_loadtest.json", "output path (- for stdout); existing reports are appended to")
 	label := fs.String("label", "", "free-form run label recorded in the report")
 	_ = fs.Parse(args)
 
-	fabric, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Codec: *codec, Seed: 2})
+	var offered []string
+	switch *compressFlag {
+	case "":
+		// nil: Runtime offers every registered codec.
+	case "none":
+		offered = []string{"none"}
+	default:
+		if _, err := compress.ByName(*compressFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		offered = []string{*compressFlag}
+	}
+
+	fabric, err := httptransport.New(httptransport.Options{
+		Listen: "127.0.0.1:0", Codec: *codec, Seed: 2, Compress: *compressFlag,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	defer fabric.Close()
 
-	// Discover the server's selectors; retry briefly so CI can start serve
-	// and loadtest back to back.
+	// Discover the server's selectors and its capability document; retry
+	// briefly so CI can start serve and loadtest back to back.
 	var selectors []string
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		nodes, err := httptransport.ListNodes(*serverURL)
+		nodes, err := fabric.Discover(*serverURL)
 		if err == nil {
 			for _, n := range nodes {
-				fabric.AddRoute(n, *serverURL)
 				if strings.HasPrefix(n, "sel-") {
 					selectors = append(selectors, n)
 				}
@@ -121,6 +173,22 @@ func runLoadtest(args []string) {
 	fmt.Fprintf(os.Stderr, "papaya loadtest: task %q mode=%s params=%d, %d clients, target %d uploads\n",
 		*task, info.Mode, numParams, *clients, *uploads)
 
+	var model *nn.Bilinear
+	var corpus *lmdata.Corpus
+	if *train {
+		model = nn.NewBilinear(*vocab, *dim)
+		if model.NumParams() != numParams {
+			fmt.Fprintf(os.Stderr,
+				"papaya loadtest: -train model (vocab=%d dim=%d) has %d params but task %q has %d; start the server with -params %d\n",
+				*vocab, *dim, model.NumParams(), *task, numParams, model.NumParams())
+			os.Exit(2)
+		}
+		corpus = lmdata.NewCorpus(lmdata.Config{
+			VocabSize: *vocab, NumDialects: 4, Seed: 11,
+			SeqLenMin: 5, SeqLenMax: 9, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
+		})
+	}
+
 	delta := make([]float32, numParams)
 	for i := range delta {
 		delta[i] = 0.001
@@ -128,8 +196,11 @@ func runLoadtest(args []string) {
 
 	var (
 		completed, rejected, aborted, terrors atomic.Int64
+		bytesRaw, bytesWire                   atomic.Int64
 		latMu                                 sync.Mutex
 		latencies                             []time.Duration
+		negotiatedMu                          sync.Mutex
+		negotiated                            string
 	)
 	stopAt := time.Now().Add(*timeout)
 	start := time.Now()
@@ -139,18 +210,30 @@ func runLoadtest(args []string) {
 		go func(id int64) {
 			defer wg.Done()
 			store := client.NewExampleStore(0, 0)
-			store.Add([]int{1, 2, 3}, time.Now())
+			var exec client.Executor = fixedDeltaExecutor{delta: delta}
+			if *train {
+				// Realistic deltas: a per-client dialect shard of the
+				// synthetic corpus and real local SGD, so the compression
+				// ratio is measured on non-constant updates.
+				for _, seq := range corpus.ClientExamples(id, int(id)%corpus.Config().NumDialects, 0.5, 8) {
+					store.Add(seq, time.Now())
+				}
+				exec = &client.SGDExecutor{Model: model, Config: nn.DefaultSGDConfig(), Rng: rng.New(uint64(id))}
+			} else {
+				store.Add([]int{1, 2, 3}, time.Now())
+			}
 			// Spread initial selector choice across the fleet.
 			sels := append([]string(nil), selectors[id%int64(len(selectors)):]...)
 			sels = append(sels, selectors[:id%int64(len(selectors))]...)
 			dev := &client.Runtime{
 				ClientID:  id,
 				Store:     store,
-				Exec:      fixedDeltaExecutor{delta: delta},
+				Exec:      exec,
 				Net:       fabric,
 				Selectors: sels,
 				State:     client.DeviceState{Idle: true, Charging: true, Unmetered: true},
 				Random:    rand.Reader,
+				Compress:  offered,
 			}
 			for completed.Load() < int64(*uploads) && time.Now().Before(stopAt) {
 				sessStart := time.Now()
@@ -163,6 +246,13 @@ func runLoadtest(args []string) {
 				switch res.Outcome {
 				case client.Completed:
 					completed.Add(1)
+					bytesRaw.Add(res.UploadRawBytes)
+					bytesWire.Add(res.UploadWireBytes)
+					if res.Compress != "" {
+						negotiatedMu.Lock()
+						negotiated = res.Compress
+						negotiatedMu.Unlock()
+					}
 					latMu.Lock()
 					latencies = append(latencies, time.Since(sessStart))
 					latMu.Unlock()
@@ -183,10 +273,18 @@ func runLoadtest(args []string) {
 		fmt.Fprintf(os.Stderr, "papaya loadtest: final task query: %v\n", err)
 	}
 	stats := fabric.Stats()
+	ratio := 0.0
+	if bytesWire.Load() > 0 {
+		ratio = float64(bytesRaw.Load()) / float64(bytesWire.Load())
+	}
 	run := loadRun{
 		Label:            *label,
+		Commit:           gitCommit(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		Server:           *serverURL,
 		Codec:            *codec,
+		Compress:         negotiated,
+		Train:            *train,
 		Task:             *task,
 		Mode:             string(info.Mode),
 		NumParams:        numParams,
@@ -203,6 +301,9 @@ func runLoadtest(args []string) {
 		Calls:            stats.Calls,
 		BytesSent:        stats.BytesSent,
 		BytesReceived:    stats.BytesReceived,
+		BytesRaw:         bytesRaw.Load(),
+		BytesWire:        bytesWire.Load(),
+		CompressionRatio: ratio,
 		FinalVersion:     final.Version,
 		FinalUpdates:     final.Updates,
 	}
@@ -211,11 +312,16 @@ func runLoadtest(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	compressNote := "off"
+	if run.Compress != "" {
+		compressNote = fmt.Sprintf("%s %.2fx (%.2f -> %.2f MB)", run.Compress,
+			run.CompressionRatio, float64(run.BytesRaw)/1e6, float64(run.BytesWire)/1e6)
+	}
 	fmt.Fprintf(os.Stderr,
-		"papaya loadtest: %d uploads in %.1fs (%.1f/s), p50 %.1fms p99 %.1fms, %d rejected, %d aborted, %.1f MB moved\n",
+		"papaya loadtest: %d uploads in %.1fs (%.1f/s), p50 %.1fms p99 %.1fms, %d rejected, %d aborted, %.1f MB moved, compression %s\n",
 		run.CompletedUploads, run.WallSeconds, run.UploadsPerSecond, run.P50Millis, run.P99Millis,
 		run.RejectedCheckins, run.AbortedSessions,
-		float64(run.BytesSent+run.BytesReceived)/1e6)
+		float64(run.BytesSent+run.BytesReceived)/1e6, compressNote)
 
 	if run.CompletedUploads < int64(*uploads) {
 		fmt.Fprintf(os.Stderr, "papaya loadtest: FAIL: reached %d/%d uploads before timeout\n",

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/secagg"
 	"repro/internal/server"
@@ -37,8 +38,16 @@ func runServe(args []string) {
 	staleness := fs.Int("staleness", 0, "max staleness (async; 0 = unlimited)")
 	chunk := fs.Int("chunk", 4096, "upload chunk size (elements)")
 	useSecAgg := fs.Bool("secagg", false, "enable Asynchronous SecAgg on uploads (Section 5)")
+	compressName := fs.String("compress", "", "wire compression codec preferred for uploads: none|quantized|quantized16|streamed|flate (negotiated per client; /v1/ peers stay raw)")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "aggregator heartbeat cadence")
 	_ = fs.Parse(args)
+
+	if *compressName != "" && *compressName != "none" {
+		if _, err := compress.ByName(*compressName); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	var algo core.Algorithm
 	switch *mode {
@@ -53,6 +62,7 @@ func runServe(args []string) {
 
 	fabric, err := httptransport.New(httptransport.Options{
 		Listen: *listen, Codec: *codec, AdvertiseURL: *advertise, Seed: 1,
+		Compress: *compressName,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -88,6 +98,7 @@ func runServe(args []string) {
 		MaxStaleness:    *staleness,
 		UploadChunkSize: *chunk,
 		InitParams:      make([]float32, *numParams),
+		Compress:        *compressName,
 	}
 	if *useSecAgg {
 		dep, err := secagg.NewDeployment(secagg.Params{
@@ -117,8 +128,8 @@ func runServe(args []string) {
 
 	fmt.Printf("papaya serve: listening on %s (codec %s)\n", fabric.BaseURL(), fabric.CodecName())
 	fmt.Printf("papaya serve: nodes %v\n", fabric.Nodes())
-	fmt.Printf("papaya serve: task %q mode=%s params=%d concurrency=%d goal=%d secagg=%v\n",
-		*taskID, algo, *numParams, *concurrency, *goal, *useSecAgg)
+	fmt.Printf("papaya serve: task %q mode=%s params=%d concurrency=%d goal=%d secagg=%v compress=%q\n",
+		*taskID, algo, *numParams, *concurrency, *goal, *useSecAgg, *compressName)
 	fmt.Println("papaya serve: ready")
 
 	sig := make(chan os.Signal, 1)

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/fedopt"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -127,6 +128,15 @@ type Result struct {
 	// Staleness is the observed version gap at upload (SecAgg path reports
 	// it; plaintext path learns it server-side).
 	Staleness int
+	// Compress is the upload codec this session negotiated ("" = raw).
+	Compress string
+	// UploadRawBytes is the upload payload size before compression (4
+	// bytes per element across every chunk shipped).
+	UploadRawBytes int64
+	// UploadWireBytes is the payload size actually shipped — compressed
+	// frame bytes when a codec was negotiated, raw bytes otherwise. The
+	// loadtest aggregates these two into its compression-ratio columns.
+	UploadWireBytes int64
 }
 
 // Outcome is a participation attempt's terminal state.
@@ -177,6 +187,10 @@ type Runtime struct {
 	// where the client applies its own weight before masking; nil means the
 	// paper's 1/sqrt(1+s).
 	Staleness fedopt.StalenessWeight
+	// Compress lists the upload codecs this client offers at report time;
+	// nil means every codec in the compress registry. Set it to
+	// []string{"none"} to opt out of compression entirely.
+	Compress []string
 
 	lastParticipation time.Time
 }
@@ -223,10 +237,12 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	// Stage 2: local training.
 	delta, loss := r.Exec.Train(download.Params, examples)
 
-	// Stage 3: report status, receive upload (and SecAgg) configuration.
+	// Stage 3: report status, receive upload (and SecAgg) configuration,
+	// offering the compression codecs this client can encode.
 	rep, err := r.route(selector, checkin.TaskID, "report", server.ReportRequest{
 		TaskID:    checkin.TaskID,
 		SessionID: checkin.SessionID,
+		Compress:  r.offeredCodecs(),
 	})
 	if err != nil {
 		return nil, err
@@ -236,25 +252,59 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 		return &Result{Outcome: Aborted, Reason: report.Reason, TaskID: checkin.TaskID, Loss: loss}, nil
 	}
 
-	// Stage 4: chunked upload, masked when SecAgg is enabled.
+	// Stage 4: chunked upload — compressed when negotiated, masked when
+	// SecAgg is enabled.
 	staleness := report.CurrentVersion - download.Version
 	if staleness < 0 {
 		staleness = 0
 	}
+	codec := r.uploadCodec(report.Compress)
+	var meter uploadMeter
 	var uploadErr *Result
 	if report.SecAggEnabled {
-		uploadErr, err = r.uploadSecAgg(selector, checkin, report, delta, len(examples), staleness)
+		uploadErr, err = r.uploadSecAgg(selector, checkin, report, delta, len(examples), staleness, codec, &meter)
 	} else {
-		uploadErr, err = r.uploadPlain(selector, checkin, report, delta, len(examples))
+		uploadErr, err = r.uploadPlain(selector, checkin, report, delta, len(examples), codec, &meter)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if uploadErr != nil {
-		uploadErr.Loss = loss
-		return uploadErr, nil
+	res := uploadErr
+	if res == nil {
+		res = &Result{Outcome: Completed, TaskID: checkin.TaskID, Staleness: staleness}
 	}
-	return &Result{Outcome: Completed, TaskID: checkin.TaskID, Loss: loss, Staleness: staleness}, nil
+	res.Loss = loss
+	if codec != nil {
+		res.Compress = codec.Name()
+	}
+	res.UploadRawBytes = meter.raw
+	res.UploadWireBytes = meter.wire
+	return res, nil
+}
+
+// uploadMeter accumulates the upload path's byte accounting: raw payload
+// size versus what actually crossed the wire.
+type uploadMeter struct{ raw, wire int64 }
+
+// offeredCodecs is the client's half of the compression negotiation.
+func (r *Runtime) offeredCodecs() []string {
+	if r.Compress != nil {
+		return r.Compress
+	}
+	return compress.Names()
+}
+
+// uploadCodec resolves the negotiated codec name; any problem degrades to
+// raw uploads, which every aggregator accepts.
+func (r *Runtime) uploadCodec(name string) compress.Codec {
+	if name == "" || name == "none" {
+		return nil
+	}
+	c, err := compress.ByName(name)
+	if err != nil {
+		return nil
+	}
+	return c
 }
 
 // checkin tries each selector in order.
@@ -288,9 +338,11 @@ func (r *Runtime) route(selector, taskID, method string, payload any) (any, erro
 	return nil, ErrNoSelector
 }
 
-// uploadPlain ships the raw delta in chunks.
+// uploadPlain ships the delta in chunks, each one compressed with the
+// negotiated codec (nil = raw).
 func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
-	report server.ReportResponse, delta []float32, numExamples int) (*Result, error) {
+	report server.ReportResponse, delta []float32, numExamples int,
+	codec compress.Codec, meter *uploadMeter) (*Result, error) {
 	for off := 0; off < len(delta); off += report.ChunkSize {
 		end := off + report.ChunkSize
 		if end > len(delta) {
@@ -300,9 +352,21 @@ func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
 			TaskID:      checkin.TaskID,
 			SessionID:   checkin.SessionID,
 			Offset:      off,
-			Data:        delta[off:end],
 			Done:        end == len(delta),
 			NumExamples: numExamples,
+		}
+		raw := int64(4 * (end - off))
+		meter.raw += raw
+		if codec != nil {
+			frame, err := compress.CompressFloats(codec, delta[off:end])
+			if err != nil {
+				return nil, fmt.Errorf("client: compressing chunk at %d: %w", off, err)
+			}
+			chunk.Packed = frame
+			meter.wire += int64(len(frame))
+		} else {
+			chunk.Data = delta[off:end]
+			meter.wire += raw
 		}
 		resp, err := r.route(selector, checkin.TaskID, "upload-chunk", chunk)
 		if err != nil {
@@ -320,7 +384,8 @@ func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
 // vector, masks it, and ships the masked chunks plus the sealed seed
 // envelope. The plaintext delta never leaves the device.
 func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
-	report server.ReportResponse, delta []float32, numExamples, staleness int) (*Result, error) {
+	report server.ReportResponse, delta []float32, numExamples, staleness int,
+	codec compress.Codec, meter *uploadMeter) (*Result, error) {
 	stale := r.Staleness
 	if stale == nil {
 		stale = fedopt.DefaultStaleness()
@@ -332,12 +397,12 @@ func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
 	weighted := vecf.Clone(delta)
 	vecf.Scale(weighted, float32(w))
 
-	codec := report.SecAggTrust.Params.Codec()
+	fp := report.SecAggTrust.Params.Codec()
 	vec := make([]uint32, len(delta)+1)
 	for i, v := range weighted {
-		vec[i] = codec.Encode(float64(v))
+		vec[i] = fp.Encode(float64(v))
 	}
-	vec[len(delta)] = codec.Encode(w)
+	vec[len(delta)] = fp.Encode(w)
 
 	sess, err := secagg.NewClientSession(report.SecAggTrust, *report.SecAggBundle, r.Random)
 	if err != nil {
@@ -357,9 +422,21 @@ func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
 			TaskID:      checkin.TaskID,
 			SessionID:   checkin.SessionID,
 			Offset:      off,
-			Masked:      up.Masked[off:end],
 			Done:        end == len(up.Masked),
 			NumExamples: numExamples,
+		}
+		raw := int64(4 * (end - off))
+		meter.raw += raw
+		if codec != nil {
+			frame, err := compress.CompressUints(codec, up.Masked[off:end])
+			if err != nil {
+				return nil, fmt.Errorf("client: compressing masked chunk at %d: %w", off, err)
+			}
+			chunk.Packed = frame
+			meter.wire += int64(len(frame))
+		} else {
+			chunk.Masked = up.Masked[off:end]
+			meter.wire += raw
 		}
 		if chunk.Done {
 			chunk.SecAggIndex = up.Index

@@ -1,0 +1,349 @@
+package compress_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/rng"
+)
+
+// testFloats builds a deterministic, SGD-delta-shaped vector: mostly small
+// Gaussian values with a few outliers, the realistic input for the
+// quantizer's per-frame scale.
+func testFloats(n int) []float32 {
+	r := rng.New(42)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(r.NormFloat64() * 0.01)
+	}
+	if n > 10 {
+		out[3] = 0.9
+		out[7] = -1.1
+	}
+	return out
+}
+
+// testUints builds a deterministic high-entropy vector (masked-upload
+// shaped: uniform over Z_2^32).
+func testUints(n int) []uint32 {
+	r := rng.New(43)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(r.Uint64())
+	}
+	return out
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	for _, name := range compress.Names() {
+		t.Run(name, func(t *testing.T) {
+			c, err := compress.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{0, 1, 13, 144, 4096} {
+				src := testFloats(n)
+				frame, err := compress.CompressFloats(c, src)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				got, err := compress.DecompressFloats(frame)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if len(got) != n {
+					t.Fatalf("n=%d: decoded %d elements", n, len(got))
+				}
+				checkFloatFidelity(t, name, src, got)
+
+				// The uint path must be lossless for every codec — SecAgg
+				// unmasking is exact group arithmetic.
+				u := testUints(n)
+				uframe, err := compress.CompressUints(c, u)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				gotU, err := compress.DecompressUints(uframe)
+				if err != nil {
+					t.Fatalf("n=%d: %v", n, err)
+				}
+				if len(gotU) != n {
+					t.Fatalf("n=%d: decoded %d uints", n, len(gotU))
+				}
+				for i := range u {
+					if gotU[i] != u[i] {
+						t.Fatalf("n=%d: uint[%d] = %d, want %d (uint path must be lossless)", n, i, gotU[i], u[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkFloatFidelity asserts losslessness for byte-exact codecs and the
+// quantization error bound (half a quantization step) for lossy ones.
+func checkFloatFidelity(t *testing.T, name string, src, got []float32) {
+	t.Helper()
+	maxabs := 0.0
+	for _, v := range src {
+		if a := math.Abs(float64(v)); a > maxabs {
+			maxabs = a
+		}
+	}
+	var step float64
+	switch name {
+	case "none", "flate":
+		step = 0 // lossless
+	case "quantized", "streamed":
+		step = maxabs / 127
+	case "quantized16":
+		step = maxabs / 32767
+	default:
+		t.Fatalf("unknown codec %q: add its fidelity bound here", name)
+	}
+	for i := range src {
+		if step == 0 {
+			if math.Float32bits(got[i]) != math.Float32bits(src[i]) {
+				t.Fatalf("%s: float[%d] = %g, want bit-exact %g", name, i, got[i], src[i])
+			}
+			continue
+		}
+		if err := math.Abs(float64(got[i]) - float64(src[i])); err > step*0.5000001 {
+			t.Fatalf("%s: float[%d] error %g exceeds half-step %g", name, i, err, step/2)
+		}
+	}
+}
+
+// TestUintPackingAdapts: structured vectors should delta-compress well
+// below 4 bytes/element; uniform-random (masked) vectors must fall back to
+// raw packing instead of growing.
+func TestUintPackingAdapts(t *testing.T) {
+	c, _ := compress.ByName("quantized")
+	structured := make([]uint32, 1000)
+	for i := range structured {
+		structured[i] = uint32(100 + i*3)
+	}
+	frame, err := compress.CompressUints(c, structured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) > 4*len(structured)/2 {
+		t.Fatalf("structured uints: %d-byte frame for %d elements; delta+varint should be ~1 byte/element",
+			len(frame), len(structured))
+	}
+
+	random := testUints(1000)
+	rframe, err := compress.CompressUints(c, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rframe) > 4*len(random)+16 {
+		t.Fatalf("random uints: %d-byte frame for %d elements; must fall back to ~4 bytes/element",
+			len(rframe), len(random))
+	}
+}
+
+func hash64(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+func floatBits(v []float32) []byte {
+	out := make([]byte, 0, 4*len(v))
+	for _, f := range v {
+		out = binary.LittleEndian.AppendUint32(out, math.Float32bits(f))
+	}
+	return out
+}
+
+// TestQuantizedRoundTripDeterminism is the bit-stability regression test
+// (the PR 1 determinism style applied to the wire): for a fixed input, the
+// quantized frame bytes and the decompressed float bits must match golden
+// FNV-1a hashes — the same values on every run, architecture, and Go
+// version, because quantization uses only individually rounded IEEE 754
+// operations. A platform where these hashes drift would silently break
+// cross-fleet aggregation.
+func TestQuantizedRoundTripDeterminism(t *testing.T) {
+	const (
+		goldenFrame   uint64 = 0xba06e839318188bd
+		goldenDecoded uint64 = 0x98b799147729544d
+	)
+	c, _ := compress.ByName("quantized")
+	src := testFloats(512)
+
+	frame1, err := compress.CompressFloats(c, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame2, _ := compress.CompressFloats(c, src)
+	if !bytes.Equal(frame1, frame2) {
+		t.Fatal("two compressions of the same input produced different frames")
+	}
+	if h := hash64(frame1); h != goldenFrame {
+		t.Fatalf("frame hash %#x, want golden %#x (quantized wire format drifted)", h, goldenFrame)
+	}
+
+	dec1, err := compress.DecompressFloats(frame1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, _ := compress.DecompressFloats(frame1)
+	if !bytes.Equal(floatBits(dec1), floatBits(dec2)) {
+		t.Fatal("two decompressions of the same frame produced different float bits")
+	}
+	if h := hash64(floatBits(dec1)); h != goldenDecoded {
+		t.Fatalf("decoded-bits hash %#x, want golden %#x (dequantization drifted)", h, goldenDecoded)
+	}
+
+	// A second full cycle over the decoded values must also be stable:
+	// re-compressing already-quantized data and decompressing again cannot
+	// keep drifting.
+	frame3, err := compress.CompressFloats(c, dec1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec3, err := compress.DecompressFloats(frame3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame4, _ := compress.CompressFloats(c, dec3)
+	if !bytes.Equal(frame3, frame4) {
+		t.Fatal("re-quantization cycle is not stable")
+	}
+
+	// The streamed codec must decode to exactly the quantized codec's
+	// output — flate is a lossless stage over the same inner payload.
+	sc, _ := compress.ByName("streamed")
+	sframe, err := compress.CompressFloats(sc, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdec, err := compress.DecompressFloats(sframe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(floatBits(sdec), floatBits(dec1)) {
+		t.Fatal("streamed codec decoded different bits than its inner quantized codec")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	all := compress.Names()
+	cases := []struct {
+		preferred string
+		offered   []string
+		want      string
+	}{
+		{"quantized", all, "quantized"},
+		{"streamed", all, "streamed"},
+		{"quantized", nil, ""},                     // /v1/ peer: no capability field
+		{"quantized", []string{"none"}, ""},        // client opted out
+		{"", all, ""},                              // server opted out
+		{"none", all, ""},                          // explicit none
+		{"quantized", []string{"quantized16"}, ""}, // no overlap with preference
+	}
+	for _, tc := range cases {
+		if got := compress.Negotiate(tc.preferred, tc.offered); got != tc.want {
+			t.Errorf("Negotiate(%q, %v) = %q, want %q", tc.preferred, tc.offered, got, tc.want)
+		}
+	}
+}
+
+// TestCorruptFramesFail: malformed frames — the receiver-side attack
+// surface — must error, never panic or over-allocate.
+func TestCorruptFramesFail(t *testing.T) {
+	c, _ := compress.ByName("quantized")
+	frame, err := compress.CompressFloats(c, testFloats(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), frame...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    mutate(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":  mutate(func(b []byte) []byte { b[2] = 99; return b }),
+		"unknown id":   mutate(func(b []byte) []byte { b[3] = 200; return b }),
+		"bad kind":     mutate(func(b []byte) []byte { b[4] = 9; return b }),
+		"truncated":    frame[:len(frame)-3],
+		"giant count":  mutate(func(b []byte) []byte { return append(b[:5], 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f) }),
+		"wrong kind":   nil, // built below
+		"scale is NaN": mutate(func(b []byte) []byte { binary.LittleEndian.PutUint64(b[6:], math.Float64bits(math.NaN())); return b }),
+	}
+	uframe, _ := compress.CompressUints(c, testUints(8))
+	cases["wrong kind"] = uframe
+	for name, b := range cases {
+		if _, err := compress.DecompressFloats(b); err == nil {
+			t.Errorf("%s: DecompressFloats accepted a corrupt frame", name)
+		}
+	}
+}
+
+// TestDeltaCountBombRejected: a tiny delta-mode payload declaring a huge
+// element count must be rejected before the decoder allocates the declared
+// count (the allocation-bomb guard on the SecAgg chunk path).
+func TestDeltaCountBombRejected(t *testing.T) {
+	c, _ := compress.ByName("quantized")
+	frame, err := compress.CompressUints(c, []uint32{1, 2, 3, 4}) // delta mode, 1-byte count
+	if err != nil {
+		t.Fatal(err)
+	}
+	bomb := append([]byte(nil), frame[:5]...)
+	bomb = binary.AppendUvarint(bomb, 1<<26) // declare 64M elements
+	bomb = append(bomb, frame[6:]...)        // ...backed by a few bytes
+	if _, err := compress.DecompressUints(bomb); err == nil {
+		t.Fatal("delta frame with infeasible element count was accepted")
+	}
+}
+
+func TestFrameInfo(t *testing.T) {
+	c, _ := compress.ByName("streamed")
+	frame, err := compress.CompressUints(c, testUints(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, kind, n, err := compress.FrameInfo(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "streamed" || kind != compress.KindUint32 || n != 17 {
+		t.Fatalf("FrameInfo = (%q, %d, %d)", name, kind, n)
+	}
+}
+
+// TestRegistryConcurrentReads: Names and ByName run from every client
+// goroutine concurrently (offer construction on the upload path); the
+// registry's read paths must be race-free. Run under -race.
+func TestRegistryConcurrentReads(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := compress.Names(); len(got) == 0 {
+					t.Error("Names returned empty registry")
+					return
+				}
+				_, _ = compress.ByName("no-such-codec") // error path formats the name list
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := compress.ByName("brotli")
+	if err == nil || !strings.Contains(err.Error(), "unknown codec") {
+		t.Fatalf("err = %v", err)
+	}
+}

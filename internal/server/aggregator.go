@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/fedopt"
 	"repro/internal/secagg"
@@ -52,6 +53,14 @@ func newTaskState(req AssignTaskRequest) (*taskState, error) {
 	shards := spec.AggShards
 	if shards == 0 {
 		shards = 8
+	}
+	// A task's preferred upload codec must exist in this build's registry,
+	// or every negotiated upload would fail at decode time; reject the
+	// placement instead so create-task surfaces the typo.
+	if spec.Compress != "" && spec.Compress != "none" {
+		if _, err := compress.ByName(spec.Compress); err != nil {
+			return nil, err
+		}
 	}
 	if spec.SecAgg != nil {
 		// A spec that crossed the wire carries an inert deployment recipe;
@@ -283,7 +292,15 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 	if chunk <= 0 {
 		chunk = 4096
 	}
-	resp := ReportResponse{OK: true, ChunkSize: chunk, CurrentVersion: ts.version}
+	resp := ReportResponse{
+		OK:             true,
+		ChunkSize:      chunk,
+		CurrentVersion: ts.version,
+		// Upload-compression negotiation: the task's preference against
+		// what this client offered (Section 7's communication lever; an
+		// empty offer from an older client degrades to raw).
+		Compress: compress.Negotiate(ts.spec.Compress, req.Compress),
+	}
 	dep := ts.spec.SecAgg
 	ts.mu.Unlock()
 
@@ -317,6 +334,49 @@ func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// A packed chunk carries a self-describing compression frame instead
+	// of raw elements; decode it into the path the rest of the assembly
+	// logic already handles. Two rules guard the decode: the declared
+	// element count is validated against the task's dimensions *before*
+	// any allocation (a hostile frame must not buy a huge decode), and
+	// the flate/dequantize work runs outside ts.mu so one client's
+	// decompression never serializes the whole task's upload path. A
+	// malformed frame rejects the session's upload, not the aggregator.
+	if len(c.Packed) > 0 {
+		ts.mu.Lock()
+		useSecAgg := ts.spec.SecAgg != nil
+		limit := ts.spec.NumParams
+		ts.mu.Unlock()
+		wantKind := compress.KindFloat32
+		if useSecAgg {
+			wantKind = compress.KindUint32
+			limit++
+		}
+		_, kind, n, err := compress.FrameInfo(c.Packed)
+		switch {
+		case err != nil:
+			return UploadResponse{OK: false, Reason: "bad compressed chunk: " + err.Error()}, nil
+		case kind != wantKind:
+			return UploadResponse{OK: false, Reason: "compressed chunk has wrong element kind"}, nil
+		case c.Offset < 0 || c.Offset > limit || n > limit-c.Offset:
+			return UploadResponse{OK: false, Reason: "chunk out of bounds"}, nil
+		}
+		if useSecAgg {
+			vals, err := compress.DecompressUints(c.Packed)
+			if err != nil {
+				return UploadResponse{OK: false, Reason: "bad compressed chunk: " + err.Error()}, nil
+			}
+			c.Masked = vals
+		} else {
+			vals, err := compress.DecompressFloats(c.Packed)
+			if err != nil {
+				return UploadResponse{OK: false, Reason: "bad compressed chunk: " + err.Error()}, nil
+			}
+			c.Data = vals
+		}
+	}
+
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	s, ok := ts.sessions[c.SessionID]

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/lmdata"
 	"repro/internal/nn"
@@ -17,15 +18,25 @@ import (
 
 // TestChunkedUpload forces a tiny chunk size so a single model update spans
 // many chunks, exercising the reassembly path on both the plaintext and
-// SecAgg uploads.
+// SecAgg uploads — and, per codec configuration, the negotiated
+// compression path (raw, quantized, and quantized+flate frames must all
+// reassemble and aggregate on every fabric).
 func TestChunkedUpload(t *testing.T) { forEachFabric(t, testChunkedUpload) }
 
 func testChunkedUpload(t *testing.T, fx fabricFactory) {
-	for _, useSecAgg := range []bool{false, true} {
+	for _, tc := range []struct {
+		useSecAgg bool
+		codec     string
+	}{
+		{false, "none"}, {false, "quantized"}, {false, "streamed"},
+		{true, "none"}, {true, "quantized"}, {true, "streamed"},
+	} {
+		useSecAgg, codec := tc.useSecAgg, tc.codec
 		name := "plain"
 		if useSecAgg {
 			name = "secagg"
 		}
+		name += "/" + codec
 		t.Run(name, func(t *testing.T) {
 			net := fx.make(t, 5)
 			coord := server.NewCoordinator("coordinator", net, testTimings(), 7, false)
@@ -48,6 +59,7 @@ func testChunkedUpload(t *testing.T, fx fabricFactory) {
 				Capability:      "lm",
 				InitParams:      model.InitParams(rng.New(1)),
 				UploadChunkSize: 13, // 144 params -> 12 chunks
+				Compress:        codec,
 			}
 			if useSecAgg {
 				dep, err := secagg.NewDeployment(secagg.Params{
@@ -87,6 +99,25 @@ func testChunkedUpload(t *testing.T, fx fabricFactory) {
 			if res.Outcome != client.Completed {
 				t.Fatalf("outcome = %s (%s)", res.Outcome, res.Reason)
 			}
+			// The negotiation must land exactly where the spec pointed:
+			// raw for "none", the named codec otherwise.
+			wantCodec := codec
+			if codec == "none" {
+				wantCodec = ""
+			}
+			if res.Compress != wantCodec {
+				t.Fatalf("negotiated codec %q, want %q", res.Compress, wantCodec)
+			}
+			if res.UploadRawBytes == 0 || res.UploadWireBytes == 0 {
+				t.Fatalf("upload metering missing: raw=%d wire=%d", res.UploadRawBytes, res.UploadWireBytes)
+			}
+			// Quantized plaintext uploads must actually shrink; the
+			// masked SecAgg vector is uniform random and only has the
+			// raw-packing fallback, so no size assertion there.
+			if !useSecAgg && wantCodec != "" && res.UploadWireBytes >= res.UploadRawBytes {
+				t.Fatalf("codec %s shipped %d wire bytes for %d raw bytes", codec,
+					res.UploadWireBytes, res.UploadRawBytes)
+			}
 			// The goal-1 task must have stepped once.
 			info, err := net.Call("test", "agg", "task-info", "chunky")
 			if err != nil {
@@ -119,6 +150,55 @@ func testChunkOutOfBoundsRejected(t *testing.T, fx fabricFactory) {
 	}
 	if ur.(server.UploadResponse).OK {
 		t.Fatal("out-of-bounds chunk accepted")
+	}
+}
+
+// TestPackedChunkValidatedBeforeDecode: a compressed chunk whose frame
+// declares more elements than the task holds, or the wrong element kind,
+// must be rejected up front — the aggregator validates the self-describing
+// header against the task's dimensions before allocating a decode.
+func TestPackedChunkValidatedBeforeDecode(t *testing.T) { forEachFabric(t, testPackedChunkValidated) }
+
+func testPackedChunkValidated(t *testing.T, fx fabricFactory) {
+	w := newWorld(t, fx, 1, 1)
+	spec := lmSpec("poob", w.model, core.Async, 2, 1)
+	spec.Compress = "quantized"
+	w.createTask(spec)
+	resp, _ := w.net.Call("test", selName(0), "checkin", server.CheckinRequest{
+		ClientID: 1, Capabilities: []string{"lm"},
+	})
+	cr := resp.(server.CheckinResponse)
+	codec, err := compress.ByName("quantized")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oversize, err := compress.CompressFloats(codec, make([]float32, w.model.NumParams()+7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err := w.net.Call("test", agName(0), "upload-chunk", server.UploadChunk{
+		TaskID: "poob", SessionID: cr.SessionID, Offset: 0, Packed: oversize, Done: true, NumExamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.(server.UploadResponse).OK {
+		t.Fatal("oversize packed chunk accepted")
+	}
+
+	wrongKind, err := compress.CompressUints(codec, make([]uint32, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ur, err = w.net.Call("test", agName(0), "upload-chunk", server.UploadChunk{
+		TaskID: "poob", SessionID: cr.SessionID, Offset: 0, Packed: wrongKind, Done: true, NumExamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur.(server.UploadResponse).OK {
+		t.Fatal("wrong-kind packed chunk accepted on a plaintext task")
 	}
 }
 

@@ -40,6 +40,21 @@ var fabricFactories = []fabricFactory{
 		t.Cleanup(func() { _ = f.Close() })
 		return f
 	}},
+	// The same HTTP backend with the wire-compression capability active:
+	// every RPC of every conformance test rides the /v2/ route with
+	// DEFLATE bodies, proving the negotiated path preserves the full
+	// failover/reconfigure/multitenant behaviour matrix, not just happy
+	// uploads.
+	{name: "http-deflate", make: func(t *testing.T, seed int64) testFabric {
+		f, err := httptransport.New(httptransport.Options{
+			Listen: "127.0.0.1:0", Seed: seed, Compress: "streamed",
+		})
+		if err != nil {
+			t.Fatalf("starting deflating http fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
 }
 
 // forEachFabric runs a conformance test body once per backend.

@@ -50,6 +50,12 @@ type TaskSpec struct {
 	// deployment's VecLen must be NumParams+1 (the extra slot carries the
 	// update's total weight through the masked aggregation).
 	SecAgg *secagg.Deployment
+	// Compress names the internal/compress codec the server prefers for
+	// upload chunks ("" or "none" disables). It is a preference, not a
+	// mandate: each upload negotiates against the codecs the client
+	// offered at report time, so clients that offer nothing (older /v1/
+	// builds) upload raw and keep working.
+	Compress string
 }
 
 // optimizerFor builds the server optimizer for a task. Each placement gets a
@@ -103,6 +109,10 @@ type DownloadResponse struct {
 type ReportRequest struct {
 	TaskID    string
 	SessionID uint64
+	// Compress lists the internal/compress codecs the client can encode —
+	// its half of the upload-compression negotiation. Absent (an older
+	// client build) means raw uploads only.
+	Compress []string
 }
 
 // ReportResponse tells the client how to upload, including the SecAgg
@@ -115,17 +125,26 @@ type ReportResponse struct {
 	SecAggEnabled  bool
 	SecAggBundle   *secagg.InitialBundle
 	SecAggTrust    secagg.ClientTrust
+	// Compress is the negotiated upload codec for this session: the task's
+	// preferred codec if the client offered it, "" for raw uploads. The
+	// client fills UploadChunk.Packed with frames of exactly this codec.
+	Compress string
 }
 
 // UploadChunk carries one chunk of a (possibly masked) model update.
 // Plaintext uploads fill Data; SecAgg uploads fill Masked, and the final
 // chunk carries the envelope fields.
 type UploadChunk struct {
-	TaskID      string
-	SessionID   uint64
-	Offset      int
-	Data        []float32
-	Masked      []uint32
+	TaskID    string
+	SessionID uint64
+	Offset    int
+	Data      []float32
+	Masked    []uint32
+	// Packed, when non-empty, replaces Data/Masked with a self-describing
+	// internal/compress frame holding this chunk's elements (the
+	// negotiated wire-compression capability). Offset/Done semantics are
+	// unchanged: offsets address decoded elements.
+	Packed      []byte
 	Done        bool
 	NumExamples int
 	// SecAgg envelope (final chunk only).

@@ -3,8 +3,9 @@ package transport_test
 // The control plane's godoc is part of the reproduction: exported types
 // and functions in internal/server and internal/transport/... anchor the
 // implementation back to paper sections (Section 4/6, Appendix E), so an
-// undocumented export is a regression. This lint walks the AST of the four
-// control-plane packages and fails on any exported declaration without a
+// undocumented export is a regression. This lint walks the AST of the
+// control-plane packages (plus internal/compress, the wire-compression
+// subsystem) and fails on any exported declaration without a
 // doc comment, and on any exported type/func whose comment does not start
 // with its name (the go doc convention, which keeps anchors findable).
 // CI's vet+gofmt steps handle mechanics; this handles the contract.
@@ -23,6 +24,7 @@ var doclintDirs = []string{
 	"wire",          // internal/transport/wire
 	"httptransport", // internal/transport/httptransport
 	"../server",     // internal/server
+	"../compress",   // internal/compress
 }
 
 func TestExportedSymbolsAreDocumented(t *testing.T) {

@@ -1,0 +1,160 @@
+package httptransport_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/transport/httptransport"
+	"repro/internal/transport/wire"
+)
+
+// bigHandler returns a model-download-sized response: the repetitive
+// float32 vector an aggregator actually serves, the payload the /v2/
+// deflate stage exists for.
+func bigHandler(method string, payload any) (any, error) {
+	return server.DownloadResponse{Params: make([]float32, 16384), Version: 3}, nil
+}
+
+// TestV2DeflateNegotiated: a compressing fabric that discovered an APIv2
+// peer must move measurably fewer bytes for a large response than a
+// baseline fabric making the identical call, and both must decode to the
+// same payload.
+func TestV2DeflateNegotiated(t *testing.T) {
+	serverFab := newFabric(t, "gob")
+	serverFab.Register("agg", bigHandler)
+
+	call := func(f *httptransport.Fabric) uint64 {
+		t.Helper()
+		if _, err := f.Advertise(serverFab.BaseURL()); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := f.Call("client", "agg", "download", server.DownloadRequest{TaskID: "t", SessionID: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl, ok := resp.(server.DownloadResponse)
+		if !ok || len(dl.Params) != 16384 || dl.Version != 3 {
+			t.Fatalf("payload mangled: %T len=%d", resp, len(dl.Params))
+		}
+		return f.Stats().BytesReceived
+	}
+
+	plain := call(newFabric(t, "gob"))
+
+	compressed, err := httptransport.New(httptransport.Options{
+		Listen: "127.0.0.1:0", Codec: "gob", Compress: "streamed", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = compressed.Close() })
+	if !compressed.PeerCapabilities(serverFab.BaseURL()).SupportsCompression() {
+		// Advertise inside call() records the peer's capabilities; check
+		// after the call below instead if ordering ever changes.
+		defer func() {
+			if !compressed.PeerCapabilities(serverFab.BaseURL()).SupportsCompression() {
+				t.Error("peer capabilities not recorded by Advertise")
+			}
+		}()
+	}
+	deflated := call(compressed)
+
+	if deflated*2 >= plain {
+		t.Fatalf("deflated response moved %d bytes, plain %d; want at least 2x reduction on a zero-filled model", deflated, plain)
+	}
+}
+
+// TestCompressFallsBackToV1ForUnknownPeer: a compressing fabric with only
+// a static route (no capability exchange) must keep speaking plain /v1/ —
+// the negotiation default that protects old peers.
+func TestCompressFallsBackToV1ForUnknownPeer(t *testing.T) {
+	serverFab := newFabric(t, "gob")
+	serverFab.Register("agg", bigHandler)
+
+	f, err := httptransport.New(httptransport.Options{
+		Listen: "127.0.0.1:0", Codec: "gob", Compress: "streamed", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	f.AddRoute("agg", serverFab.BaseURL()) // no Advertise/Discover: capabilities unknown
+
+	resp, err := f.Call("client", "agg", "download", server.DownloadRequest{TaskID: "t", SessionID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl, ok := resp.(server.DownloadResponse); !ok || len(dl.Params) != 16384 {
+		t.Fatalf("v1 fallback mangled payload: %T", resp)
+	}
+	if f.PeerCapabilities(serverFab.BaseURL()).SupportsCompression() {
+		t.Fatal("capabilities appeared without a discovery exchange")
+	}
+}
+
+// TestV1RouteIgnoresCompressionHeaders pins versioning rule 4: the /v1/
+// route keeps emitting plain frames even when a generic HTTP client sends
+// Accept-Encoding (Python requests, curl --compressed, ...). Compression
+// headers are honored only on /v2/.
+func TestV1RouteIgnoresCompressionHeaders(t *testing.T) {
+	serverFab := newFabric(t, "gob")
+	serverFab.Register("agg", bigHandler)
+
+	body, err := wire.Gob{}.EncodeRequest(&wire.Request{
+		From: "c", Method: "download", Payload: server.DownloadRequest{TaskID: "t", SessionID: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, serverFab.BaseURL()+"/papaya/v1/rpc/agg", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.Gob{}.ContentType())
+	req.Header.Set("Accept-Encoding", "gzip, deflate")
+	httpResp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if enc := httpResp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("/v1/ response has Content-Encoding %q; the v1 bytes must stay frozen", enc)
+	}
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.Gob{}.DecodeResponse(raw)
+	if err != nil {
+		t.Fatalf("/v1/ response is not a plain frame: %v", err)
+	}
+	if dl, ok := resp.Payload.(server.DownloadResponse); !ok || len(dl.Params) != 16384 {
+		t.Fatalf("payload = %T", resp.Payload)
+	}
+}
+
+// TestDiscoverRecordsCapabilities covers the loadtest entry point: Discover
+// must install routes and the peer's capability document in one round trip.
+func TestDiscoverRecordsCapabilities(t *testing.T) {
+	serverFab := newFabric(t, "gob")
+	serverFab.Register("sel-0", echoHandler)
+
+	f := newFabric(t, "gob")
+	nodes, err := f.Discover(serverFab.BaseURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0] != "sel-0" {
+		t.Fatalf("Discover nodes = %v", nodes)
+	}
+	caps := f.PeerCapabilities(serverFab.BaseURL())
+	if !caps.SupportsCompression() || len(caps.Compress) == 0 {
+		t.Fatalf("Discover recorded capabilities %+v, want APIv2 + codec list", caps)
+	}
+	if resp, err := f.Call("client", "sel-0", "m", "hi"); err != nil || resp != "echo:m:hi" {
+		t.Fatalf("call through discovered route: %v %v", resp, err)
+	}
+}

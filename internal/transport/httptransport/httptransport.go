@@ -14,6 +14,15 @@
 // the real HTTP stack, so a single-process deployment exercises exactly the
 // code paths a multi-host one does.
 //
+// The fabric serves two route generations. /papaya/v1/ is the baseline:
+// one uncompressed versioned frame per POST. /papaya/v2/ adds the wire-
+// compression capability: frame bodies may be DEFLATE-compressed
+// (Content-Encoding: deflate). Which generation a call uses is negotiated,
+// never assumed — peers exchange wire.Capabilities documents at discovery
+// and advertisement, and a fabric sends v2 traffic only to peers that
+// advertised APIv2. A /v1/-only peer (an older build) keeps receiving
+// exactly the v1 bytes it always did.
+//
 // The fabric also implements transport.FaultInjector with the in-memory
 // backend's semantics (crashes, partitions, probabilistic drops, fixed
 // latency), which is what lets the server conformance suite run the
@@ -34,10 +43,12 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/transport"
 	"repro/internal/transport/wire"
 )
@@ -58,7 +69,10 @@ const (
 	kindUnknownNode = "unknown-node"
 )
 
-const apiPrefix = "/papaya/v1"
+const (
+	apiPrefix   = "/papaya/v1"
+	apiPrefixV2 = "/papaya/v2"
+)
 
 // Options configures a Fabric.
 type Options struct {
@@ -71,6 +85,13 @@ type Options struct {
 	// Defaults to "http://<bound address>", which is correct on localhost;
 	// set it explicitly when listening on 0.0.0.0 behind NAT or a proxy.
 	AdvertiseURL string
+	// Compress names the compress.Codec this fabric prefers on the wire
+	// ("" or "none" disables). When the codec includes a streaming stage
+	// (Streams() true, e.g. "streamed" or "flate"), whole RPC bodies to
+	// APIv2 peers are additionally DEFLATE-compressed on the /v2/ route.
+	// Decoding is always available regardless of this setting: every
+	// fabric serves /v2/ and decodes every registered codec.
+	Compress string
 	// Seed seeds the probabilistic-loss RNG (SetLoss); 0 is a valid seed.
 	Seed int64
 	// CallTimeout bounds one RPC end to end (default 30s). The in-memory
@@ -92,15 +113,18 @@ type Stats struct {
 // Fabric is the HTTP-backed transport.Fabric for one process. It is safe
 // for concurrent use.
 type Fabric struct {
-	codec   wire.Codec
-	baseURL string
-	srv     *http.Server
-	ln      net.Listener
-	client  *http.Client
+	codec        wire.Codec
+	baseURL      string
+	srv          *http.Server
+	ln           net.Listener
+	client       *http.Client
+	compressName string
+	deflateBody  bool // compress codec streams: deflate /v2/ RPC bodies
 
 	mu       sync.RWMutex
 	local    map[string]transport.Handler
-	routes   map[string]string // node name -> peer base URL
+	routes   map[string]string            // node name -> peer base URL
+	peerCaps map[string]wire.Capabilities // peer base URL -> advertised capabilities
 	crashed  map[string]bool
 	cuts     map[[2]string]bool
 	lossProb float64
@@ -127,6 +151,18 @@ func New(opts Options) (*Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
+	compressName := opts.Compress
+	if compressName == "none" {
+		compressName = ""
+	}
+	deflateBody := false
+	if compressName != "" {
+		cc, err := compress.ByName(compressName)
+		if err != nil {
+			return nil, err
+		}
+		deflateBody = cc.Streams()
+	}
 	ln, err := net.Listen("tcp", opts.Listen)
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: listen %s: %w", opts.Listen, err)
@@ -140,14 +176,17 @@ func New(opts Options) (*Fabric, error) {
 		callTimeout = 30 * time.Second
 	}
 	f := &Fabric{
-		codec:   codec,
-		baseURL: baseURL,
-		ln:      ln,
-		local:   make(map[string]transport.Handler),
-		routes:  make(map[string]string),
-		crashed: make(map[string]bool),
-		cuts:    make(map[[2]string]bool),
-		rnd:     rand.New(rand.NewSource(opts.Seed)),
+		codec:        codec,
+		baseURL:      baseURL,
+		ln:           ln,
+		compressName: compressName,
+		deflateBody:  deflateBody,
+		local:        make(map[string]transport.Handler),
+		routes:       make(map[string]string),
+		peerCaps:     make(map[string]wire.Capabilities),
+		crashed:      make(map[string]bool),
+		cuts:         make(map[[2]string]bool),
+		rnd:          rand.New(rand.NewSource(opts.Seed)),
 		client: &http.Client{
 			// One client per fabric with a generous idle pool: the control
 			// plane makes many small concurrent calls to few hosts, the
@@ -160,6 +199,12 @@ func New(opts Options) (*Fabric, error) {
 	mux.HandleFunc("POST "+apiPrefix+"/rpc/{node}", f.handleRPC)
 	mux.HandleFunc("GET "+apiPrefix+"/nodes", f.handleNodes)
 	mux.HandleFunc("POST "+apiPrefix+"/advertise", f.handleAdvertise)
+	// The /v2/ generation (wire-compression capability): same surface,
+	// but RPC bodies may be DEFLATE-compressed. Both generations are
+	// always served; peers choose per call based on what we advertised.
+	mux.HandleFunc("POST "+apiPrefixV2+"/rpc/{node}", f.handleRPC)
+	mux.HandleFunc("GET "+apiPrefixV2+"/nodes", f.handleNodes)
+	mux.HandleFunc("POST "+apiPrefixV2+"/advertise", f.handleAdvertise)
 	f.srv = &http.Server{Handler: mux}
 	go func() { _ = f.srv.Serve(ln) }()
 	return f, nil
@@ -170,6 +215,10 @@ func (f *Fabric) BaseURL() string { return f.baseURL }
 
 // CodecName returns the active wire codec's name.
 func (f *Fabric) CodecName() string { return f.codec.Name() }
+
+// CompressName returns the preferred wire-compression codec name
+// (Options.Compress; "" when compression is disabled).
+func (f *Fabric) CompressName() string { return f.compressName }
 
 // Stats returns a snapshot of the client-side traffic counters.
 func (f *Fabric) Stats() Stats {
@@ -332,10 +381,36 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: encoding %s call to %s: %w", method, to, err)
 	}
+	// The streaming-compression capability: when our codec has a byte
+	// stage and the peer advertised APIv2, use the /v2/ route — the
+	// request frame ships deflated when large enough to benefit, and
+	// Accept-Encoding asks for a deflated response symmetrically. Tiny
+	// control frames stay raw: DEFLATE framing would outweigh the savings.
+	prefix := apiPrefix
+	v2 := f.deflateBody && f.peerSpeaksV2(target, isLocal)
+	deflated := false
+	if v2 {
+		prefix = apiPrefixV2
+		if len(body) >= deflateMinBytes {
+			if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+				body, deflated = packed, true
+			}
+		}
+	}
 	f.calls.Add(1)
 	f.bytesSent.Add(uint64(len(body)))
-	httpResp, err := f.client.Post(target+apiPrefix+"/rpc/"+url.PathEscape(to),
-		f.codec.ContentType(), bytes.NewReader(body))
+	httpReq, err := http.NewRequest(http.MethodPost, target+prefix+"/rpc/"+url.PathEscape(to), bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("httptransport: building %s call to %s: %w", method, to, err)
+	}
+	httpReq.Header.Set("Content-Type", f.codec.ContentType())
+	if deflated {
+		httpReq.Header.Set("Content-Encoding", "deflate")
+	}
+	if v2 {
+		httpReq.Header.Set("Accept-Encoding", "deflate")
+	}
+	httpResp, err := f.client.Do(httpReq)
 	if err != nil {
 		// Connection-level failure: the peer process is gone or unreachable
 		// — the networked equivalent of a crashed node.
@@ -350,6 +425,11 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 	if httpResp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("httptransport: %s returned HTTP %d: %s", to, httpResp.StatusCode, raw)
 	}
+	if httpResp.Header.Get("Content-Encoding") == "deflate" {
+		if raw, err = compress.InflateBytes(raw, maxRPCBodyBytes); err != nil {
+			return nil, fmt.Errorf("httptransport: inflating response from %s: %w", to, err)
+		}
+	}
 	resp, err := f.codec.DecodeResponse(raw)
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: decoding response from %s: %w", to, err)
@@ -361,6 +441,29 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 		return nil, errors.New(resp.Err)
 	}
 	return resp.Payload, nil
+}
+
+// deflateMinBytes is the body size below which the /v2/ deflate stage is
+// skipped: DEFLATE adds fixed framing overhead, so compressing a 60-byte
+// ack frame makes it bigger.
+const deflateMinBytes = 256
+
+// maxRPCBodyBytes bounds one RPC body in either direction, raw or
+// inflated (64 MiB ≈ a 16M-parameter checkpoint frame). It is both the
+// read limit on incoming requests and the inflation cap for deflated
+// /v2/ bodies, so a small deflate bomb cannot force a huge allocation.
+const maxRPCBodyBytes = 64 << 20
+
+// peerSpeaksV2 reports whether the fabric serving target advertised the
+// APIv2 compression capability. Locally served nodes always qualify (this
+// build serves /v2/ itself).
+func (f *Fabric) peerSpeaksV2(target string, isLocal bool) bool {
+	if isLocal {
+		return true
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.peerCaps[target].SupportsCompression()
 }
 
 // kindToError rebuilds the sentinel transport errors from a wire response
@@ -399,7 +502,10 @@ func errorToKind(err error) string {
 
 // --- server side ---
 
-func (f *Fabric) respond(w http.ResponseWriter, resp *wire.Response) {
+// respond writes one wire response; when the caller asked for deflate (the
+// /v2/ compression capability's Accept-Encoding), a large-enough response
+// body is deflated.
+func (f *Fabric) respond(w http.ResponseWriter, resp *wire.Response, deflated bool) {
 	body, err := f.codec.EncodeResponse(resp)
 	if err != nil {
 		// Encoding an already-handled response failed (unregistered return
@@ -411,16 +517,36 @@ func (f *Fabric) respond(w http.ResponseWriter, resp *wire.Response) {
 		}
 	}
 	w.Header().Set("Content-Type", f.codec.ContentType())
+	if deflated && len(body) >= deflateMinBytes {
+		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+			w.Header().Set("Content-Encoding", "deflate")
+			body = packed
+		}
+	}
 	_, _ = w.Write(body)
 }
 
+// handleRPC serves both route generations: /v1/ bodies are raw frames;
+// /v2/ bodies may additionally be deflated (Content-Encoding: deflate).
 func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
 	node := r.PathValue("node")
-	raw, err := io.ReadAll(r.Body)
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRPCBodyBytes))
 	if err != nil {
 		http.Error(w, "reading request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Compression headers are honored only on the /v2/ generation: the
+	// /v1/ route must keep emitting exactly the bytes it always did
+	// (versioning rule 4), even toward generic HTTP clients that send
+	// Accept-Encoding by default.
+	isV2 := strings.HasPrefix(r.URL.Path, apiPrefixV2)
+	if isV2 && r.Header.Get("Content-Encoding") == "deflate" {
+		if raw, err = compress.InflateBytes(raw, maxRPCBodyBytes); err != nil {
+			http.Error(w, "inflating request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	deflated := isV2 && strings.Contains(r.Header.Get("Accept-Encoding"), "deflate")
 	req, err := f.codec.DecodeRequest(raw)
 	if err != nil {
 		// Includes version mismatches: a frame from an incompatible build
@@ -437,18 +563,18 @@ func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case !ok:
-		f.respond(w, &wire.Response{Kind: kindUnknownNode, Err: node})
+		f.respond(w, &wire.Response{Kind: kindUnknownNode, Err: node}, deflated)
 	case crashed:
-		f.respond(w, &wire.Response{Kind: kindCrashed, Err: node})
+		f.respond(w, &wire.Response{Kind: kindCrashed, Err: node}, deflated)
 	case cut:
-		f.respond(w, &wire.Response{Kind: kindPartitioned, Err: req.From + " <-> " + node})
+		f.respond(w, &wire.Response{Kind: kindPartitioned, Err: req.From + " <-> " + node}, deflated)
 	default:
 		out, err := safeInvoke(h, req.Method, req.Payload)
 		if err != nil {
-			f.respond(w, &wire.Response{Kind: errorToKind(err), Err: err.Error()})
+			f.respond(w, &wire.Response{Kind: errorToKind(err), Err: err.Error()}, deflated)
 			return
 		}
-		f.respond(w, &wire.Response{Payload: out})
+		f.respond(w, &wire.Response{Payload: out}, deflated)
 	}
 }
 
@@ -466,15 +592,47 @@ func safeInvoke(h transport.Handler, method string, payload any) (out any, err e
 	return h(method, payload)
 }
 
-// nodesDoc is the GET /nodes body: which nodes a fabric serves, and where.
+// nodesDoc is the GET /nodes and /advertise body: which nodes a fabric
+// serves, where, and what it is capable of. The capability fields are the
+// negotiation surface of wire versioning rule 4 — a /v1/ build's document
+// simply lacks them, and the zero value means "baseline only".
 type nodesDoc struct {
 	BaseURL string   `json:"base_url"`
 	Nodes   []string `json:"nodes"`
+	wire.Capabilities
+}
+
+// selfDoc describes this fabric: every build that links this code serves
+// /v2/ and decodes every registered compression codec.
+func (f *Fabric) selfDoc() nodesDoc {
+	return nodesDoc{
+		BaseURL:      f.baseURL,
+		Nodes:        f.Nodes(),
+		Capabilities: wire.Capabilities{API: wire.APIv2, Compress: compress.Names()},
+	}
+}
+
+// recordPeer stores a peer's routes and advertised capabilities.
+func (f *Fabric) recordPeer(doc nodesDoc) {
+	for _, node := range doc.Nodes {
+		f.AddRoute(node, doc.BaseURL)
+	}
+	f.mu.Lock()
+	f.peerCaps[doc.BaseURL] = doc.Capabilities
+	f.mu.Unlock()
+}
+
+// PeerCapabilities returns what the fabric at baseURL advertised (the zero
+// value for unknown or /v1/ peers).
+func (f *Fabric) PeerCapabilities(baseURL string) wire.Capabilities {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.peerCaps[baseURL]
 }
 
 func (f *Fabric) handleNodes(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(nodesDoc{BaseURL: f.baseURL, Nodes: f.Nodes()})
+	_ = json.NewEncoder(w).Encode(f.selfDoc())
 }
 
 func (f *Fabric) handleAdvertise(w http.ResponseWriter, r *http.Request) {
@@ -487,9 +645,7 @@ func (f *Fabric) handleAdvertise(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "advertisement missing base_url", http.StatusBadRequest)
 		return
 	}
-	for _, node := range doc.Nodes {
-		f.AddRoute(node, doc.BaseURL)
-	}
+	f.recordPeer(doc)
 	f.handleNodes(w, r)
 }
 
@@ -498,7 +654,7 @@ func (f *Fabric) handleAdvertise(w http.ResponseWriter, r *http.Request) {
 // announcing its Aggregator to the coordinator process), and returns the
 // peer's own node list for symmetric route setup.
 func (f *Fabric) Advertise(peerURL string) ([]string, error) {
-	body, err := json.Marshal(nodesDoc{BaseURL: f.baseURL, Nodes: f.Nodes()})
+	body, err := json.Marshal(f.selfDoc())
 	if err != nil {
 		return nil, err
 	}
@@ -515,27 +671,54 @@ func (f *Fabric) Advertise(peerURL string) ([]string, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return nil, err
 	}
-	for _, node := range doc.Nodes {
-		f.AddRoute(node, doc.BaseURL)
-	}
+	f.recordPeer(doc)
 	return doc.Nodes, nil
 }
 
-// ListNodes fetches the node inventory of the fabric at baseURL — how a
-// loadtest or agent process discovers selector and coordinator names
-// without out-of-band configuration.
-func ListNodes(baseURL string) ([]string, error) {
-	resp, err := http.Get(baseURL + apiPrefix + "/nodes")
+// Discover fetches the node inventory of the fabric at baseURL, adds a
+// route for every node it serves, and records its advertised capabilities
+// — the client-side entry point for capability negotiation (`papaya
+// loadtest` uses it instead of the capability-blind ListNodes).
+func (f *Fabric) Discover(baseURL string) ([]string, error) {
+	doc, err := fetchNodesDoc(f.client, baseURL)
 	if err != nil {
-		return nil, fmt.Errorf("httptransport: listing nodes at %s: %w", baseURL, err)
+		return nil, err
+	}
+	// Route through the URL this fabric actually reached the peer at, not
+	// the peer's advertised base URL: behind port forwarding or NAT the
+	// advertised address may be unreachable from here. Capabilities are
+	// keyed the same way, so negotiation agrees with routing.
+	doc.BaseURL = baseURL
+	f.recordPeer(doc)
+	return doc.Nodes, nil
+}
+
+// fetchNodesDoc fetches and decodes a peer's discovery document — the
+// shared core of Discover and ListNodes.
+func fetchNodesDoc(c *http.Client, baseURL string) (nodesDoc, error) {
+	resp, err := c.Get(baseURL + apiPrefix + "/nodes")
+	if err != nil {
+		return nodesDoc{}, fmt.Errorf("httptransport: listing nodes at %s: %w", baseURL, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("httptransport: list nodes at %s: HTTP %d: %s", baseURL, resp.StatusCode, msg)
+		return nodesDoc{}, fmt.Errorf("httptransport: list nodes at %s: HTTP %d: %s", baseURL, resp.StatusCode, msg)
 	}
 	var doc nodesDoc
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nodesDoc{}, err
+	}
+	return doc, nil
+}
+
+// ListNodes fetches the node inventory of the fabric at baseURL without a
+// Fabric of its own — for tooling that only wants names. It records no
+// routes and no capabilities; a process that will go on to make calls
+// should use Fabric.Discover so /v2/ negotiation can happen.
+func ListNodes(baseURL string) ([]string, error) {
+	doc, err := fetchNodesDoc(http.DefaultClient, baseURL)
+	if err != nil {
 		return nil, err
 	}
 	return doc.Nodes, nil

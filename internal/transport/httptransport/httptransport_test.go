@@ -243,7 +243,8 @@ func TestAdvertiseAndDiscovery(t *testing.T) {
 		t.Fatalf("cross-process response = %v", resp)
 	}
 
-	// ListNodes is the loadtest's discovery path.
+	// ListNodes: the fabric-less inventory fetch (the loadtest itself now
+	// uses Fabric.Discover, which also records capabilities).
 	names, err := httptransport.ListNodes(coordSide.BaseURL())
 	if err != nil {
 		t.Fatal(err)

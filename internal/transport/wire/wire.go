@@ -18,6 +18,14 @@
 //     serving the old one for the deprecation window.
 //  3. Handlers must treat zero values as "absent": empty slices and maps
 //     may decode as nil.
+//  4. New transport behaviour (anything beyond "decode the frame the same
+//     way") ships as a *capability* on a new route generation, never as a
+//     change to an existing route: peers advertise a Capabilities document
+//     at discovery, and a caller uses a /v2/ behaviour only toward peers
+//     that advertised it. A peer that advertises nothing is a /v1/ peer
+//     and keeps receiving exactly the v1 bytes. Wire compression
+//     (internal/compress) is the first such capability; see
+//     docs/DEPLOYMENT.md "Wire compression".
 //
 // The registry is populated by the packages that own the messages
 // (internal/server registers the Section 4/6 control-plane payloads at init
@@ -39,6 +47,36 @@ import (
 // Version is the envelope version emitted by both codecs. Decoders reject
 // any other value (versioning rule 1).
 const Version = 1
+
+// API generations of the HTTP transport surface (versioning rule 4). A
+// build always serves every generation it knows; the generation used
+// toward a peer is the highest one that peer advertised.
+const (
+	// APIv1 is the baseline RPC surface: POST /papaya/v1/rpc/<node> with
+	// an uncompressed versioned frame.
+	APIv1 = 1
+	// APIv2 adds the wire-compression capability: POST /papaya/v2/rpc/<node>
+	// may carry a DEFLATE-compressed frame body (Content-Encoding:
+	// deflate), and upload payloads may use internal/compress codecs.
+	APIv2 = 2
+)
+
+// Capabilities is the capability half of a discovery document: which API
+// generation a peer speaks and which compression codecs it can decode.
+// Absent fields (a /v1/ peer's document) mean "baseline only" — JSON zero
+// values are the backward-compatibility mechanism, per versioning rule 3.
+type Capabilities struct {
+	// API is the highest transport API generation the peer serves; 0 or
+	// absent means APIv1.
+	API int `json:"api,omitempty"`
+	// Compress lists the compress.Codec names the peer can decode; absent
+	// means none (raw payloads only).
+	Compress []string `json:"compress,omitempty"`
+}
+
+// SupportsCompression reports whether the peer can receive
+// compression-capability traffic: the /v2/ route plus compress codecs.
+func (c Capabilities) SupportsCompression() bool { return c.API >= APIv2 }
 
 // Request is one RPC crossing the fabric: who is calling, which method, and
 // the registered payload message.
