@@ -25,7 +25,7 @@ func runAgent(args []string) {
 	coordURL := fs.String("coordinator", "", "base URL of the papaya serve process (required)")
 	coordName := fs.String("coordinator-name", "coordinator", "coordinator node name")
 	name := fs.String("name", "", "aggregator node name (default agent-<pid>)")
-	codec := fs.String("codec", "gob", "wire codec: gob|json (must match the server)")
+	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (bin negotiates per peer; gob remains the universal fallback)")
 	compressName := fs.String("compress", "", "wire compression codec for RPC bodies toward /v2/ peers: none|streamed|flate (heartbeat checkpoints are the win here)")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat cadence (match the server)")
 	_ = fs.Parse(args)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	mrand "math/rand"
 	"os"
 	"runtime"
 	"runtime/debug"
@@ -64,8 +65,17 @@ type loadRun struct {
 	BytesRaw         int64   `json:"bytes_raw_upload"`
 	BytesWire        int64   `json:"bytes_wire_upload"`
 	CompressionRatio float64 `json:"compression_ratio"`
-	FinalVersion     int     `json:"final_server_version"`
-	FinalUpdates     int64   `json:"final_server_updates"`
+	// AllocsPerUpload and the GC columns meter this loadtest process's
+	// allocation pressure per completed session (heap allocations from
+	// runtime.MemStats.Mallocs), so the pooled-vector work is measurable
+	// run over run rather than anecdotal. They cover the client side of
+	// the wire (encode, decode, session bookkeeping); the serving side's
+	// pooling shows up in uploads/sec.
+	AllocsPerUpload float64 `json:"allocs_per_upload"`
+	GCPauseMillis   float64 `json:"gc_pause_total_ms"`
+	NumGC           uint32  `json:"num_gc"`
+	FinalVersion    int     `json:"final_server_version"`
+	FinalUpdates    int64   `json:"final_server_updates"`
 }
 
 // gitCommit best-efforts the build's VCS revision from the binary's build
@@ -108,7 +118,7 @@ func runLoadtest(args []string) {
 	clients := fs.Int("clients", 16, "concurrent simulated clients")
 	uploads := fs.Int("uploads", 200, "successful upload target (run ends when reached)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "abort if the target is not reached in time")
-	codec := fs.String("codec", "gob", "wire codec: gob|json (must match the server)")
+	codec := fs.String("codec", "gob", "wire codec: gob|json|bin (bin negotiates the binary fast path with /v2/ servers and falls back to gob otherwise)")
 	compressFlag := fs.String("compress", "", "upload codecs clients offer: empty = all registered, \"none\" = opt out, or one codec name (server picks per task)")
 	train := fs.Bool("train", false, "run real local SGD (internal/nn log-bilinear) instead of a fixed delta, so deltas — and compression ratios — are realistic")
 	vocab := fs.Int("vocab", 16, "with -train: model vocabulary (params = 2*vocab*dim + vocab, must equal the task's -params)")
@@ -202,6 +212,8 @@ func runLoadtest(args []string) {
 		negotiatedMu                          sync.Mutex
 		negotiated                            string
 	)
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	stopAt := time.Now().Add(*timeout)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -209,6 +221,26 @@ func runLoadtest(args []string) {
 		wg.Add(1)
 		go func(id int64) {
 			defer wg.Done()
+			// Per-client jittered exponential backoff for rejected
+			// check-ins: without it a sync-mode fleet re-checks in within
+			// the same round and is rejected in lockstep (the committed
+			// sync run saw 1131 rejections for 208 uploads). Jitter
+			// de-synchronizes the retries; backoff caps the storm.
+			rnd := mrand.New(mrand.NewSource(id))
+			const minBackoff, maxBackoff = 5 * time.Millisecond, 200 * time.Millisecond
+			backoff := minBackoff
+			sleepJittered := func() {
+				d := backoff/2 + time.Duration(rnd.Int63n(int64(backoff)))
+				if until := time.Until(stopAt); d > until {
+					d = until
+				}
+				if d > 0 {
+					time.Sleep(d)
+				}
+				if backoff < maxBackoff {
+					backoff *= 2
+				}
+			}
 			store := client.NewExampleStore(0, 0)
 			var exec client.Executor = fixedDeltaExecutor{delta: delta}
 			if *train {
@@ -240,11 +272,12 @@ func runLoadtest(args []string) {
 				res, err := dev.RunOnce(sessStart)
 				if err != nil {
 					terrors.Add(1)
-					time.Sleep(50 * time.Millisecond)
+					sleepJittered()
 					continue
 				}
 				switch res.Outcome {
 				case client.Completed:
+					backoff = minBackoff
 					completed.Add(1)
 					bytesRaw.Add(res.UploadRawBytes)
 					bytesWire.Add(res.UploadWireBytes)
@@ -258,8 +291,9 @@ func runLoadtest(args []string) {
 					latMu.Unlock()
 				case client.Rejected:
 					rejected.Add(1)
-					time.Sleep(10 * time.Millisecond)
+					sleepJittered()
 				case client.Aborted:
+					backoff = minBackoff
 					aborted.Add(1)
 				}
 			}
@@ -267,6 +301,8 @@ func runLoadtest(args []string) {
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	final, err := taskInfo(fabric, selectors[0], *task)
 	if err != nil {
@@ -276,6 +312,10 @@ func runLoadtest(args []string) {
 	ratio := 0.0
 	if bytesWire.Load() > 0 {
 		ratio = float64(bytesRaw.Load()) / float64(bytesWire.Load())
+	}
+	allocsPerUpload := 0.0
+	if n := completed.Load(); n > 0 {
+		allocsPerUpload = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n)
 	}
 	run := loadRun{
 		Label:            *label,
@@ -304,6 +344,9 @@ func runLoadtest(args []string) {
 		BytesRaw:         bytesRaw.Load(),
 		BytesWire:        bytesWire.Load(),
 		CompressionRatio: ratio,
+		AllocsPerUpload:  allocsPerUpload,
+		GCPauseMillis:    float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
+		NumGC:            msAfter.NumGC - msBefore.NumGC,
 		FinalVersion:     final.Version,
 		FinalUpdates:     final.Updates,
 	}
@@ -322,6 +365,14 @@ func runLoadtest(args []string) {
 		run.CompletedUploads, run.WallSeconds, run.UploadsPerSecond, run.P50Millis, run.P99Millis,
 		run.RejectedCheckins, run.AbortedSessions,
 		float64(run.BytesSent+run.BytesReceived)/1e6, compressNote)
+	attempts := run.CompletedUploads + run.RejectedCheckins + run.AbortedSessions
+	rejRate := 0.0
+	if attempts > 0 {
+		rejRate = 100 * float64(run.RejectedCheckins) / float64(attempts)
+	}
+	fmt.Fprintf(os.Stderr,
+		"papaya loadtest: check-in rejection rate %.1f%% (%d rejected / %d attempts), %.0f allocs/upload, %d GCs (%.1f ms pause)\n",
+		rejRate, run.RejectedCheckins, attempts, run.AllocsPerUpload, run.NumGC, run.GCPauseMillis)
 
 	if run.CompletedUploads < int64(*uploads) {
 		fmt.Fprintf(os.Stderr, "papaya loadtest: FAIL: reached %d/%d uploads before timeout\n",

@@ -27,7 +27,7 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "TCP listen address")
 	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen>)")
-	codec := fs.String("codec", "gob", "wire codec: gob|json")
+	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (every codec is always decoded; bin is sent only to peers that advertised it)")
 	nAggs := fs.Int("aggregators", 2, "in-process aggregators (0 = wait for remote agents)")
 	nSels := fs.Int("selectors", 2, "in-process selectors")
 	taskID := fs.String("task", "default", "task ID to create")

@@ -26,7 +26,7 @@ import (
 // concurrent Add calls.
 type Buffered struct {
 	numParams int
-	goal      int
+	goal      atomic.Int64
 	shards    []shard
 	count     atomic.Int64
 	released  atomic.Int64 // number of Release calls, for stats
@@ -48,7 +48,8 @@ func New(numParams, goal, shards int) *Buffered {
 	if numParams <= 0 || goal <= 0 || shards <= 0 {
 		panic("buffer: numParams, goal, and shards must be positive")
 	}
-	b := &Buffered{numParams: numParams, goal: goal, shards: make([]shard, shards)}
+	b := &Buffered{numParams: numParams, shards: make([]shard, shards)}
+	b.goal.Store(int64(goal))
 	for i := range b.shards {
 		b.shards[i].sum = make([]float32, numParams)
 	}
@@ -56,7 +57,7 @@ func New(numParams, goal, shards int) *Buffered {
 }
 
 // Goal returns the aggregation goal K.
-func (b *Buffered) Goal() int { return b.goal }
+func (b *Buffered) Goal() int { return int(b.goal.Load()) }
 
 // NumShards returns the number of intermediate aggregates. The parallel
 // training engine runs one aggregation consumer per shard, so each shard's
@@ -64,14 +65,16 @@ func (b *Buffered) Goal() int { return b.goal }
 // order.
 func (b *Buffered) NumShards() int { return len(b.shards) }
 
-// SetGoal changes the aggregation goal. It must not be called concurrently
-// with Add; it exists so a task can be reconfigured between rounds (e.g.
-// when switching between SyncFL and AsyncFL, Appendix E.3).
+// SetGoal changes the aggregation goal, so a task can be reconfigured at
+// runtime (e.g. when switching between SyncFL and AsyncFL, Appendix E.3).
+// The goal is atomic, making SetGoal safe against concurrent Adds — the
+// production aggregator accumulates outside its task mutex, so a
+// reconfiguration can race an in-flight upload.
 func (b *Buffered) SetGoal(goal int) {
 	if goal <= 0 {
 		panic("buffer: goal must be positive")
 	}
-	b.goal = goal
+	b.goal.Store(int64(goal))
 }
 
 // Count returns the number of updates buffered since the last Release.
@@ -104,7 +107,7 @@ func (b *Buffered) Add(update []float32, weight float64, shardHint int) bool {
 	s.weight += weight
 	s.n++
 	s.mu.Unlock()
-	return b.count.Add(1) == int64(b.goal)
+	return b.count.Add(1) == b.goal.Load()
 }
 
 // Release folds all shards into the final weighted-mean update

@@ -339,10 +339,15 @@ func (r *Runtime) route(selector, taskID, method string, payload any) (any, erro
 }
 
 // uploadPlain ships the delta in chunks, each one compressed with the
-// negotiated codec (nil = raw).
+// negotiated codec (nil = raw). One frame scratch buffer is reused across
+// the session's chunks: the transport encodes the chunk synchronously
+// inside route (and the in-memory fabric's handler copies before
+// returning), so by the time the next iteration overwrites the scratch the
+// previous frame is no longer referenced.
 func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
 	report server.ReportResponse, delta []float32, numExamples int,
 	codec compress.Codec, meter *uploadMeter) (*Result, error) {
+	var scratch []byte
 	for off := 0; off < len(delta); off += report.ChunkSize {
 		end := off + report.ChunkSize
 		if end > len(delta) {
@@ -358,10 +363,11 @@ func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
 		raw := int64(4 * (end - off))
 		meter.raw += raw
 		if codec != nil {
-			frame, err := compress.CompressFloats(codec, delta[off:end])
+			frame, err := compress.AppendCompressedFloats(scratch[:0], codec, delta[off:end])
 			if err != nil {
 				return nil, fmt.Errorf("client: compressing chunk at %d: %w", off, err)
 			}
+			scratch = frame
 			chunk.Packed = frame
 			meter.wire += int64(len(frame))
 		} else {
@@ -413,6 +419,7 @@ func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
 		return nil, err
 	}
 
+	var scratch []byte
 	for off := 0; off < len(up.Masked); off += report.ChunkSize {
 		end := off + report.ChunkSize
 		if end > len(up.Masked) {
@@ -428,10 +435,11 @@ func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
 		raw := int64(4 * (end - off))
 		meter.raw += raw
 		if codec != nil {
-			frame, err := compress.CompressUints(codec, up.Masked[off:end])
+			frame, err := compress.AppendCompressedUints(scratch[:0], codec, up.Masked[off:end])
 			if err != nil {
 				return nil, fmt.Errorf("client: compressing masked chunk at %d: %w", off, err)
 			}
+			scratch = frame
 			chunk.Packed = frame
 			meter.wire += int64(len(frame))
 		} else {

@@ -75,10 +75,17 @@ type Codec interface {
 	AppendFloats(dst []byte, src []float32) ([]byte, error)
 	// DecodeFloats decodes a payload of n elements.
 	DecodeFloats(payload []byte, n int) ([]float32, error)
+	// DecodeFloatsInto decodes a payload of exactly len(dst) elements into
+	// the caller-provided dst, so hot paths can lease the destination from
+	// a pool instead of allocating per frame.
+	DecodeFloatsInto(dst []float32, payload []byte) error
 	// AppendUints appends the lossless payload encoding of src to dst.
 	AppendUints(dst []byte, src []uint32) ([]byte, error)
 	// DecodeUints decodes a payload of n elements.
 	DecodeUints(payload []byte, n int) ([]uint32, error)
+	// DecodeUintsInto decodes a payload of exactly len(dst) elements into
+	// the caller-provided dst; see DecodeFloatsInto.
+	DecodeUintsInto(dst []uint32, payload []byte) error
 }
 
 // --- registry ---
@@ -192,12 +199,25 @@ func parseHeader(frame []byte) (Codec, Kind, int, []byte, error) {
 
 // CompressFloats encodes a float32 vector into a self-describing frame.
 func CompressFloats(c Codec, src []float32) ([]byte, error) {
-	return c.AppendFloats(appendHeader(nil, c, KindFloat32, len(src)), src)
+	return AppendCompressedFloats(nil, c, src)
+}
+
+// AppendCompressedFloats appends a self-describing float32 frame to dst, so
+// a client uploading many chunks can reuse one scratch buffer instead of
+// allocating a frame per chunk.
+func AppendCompressedFloats(dst []byte, c Codec, src []float32) ([]byte, error) {
+	return c.AppendFloats(appendHeader(dst, c, KindFloat32, len(src)), src)
 }
 
 // CompressUints encodes a uint32 vector into a self-describing frame.
 func CompressUints(c Codec, src []uint32) ([]byte, error) {
-	return c.AppendUints(appendHeader(nil, c, KindUint32, len(src)), src)
+	return AppendCompressedUints(nil, c, src)
+}
+
+// AppendCompressedUints appends a self-describing uint32 frame to dst; see
+// AppendCompressedFloats.
+func AppendCompressedUints(dst []byte, c Codec, src []uint32) ([]byte, error) {
+	return c.AppendUints(appendHeader(dst, c, KindUint32, len(src)), src)
 }
 
 // DecompressFloats decodes a float32 frame produced by any registered
@@ -224,6 +244,40 @@ func DecompressUints(frame []byte) ([]uint32, error) {
 		return nil, fmt.Errorf("compress: frame holds kind %d, want uint32", kind)
 	}
 	return c.DecodeUints(payload, n)
+}
+
+// DecompressFloatsInto decodes a float32 frame into the caller-provided
+// dst, which must match the frame's declared element count exactly (the
+// caller learns it from FrameInfo before leasing a buffer). The pooled
+// counterpart of DecompressFloats on the aggregator's upload hot path.
+func DecompressFloatsInto(dst []float32, frame []byte) error {
+	c, kind, n, payload, err := parseHeader(frame)
+	if err != nil {
+		return err
+	}
+	if kind != KindFloat32 {
+		return fmt.Errorf("compress: frame holds kind %d, want float32", kind)
+	}
+	if n != len(dst) {
+		return fmt.Errorf("compress: frame declares %d elements, dst holds %d", n, len(dst))
+	}
+	return c.DecodeFloatsInto(dst, payload)
+}
+
+// DecompressUintsInto decodes a uint32 frame into the caller-provided dst;
+// see DecompressFloatsInto.
+func DecompressUintsInto(dst []uint32, frame []byte) error {
+	c, kind, n, payload, err := parseHeader(frame)
+	if err != nil {
+		return err
+	}
+	if kind != KindUint32 {
+		return fmt.Errorf("compress: frame holds kind %d, want uint32", kind)
+	}
+	if n != len(dst) {
+		return fmt.Errorf("compress: frame declares %d elements, dst holds %d", n, len(dst))
+	}
+	return c.DecodeUintsInto(dst, payload)
 }
 
 // FrameInfo reports a frame's codec name, element kind, and element count
@@ -265,6 +319,11 @@ func (None) DecodeFloats(payload []byte, n int) ([]float32, error) {
 	return decodeFloatsLE(payload, n)
 }
 
+// DecodeFloatsInto implements Codec.
+func (None) DecodeFloatsInto(dst []float32, payload []byte) error {
+	return decodeFloatsLEInto(dst, payload)
+}
+
 // AppendUints implements Codec: 4 bytes per element, little-endian.
 func (None) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 	return appendUintsLE(dst, src), nil
@@ -273,6 +332,11 @@ func (None) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 // DecodeUints implements Codec.
 func (None) DecodeUints(payload []byte, n int) ([]uint32, error) {
 	return decodeUintsLE(payload, n)
+}
+
+// DecodeUintsInto implements Codec.
+func (None) DecodeUintsInto(dst []uint32, payload []byte) error {
+	return decodeUintsLEInto(dst, payload)
 }
 
 func init() {

@@ -45,6 +45,11 @@ func (Quantized) DecodeFloats(payload []byte, n int) ([]float32, error) {
 	return decodeQuantized(payload, n, 8)
 }
 
+// DecodeFloatsInto implements Codec.
+func (Quantized) DecodeFloatsInto(dst []float32, payload []byte) error {
+	return decodeQuantizedInto(dst, payload, 8)
+}
+
 // AppendUints implements Codec via delta+varint packing.
 func (Quantized) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 	return appendDeltaVarint(dst, src), nil
@@ -53,6 +58,11 @@ func (Quantized) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 // DecodeUints implements Codec.
 func (Quantized) DecodeUints(payload []byte, n int) ([]uint32, error) {
 	return decodeDeltaVarint(payload, n)
+}
+
+// DecodeUintsInto implements Codec.
+func (Quantized) DecodeUintsInto(dst []uint32, payload []byte) error {
+	return decodeDeltaVarintInto(dst, payload)
 }
 
 // Quantized16 is the int16 variant for tasks that need more fidelity than
@@ -79,6 +89,11 @@ func (Quantized16) DecodeFloats(payload []byte, n int) ([]float32, error) {
 	return decodeQuantized(payload, n, 16)
 }
 
+// DecodeFloatsInto implements Codec.
+func (Quantized16) DecodeFloatsInto(dst []float32, payload []byte) error {
+	return decodeQuantizedInto(dst, payload, 16)
+}
+
 // AppendUints implements Codec via delta+varint packing.
 func (Quantized16) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 	return appendDeltaVarint(dst, src), nil
@@ -87,6 +102,11 @@ func (Quantized16) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 // DecodeUints implements Codec.
 func (Quantized16) DecodeUints(payload []byte, n int) ([]uint32, error) {
 	return decodeDeltaVarint(payload, n)
+}
+
+// DecodeUintsInto implements Codec.
+func (Quantized16) DecodeUintsInto(dst []uint32, payload []byte) error {
+	return decodeDeltaVarintInto(dst, payload)
 }
 
 // --- float quantization ---
@@ -137,27 +157,35 @@ func appendQuantized(dst []byte, src []float32, bits int) ([]byte, error) {
 }
 
 func decodeQuantized(payload []byte, n, bits int) ([]float32, error) {
+	out := make([]float32, n)
+	if err := decodeQuantizedInto(out, payload, bits); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeQuantizedInto(dst []float32, payload []byte, bits int) error {
+	n := len(dst)
 	width := bits / 8
 	if len(payload) != 8+n*width {
-		return nil, fmt.Errorf("compress: quantized payload is %d bytes, want %d for %d elements",
+		return fmt.Errorf("compress: quantized payload is %d bytes, want %d for %d elements",
 			len(payload), 8+n*width, n)
 	}
 	inv := math.Float64frombits(binary.LittleEndian.Uint64(payload))
 	if math.IsNaN(inv) || math.IsInf(inv, 0) || inv < 0 {
-		return nil, fmt.Errorf("compress: invalid quantization scale %g", inv)
+		return fmt.Errorf("compress: invalid quantization scale %g", inv)
 	}
 	body := payload[8:]
-	out := make([]float32, n)
-	for i := range out {
+	for i := range dst {
 		var q int64
 		if bits == 8 {
 			q = int64(int8(body[i]))
 		} else {
 			q = int64(int16(binary.LittleEndian.Uint16(body[i*2:])))
 		}
-		out[i] = float32(float64(q) * inv)
+		dst[i] = float32(float64(q) * inv)
 	}
-	return out, nil
+	return nil
 }
 
 // --- lossless packers ---
@@ -195,37 +223,44 @@ func appendDeltaVarint(dst []byte, src []uint32) []byte {
 }
 
 func decodeDeltaVarint(payload []byte, n int) ([]uint32, error) {
+	out := make([]uint32, n)
+	if err := decodeDeltaVarintInto(out, payload); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func decodeDeltaVarintInto(dst []uint32, payload []byte) error {
+	n := len(dst)
 	if len(payload) < 1 {
-		return nil, fmt.Errorf("compress: empty uint payload")
+		return fmt.Errorf("compress: empty uint payload")
 	}
 	mode, body := payload[0], payload[1:]
 	switch mode {
 	case uintModeRaw:
-		return decodeUintsLE(body, n)
+		return decodeUintsLEInto(dst, body)
 	case uintModeDelta:
-		// Feasibility before allocation: every varint delta costs at least
-		// one byte, so a tiny hostile payload cannot declare a huge count
-		// and make the decoder allocate it.
+		// Feasibility before decoding: every varint delta costs at least
+		// one byte, so a tiny hostile payload cannot declare a huge count.
 		if n > len(body) {
-			return nil, fmt.Errorf("compress: delta stream of %d bytes cannot hold %d elements", len(body), n)
+			return fmt.Errorf("compress: delta stream of %d bytes cannot hold %d elements", len(body), n)
 		}
-		out := make([]uint32, n)
 		prev := uint32(0)
-		for i := range out {
+		for i := range dst {
 			d, read := binary.Varint(body)
 			if read <= 0 {
-				return nil, fmt.Errorf("compress: truncated delta stream at element %d", i)
+				return fmt.Errorf("compress: truncated delta stream at element %d", i)
 			}
 			body = body[read:]
 			prev += uint32(int32(d))
-			out[i] = prev
+			dst[i] = prev
 		}
 		if len(body) != 0 {
-			return nil, fmt.Errorf("compress: %d trailing bytes after delta stream", len(body))
+			return fmt.Errorf("compress: %d trailing bytes after delta stream", len(body))
 		}
-		return out, nil
+		return nil
 	default:
-		return nil, fmt.Errorf("compress: unknown uint packing mode %d", mode)
+		return fmt.Errorf("compress: unknown uint packing mode %d", mode)
 	}
 }
 
@@ -240,14 +275,21 @@ func appendFloatsLE(dst []byte, src []float32) []byte {
 }
 
 func decodeFloatsLE(payload []byte, n int) ([]float32, error) {
-	if len(payload) != 4*n {
-		return nil, fmt.Errorf("compress: payload is %d bytes, want %d for %d float32s", len(payload), 4*n, n)
-	}
 	out := make([]float32, n)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+	if err := decodeFloatsLEInto(out, payload); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+func decodeFloatsLEInto(dst []float32, payload []byte) error {
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("compress: payload is %d bytes, want %d for %d float32s", len(payload), 4*len(dst), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+	}
+	return nil
 }
 
 func appendUintsLE(dst []byte, src []uint32) []byte {
@@ -258,14 +300,21 @@ func appendUintsLE(dst []byte, src []uint32) []byte {
 }
 
 func decodeUintsLE(payload []byte, n int) ([]uint32, error) {
-	if len(payload) != 4*n {
-		return nil, fmt.Errorf("compress: payload is %d bytes, want %d for %d uint32s", len(payload), 4*n, n)
-	}
 	out := make([]uint32, n)
-	for i := range out {
-		out[i] = binary.LittleEndian.Uint32(payload[i*4:])
+	if err := decodeUintsLEInto(out, payload); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+func decodeUintsLEInto(dst []uint32, payload []byte) error {
+	if len(payload) != 4*len(dst) {
+		return fmt.Errorf("compress: payload is %d bytes, want %d for %d uint32s", len(payload), 4*len(dst), len(dst))
+	}
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(payload[i*4:])
+	}
+	return nil
 }
 
 func init() {

@@ -59,6 +59,16 @@ func (s Streamed) DecodeFloats(payload []byte, n int) ([]float32, error) {
 	return s.inner.DecodeFloats(inner, n)
 }
 
+// DecodeFloatsInto implements Codec: inflate (same bomb bound), then
+// delegate to the inner codec's in-place decode.
+func (s Streamed) DecodeFloatsInto(dst []float32, payload []byte) error {
+	inner, err := inflateCapped(payload, 4*int64(len(dst))+64)
+	if err != nil {
+		return err
+	}
+	return s.inner.DecodeFloatsInto(dst, inner)
+}
+
 // AppendUints implements Codec.
 func (s Streamed) AppendUints(dst []byte, src []uint32) ([]byte, error) {
 	payload, err := s.inner.AppendUints(nil, src)
@@ -76,6 +86,15 @@ func (s Streamed) DecodeUints(payload []byte, n int) ([]uint32, error) {
 		return nil, err
 	}
 	return s.inner.DecodeUints(inner, n)
+}
+
+// DecodeUintsInto implements Codec; see DecodeFloatsInto.
+func (s Streamed) DecodeUintsInto(dst []uint32, payload []byte) error {
+	inner, err := inflateCapped(payload, 5*int64(len(dst))+64)
+	if err != nil {
+		return err
+	}
+	return s.inner.DecodeUintsInto(dst, inner)
 }
 
 // DeflateBytes compresses an opaque byte stream (an encoded wire frame)

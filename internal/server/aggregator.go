@@ -12,18 +12,87 @@ import (
 	"repro/internal/secagg"
 	"repro/internal/transport"
 	"repro/internal/vecf"
+	"repro/internal/vecpool"
 )
 
 // sessionState tracks one client's virtual session on a task.
 type sessionState struct {
 	clientID     int64
 	startVersion int
-	aborted      bool
-	abortReason  string
-	// upload assembly
+	aborted      bool   // guarded by the task mutex
+	abortReason  string // guarded by the task mutex
+
+	// Upload assembly runs under the session's own mutex, never the
+	// task's: chunk copies for different sessions proceed fully in
+	// parallel, which is what un-serializes the upload hot path (the
+	// whole-task mutex used to cover every byte of every copy).
+	// Reassembly vectors are leased from internal/vecpool and returned
+	// when the session ends.
+	mu        sync.Mutex
+	closed    bool
 	pending   []float32
 	pendingGp []uint32
 	received  int
+}
+
+// addChunk copies one chunk into the session's reassembly buffer under the
+// session mutex. A non-nil response is a rejection.
+func (s *sessionState) addChunk(c *UploadChunk, useSecAgg bool, numParams int) *UploadResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return &UploadResponse{OK: false, Reason: "unknown session"}
+	}
+	if useSecAgg {
+		if s.pendingGp == nil {
+			s.pendingGp = vecpool.GetUints(numParams + 1)
+		}
+		if c.Offset < 0 || c.Offset+len(c.Masked) > len(s.pendingGp) {
+			return &UploadResponse{OK: false, Reason: "chunk out of bounds"}
+		}
+		copy(s.pendingGp[c.Offset:], c.Masked)
+		s.received += len(c.Masked)
+	} else {
+		if s.pending == nil {
+			s.pending = vecpool.GetFloats(numParams)
+		}
+		if c.Offset < 0 || c.Offset+len(c.Data) > len(s.pending) {
+			return &UploadResponse{OK: false, Reason: "chunk out of bounds"}
+		}
+		copy(s.pending[c.Offset:], c.Data)
+		s.received += len(c.Data)
+	}
+	return nil
+}
+
+// take detaches the reassembly buffers for aggregation, closing the
+// session against further chunk copies. Exactly one caller wins: a
+// duplicate Done chunk (or a concurrent close) observes ok=false, so a
+// session's update can never be aggregated twice or its buffers released
+// twice.
+func (s *sessionState) take() (pending []float32, pendingGp []uint32, received int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, nil, 0, false
+	}
+	s.closed = true
+	pending, pendingGp, received = s.pending, s.pendingGp, s.received
+	s.pending, s.pendingGp = nil, nil
+	return pending, pendingGp, received, true
+}
+
+// close releases the session's leased buffers back to the pool. Idempotent
+// and safe against in-flight chunk copies: the buffers are detached under
+// the session mutex before being released, and late copies observe closed.
+func (s *sessionState) close() {
+	s.mu.Lock()
+	s.closed = true
+	pending, pendingGp := s.pending, s.pendingGp
+	s.pending, s.pendingGp = nil, nil
+	s.mu.Unlock()
+	vecpool.PutFloats(pending)
+	vecpool.PutUints(pendingGp)
 }
 
 // taskState is a task's runtime state on its owning aggregator. Aggregators
@@ -40,6 +109,9 @@ type taskState struct {
 	buf     *buffer.Buffered
 	secAgg  *secagg.Aggregator
 	stale   fedopt.StalenessWeight
+	// scratch receives buffer releases (ReleaseInto), so a server step
+	// allocates nothing model-sized. Guarded by mu like params.
+	scratch []float32
 
 	sessions    map[uint64]*sessionState
 	nextSession uint64
@@ -80,6 +152,7 @@ func newTaskState(req AssignTaskRequest) (*taskState, error) {
 		stale:    fedopt.DefaultStaleness(),
 		sessions: make(map[uint64]*sessionState),
 		version:  req.Version,
+		scratch:  make([]float32, spec.NumParams),
 	}
 	if req.Checkpoint != nil {
 		ts.params = vecf.Clone(req.Checkpoint)
@@ -218,9 +291,23 @@ func (a *Aggregator) assignTask(req AssignTaskRequest) (any, error) {
 
 func (a *Aggregator) dropTask(taskID string) (any, error) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
+	ts := a.tasks[taskID]
 	delete(a.tasks, taskID)
 	delete(a.lastCkptVersion, taskID)
+	a.mu.Unlock()
+	if ts != nil {
+		// Return the dropped task's leased session buffers to the pool.
+		ts.mu.Lock()
+		sessions := make([]*sessionState, 0, len(ts.sessions))
+		for _, s := range ts.sessions {
+			sessions = append(sessions, s)
+		}
+		ts.sessions = make(map[uint64]*sessionState)
+		ts.mu.Unlock()
+		for _, s := range sessions {
+			s.close()
+		}
+	}
 	return true, nil
 }
 
@@ -266,7 +353,13 @@ func (a *Aggregator) download(req DownloadRequest) (any, error) {
 	// model moved between join and download, restart the session at the
 	// current version (equivalent to AFL's version check).
 	s.startVersion = ts.version
-	return DownloadResponse{Params: vecf.Clone(ts.params), Version: ts.version}, nil
+	// The snapshot is leased from the pool: over the HTTP fabric the
+	// transport returns it once the response frame is encoded
+	// (wire.BufferLease); in-memory callers simply keep it, which a pool
+	// miss tolerates by construction.
+	params := vecpool.GetFloats(len(ts.params))
+	copy(params, ts.params)
+	return DownloadResponse{Params: params, Version: ts.version}, nil
 }
 
 // report hands the client its upload configuration (participation stage 3),
@@ -286,6 +379,7 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 		reason := s.abortReason
 		delete(ts.sessions, req.SessionID)
 		ts.mu.Unlock()
+		s.close()
 		return ReportResponse{OK: false, Reason: reason}, nil
 	}
 	chunk := ts.spec.UploadChunkSize
@@ -322,17 +416,45 @@ func (a *Aggregator) failSession(req FailRequest) (any, error) {
 		return nil, err
 	}
 	ts.mu.Lock()
+	s := ts.sessions[req.SessionID]
 	delete(ts.sessions, req.SessionID)
 	ts.mu.Unlock()
+	if s != nil {
+		s.close()
+	}
 	return true, nil
 }
 
 // uploadChunk assembles a session's update; the final chunk triggers
 // aggregation. Model updates arrive in chunks (participation stage 4).
+//
+// This is the serving hot path, and it deliberately holds the task mutex
+// only for map lookups and counter updates. Chunk decompression runs
+// outside every lock; the copy into the session's reassembly buffer runs
+// under the session's own mutex; and in AsyncFL the final accumulate runs
+// under the aggregation buffer's per-shard locks (Section 6.3's parallel
+// buffered aggregation), so concurrent uploads from different sessions
+// contend only on their shard, never on the whole task.
 func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
 	ts, err := a.task(c.TaskID)
 	if err != nil {
 		return nil, err
+	}
+
+	ts.mu.Lock()
+	useSecAgg := ts.spec.SecAgg != nil
+	numParams := ts.spec.NumParams
+	s, ok := ts.sessions[c.SessionID]
+	if ok && s.aborted {
+		reason := s.abortReason
+		delete(ts.sessions, c.SessionID)
+		ts.mu.Unlock()
+		s.close()
+		return UploadResponse{OK: false, Reason: reason}, nil
+	}
+	ts.mu.Unlock()
+	if !ok {
+		return UploadResponse{OK: false, Reason: "unknown session"}, nil
 	}
 
 	// A packed chunk carries a self-describing compression frame instead
@@ -340,15 +462,14 @@ func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
 	// logic already handles. Two rules guard the decode: the declared
 	// element count is validated against the task's dimensions *before*
 	// any allocation (a hostile frame must not buy a huge decode), and
-	// the flate/dequantize work runs outside ts.mu so one client's
-	// decompression never serializes the whole task's upload path. A
-	// malformed frame rejects the session's upload, not the aggregator.
+	// the flate/dequantize work runs outside every lock so one client's
+	// decompression never serializes the task's upload path. The decode
+	// target is leased from the pool and released once the elements are
+	// copied into the session buffer. A malformed frame rejects the
+	// session's upload, not the aggregator.
 	if len(c.Packed) > 0 {
-		ts.mu.Lock()
-		useSecAgg := ts.spec.SecAgg != nil
-		limit := ts.spec.NumParams
-		ts.mu.Unlock()
 		wantKind := compress.KindFloat32
+		limit := numParams
 		if useSecAgg {
 			wantKind = compress.KindUint32
 			limit++
@@ -363,108 +484,177 @@ func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
 			return UploadResponse{OK: false, Reason: "chunk out of bounds"}, nil
 		}
 		if useSecAgg {
-			vals, err := compress.DecompressUints(c.Packed)
-			if err != nil {
+			vals := vecpool.GetUints(n)
+			defer vecpool.PutUints(vals)
+			if err := compress.DecompressUintsInto(vals, c.Packed); err != nil {
 				return UploadResponse{OK: false, Reason: "bad compressed chunk: " + err.Error()}, nil
 			}
 			c.Masked = vals
 		} else {
-			vals, err := compress.DecompressFloats(c.Packed)
-			if err != nil {
+			vals := vecpool.GetFloats(n)
+			defer vecpool.PutFloats(vals)
+			if err := compress.DecompressFloatsInto(vals, c.Packed); err != nil {
 				return UploadResponse{OK: false, Reason: "bad compressed chunk: " + err.Error()}, nil
 			}
 			c.Data = vals
 		}
 	}
 
-	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	s, ok := ts.sessions[c.SessionID]
-	if !ok {
-		return UploadResponse{OK: false, Reason: "unknown session"}, nil
-	}
-	if s.aborted {
-		delete(ts.sessions, c.SessionID)
-		return UploadResponse{OK: false, Reason: s.abortReason}, nil
-	}
-
-	if ts.spec.SecAgg != nil {
-		if s.pendingGp == nil {
-			s.pendingGp = make([]uint32, ts.spec.NumParams+1)
-		}
-		if c.Offset+len(c.Masked) > len(s.pendingGp) {
-			return UploadResponse{OK: false, Reason: "chunk out of bounds"}, nil
-		}
-		copy(s.pendingGp[c.Offset:], c.Masked)
-		s.received += len(c.Masked)
-	} else {
-		if s.pending == nil {
-			s.pending = make([]float32, ts.spec.NumParams)
-		}
-		if c.Offset+len(c.Data) > len(s.pending) {
-			return UploadResponse{OK: false, Reason: "chunk out of bounds"}, nil
-		}
-		copy(s.pending[c.Offset:], c.Data)
-		s.received += len(c.Data)
+	if resp := s.addChunk(&c, useSecAgg, numParams); resp != nil {
+		return *resp, nil
 	}
 	if !c.Done {
 		return UploadResponse{OK: true}, nil
 	}
-	return a.finishUploadLocked(ts, c, s)
+	return a.finishUpload(ts, c, s)
 }
 
-// finishUploadLocked completes a session's upload and runs the aggregation
-// path. Caller holds ts.mu.
-func (a *Aggregator) finishUploadLocked(ts *taskState, c UploadChunk, s *sessionState) (any, error) {
+// finishUpload completes a session's upload and runs the aggregation path.
+// It owns the session's reassembly buffers (via take) and must release
+// them on every path once their contents are folded into durable state.
+func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState) (any, error) {
+	pending, pendingGp, received, ok := s.take()
+	if !ok {
+		return UploadResponse{OK: false, Reason: "unknown session"}, nil
+	}
+	release := func() {
+		vecpool.PutFloats(pending)
+		vecpool.PutUints(pendingGp)
+	}
+
+	ts.mu.Lock()
+	if cur, live := ts.sessions[c.SessionID]; !live || cur != s {
+		ts.mu.Unlock()
+		release()
+		return UploadResponse{OK: false, Reason: "unknown session"}, nil
+	}
+	if s.aborted {
+		reason := s.abortReason
+		delete(ts.sessions, c.SessionID)
+		ts.mu.Unlock()
+		release()
+		return UploadResponse{OK: false, Reason: reason}, nil
+	}
 	staleness := ts.version - s.startVersion
 	if ts.spec.MaxStaleness > 0 && staleness > ts.spec.MaxStaleness {
 		delete(ts.sessions, c.SessionID)
+		ts.mu.Unlock()
+		release()
 		return UploadResponse{OK: false, Reason: "staleness exceeded"}, nil
 	}
 
-	ready := false
-	if ts.spec.SecAgg != nil {
-		if s.received != ts.spec.NumParams+1 {
+	// Weight for the plaintext paths (SecAgg clients weight on-device).
+	w := float64(c.NumExamples)
+	if w <= 0 {
+		w = 1
+	}
+
+	switch {
+	case ts.spec.SecAgg != nil:
+		// The SecAgg aggregate (host sum + enclave boundary call) is not
+		// concurrency-safe and stays under the task mutex; the boundary
+		// crossing dominates its cost anyway (Section 5).
+		if received != ts.spec.NumParams+1 {
+			delete(ts.sessions, c.SessionID)
+			ts.mu.Unlock()
+			release()
 			return UploadResponse{OK: false, Reason: "incomplete masked upload"}, nil
 		}
 		up := secagg.Upload{
 			Index:      c.SecAggIndex,
-			Masked:     s.pendingGp,
+			Masked:     pendingGp,
 			Completing: c.SecAggCompleting,
 			EncSeed:    c.SecAggEncSeed,
 		}
 		if err := ts.secAgg.Add(up); err != nil {
 			delete(ts.sessions, c.SessionID)
+			ts.mu.Unlock()
+			release()
 			return UploadResponse{OK: false, Reason: err.Error()}, nil
 		}
-		ready = ts.secAgg.Received() >= ts.spec.AggregationGoal
-	} else {
-		if s.received != ts.spec.NumParams {
+		out, err := a.countAndMaybeStepLocked(ts, c.SessionID)
+		ts.mu.Unlock()
+		release()
+		return out, err
+
+	case ts.spec.Mode == core.Sync:
+		// SyncFL rounds close atomically: the add, the round counter, and
+		// the possible round close (with its over-selection discard,
+		// Appendix E.3) stay consistent under the task mutex.
+		if received != ts.spec.NumParams {
+			delete(ts.sessions, c.SessionID)
+			ts.mu.Unlock()
+			release()
 			return UploadResponse{OK: false, Reason: "incomplete upload"}, nil
 		}
-		w := float64(c.NumExamples)
-		if w <= 0 {
-			w = 1
-		}
-		if ts.spec.Mode == core.Async {
-			w *= ts.stale(staleness)
-		}
-		ready = ts.buf.Add(s.pending, w, int(s.clientID))
-		// After a runtime mode/goal switch (Appendix E.3) the buffer may
-		// already hold more than the new goal; the exact-equality trigger
-		// alone would then never fire.
-		if !ready && ts.buf.Count() >= ts.spec.AggregationGoal {
-			ready = true
-		}
-	}
+		ts.buf.Add(pending, w, int(s.clientID))
+		out, err := a.countAndMaybeStepLocked(ts, c.SessionID)
+		ts.mu.Unlock()
+		release()
+		return out, err
 
+	default:
+		// AsyncFL (FedBuff): the sharded fast path. The accumulate runs
+		// outside the task mutex — buffer shards carry their own locks
+		// (the buffer.NumShards semantics the parallel engine introduced),
+		// so concurrent finishing sessions contend per shard. Whether the
+		// goal is met is decided from the buffered count once the counters
+		// are re-locked, which keeps exactly one finisher triggering each
+		// server step. One deliberate relaxation versus the old fully
+		// locked path: a concurrent server step can advance the version
+		// between the staleness check above and this Add, so an update may
+		// land one release late with a one-step-stale weight — exactly the
+		// arrival-order tolerance FedBuff is built on (Section 6.3), and
+		// bounded at one step by the staleness check still holding ts.mu.
+		if received != ts.spec.NumParams {
+			delete(ts.sessions, c.SessionID)
+			ts.mu.Unlock()
+			release()
+			return UploadResponse{OK: false, Reason: "incomplete upload"}, nil
+		}
+		w *= ts.stale(staleness)
+		clientID := s.clientID
+		ts.mu.Unlock()
+
+		ts.buf.Add(pending, w, int(clientID))
+		release()
+
+		ts.mu.Lock()
+		out, err := a.countAndMaybeStepLocked(ts, c.SessionID)
+		ts.mu.Unlock()
+		return out, err
+	}
+}
+
+// countAndMaybeStepLocked finishes an accepted upload's bookkeeping and
+// triggers the server step when the aggregation goal is met. Caller holds
+// ts.mu. The goal check reads live state under the lock (buffered count,
+// SecAgg received count, or the sync round counter) rather than a value
+// computed before locking, so concurrent async finishers cannot
+// double-trigger a release — the first one to lock sees the goal and
+// drains the buffer; the rest see the drained count.
+func (a *Aggregator) countAndMaybeStepLocked(ts *taskState, sessionID uint64) (any, error) {
 	ts.updates++
 	ts.roundReceived++
-	delete(ts.sessions, c.SessionID)
+	delete(ts.sessions, sessionID)
 
-	goalMet := ready
-	if ts.spec.Mode == core.Sync {
+	var goalMet bool
+	switch {
+	case ts.spec.Mode == core.Sync:
 		goalMet = ts.roundReceived >= ts.spec.AggregationGoal
+	case ts.spec.SecAgg != nil:
+		goalMet = ts.secAgg.Received() >= ts.spec.AggregationGoal
+	default:
+		// Also covers a runtime goal change (Appendix E.3): a buffer
+		// already holding more than the new goal triggers on the next
+		// accepted upload.
+		goalMet = ts.buf.Count() >= ts.spec.AggregationGoal
+	}
+	// A mode switch can leave the round counter satisfied while the buffer
+	// is empty (the updates were released under the previous mode); a
+	// release on an empty buffer is a protocol bug, so skip the step.
+	if goalMet && ts.spec.SecAgg == nil && ts.buf.Count() == 0 {
+		goalMet = false
 	}
 	if goalMet {
 		if err := a.serverStepLocked(ts); err != nil {
@@ -494,7 +684,10 @@ func (a *Aggregator) serverStepLocked(ts *taskState) error {
 		update = decoded[:len(decoded)-1]
 		vecf.Scale(update, 1/totalW)
 	} else {
-		update, _, _ = ts.buf.Release()
+		// ReleaseInto recycles the task's scratch vector, so a server step
+		// allocates nothing model-sized (the optimizer only reads update).
+		ts.buf.ReleaseInto(ts.scratch)
+		update = ts.scratch
 	}
 	ts.opt.Step(ts.params, update)
 	ts.version++
@@ -542,11 +735,13 @@ func (a *Aggregator) taskInfo(taskID string) (any, error) {
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	params := vecpool.GetFloats(len(ts.params))
+	copy(params, ts.params)
 	return TaskInfo{
 		Version: ts.version,
 		Updates: ts.updates,
 		Active:  len(ts.sessions),
-		Params:  vecf.Clone(ts.params),
+		Params:  params,
 		Mode:    ts.spec.Mode,
 	}, nil
 }

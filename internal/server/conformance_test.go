@@ -40,6 +40,22 @@ var fabricFactories = []fabricFactory{
 		t.Cleanup(func() { _ = f.Close() })
 		return f
 	}},
+	// The same HTTP backend with the binary fast-path codec preferred:
+	// every RPC of every conformance test crosses as bin frames on the
+	// /v2/ route (the fabric serves its own nodes, so the capability is
+	// always negotiated), proving the hand-rolled codec preserves the full
+	// behaviour matrix, with gob pinned as the /v1/ fallback by the
+	// bincodec tests in httptransport.
+	{name: "http-bin", make: func(t *testing.T, seed int64) testFabric {
+		f, err := httptransport.New(httptransport.Options{
+			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin",
+		})
+		if err != nil {
+			t.Fatalf("starting bin http fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
 	// The same HTTP backend with the wire-compression capability active:
 	// every RPC of every conformance test rides the /v2/ route with
 	// DEFLATE bodies, proving the negotiated path preserves the full
@@ -51,6 +67,17 @@ var fabricFactories = []fabricFactory{
 		})
 		if err != nil {
 			t.Fatalf("starting deflating http fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
+	// Both capabilities at once: binary frames inside DEFLATE bodies.
+	{name: "http-deflate-bin", make: func(t *testing.T, seed int64) testFabric {
+		f, err := httptransport.New(httptransport.Options{
+			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Compress: "streamed",
+		})
+		if err != nil {
+			t.Fatalf("starting deflating bin http fabric: %v", err)
 		}
 		t.Cleanup(func() { _ = f.Close() })
 		return f

@@ -1,0 +1,204 @@
+package httptransport_test
+
+// Negotiation tests for the binary fast-path codec: bin frames flow only
+// toward peers that advertised the capability, ride the /v2/ route, and
+// every other peer — including a /v1/ stub that predates the capability
+// document — keeps receiving exactly the gob bytes on /papaya/v1/. This is
+// the conformance pin for wire versioning rule 4 applied to codecs.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/transport/httptransport"
+	"repro/internal/transport/wire"
+)
+
+// wireStub is a hand-rolled HTTP peer that records exactly what arrives on
+// the wire — route generation and content type — and answers in the same
+// codec, so tests can pin bytes-on-the-wire facts a real Fabric hides.
+type wireStub struct {
+	t         *testing.T
+	advertise wire.Capabilities
+
+	mu    sync.Mutex
+	paths []string
+	types []string
+}
+
+func (s *wireStub) handler() http.Handler {
+	mux := http.NewServeMux()
+	serveRPC := func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			s.t.Errorf("stub read: %v", err)
+			return
+		}
+		s.mu.Lock()
+		s.paths = append(s.paths, r.URL.Path)
+		s.types = append(s.types, r.Header.Get("Content-Type"))
+		s.mu.Unlock()
+		codec, ok := wire.ByContentType(r.Header.Get("Content-Type"))
+		if !ok {
+			s.t.Errorf("stub got unknown content type %q", r.Header.Get("Content-Type"))
+			return
+		}
+		req, err := codec.DecodeRequest(body)
+		if err != nil {
+			s.t.Errorf("stub decode (%s): %v", codec.Name(), err)
+			return
+		}
+		resp, err := codec.EncodeResponse(&wire.Response{
+			Payload: server.UploadResponse{OK: true, Reason: req.Method},
+		})
+		if err != nil {
+			s.t.Errorf("stub encode: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", codec.ContentType())
+		_, _ = w.Write(resp)
+	}
+	mux.HandleFunc("POST /papaya/v1/rpc/{node}", serveRPC)
+	mux.HandleFunc("POST /papaya/v2/rpc/{node}", serveRPC)
+	mux.HandleFunc("GET /papaya/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		doc := struct {
+			BaseURL string   `json:"base_url"`
+			Nodes   []string `json:"nodes"`
+			wire.Capabilities
+		}{BaseURL: "stub", Nodes: []string{"agg-stub"}, Capabilities: s.advertise}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(doc)
+	})
+	return mux
+}
+
+func (s *wireStub) seen() (paths, types []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.paths...), append([]string(nil), s.types...)
+}
+
+func callStub(t *testing.T, f *httptransport.Fabric) {
+	t.Helper()
+	resp, err := f.Call("client", "agg-stub", "upload-chunk", server.UploadChunk{
+		TaskID: "t", SessionID: 1, Data: []float32{1, 2, 3}, Done: true, NumExamples: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur, ok := resp.(server.UploadResponse); !ok || !ur.OK || ur.Reason != "upload-chunk" {
+		t.Fatalf("stub response mangled: %#v", resp)
+	}
+}
+
+// TestBinFallsBackToGobForV1Peers pins the fallback matrix's conservative
+// edge: a bin-preferring fabric with only a static route (no capability
+// exchange) must emit plain gob on /papaya/v1/ — byte-compatible with any
+// old build.
+func TestBinFallsBackToGobForV1Peers(t *testing.T) {
+	stub := &wireStub{t: t} // advertises nothing: a /v1/ peer
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	f, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Codec: "bin", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.AddRoute("agg-stub", srv.URL) // static route: capabilities unknown
+
+	callStub(t, f)
+	paths, types := stub.seen()
+	if len(paths) != 1 || !strings.HasPrefix(paths[0], "/papaya/v1/") {
+		t.Fatalf("v1 peer reached via %v, want /papaya/v1/", paths)
+	}
+	if types[0] != (wire.Gob{}).ContentType() {
+		t.Fatalf("v1 peer received content type %q, want gob", types[0])
+	}
+}
+
+// TestBinUsedTowardAdvertisingPeers: after discovery records the bin
+// capability, the same fabric switches to binary frames on /papaya/v2/.
+func TestBinUsedTowardAdvertisingPeers(t *testing.T) {
+	stub := &wireStub{t: t, advertise: wire.Capabilities{API: wire.APIv2, Codecs: wire.DecodableCodecs()}}
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	f, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Codec: "bin", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Discover(srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if !f.PeerCapabilities(srv.URL).SupportsBinary() {
+		t.Fatal("discovery did not record the bin capability")
+	}
+
+	callStub(t, f)
+	paths, types := stub.seen()
+	if len(paths) != 1 || !strings.HasPrefix(paths[0], "/papaya/v2/") {
+		t.Fatalf("advertising peer reached via %v, want /papaya/v2/", paths)
+	}
+	if types[0] != (wire.Binary{}).ContentType() {
+		t.Fatalf("advertising peer received content type %q, want bin", types[0])
+	}
+}
+
+// TestGobServerServesBinCaller: a gob-configured fabric (an operator who
+// never set -codec bin) still serves binary callers — decoding is by
+// content type, preference only governs what a fabric sends.
+func TestGobServerServesBinCaller(t *testing.T) {
+	gobServer := newFabric(t, "gob")
+	gobServer.Register("agg", echoHandler)
+
+	binClient, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Codec: "bin", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = binClient.Close() })
+	if _, err := binClient.Discover(gobServer.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := binClient.Call("tester", "agg", "join", server.JoinRequest{TaskID: "t", ClientID: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, ok := resp.(server.JoinResponse)
+	if !ok || !jr.Accepted || jr.SessionID != 42 || jr.Version != 7 {
+		t.Fatalf("bin->gob-server round trip mangled: %#v", resp)
+	}
+}
+
+// TestBinRejectedOnV1Route: a binary frame POSTed straight to /papaya/v1/
+// violates the capability rules and must be rejected, keeping the frozen
+// /v1/ surface gob/json-only.
+func TestBinRejectedOnV1Route(t *testing.T) {
+	serverFab := newFabric(t, "gob")
+	serverFab.Register("agg", echoHandler)
+
+	frame, err := (wire.Binary{}).EncodeRequest(&wire.Request{From: "c", Method: "m", Payload: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, serverFab.BaseURL()+"/papaya/v1/rpc/agg", strings.NewReader(string(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", (wire.Binary{}).ContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bin frame on /v1/ returned HTTP %d, want 400", resp.StatusCode)
+	}
+}

@@ -15,13 +15,15 @@
 // code paths a multi-host one does.
 //
 // The fabric serves two route generations. /papaya/v1/ is the baseline:
-// one uncompressed versioned frame per POST. /papaya/v2/ adds the wire-
-// compression capability: frame bodies may be DEFLATE-compressed
-// (Content-Encoding: deflate). Which generation a call uses is negotiated,
-// never assumed — peers exchange wire.Capabilities documents at discovery
-// and advertisement, and a fabric sends v2 traffic only to peers that
-// advertised APIv2. A /v1/-only peer (an older build) keeps receiving
-// exactly the v1 bytes it always did.
+// one uncompressed gob/json frame per POST. /papaya/v2/ adds the
+// negotiated capabilities: frame bodies may be DEFLATE-compressed
+// (Content-Encoding: deflate) and may use the binary fast-path codec
+// (wire.Binary, Content-Type application/x-papaya-bin). Which generation
+// and codec a call uses is negotiated, never assumed — peers exchange
+// wire.Capabilities documents at discovery and advertisement, and a fabric
+// sends v2 traffic only to peers that advertised the matching capability.
+// A /v1/-only peer (an older build) keeps receiving exactly the v1 gob
+// bytes it always did.
 //
 // The fabric also implements transport.FaultInjector with the in-memory
 // backend's semantics (crashes, partitions, probabilistic drops, fixed
@@ -79,7 +81,13 @@ type Options struct {
 	// Listen is the TCP listen address (e.g. "127.0.0.1:8070"; port 0
 	// picks a free port).
 	Listen string
-	// Codec selects the wire codec: "gob" (default) or "json".
+	// Codec selects the preferred wire codec: "gob" (default), "json", or
+	// "bin" (the binary fast path). "bin" is a negotiated capability: it
+	// is used only toward peers whose discovery document advertised it,
+	// with gob as the universal fallback, so a bin-preferring fabric
+	// interoperates with /v1/ gob peers byte-for-byte unchanged. Serving
+	// is codec-agnostic either way — every fabric decodes all three by
+	// content type and answers in the codec the caller used.
 	Codec string
 	// AdvertiseURL is the base URL peers should use to reach this fabric.
 	// Defaults to "http://<bound address>", which is correct on localhost;
@@ -114,6 +122,8 @@ type Stats struct {
 // for concurrent use.
 type Fabric struct {
 	codec        wire.Codec
+	binPreferred bool       // Options.Codec was "bin": use it where negotiated
+	fallback     wire.Codec // codec for peers that did not advertise bin
 	baseURL      string
 	srv          *http.Server
 	ln           net.Listener
@@ -177,6 +187,8 @@ func New(opts Options) (*Fabric, error) {
 	}
 	f := &Fabric{
 		codec:        codec,
+		binPreferred: codec.Name() == "bin",
+		fallback:     wire.Gob{},
 		baseURL:      baseURL,
 		ln:           ln,
 		compressName: compressName,
@@ -377,24 +389,54 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 		time.Sleep(latency)
 	}
 
-	body, err := f.codec.EncodeRequest(&wire.Request{From: from, Method: method, Payload: payload})
+	// Per-peer codec negotiation (wire versioning rule 4): the binary fast
+	// path is used only toward peers that advertised it; everyone else —
+	// including every /v1/ peer, whose document advertises nothing — gets
+	// the gob fallback on the route generation it always had.
+	caps := f.peerCapabilities(target, isLocal)
+	enc := f.codec
+	if f.binPreferred && !caps.SupportsBinary() {
+		enc = f.fallback
+	}
+
+	var body []byte
+	var err error
+	framePooled := false
+	if app, ok := enc.(wire.Appender); ok {
+		// Allocation-free encode: the frame buffer is recycled once the
+		// request has been fully sent (client.Do is synchronous).
+		body, err = app.AppendRequest(getFrame(), &wire.Request{From: from, Method: method, Payload: payload})
+		framePooled = err == nil
+	} else {
+		body, err = enc.EncodeRequest(&wire.Request{From: from, Method: method, Payload: payload})
+	}
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: encoding %s call to %s: %w", method, to, err)
 	}
-	// The streaming-compression capability: when our codec has a byte
-	// stage and the peer advertised APIv2, use the /v2/ route — the
-	// request frame ships deflated when large enough to benefit, and
-	// Accept-Encoding asks for a deflated response symmetrically. Tiny
+	defer func() {
+		if framePooled {
+			putFrame(body)
+		}
+	}()
+
+	// Route-generation choice: bin frames always ride /v2/ (they are a
+	// /v2/ capability); the deflate body stage additionally applies when
+	// our compress codec streams and the peer advertised APIv2. Tiny
 	// control frames stay raw: DEFLATE framing would outweigh the savings.
 	prefix := apiPrefix
-	v2 := f.deflateBody && f.peerSpeaksV2(target, isLocal)
-	deflated := false
-	if v2 {
+	useBin := enc.Name() == "bin"
+	v2 := f.deflateBody && caps.SupportsCompression()
+	if useBin || v2 {
 		prefix = apiPrefixV2
-		if len(body) >= deflateMinBytes {
-			if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
-				body, deflated = packed, true
+	}
+	deflated := false
+	if v2 && len(body) >= deflateMinBytes {
+		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+			if framePooled {
+				putFrame(body)
+				framePooled = false
 			}
+			body, deflated = packed, true
 		}
 	}
 	f.calls.Add(1)
@@ -403,7 +445,7 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: building %s call to %s: %w", method, to, err)
 	}
-	httpReq.Header.Set("Content-Type", f.codec.ContentType())
+	httpReq.Header.Set("Content-Type", enc.ContentType())
 	if deflated {
 		httpReq.Header.Set("Content-Encoding", "deflate")
 	}
@@ -430,7 +472,8 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 			return nil, fmt.Errorf("httptransport: inflating response from %s: %w", to, err)
 		}
 	}
-	resp, err := f.codec.DecodeResponse(raw)
+	// The peer answers in the codec we called with.
+	resp, err := enc.DecodeResponse(raw)
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: decoding response from %s: %w", to, err)
 	}
@@ -454,16 +497,49 @@ const deflateMinBytes = 256
 // /v2/ bodies, so a small deflate bomb cannot force a huge allocation.
 const maxRPCBodyBytes = 64 << 20
 
-// peerSpeaksV2 reports whether the fabric serving target advertised the
-// APIv2 compression capability. Locally served nodes always qualify (this
-// build serves /v2/ itself).
-func (f *Fabric) peerSpeaksV2(target string, isLocal bool) bool {
+// peerCapabilities returns the capability document governing calls to
+// target. Locally served nodes get this build's own full document (the
+// loopback listener serves /v2/ and decodes every codec); unknown peers
+// get the zero value, i.e. /v1/ baseline.
+func (f *Fabric) peerCapabilities(target string, isLocal bool) wire.Capabilities {
 	if isLocal {
-		return true
+		return wire.Capabilities{API: wire.APIv2, Compress: compress.Names(), Codecs: wire.DecodableCodecs()}
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.peerCaps[target].SupportsCompression()
+	return f.peerCaps[target]
+}
+
+// framePool recycles wire-frame encode buffers across calls and
+// responses; with an append-capable codec (wire.Appender) the encode path
+// allocates nothing once the pool is warm. The wrap headers are recycled
+// through a second pool (same trick as internal/vecpool) — a naive
+// Put(&b) would heap-allocate a slice header per release, re-adding one
+// allocation to every RPC this pool exists to de-allocate.
+type frameWrap struct{ b []byte }
+
+var (
+	framePool  sync.Pool
+	frameWraps sync.Pool
+)
+
+func getFrame() []byte {
+	if w, _ := framePool.Get().(*frameWrap); w != nil {
+		b := w.b[:0]
+		w.b = nil
+		frameWraps.Put(w)
+		return b
+	}
+	return make([]byte, 0, 4096)
+}
+
+func putFrame(b []byte) {
+	w, _ := frameWraps.Get().(*frameWrap)
+	if w == nil {
+		w = new(frameWrap)
+	}
+	w.b = b
+	framePool.Put(w)
 }
 
 // kindToError rebuilds the sentinel transport errors from a wire response
@@ -502,32 +578,53 @@ func errorToKind(err error) string {
 
 // --- server side ---
 
-// respond writes one wire response; when the caller asked for deflate (the
-// /v2/ compression capability's Accept-Encoding), a large-enough response
-// body is deflated.
-func (f *Fabric) respond(w http.ResponseWriter, resp *wire.Response, deflated bool) {
-	body, err := f.codec.EncodeResponse(resp)
+// respond writes one wire response in the given codec (the one the caller
+// used); when the caller asked for deflate (the /v2/ compression
+// capability's Accept-Encoding), a large-enough response body is deflated.
+// Append-capable codecs encode into a pooled frame buffer.
+func (f *Fabric) respond(w http.ResponseWriter, codec wire.Codec, resp *wire.Response, deflated bool) {
+	var body []byte
+	var err error
+	framePooled := false
+	if app, ok := codec.(wire.Appender); ok {
+		body, err = app.AppendResponse(getFrame(), resp)
+		framePooled = err == nil
+	} else {
+		body, err = codec.EncodeResponse(resp)
+	}
 	if err != nil {
 		// Encoding an already-handled response failed (unregistered return
 		// type): surface it as an application error instead of silence.
-		body, err = f.codec.EncodeResponse(&wire.Response{Err: "httptransport: encoding response: " + err.Error()})
+		body, err = codec.EncodeResponse(&wire.Response{Err: "httptransport: encoding response: " + err.Error()})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
-	w.Header().Set("Content-Type", f.codec.ContentType())
+	w.Header().Set("Content-Type", codec.ContentType())
 	if deflated && len(body) >= deflateMinBytes {
 		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
 			w.Header().Set("Content-Encoding", "deflate")
+			if framePooled {
+				putFrame(body)
+				framePooled = false
+			}
 			body = packed
 		}
 	}
 	_, _ = w.Write(body)
+	if framePooled {
+		putFrame(body)
+	}
 }
 
 // handleRPC serves both route generations: /v1/ bodies are raw frames;
-// /v2/ bodies may additionally be deflated (Content-Encoding: deflate).
+// /v2/ bodies may additionally be deflated (Content-Encoding: deflate)
+// and/or use the binary fast-path codec. The request's Content-Type picks
+// the decoder, and the response answers in the same codec, so one fabric
+// serves gob, json, and bin callers simultaneously — which is what lets a
+// bin-preferring peer talk to a gob-configured server once capabilities
+// are exchanged.
 func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
 	node := r.PathValue("node")
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRPCBodyBytes))
@@ -547,13 +644,31 @@ func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	deflated := isV2 && strings.Contains(r.Header.Get("Accept-Encoding"), "deflate")
-	req, err := f.codec.DecodeRequest(raw)
+	codec := f.codec
+	if byCT, ok := wire.ByContentType(r.Header.Get("Content-Type")); ok {
+		codec = byCT
+	}
+	if codec.Name() == "bin" && !isV2 {
+		// bin is a /v2/ capability; a bin frame on /v1/ is a peer bug.
+		http.Error(w, "binary frames require the /v2/ route", http.StatusBadRequest)
+		return
+	}
+	req, err := codec.DecodeRequest(raw)
 	if err != nil {
 		// Includes version mismatches: a frame from an incompatible build
 		// fails loudly here (wire versioning rule 1).
 		http.Error(w, "decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Request payloads whose decoder leased pooled vectors are released
+	// once the handler and the response encode are done; handlers copy
+	// what they keep (the in-memory fabric shares payload memory with
+	// callers under the same contract).
+	defer func() {
+		if lease, ok := req.Payload.(wire.BufferLease); ok {
+			lease.ReleaseBinaryBuffers()
+		}
+	}()
 
 	f.mu.RLock()
 	h, ok := f.local[node]
@@ -563,18 +678,23 @@ func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case !ok:
-		f.respond(w, &wire.Response{Kind: kindUnknownNode, Err: node}, deflated)
+		f.respond(w, codec, &wire.Response{Kind: kindUnknownNode, Err: node}, deflated)
 	case crashed:
-		f.respond(w, &wire.Response{Kind: kindCrashed, Err: node}, deflated)
+		f.respond(w, codec, &wire.Response{Kind: kindCrashed, Err: node}, deflated)
 	case cut:
-		f.respond(w, &wire.Response{Kind: kindPartitioned, Err: req.From + " <-> " + node}, deflated)
+		f.respond(w, codec, &wire.Response{Kind: kindPartitioned, Err: req.From + " <-> " + node}, deflated)
 	default:
 		out, err := safeInvoke(h, req.Method, req.Payload)
 		if err != nil {
-			f.respond(w, &wire.Response{Kind: errorToKind(err), Err: err.Error()}, deflated)
+			f.respond(w, codec, &wire.Response{Kind: errorToKind(err), Err: err.Error()}, deflated)
 			return
 		}
-		f.respond(w, &wire.Response{Payload: out}, deflated)
+		f.respond(w, codec, &wire.Response{Payload: out}, deflated)
+		// Pooled response vectors (a download's model snapshot) are done
+		// once the frame is written.
+		if lease, ok := out.(wire.ResponseBufferLease); ok {
+			lease.ReleaseResponseBuffers()
+		}
 	}
 }
 
@@ -603,12 +723,18 @@ type nodesDoc struct {
 }
 
 // selfDoc describes this fabric: every build that links this code serves
-// /v2/ and decodes every registered compression codec.
+// /v2/, decodes every registered compression codec, and decodes every
+// wire codec (including the binary fast path) regardless of its own
+// preference.
 func (f *Fabric) selfDoc() nodesDoc {
 	return nodesDoc{
-		BaseURL:      f.baseURL,
-		Nodes:        f.Nodes(),
-		Capabilities: wire.Capabilities{API: wire.APIv2, Compress: compress.Names()},
+		BaseURL: f.baseURL,
+		Nodes:   f.Nodes(),
+		Capabilities: wire.Capabilities{
+			API:      wire.APIv2,
+			Compress: compress.Names(),
+			Codecs:   wire.DecodableCodecs(),
+		},
 	}
 }
 

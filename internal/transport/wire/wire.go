@@ -55,9 +55,11 @@ const (
 	// APIv1 is the baseline RPC surface: POST /papaya/v1/rpc/<node> with
 	// an uncompressed versioned frame.
 	APIv1 = 1
-	// APIv2 adds the wire-compression capability: POST /papaya/v2/rpc/<node>
+	// APIv2 adds the negotiated-capability surface: POST /papaya/v2/rpc/<node>
 	// may carry a DEFLATE-compressed frame body (Content-Encoding:
-	// deflate), and upload payloads may use internal/compress codecs.
+	// deflate), upload payloads may use internal/compress codecs, and —
+	// when the peer also advertised the "bin" wire codec — frames may use
+	// the Binary fast path instead of gob.
 	APIv2 = 2
 )
 
@@ -72,11 +74,37 @@ type Capabilities struct {
 	// Compress lists the compress.Codec names the peer can decode; absent
 	// means none (raw payloads only).
 	Compress []string `json:"compress,omitempty"`
+	// Codecs lists the wire codec names the peer can decode beyond the
+	// universal gob/json baseline (today: "bin", the binary fast path).
+	// Absent (a /v1/ peer's document, or a pre-bin build) means baseline
+	// only — such peers keep receiving gob frames.
+	Codecs []string `json:"codecs,omitempty"`
 }
 
 // SupportsCompression reports whether the peer can receive
 // compression-capability traffic: the /v2/ route plus compress codecs.
 func (c Capabilities) SupportsCompression() bool { return c.API >= APIv2 }
+
+// SupportsBinary reports whether the peer advertised the binary fast-path
+// wire codec ("bin") on the /v2/ route. Callers fall back to gob when it
+// returns false — the negotiation default that keeps /v1/ peers receiving
+// exactly the bytes they always did.
+func (c Capabilities) SupportsBinary() bool {
+	if c.API < APIv2 {
+		return false
+	}
+	for _, name := range c.Codecs {
+		if name == "bin" {
+			return true
+		}
+	}
+	return false
+}
+
+// DecodableCodecs returns the wire codec names every build of this package
+// can decode — the codec half of the capability document a fabric
+// advertises at discovery.
+func DecodableCodecs() []string { return []string{"bin", "gob", "json"} }
 
 // Request is one RPC crossing the fabric: who is calling, which method, and
 // the registered payload message.
@@ -118,9 +146,26 @@ func ByName(name string) (Codec, error) {
 		return Gob{}, nil
 	case "json":
 		return JSON{}, nil
+	case "bin":
+		return Binary{}, nil
 	default:
-		return nil, fmt.Errorf("wire: unknown codec %q (want gob|json)", name)
+		return nil, fmt.Errorf("wire: unknown codec %q (want gob|json|bin)", name)
 	}
+}
+
+// ByContentType returns the codec that ships under the given HTTP content
+// type. The HTTP transport uses it to decode whatever codec a negotiated
+// peer chose per call, instead of assuming its own preference.
+func ByContentType(ct string) (Codec, bool) {
+	switch ct {
+	case Gob{}.ContentType():
+		return Gob{}, true
+	case JSON{}.ContentType():
+		return JSON{}, true
+	case Binary{}.ContentType():
+		return Binary{}, true
+	}
+	return nil, false
 }
 
 // --- registry ---

@@ -186,7 +186,7 @@ func TestEveryRegisteredMessageRoundTrips(t *testing.T) {
 		}
 	}
 
-	for _, codecName := range []string{"gob", "json"} {
+	for _, codecName := range []string{"gob", "json", "bin"} {
 		codec, err := wire.ByName(codecName)
 		if err != nil {
 			t.Fatal(err)
@@ -232,7 +232,7 @@ func TestChunkedUploadCrossesCodec(t *testing.T) {
 	for i := range delta {
 		delta[i] = float32(i) * 0.25
 	}
-	for _, codecName := range []string{"gob", "json"} {
+	for _, codecName := range []string{"gob", "json", "bin"} {
 		codec, _ := wire.ByName(codecName)
 		t.Run(codecName, func(t *testing.T) {
 			got := make([]float32, numParams)
@@ -288,6 +288,17 @@ func TestVersionMismatchRejected(t *testing.T) {
 	}
 	if _, err := jsonCodec.DecodeResponse([]byte(`{"v":99}`)); err == nil {
 		t.Fatal("future-version json response accepted")
+	}
+
+	binCodec, _ := wire.ByName("bin")
+	bframe, err := binCodec.EncodeRequest(&wire.Request{From: "a", Method: "m", Payload: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bframe[2] = 99 // corrupt the version byte
+	if _, err := binCodec.DecodeRequest(bframe); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("future-version bin frame accepted: %v", err)
 	}
 }
 

@@ -1,0 +1,137 @@
+// Package vecpool provides size-classed sync.Pool-backed scratch vectors
+// for the serving hot path. Every upload an aggregator accepts used to
+// allocate fresh []float32/[]uint32 buffers (chunk decode scratch, the
+// session's reassembly vector, the download response's model clone); at the
+// loadtest's hundreds of sessions per second that is the dominant GC
+// pressure on the control plane. The pools here let the wire codec, the
+// compression decoder, and the aggregator lease vectors and return them
+// once their contents have been copied into durable state (PAPAYA's
+// buffered aggregation shards, Section 6.3), so steady-state serving
+// allocates almost nothing per upload. (Byte-buffer scratch for wire
+// frames lives in httptransport's frame pool, which grows by appending
+// rather than by known size and so doesn't fit the size-class scheme.)
+//
+// Discipline: a leased vector is owned exclusively by the leaseholder until
+// Put. Putting a slice that something else still references is a data
+// corruption bug (the next Get hands the same backing array to an unrelated
+// caller) — callers must copy out before releasing, exactly like the
+// aggregator does when it folds a pending upload into its shards. Get
+// returns zeroed slices so pooled memory can never leak one client's update
+// into another's reassembly buffer.
+//
+// Pools are size-classed by power-of-two capacity. Put accepts only slices
+// whose capacity is an exact class size (anything else — e.g. a slice that
+// arrived from a gob decode — is silently discarded to the garbage
+// collector), so Get can always re-slice a pooled buffer to the requested
+// length.
+package vecpool
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// numClasses bounds the pooled size classes: class i holds slices of
+// capacity 1<<i, up to 1<<27 elements (512 MiB of float32s, matching the
+// compression frame bound). Larger requests fall through to plain make.
+const numClasses = 28
+
+// Pools store *wrap values, and the empty wrap headers are themselves
+// recycled through a second pool, so a steady-state Get/Put cycle performs
+// zero allocations (a naive Put(&s) would allocate a slice header per
+// release — exactly the per-upload garbage this package exists to remove).
+type floatWrap struct{ s []float32 }
+
+type uintWrap struct{ s []uint32 }
+
+var (
+	floatPools [numClasses]sync.Pool
+	uintPools  [numClasses]sync.Pool
+	floatWraps sync.Pool
+	uintWraps  sync.Pool
+)
+
+// classFor returns the pool class for a requested length: the smallest
+// power-of-two capacity that holds n. n must be positive.
+func classFor(n int) int {
+	return bits.Len(uint(n - 1))
+}
+
+// GetFloats leases a zeroed []float32 of length n from the pool (capacity
+// is the next power of two). n <= 0 returns nil. The caller owns the slice
+// until PutFloats.
+func GetFloats(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	class := classFor(n)
+	if class >= numClasses {
+		return make([]float32, n)
+	}
+	if w, _ := floatPools[class].Get().(*floatWrap); w != nil {
+		s := w.s[:n]
+		w.s = nil
+		floatWraps.Put(w)
+		clear(s)
+		return s
+	}
+	return make([]float32, n, 1<<class)
+}
+
+// PutFloats returns a leased slice to its pool. Slices whose capacity is
+// not an exact class size (allocated elsewhere, e.g. by a gob decode) are
+// discarded to the GC, which keeps Put safe to call on any slice the
+// caller owns exclusively.
+func PutFloats(s []float32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := classFor(c)
+	if class >= numClasses {
+		return
+	}
+	w, _ := floatWraps.Get().(*floatWrap)
+	if w == nil {
+		w = new(floatWrap)
+	}
+	w.s = s[:c]
+	floatPools[class].Put(w)
+}
+
+// GetUints leases a zeroed []uint32 of length n; see GetFloats.
+func GetUints(n int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	class := classFor(n)
+	if class >= numClasses {
+		return make([]uint32, n)
+	}
+	if w, _ := uintPools[class].Get().(*uintWrap); w != nil {
+		s := w.s[:n]
+		w.s = nil
+		uintWraps.Put(w)
+		clear(s)
+		return s
+	}
+	return make([]uint32, n, 1<<class)
+}
+
+// PutUints returns a leased slice to its pool; see PutFloats.
+func PutUints(s []uint32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	class := classFor(c)
+	if class >= numClasses {
+		return
+	}
+	w, _ := uintWraps.Get().(*uintWrap)
+	if w == nil {
+		w = new(uintWrap)
+	}
+	w.s = s[:c]
+	uintPools[class].Put(w)
+}
