@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/server"
-	"repro/internal/transport/httptransport"
 )
 
 // runAgent starts one remote Aggregator process: it announces itself to a
@@ -21,8 +20,9 @@ import (
 func runAgent(args []string) {
 	fs := flag.NewFlagSet("agent", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:0", "TCP listen address for this agent")
-	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen>)")
-	coordURL := fs.String("coordinator", "", "base URL of the papaya serve process (required)")
+	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen> or tcp://<listen>)")
+	coordURL := fs.String("coordinator", "", "base URL of the papaya serve process (required; a tcp:// URL selects the raw-TCP fabric)")
+	stream := fs.Bool("stream", false, "route calls toward the coordinator over persistent streaming sessions (http backend; tcp always streams)")
 	coordName := fs.String("coordinator-name", "coordinator", "coordinator node name")
 	name := fs.String("name", "", "aggregator node name (default agent-<pid>)")
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (bin negotiates per peer; gob remains the universal fallback)")
@@ -39,9 +39,11 @@ func runAgent(args []string) {
 		aggName = fmt.Sprintf("agent-%d", os.Getpid())
 	}
 
-	fabric, err := httptransport.New(httptransport.Options{
-		Listen: *listen, Codec: *codec, AdvertiseURL: *advertise, Seed: 1,
-		Compress: *compressName,
+	// The agent speaks whatever backend the coordinator URL names, so one
+	// flag covers both deployments.
+	fabric, err := newFabric(fabricSpec{
+		kind: fabricKindForURL(*coordURL), listen: *listen, codec: *codec,
+		advertise: *advertise, compress: *compressName, stream: *stream, seed: 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

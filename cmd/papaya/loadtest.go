@@ -21,7 +21,6 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/server"
-	"repro/internal/transport/httptransport"
 )
 
 // loadReport is the JSON document `papaya loadtest` writes: measured
@@ -43,6 +42,8 @@ type loadRun struct {
 	Commit           string  `json:"commit,omitempty"`
 	GOMAXPROCS       int     `json:"gomaxprocs"`
 	Server           string  `json:"server"`
+	Fabric           string  `json:"fabric,omitempty"`
+	Stream           bool    `json:"stream,omitempty"`
 	Codec            string  `json:"codec"`
 	Compress         string  `json:"compress,omitempty"`
 	Train            bool    `json:"train,omitempty"`
@@ -113,7 +114,8 @@ func (f fixedDeltaExecutor) Train(params []float32, examples [][]int) ([]float32
 // uploads/sec, session latency percentiles, and bytes moved.
 func runLoadtest(args []string) {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
-	serverURL := fs.String("server", "http://127.0.0.1:7070", "base URL of the papaya serve process")
+	serverURL := fs.String("server", "http://127.0.0.1:7070", "base URL of the papaya serve process (a tcp:// URL selects the raw-TCP fabric)")
+	stream := fs.Bool("stream", false, "one streaming connection per session: pipeline check-in through upload over it (negotiated; /v1/ servers degrade to per-call)")
 	task := fs.String("task", "default", "task ID to drive")
 	clients := fs.Int("clients", 16, "concurrent simulated clients")
 	uploads := fs.Int("uploads", 200, "successful upload target (run ends when reached)")
@@ -141,8 +143,9 @@ func runLoadtest(args []string) {
 		offered = []string{*compressFlag}
 	}
 
-	fabric, err := httptransport.New(httptransport.Options{
-		Listen: "127.0.0.1:0", Codec: *codec, Seed: 2, Compress: *compressFlag,
+	fabric, err := newFabric(fabricSpec{
+		kind: fabricKindForURL(*serverURL), listen: "127.0.0.1:0", codec: *codec,
+		compress: *compressFlag, stream: *stream, seed: 2,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -266,6 +269,7 @@ func runLoadtest(args []string) {
 				State:     client.DeviceState{Idle: true, Charging: true, Unmetered: true},
 				Random:    rand.Reader,
 				Compress:  offered,
+				Stream:    *stream,
 			}
 			for completed.Load() < int64(*uploads) && time.Now().Before(stopAt) {
 				sessStart := time.Now()
@@ -322,6 +326,8 @@ func runLoadtest(args []string) {
 		Commit:           gitCommit(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		Server:           *serverURL,
+		Fabric:           fabricKindForURL(*serverURL),
+		Stream:           *stream,
 		Codec:            *codec,
 		Compress:         negotiated,
 		Train:            *train,
@@ -382,7 +388,7 @@ func runLoadtest(args []string) {
 }
 
 // taskInfo queries a task through a selector route, like any client would.
-func taskInfo(fabric *httptransport.Fabric, selector, task string) (server.TaskInfo, error) {
+func taskInfo(fabric fabricConn, selector, task string) (server.TaskInfo, error) {
 	resp, err := fabric.Call("loadtest", selector, "route", server.RouteRequest{
 		TaskID: task, Method: "task-info", Payload: task,
 	})

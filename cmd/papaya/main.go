@@ -99,9 +99,9 @@ func usage() {
   papaya all  [-scale small|paper] [-markdown]
   papaya sim  [-algo async|sync] [-concurrency N] [-goal K] [-overselect F] [-updates N] [-seed S] [-scale small|paper] [-workers W] [-shards K]
   papaya bench [-o FILE] [-workers 1,2,4] [-scale small|paper] [-updates N] [-concurrency N] [-goal K] [-seed S] [-gotest]
-  papaya serve [-listen H:P] [-codec gob|json] [-aggregators N] [-selectors M] [-task ID] [-mode async|sync] [-params N] [-concurrency N] [-goal K] [-secagg]
-  papaya agent -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json]
-  papaya loadtest [-server URL] [-clients K] [-uploads N] [-codec gob|json] [-o FILE]
+  papaya serve [-listen H:P] [-fabric http|tcp] [-stream] [-codec gob|json|bin] [-aggregators N] [-selectors M] [-task ID] [-mode async|sync] [-params N] [-concurrency N] [-goal K] [-secagg]
+  papaya agent -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json|bin] [-stream]
+  papaya loadtest [-server URL] [-stream] [-clients K] [-uploads N] [-codec gob|json|bin] [-o FILE]
   papaya secagg-demo`)
 }
 

@@ -15,7 +15,6 @@ import (
 	"repro/internal/secagg"
 	"repro/internal/server"
 	"repro/internal/tee"
-	"repro/internal/transport/httptransport"
 )
 
 // runServe starts a PAPAYA control plane as one OS process serving real
@@ -26,7 +25,9 @@ import (
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7070", "TCP listen address")
-	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen>)")
+	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen> or tcp://<listen>)")
+	fabricKind := fs.String("fabric", "http", "transport backend: http (stdlib net/http) or tcp (raw-TCP streaming fabric)")
+	stream := fs.Bool("stream", false, "route internal control-plane calls over persistent streaming sessions (http backend; tcp always streams)")
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (every codec is always decoded; bin is sent only to peers that advertised it)")
 	nAggs := fs.Int("aggregators", 2, "in-process aggregators (0 = wait for remote agents)")
 	nSels := fs.Int("selectors", 2, "in-process selectors")
@@ -60,9 +61,9 @@ func runServe(args []string) {
 		os.Exit(2)
 	}
 
-	fabric, err := httptransport.New(httptransport.Options{
-		Listen: *listen, Codec: *codec, AdvertiseURL: *advertise, Seed: 1,
-		Compress: *compressName,
+	fabric, err := newFabric(fabricSpec{
+		kind: *fabricKind, listen: *listen, codec: *codec, advertise: *advertise,
+		compress: *compressName, stream: *stream, seed: 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

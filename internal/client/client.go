@@ -191,6 +191,15 @@ type Runtime struct {
 	// nil means every codec in the compress registry. Set it to
 	// []string{"none"} to opt out of compression entirely.
 	Compress []string
+	// Stream opens one transport session per participation: check-in,
+	// download, report, and every upload chunk pipeline over a single
+	// connection (transport.StreamFabric) instead of one call-scoped
+	// exchange each — the paper's long-lived virtual session realized at
+	// the transport (Section 6.1). Fabrics and peers without the stream
+	// capability degrade to per-call RPC transparently, and a broken
+	// stream falls back to per-call failover through the remaining
+	// selectors, so enabling it is always safe.
+	Stream bool
 
 	lastParticipation time.Time
 }
@@ -214,18 +223,21 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 		return nil, ErrNoExamples
 	}
 
-	// Selection phase: check in through the first reachable selector.
-	checkin, selector, err := r.checkin()
+	// Selection phase: check in through the first reachable selector —
+	// over a streaming session when Stream is set, so the whole
+	// participation rides one connection.
+	p, checkin, err := r.checkin()
 	if err != nil {
 		return nil, err
 	}
+	defer p.close()
 	if !checkin.Accepted {
 		return &Result{Outcome: Rejected, Reason: checkin.Reason}, nil
 	}
 	r.lastParticipation = now
 
 	// Participation stage 1: download model parameters.
-	dl, err := r.route(selector, checkin.TaskID, "download", server.DownloadRequest{
+	dl, err := p.route(checkin.TaskID, "download", server.DownloadRequest{
 		TaskID:    checkin.TaskID,
 		SessionID: checkin.SessionID,
 	})
@@ -239,7 +251,7 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 
 	// Stage 3: report status, receive upload (and SecAgg) configuration,
 	// offering the compression codecs this client can encode.
-	rep, err := r.route(selector, checkin.TaskID, "report", server.ReportRequest{
+	rep, err := p.route(checkin.TaskID, "report", server.ReportRequest{
 		TaskID:    checkin.TaskID,
 		SessionID: checkin.SessionID,
 		Compress:  r.offeredCodecs(),
@@ -262,9 +274,9 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	var meter uploadMeter
 	var uploadErr *Result
 	if report.SecAggEnabled {
-		uploadErr, err = r.uploadSecAgg(selector, checkin, report, delta, len(examples), staleness, codec, &meter)
+		uploadErr, err = r.uploadSecAgg(p, checkin, report, delta, len(examples), staleness, codec, &meter)
 	} else {
-		uploadErr, err = r.uploadPlain(selector, checkin, report, delta, len(examples), codec, &meter)
+		uploadErr, err = r.uploadPlain(p, checkin, report, delta, len(examples), codec, &meter)
 	}
 	if err != nil {
 		return nil, err
@@ -307,28 +319,71 @@ func (r *Runtime) uploadCodec(name string) compress.Codec {
 	return c
 }
 
-// checkin tries each selector in order.
-func (r *Runtime) checkin() (server.CheckinResponse, string, error) {
-	req := server.CheckinRequest{ClientID: r.ClientID, Capabilities: r.Capabilities}
-	for _, sel := range r.Selectors {
-		resp, err := r.Net.Call(r.name(), sel, "checkin", req)
-		if err != nil {
-			continue // try the next selector
-		}
-		return resp.(server.CheckinResponse), sel, nil
-	}
-	return server.CheckinResponse{}, "", ErrNoSelector
+// participation is one attempt's transport context: the selector the
+// session was opened through, and — under Runtime.Stream — the streaming
+// session every in-session call pipelines over. A broken stream degrades
+// to per-call failover through the remaining selectors mid-attempt.
+type participation struct {
+	r        *Runtime
+	selector string
+	sess     transport.Session // nil: per-call RPC
 }
 
-// route sends an in-session call through the selector, failing over to the
-// remaining selectors on transport errors.
-func (r *Runtime) route(selector, taskID, method string, payload any) (any, error) {
+// close releases the streaming session (the server's natural end-of-
+// session signal); idempotent.
+func (p *participation) close() {
+	if p.sess != nil {
+		_ = p.sess.Close()
+		p.sess = nil
+	}
+}
+
+// checkin tries each selector in order; under Stream it opens the
+// session-long connection the rest of the participation will ride.
+func (r *Runtime) checkin() (*participation, server.CheckinResponse, error) {
+	req := server.CheckinRequest{ClientID: r.ClientID, Capabilities: r.Capabilities}
+	for _, sel := range r.Selectors {
+		if r.Stream {
+			sess, err := transport.OpenSession(r.Net, r.name(), sel)
+			if err != nil {
+				continue // try the next selector
+			}
+			resp, err := sess.Call("checkin", req)
+			if err != nil {
+				_ = sess.Close()
+				continue
+			}
+			return &participation{r: r, selector: sel, sess: sess}, resp.(server.CheckinResponse), nil
+		}
+		resp, err := r.Net.Call(r.name(), sel, "checkin", req)
+		if err != nil {
+			continue
+		}
+		return &participation{r: r, selector: sel}, resp.(server.CheckinResponse), nil
+	}
+	return nil, server.CheckinResponse{}, ErrNoSelector
+}
+
+// route sends an in-session call through the selector — over the
+// streaming session when one is open, failing over to per-call RPC through
+// the remaining selectors on transport errors.
+func (p *participation) route(taskID, method string, payload any) (any, error) {
+	r := p.r
 	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload}
-	if resp, err := r.Net.Call(r.name(), selector, "route", req); err == nil {
+	if p.sess != nil {
+		if resp, err := p.sess.Call("route", req); err == nil {
+			return resp, nil
+		}
+		// The stream broke (or the selector crashed): degrade to per-call
+		// failover for the rest of the attempt, like any selector retry
+		// (Appendix E.4 "clients retry through a different selector").
+		p.close()
+	}
+	if resp, err := r.Net.Call(r.name(), p.selector, "route", req); err == nil {
 		return resp, nil
 	}
 	for _, sel := range r.Selectors {
-		if sel == selector {
+		if sel == p.selector {
 			continue
 		}
 		if resp, err := r.Net.Call(r.name(), sel, "route", req); err == nil {
@@ -344,7 +399,7 @@ func (r *Runtime) route(selector, taskID, method string, payload any) (any, erro
 // inside route (and the in-memory fabric's handler copies before
 // returning), so by the time the next iteration overwrites the scratch the
 // previous frame is no longer referenced.
-func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
+func (r *Runtime) uploadPlain(p *participation, checkin server.CheckinResponse,
 	report server.ReportResponse, delta []float32, numExamples int,
 	codec compress.Codec, meter *uploadMeter) (*Result, error) {
 	var scratch []byte
@@ -374,7 +429,7 @@ func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
 			chunk.Data = delta[off:end]
 			meter.wire += raw
 		}
-		resp, err := r.route(selector, checkin.TaskID, "upload-chunk", chunk)
+		resp, err := p.route(checkin.TaskID, "upload-chunk", chunk)
 		if err != nil {
 			return nil, err
 		}
@@ -389,7 +444,7 @@ func (r *Runtime) uploadPlain(selector string, checkin server.CheckinResponse,
 // uploadSecAgg applies the client-side weight, encodes the weight-extended
 // vector, masks it, and ships the masked chunks plus the sealed seed
 // envelope. The plaintext delta never leaves the device.
-func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
+func (r *Runtime) uploadSecAgg(p *participation, checkin server.CheckinResponse,
 	report server.ReportResponse, delta []float32, numExamples, staleness int,
 	codec compress.Codec, meter *uploadMeter) (*Result, error) {
 	stale := r.Staleness
@@ -451,7 +506,7 @@ func (r *Runtime) uploadSecAgg(selector string, checkin server.CheckinResponse,
 			chunk.SecAggCompleting = up.Completing
 			chunk.SecAggEncSeed = up.EncSeed
 		}
-		resp, err := r.route(selector, checkin.TaskID, "upload-chunk", chunk)
+		resp, err := p.route(checkin.TaskID, "upload-chunk", chunk)
 		if err != nil {
 			return nil, err
 		}

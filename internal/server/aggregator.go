@@ -33,6 +33,23 @@ type sessionState struct {
 	pending   []float32
 	pendingGp []uint32
 	received  int
+	// lastActive is the session's most recent client activity (join,
+	// download, report, chunk), driving the Timings.SessionTTL reaper.
+	lastActive time.Time
+}
+
+// touch records client activity on the session.
+func (s *sessionState) touch(now time.Time) {
+	s.mu.Lock()
+	s.lastActive = now
+	s.mu.Unlock()
+}
+
+// idleSince reports the session's last activity time.
+func (s *sessionState) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastActive
 }
 
 // addChunk copies one chunk into the session's reassembly buffer under the
@@ -43,6 +60,7 @@ func (s *sessionState) addChunk(c *UploadChunk, useSecAgg bool, numParams int) *
 	if s.closed {
 		return &UploadResponse{OK: false, Reason: "unknown session"}
 	}
+	s.lastActive = time.Now()
 	if useSecAgg {
 		if s.pendingGp == nil {
 			s.pendingGp = vecpool.GetUints(numParams + 1)
@@ -334,7 +352,7 @@ func (a *Aggregator) join(req JoinRequest) (any, error) {
 	}
 	ts.nextSession++
 	id := ts.nextSession
-	ts.sessions[id] = &sessionState{clientID: req.ClientID, startVersion: ts.version}
+	ts.sessions[id] = &sessionState{clientID: req.ClientID, startVersion: ts.version, lastActive: time.Now()}
 	return JoinResponse{Accepted: true, SessionID: id, Version: ts.version}, nil
 }
 
@@ -349,6 +367,7 @@ func (a *Aggregator) download(req DownloadRequest) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("aggregator %s: unknown session %d", a.name, req.SessionID)
 	}
+	s.touch(time.Now())
 	// The client trains against the model version it joined with; if the
 	// model moved between join and download, restart the session at the
 	// current version (equivalent to AFL's version check).
@@ -375,6 +394,7 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 		ts.mu.Unlock()
 		return ReportResponse{OK: false, Reason: "unknown session"}, nil
 	}
+	s.touch(time.Now())
 	if s.aborted {
 		reason := s.abortReason
 		delete(ts.sessions, req.SessionID)
@@ -758,7 +778,44 @@ func (a *Aggregator) heartbeatLoop() {
 		case <-a.stop:
 			return
 		case <-ticker.C:
+			a.reapSessions(time.Now())
 			a.sendReport()
+		}
+	}
+}
+
+// reapSessions closes sessions idle past Timings.SessionTTL, releasing
+// their concurrency slot and leased reassembly vector — the fix for the
+// PR-4 leak where a silently dead client held both until task drop. Runs
+// on the heartbeat tick; streaming transports give dead clients a natural
+// close signal (the stream breaks), but the TTL is the backstop that
+// needs no cooperation from any transport.
+func (a *Aggregator) reapSessions(now time.Time) {
+	ttl := a.timings.SessionTTL
+	if ttl <= 0 {
+		return
+	}
+	a.mu.Lock()
+	tasks := make([]*taskState, 0, len(a.tasks))
+	for _, ts := range a.tasks {
+		tasks = append(tasks, ts)
+	}
+	a.mu.Unlock()
+	for _, ts := range tasks {
+		var dead []*sessionState
+		ts.mu.Lock()
+		for id, s := range ts.sessions {
+			if now.Sub(s.idleSince()) > ttl {
+				delete(ts.sessions, id)
+				dead = append(dead, s)
+			}
+		}
+		ts.mu.Unlock()
+		// close returns the leased buffers outside the task mutex; a
+		// concurrent in-flight chunk copy observes the closed marker and
+		// is rejected, never a buffer handed to another session.
+		for _, s := range dead {
+			s.close()
 		}
 	}
 }

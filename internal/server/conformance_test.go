@@ -1,18 +1,21 @@
 package server_test
 
 // The transport conformance suite: every integration, reconfiguration,
-// multi-tenant, and chunk-reassembly test in this package runs twice — once
-// over the deterministic in-memory transport.Network and once over real
-// HTTP via transport/httptransport — so the networked backend inherits the
-// full Appendix E.3/E.4 behaviour matrix (failover, recovery, routing,
-// mode switches) already proven on the in-memory fabric. Test bodies are
-// shared verbatim; only the fabric construction is parameterized.
+// multi-tenant, and chunk-reassembly test in this package runs once per
+// backend — the deterministic in-memory transport.Network, real HTTP via
+// transport/httptransport (per-POST and streaming-session modes, with and
+// without the bin/deflate capabilities), and raw TCP via
+// transport/tcptransport — so every networked backend inherits the full
+// Appendix E.3/E.4 behaviour matrix (failover, recovery, routing, mode
+// switches) already proven on the in-memory fabric. Test bodies are shared
+// verbatim; only the fabric construction is parameterized.
 
 import (
 	"testing"
 
 	"repro/internal/transport"
 	"repro/internal/transport/httptransport"
+	"repro/internal/transport/tcptransport"
 )
 
 // testFabric is what the suite needs from a backend: the RPC surface the
@@ -78,6 +81,47 @@ var fabricFactories = []fabricFactory{
 		})
 		if err != nil {
 			t.Fatalf("starting deflating bin http fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
+	// The streaming-session capability: every RPC of every conformance
+	// test rides a cached /papaya/v2/stream connection (one per caller/
+	// callee pair) as length-prefixed bin frames instead of one POST per
+	// call, proving the streaming path preserves the full failover/
+	// reconfigure/multitenant behaviour matrix — including faults injected
+	// mid-stream.
+	{name: "http-stream", make: func(t *testing.T, seed int64) testFabric {
+		f, err := httptransport.New(httptransport.Options{
+			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Stream: true,
+		})
+		if err != nil {
+			t.Fatalf("starting streaming http fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
+	// The raw-TCP fabric: no HTTP anywhere — pipelined wire frames over
+	// bare connections, with the same discovery/advertise and
+	// fault-injection semantics. Default (gob) codec configuration.
+	{name: "tcp", make: func(t *testing.T, seed int64) testFabric {
+		f, err := tcptransport.New(tcptransport.Options{
+			Listen: "127.0.0.1:0", Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("starting tcp fabric: %v", err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		return f
+	}},
+	// Raw TCP with both negotiated capabilities: binary frames, large ones
+	// DEFLATE-compressed per frame.
+	{name: "tcp-bin-deflate", make: func(t *testing.T, seed int64) testFabric {
+		f, err := tcptransport.New(tcptransport.Options{
+			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Compress: "streamed",
+		})
+		if err != nil {
+			t.Fatalf("starting deflating bin tcp fabric: %v", err)
 		}
 		t.Cleanup(func() { _ = f.Close() })
 		return f

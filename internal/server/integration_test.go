@@ -25,6 +25,9 @@ func testTimings() server.Timings {
 		MapRefresh:       15 * time.Millisecond,
 		RecoveryPeriod:   50 * time.Millisecond,
 		SelectorJoinWait: 5 * time.Millisecond,
+		// Long enough that no conformance test's deliberately idle session
+		// is reaped mid-assertion; the reaper tests use their own TTL.
+		SessionTTL: 30 * time.Second,
 	}
 }
 

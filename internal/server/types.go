@@ -263,6 +263,19 @@ type Timings struct {
 	MapRefresh       time.Duration // selector assignment-map refresh cadence
 	RecoveryPeriod   time.Duration // coordinator state rebuild window (E.4)
 	SelectorJoinWait time.Duration // retry backoff for selector routing
+	// SessionTTL reaps virtual sessions with no client activity (join,
+	// download, report, or chunk) for this long, releasing their slot and
+	// leased reassembly vector. A client that dies silently mid-session —
+	// a phone going dark, a dropped stream — no longer leaks its session
+	// until task drop. Swept on the heartbeat tick; 0 disables reaping.
+	// Tune it ABOVE the slowest expected train+upload gap for the device
+	// population: a reaped session's late upload is rejected as "unknown
+	// session" (the same outcome Appendix E.2 gives a staleness abort),
+	// so a too-low TTL silently wastes slow clients' completed work. The
+	// default (10 minutes) sits above realistic on-device round times
+	// (the paper's rounds run minutes, Section 7); loadtests with
+	// synthetic instant training can shrink it aggressively.
+	SessionTTL time.Duration
 }
 
 // DefaultTimings returns production-flavoured values; tests use much
@@ -274,5 +287,6 @@ func DefaultTimings() Timings {
 		MapRefresh:       2 * time.Second,
 		RecoveryPeriod:   30 * time.Second,
 		SelectorJoinWait: 100 * time.Millisecond,
+		SessionTTL:       10 * time.Minute,
 	}
 }

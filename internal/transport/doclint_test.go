@@ -23,6 +23,7 @@ var doclintDirs = []string{
 	".",             // internal/transport
 	"wire",          // internal/transport/wire
 	"httptransport", // internal/transport/httptransport
+	"tcptransport",  // internal/transport/tcptransport
 	"../server",     // internal/server
 	"../compress",   // internal/compress
 }

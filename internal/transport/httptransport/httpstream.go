@@ -1,0 +1,482 @@
+package httptransport
+
+// The HTTP streaming backend of the session fabric. The per-POST path pays
+// the full net/http request lifecycle — routing, header parsing, connection
+// bookkeeping — for every chunk of every upload, which PR 4's profiles
+// showed is the single-core bottleneck once serialization and aggregation
+// are off the critical path (~1.4ms of ~1.6ms per session). Here a whole
+// session rides ONE long-lived POST to /papaya/v2/stream/{node}: the
+// request body is a pipelined sequence of length-prefixed wire frames
+// (wire.AppendStreamFrame), the response body is the matching sequence of
+// response frames, and the HTTP machinery is paid once per session instead
+// of once per call. Full-duplex HTTP/1.1 (http.ResponseController
+// .EnableFullDuplex) lets the handler answer frame by frame while the
+// client keeps writing.
+//
+// Streaming is a negotiated /v2/ capability (wire.Capabilities.Stream,
+// versioning rule 4): every build serves the route, but a fabric streams
+// only toward peers that advertised it; everyone else keeps receiving the
+// per-POST bytes. Fault injection is preserved on both ends — the client
+// side runs checkCall before every streamed call, and the server side runs
+// the same invoke dispatch as handleRPC for every frame — so the
+// conformance suite's Appendix E.4 failure drills hold verbatim on streams.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// Compile-time check: the HTTP backend offers the streaming surface.
+var _ transport.StreamFabric = (*Fabric)(nil)
+
+// streamContentType marks a streaming response body (a frame sequence, not
+// a single RPC frame).
+const streamContentType = "application/x-papaya-stream"
+
+// maxIdleStreamsPerPeer caps the cached sessions kept per (peer, node)
+// pair under Options.Stream; extras beyond the cap are closed on release.
+const maxIdleStreamsPerPeer = 16
+
+// --- server side ---
+
+// handleStream serves one streaming session: a pipelined sequence of
+// length-prefixed request frames answered in order by response frames over
+// a single POST. Each frame is decoded by its own sniffed codec and runs
+// through the same fault-check dispatch as a per-POST call, so streamed
+// traffic has identical semantics — including injected crashes and
+// partitions taking effect mid-stream. The loop exits when the client
+// closes its end (the session's natural close signal) or the connection
+// breaks.
+func (f *Fabric) handleStream(w http.ResponseWriter, r *http.Request) {
+	node := r.PathValue("node")
+	rc := http.NewResponseController(w)
+	// Full duplex: we must answer earlier frames while the client still
+	// writes later ones. Best-effort — HTTP/1.1 (our only transport; h2
+	// needs TLS) supports it.
+	_ = rc.EnableFullDuplex()
+	w.Header().Set("Content-Type", streamContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush() // release the client's Do() before the first frame
+
+	br := bufio.NewReaderSize(r.Body, 32<<10)
+	var scratch, out []byte
+	for {
+		flags, payload, sc, err := wire.ReadStreamFrameFrom(br, scratch, maxRPCBodyBytes)
+		scratch = sc
+		if err != nil {
+			return // io.EOF: clean close; anything else: dead peer
+		}
+		if flags&wire.StreamFlagDeflate != 0 {
+			if payload, err = compress.InflateBytes(payload, maxRPCBodyBytes); err != nil {
+				return
+			}
+		}
+		codec, ok := wire.CodecForFrame(payload)
+		if !ok {
+			codec = f.codec
+		}
+		req, err := codec.DecodeRequest(payload)
+		if err != nil {
+			// A frame that does not decode means the stream framing itself
+			// is unreliable; kill the session rather than guess at framing.
+			return
+		}
+		resp := f.invoke(node, req)
+
+		var body []byte
+		framePooled := false
+		if app, ok := codec.(wire.Appender); ok {
+			body, err = app.AppendResponse(getFrame(), resp)
+			framePooled = err == nil
+		} else {
+			body, err = codec.EncodeResponse(resp)
+		}
+		// Leases follow the same order as the per-POST path: the response
+		// frame is fully encoded, then pooled response vectors (a
+		// download's model snapshot) and the request's leased decode
+		// vectors go back to their pools.
+		if lease, ok := resp.Payload.(wire.ResponseBufferLease); ok {
+			lease.ReleaseResponseBuffers()
+		}
+		if lease, ok := req.Payload.(wire.BufferLease); ok {
+			lease.ReleaseBinaryBuffers()
+		}
+		if err != nil {
+			body, err = codec.EncodeResponse(&wire.Response{Err: "httptransport: encoding response: " + err.Error()})
+			if err != nil {
+				return
+			}
+		}
+		respFlags := byte(0)
+		// Mirror the request's compression choice: a peer that deflated
+		// its frame asked for deflate back (the stream-era Accept-Encoding).
+		if flags&wire.StreamFlagDeflate != 0 && len(body) >= deflateMinBytes {
+			if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+				if framePooled {
+					putFrame(body)
+					framePooled = false
+				}
+				body, respFlags = packed, wire.StreamFlagDeflate
+			}
+		}
+		out = wire.AppendStreamFrame(out[:0], respFlags, body)
+		if framePooled {
+			putFrame(body)
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		_ = rc.Flush()
+	}
+}
+
+// --- client side ---
+
+// streamSession is one live /v2/stream connection to a peer, pinned to a
+// target node. The wire.Request frame carries From, so any caller may use
+// a pooled session; calls are serialized by mu (one frame in flight at a
+// time, like the protocol the session carries).
+type streamSession struct {
+	f      *Fabric
+	target string // peer base URL
+	node   string // callee every frame addresses
+	enc    wire.Codec
+	defl   bool // deflate large request frames (peer negotiated APIv2)
+	cancel context.CancelFunc
+
+	broken atomic.Bool // connection-level failure observed
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	pw      *io.PipeWriter
+	resp    *http.Response
+	br      *bufio.Reader
+	req     wire.Request // reused header; payload set per call
+	encBuf  []byte       // codec frame scratch
+	outBuf  []byte       // stream frame scratch
+	scratch []byte       // response read scratch
+}
+
+// openStreamSession dials one streaming session toward target for node.
+// The caller has already checked faults and confirmed the peer negotiated
+// the capability.
+func (f *Fabric) openStreamSession(target, node string, caps wire.Capabilities) (*streamSession, error) {
+	enc := f.codec
+	if f.binPreferred && !caps.SupportsBinary() {
+		enc = f.fallback
+	}
+	pr, pw := io.Pipe()
+	// The open phase (dial + response headers) is deadline-bounded like
+	// any call — a blackholed peer must fail fast so the caller can fail
+	// over — but the context must outlive Do: cancelling it would kill
+	// the long-lived stream, so the timer only fires on a slow open and
+	// the session owns the cancel for its teardown.
+	ctx, cancel := context.WithCancel(context.Background())
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, target+apiPrefixV2+"/stream/"+url.PathEscape(node), pr)
+	if err != nil {
+		cancel()
+		pw.Close()
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", enc.ContentType())
+	var openTimer *time.Timer
+	if f.callTimeout > 0 {
+		openTimer = time.AfterFunc(f.callTimeout, cancel)
+	}
+	resp, err := f.streamClient.Do(httpReq)
+	if openTimer != nil {
+		openTimer.Stop()
+	}
+	if err != nil {
+		cancel()
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		pw.Close()
+		return nil, fmt.Errorf("httptransport: stream to %s: HTTP %d: %s", node, resp.StatusCode, msg)
+	}
+	s := &streamSession{
+		f:      f,
+		target: target,
+		node:   node,
+		enc:    enc,
+		defl:   f.deflateBody && caps.SupportsCompression(),
+		cancel: cancel,
+		pw:     pw,
+		resp:   resp,
+		br:     bufio.NewReaderSize(resp.Body, 32<<10),
+	}
+	f.streamMu.Lock()
+	if f.closed {
+		// Lost the race against Close: a session registered now would
+		// never be torn down (Close already snapshotted allStreams).
+		f.streamMu.Unlock()
+		s.teardown()
+		return nil, errors.New("httptransport: fabric closed")
+	}
+	f.allStreams[s] = struct{}{}
+	f.streamMu.Unlock()
+	return s, nil
+}
+
+// do sends one call over the session and reads its response. Fault checks
+// are the caller's job (Call and boundSession both run checkCall first).
+// A connection-level failure marks the session broken; the caller discards
+// it and maps the error to ErrCrashed, exactly like a failed POST. wrote
+// reports whether any request bytes may have reached the peer — the
+// at-most-once guard: callers may transparently retry a failed call on
+// another connection only when wrote is false.
+func (s *streamSession) do(from, method string, payload any) (out any, err error, wrote bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() || s.broken.Load() {
+		return nil, fmt.Errorf("%w: %s: stream closed", transport.ErrCrashed, s.node), false
+	}
+	s.req.From, s.req.Method, s.req.Payload = from, method, payload
+	var body []byte
+	if app, ok := s.enc.(wire.Appender); ok {
+		body, err = app.AppendRequest(s.encBuf[:0], &s.req)
+	} else {
+		body, err = s.enc.EncodeRequest(&s.req)
+	}
+	s.req.Payload = nil
+	if err != nil {
+		// An unregistered payload is a caller bug, not a broken stream.
+		return nil, fmt.Errorf("httptransport: encoding %s stream call to %s: %w", method, s.node, err), false
+	}
+	if cap(body) > cap(s.encBuf) {
+		s.encBuf = body // keep the grown scratch for the next frame
+	}
+	flags := byte(0)
+	if s.defl && len(body) >= deflateMinBytes {
+		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+			body, flags = packed, wire.StreamFlagDeflate
+		}
+	}
+	s.outBuf = wire.AppendStreamFrame(s.outBuf[:0], flags, body)
+	s.f.calls.Add(1)
+	s.f.bytesSent.Add(uint64(len(s.outBuf)))
+
+	// Per-call watchdog: the stream client has no overall timeout (the
+	// connection is supposed to be long-lived), so a blackholed peer must
+	// be cut per call — failover paths are built on calls failing fast.
+	if s.f.callTimeout > 0 {
+		timer := time.AfterFunc(s.f.callTimeout, s.abort)
+		defer timer.Stop()
+	}
+	if n, werr := s.pw.Write(s.outBuf); werr != nil {
+		s.broken.Store(true)
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, werr), n > 0
+	}
+	wrote = true
+	rflags, raw, scratch, err := wire.ReadStreamFrameFrom(s.br, s.scratch, maxRPCBodyBytes)
+	s.scratch = scratch
+	if err != nil {
+		s.broken.Store(true)
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, err), true
+	}
+	s.f.bytesRecv.Add(uint64(len(raw)))
+	if rflags&wire.StreamFlagDeflate != 0 {
+		if raw, err = compress.InflateBytes(raw, maxRPCBodyBytes); err != nil {
+			s.broken.Store(true)
+			return nil, fmt.Errorf("httptransport: inflating stream response from %s: %w", s.node, err), true
+		}
+	}
+	resp, err := s.enc.DecodeResponse(raw)
+	if err != nil {
+		s.broken.Store(true)
+		return nil, fmt.Errorf("httptransport: decoding stream response from %s: %w", s.node, err), true
+	}
+	if resp.Kind != "" {
+		return nil, transport.KindToError(resp.Kind, resp.Err), true
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err), true
+	}
+	return resp.Payload, nil, true
+}
+
+// abort force-closes the underlying connection, unblocking any in-flight
+// read. Safe to call concurrently with do.
+func (s *streamSession) abort() {
+	s.broken.Store(true)
+	s.pw.CloseWithError(errors.New("httptransport: stream aborted"))
+	s.resp.Body.Close()
+	s.cancel()
+}
+
+// teardown closes the session and forgets it; used by session Close and
+// fabric Close.
+func (s *streamSession) teardown() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.pw.Close() // EOF at the server: the session's natural close signal
+	s.resp.Body.Close()
+	s.cancel()
+}
+
+// forget removes a session from the fabric's tracking maps.
+func (f *Fabric) forget(s *streamSession) {
+	f.streamMu.Lock()
+	delete(f.allStreams, s)
+	f.streamMu.Unlock()
+}
+
+// --- the Options.Stream call path ---
+
+func streamKey(target, node string) string { return target + "|" + node }
+
+// acquireStream pops a cached idle session for (target, node) or opens a
+// fresh one; fresh reports which, so the caller knows whether a broken
+// session might just have been stale.
+func (f *Fabric) acquireStream(target, node string, caps wire.Capabilities) (s *streamSession, fresh bool, err error) {
+	key := streamKey(target, node)
+	f.streamMu.Lock()
+	if idle := f.idleStreams[key]; len(idle) > 0 {
+		s = idle[len(idle)-1]
+		f.idleStreams[key] = idle[:len(idle)-1]
+	}
+	f.streamMu.Unlock()
+	if s != nil {
+		return s, false, nil
+	}
+	s, err = f.openStreamSession(target, node, caps)
+	return s, true, err
+}
+
+// releaseStream returns a healthy session to the idle cache (bounded;
+// extras are closed).
+func (f *Fabric) releaseStream(target, node string, s *streamSession) {
+	if s.broken.Load() || s.closed.Load() {
+		f.discardStream(s)
+		return
+	}
+	key := streamKey(target, node)
+	f.streamMu.Lock()
+	if !f.closed && len(f.idleStreams[key]) < maxIdleStreamsPerPeer {
+		f.idleStreams[key] = append(f.idleStreams[key], s)
+		f.streamMu.Unlock()
+		return
+	}
+	f.streamMu.Unlock()
+	f.discardStream(s)
+}
+
+// discardStream closes a session for good.
+func (f *Fabric) discardStream(s *streamSession) {
+	f.forget(s)
+	s.teardown()
+}
+
+// streamCall routes one Fabric.Call over a cached streaming session. A
+// stale cached session (the peer restarted since it was pooled) whose
+// failure happened before any bytes went out is discarded and the call
+// retried on another connection — the equivalent of the POST path dialing
+// anew. Once bytes may have reached the peer the call is never resent
+// (at-most-once, like a failed POST): the error surfaces as ErrCrashed
+// and the component-level failover paths own the retry decision.
+func (f *Fabric) streamCall(from, to, target, method string, payload any, caps wire.Capabilities) (any, error) {
+	for {
+		s, fresh, err := f.acquireStream(target, to, caps)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
+		}
+		out, err, wrote := s.do(from, method, payload)
+		if err == nil {
+			// The call succeeded even if a racing watchdog marked the
+			// session broken afterwards; releaseStream keeps or discards
+			// the session accordingly.
+			f.releaseStream(target, to, s)
+			return out, nil
+		}
+		if !s.broken.Load() {
+			// Application or wire-kind error over a healthy session.
+			f.releaseStream(target, to, s)
+			return nil, err
+		}
+		f.discardStream(s)
+		if !fresh && !wrote {
+			continue // stale pooled conn, nothing sent: safe to retry
+		}
+		return nil, err
+	}
+}
+
+// --- transport.StreamFabric ---
+
+// boundSession is a Session pinned to a (from, to) pair: either a live
+// stream (one connection per session — the client runtime's participation
+// sessions) or, when the peer did not negotiate streaming, a per-call
+// fallback with identical semantics.
+type boundSession struct {
+	f        *Fabric
+	s        *streamSession // nil: per-call fallback
+	from, to string
+	closed   bool
+}
+
+// Call implements transport.Session: the same injected-fault checks as
+// Fabric.Call run per call, then the frame rides the pinned stream.
+func (b *boundSession) Call(method string, payload any) (any, error) {
+	if b.closed {
+		return nil, fmt.Errorf("%w: session closed", transport.ErrCrashed)
+	}
+	if b.s == nil {
+		return b.f.Call(b.from, b.to, method, payload)
+	}
+	if _, _, err := b.f.checkCall(b.from, b.to, method); err != nil {
+		return nil, err
+	}
+	out, err, _ := b.s.do(b.from, method, payload)
+	return out, err
+}
+
+// Close implements transport.Session; closing the stream is the server's
+// signal that the session ended (dead clients are instead reaped by the
+// aggregator's session TTL).
+func (b *boundSession) Close() error {
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.s != nil {
+		b.f.discardStream(b.s)
+	}
+	return nil
+}
+
+// OpenSession implements transport.StreamFabric: one dedicated connection
+// per session toward stream-capable peers, a transparent per-call fallback
+// toward everyone else (the negotiation default of versioning rule 4).
+func (f *Fabric) OpenSession(from, to string) (transport.Session, error) {
+	target, isLocal, err := f.checkCall(from, to, "open-session")
+	if err != nil {
+		return nil, err
+	}
+	caps := f.peerCapabilities(target, isLocal)
+	if !caps.SupportsStream() {
+		return &boundSession{f: f, from: from, to: to}, nil
+	}
+	s, err := f.openStreamSession(target, to, caps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
+	}
+	return &boundSession{f: f, s: s, from: from, to: to}, nil
+}

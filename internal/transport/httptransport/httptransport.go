@@ -40,7 +40,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
@@ -59,16 +58,6 @@ import (
 var (
 	_ transport.Fabric        = (*Fabric)(nil)
 	_ transport.FaultInjector = (*Fabric)(nil)
-)
-
-// Error kinds carried in wire.Response.Kind so transport-level failure
-// semantics survive serialization (the fault-parity contract with the
-// in-memory backend).
-const (
-	kindCrashed     = "crashed"
-	kindDropped     = "dropped"
-	kindPartitioned = "partitioned"
-	kindUnknownNode = "unknown-node"
 )
 
 const (
@@ -100,6 +89,14 @@ type Options struct {
 	// Decoding is always available regardless of this setting: every
 	// fabric serves /v2/ and decodes every registered codec.
 	Compress string
+	// Stream routes calls toward stream-capable peers over cached
+	// streaming sessions — one persistent /papaya/v2/stream connection per
+	// (caller, callee) pair carrying length-prefixed frames — instead of
+	// one POST per call. Like bin and deflate it is a negotiated /v2/
+	// capability: peers that did not advertise wire.Capabilities.Stream
+	// keep receiving per-POST traffic. Serving is unconditional — every
+	// fabric accepts streams regardless of this setting.
+	Stream bool
 	// Seed seeds the probabilistic-loss RNG (SetLoss); 0 is a valid seed.
 	Seed int64
 	// CallTimeout bounds one RPC end to end (default 30s). The in-memory
@@ -109,14 +106,10 @@ type Options struct {
 	CallTimeout time.Duration
 }
 
-// Stats counts this fabric's client-side traffic: outbound calls, request
-// bytes written and response bytes read. The loadtest reports them as
-// "bytes moved".
-type Stats struct {
-	Calls         uint64
-	BytesSent     uint64
-	BytesReceived uint64
-}
+// Stats is the shared traffic-counter document (transport.Stats): outbound
+// calls, request bytes written and response bytes read. The loadtest
+// reports them as "bytes moved".
+type Stats = transport.Stats
 
 // Fabric is the HTTP-backed transport.Fabric for one process. It is safe
 // for concurrent use.
@@ -130,18 +123,31 @@ type Fabric struct {
 	client       *http.Client
 	compressName string
 	deflateBody  bool // compress codec streams: deflate /v2/ RPC bodies
+	streamMode   bool // Options.Stream: prefer cached stream sessions
+	// streamClient issues the long-lived /v2/stream POSTs. It shares the
+	// pooled *http.Transport with client but has no overall timeout — a
+	// stream lives for a whole session; per-call deadlines are enforced by
+	// the session watchdog instead.
+	streamClient *http.Client
+	callTimeout  time.Duration
 
 	mu       sync.RWMutex
 	local    map[string]transport.Handler
 	routes   map[string]string            // node name -> peer base URL
 	peerCaps map[string]wire.Capabilities // peer base URL -> advertised capabilities
-	crashed  map[string]bool
-	cuts     map[[2]string]bool
-	lossProb float64
-	latency  time.Duration
 
-	rndMu sync.Mutex
-	rnd   *rand.Rand
+	// Faults is the injected-fault table shared with the other networked
+	// backend, promoted so Fabric implements transport.FaultInjector.
+	transport.Faults
+
+	// Stream-session cache for Options.Stream: idle sessions keyed by
+	// "<peer base URL>|<node>" (any caller may reuse one — the frame
+	// carries From), plus the set of every live fabric-opened session so
+	// Close can tear them down. closed gates both against a racing Close.
+	streamMu    sync.Mutex
+	closed      bool
+	idleStreams map[string][]*streamSession
+	allStreams  map[*streamSession]struct{}
 
 	calls     atomic.Uint64
 	bytesSent atomic.Uint64
@@ -185,6 +191,10 @@ func New(opts Options) (*Fabric, error) {
 	if callTimeout == 0 {
 		callTimeout = 30 * time.Second
 	}
+	// One pooled *http.Transport per fabric with a generous idle pool: the
+	// control plane makes many small concurrent calls to few hosts, the
+	// worst case for net/http's default 2-per-host idle cap.
+	tr := &http.Transport{MaxIdleConnsPerHost: 64, MaxIdleConns: 256}
 	f := &Fabric{
 		codec:        codec,
 		binPreferred: codec.Name() == "bin",
@@ -193,30 +203,30 @@ func New(opts Options) (*Fabric, error) {
 		ln:           ln,
 		compressName: compressName,
 		deflateBody:  deflateBody,
+		streamMode:   opts.Stream,
+		callTimeout:  callTimeout,
 		local:        make(map[string]transport.Handler),
 		routes:       make(map[string]string),
 		peerCaps:     make(map[string]wire.Capabilities),
-		crashed:      make(map[string]bool),
-		cuts:         make(map[[2]string]bool),
-		rnd:          rand.New(rand.NewSource(opts.Seed)),
-		client: &http.Client{
-			// One client per fabric with a generous idle pool: the control
-			// plane makes many small concurrent calls to few hosts, the
-			// worst case for net/http's default 2-per-host idle cap.
-			Transport: &http.Transport{MaxIdleConnsPerHost: 64, MaxIdleConns: 256},
-			Timeout:   callTimeout,
-		},
+		idleStreams:  make(map[string][]*streamSession),
+		allStreams:   make(map[*streamSession]struct{}),
+		client:       &http.Client{Transport: tr, Timeout: callTimeout},
+		streamClient: &http.Client{Transport: tr},
 	}
+	f.InitFaults(opts.Seed)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+apiPrefix+"/rpc/{node}", f.handleRPC)
 	mux.HandleFunc("GET "+apiPrefix+"/nodes", f.handleNodes)
 	mux.HandleFunc("POST "+apiPrefix+"/advertise", f.handleAdvertise)
-	// The /v2/ generation (wire-compression capability): same surface,
-	// but RPC bodies may be DEFLATE-compressed. Both generations are
-	// always served; peers choose per call based on what we advertised.
+	// The /v2/ generation (negotiated capabilities): same surface, but RPC
+	// bodies may be DEFLATE-compressed, and /stream carries a whole
+	// session of length-prefixed frames over one connection. Both
+	// generations are always served; peers choose per call based on what
+	// we advertised.
 	mux.HandleFunc("POST "+apiPrefixV2+"/rpc/{node}", f.handleRPC)
 	mux.HandleFunc("GET "+apiPrefixV2+"/nodes", f.handleNodes)
 	mux.HandleFunc("POST "+apiPrefixV2+"/advertise", f.handleAdvertise)
+	mux.HandleFunc("POST "+apiPrefixV2+"/stream/{node}", f.handleStream)
 	f.srv = &http.Server{Handler: mux}
 	go func() { _ = f.srv.Serve(ln) }()
 	return f, nil
@@ -241,10 +251,23 @@ func (f *Fabric) Stats() Stats {
 	}
 }
 
-// Close stops serving and closes idle connections. It is idempotent.
+// Close stops serving, tears down live stream sessions, and closes idle
+// connections. It is idempotent.
 func (f *Fabric) Close() error {
 	var err error
 	f.closeOnce.Do(func() {
+		f.streamMu.Lock()
+		f.closed = true
+		sessions := make([]*streamSession, 0, len(f.allStreams))
+		for s := range f.allStreams {
+			sessions = append(sessions, s)
+		}
+		f.allStreams = make(map[*streamSession]struct{})
+		f.idleStreams = make(map[string][]*streamSession)
+		f.streamMu.Unlock()
+		for _, s := range sessions {
+			s.teardown()
+		}
 		err = f.srv.Close()
 		f.client.CloseIdleConnections()
 	})
@@ -258,9 +281,9 @@ func (f *Fabric) Register(name string, h transport.Handler) {
 		panic("httptransport: nil handler")
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	f.local[name] = h
-	delete(f.crashed, name)
+	f.mu.Unlock()
+	f.ClearCrash(name)
 }
 
 // Unregister detaches a locally served node.
@@ -283,7 +306,7 @@ func (f *Fabric) Nodes() []string {
 	defer f.mu.RUnlock()
 	out := make([]string, 0, len(f.local))
 	for name := range f.local {
-		if !f.crashed[name] {
+		if !f.Crashed(name) {
 			out = append(out, name)
 		}
 	}
@@ -291,104 +314,54 @@ func (f *Fabric) Nodes() []string {
 	return out
 }
 
-// --- transport.FaultInjector ---
-
-// Crash marks a node as crashed: calls to and from it fail with ErrCrashed
-// until it re-registers. Per-fabric, like every injected fault.
-func (f *Fabric) Crash(name string) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.crashed[name] = true
-}
-
-// Partition cuts connectivity between a and b (both directions).
-func (f *Fabric) Partition(a, b string) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.cuts[cutKey(a, b)] = true
-}
-
-// Heal restores connectivity between a and b.
-func (f *Fabric) Heal(a, b string) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	delete(f.cuts, cutKey(a, b))
-}
-
-// SetLoss sets the independent per-call drop probability.
-func (f *Fabric) SetLoss(p float64) {
-	if p < 0 || p >= 1 {
-		panic("httptransport: loss probability must be in [0, 1)")
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.lossProb = p
-}
-
-// SetLatency sets a fixed one-way call latency added on top of the real
-// network's.
-func (f *Fabric) SetLatency(d time.Duration) {
-	if d < 0 {
-		panic("httptransport: negative latency")
-	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.latency = d
-}
-
-func cutKey(a, b string) [2]string {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]string{a, b}
-}
-
 // --- client side ---
 
-// Call implements transport.Fabric: fault checks mirror the in-memory
-// Network's order (unknown node, crashed callee, crashed caller, partition,
-// loss, latency), then one HTTP POST to wherever the callee lives — through
-// the loopback listener when it is this same process, so every call
-// exercises the full wire path.
-func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
+// checkCall resolves where to reach to and applies the injected-fault
+// checks in the in-memory Network's order (unknown node first, then the
+// shared transport.Faults table). Both the per-POST path and every
+// stream-session call run through it, so fault parity holds regardless of
+// how the bytes travel.
+func (f *Fabric) checkCall(from, to, method string) (target string, isLocal bool, err error) {
 	f.mu.RLock()
-	_, isLocal := f.local[to]
+	_, isLocal = f.local[to]
 	route := f.routes[to]
-	crashedTo := f.crashed[to]
-	crashedFrom := f.crashed[from]
-	cut := f.cuts[cutKey(from, to)]
-	loss := f.lossProb
-	latency := f.latency
 	f.mu.RUnlock()
 
-	target := route
+	target = route
 	if isLocal {
 		target = f.baseURL
 	}
 	if target == "" {
-		return nil, fmt.Errorf("%w: %s", transport.ErrUnknownNode, to)
+		return "", false, fmt.Errorf("%w: %s", transport.ErrUnknownNode, to)
 	}
-	if crashedTo {
-		return nil, fmt.Errorf("%w: %s", transport.ErrCrashed, to)
+	if err := f.CheckCall(from, to, method); err != nil {
+		return "", false, err
 	}
-	if crashedFrom {
-		return nil, fmt.Errorf("%w: %s (sender)", transport.ErrCrashed, from)
+	return target, isLocal, nil
+}
+
+// Call implements transport.Fabric: fault checks mirror the in-memory
+// Network's order, then one HTTP POST to wherever the callee lives —
+// through the loopback listener when it is this same process, so every
+// call exercises the full wire path. Under Options.Stream, calls toward
+// peers that negotiated the stream capability ride a cached streaming
+// session instead of a fresh POST.
+func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
+	target, isLocal, err := f.checkCall(from, to, method)
+	if err != nil {
+		return nil, err
 	}
-	if cut {
-		return nil, fmt.Errorf("%w: %s <-> %s", transport.ErrPartitioned, from, to)
-	}
-	if loss > 0 {
-		f.rndMu.Lock()
-		drop := f.rnd.Float64() < loss
-		f.rndMu.Unlock()
-		if drop {
-			return nil, fmt.Errorf("%w: %s -> %s %s", transport.ErrDropped, from, to, method)
+	if f.streamMode {
+		if caps := f.peerCapabilities(target, isLocal); caps.SupportsStream() {
+			return f.streamCall(from, to, target, method, payload, caps)
 		}
 	}
-	if latency > 0 {
-		time.Sleep(latency)
-	}
+	return f.postCall(from, to, target, isLocal, method, payload)
+}
 
+// postCall is the per-POST request path (the /v1/-era behaviour every peer
+// supports): encode one frame, POST it, decode one response.
+func (f *Fabric) postCall(from, to, target string, isLocal bool, method string, payload any) (any, error) {
 	// Per-peer codec negotiation (wire versioning rule 4): the binary fast
 	// path is used only toward peers that advertised it; everyone else —
 	// including every /v1/ peer, whose document advertises nothing — gets
@@ -478,7 +451,7 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 		return nil, fmt.Errorf("httptransport: decoding response from %s: %w", to, err)
 	}
 	if resp.Kind != "" {
-		return nil, kindToError(resp.Kind, resp.Err)
+		return nil, transport.KindToError(resp.Kind, resp.Err)
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
@@ -503,7 +476,7 @@ const maxRPCBodyBytes = 64 << 20
 // get the zero value, i.e. /v1/ baseline.
 func (f *Fabric) peerCapabilities(target string, isLocal bool) wire.Capabilities {
 	if isLocal {
-		return wire.Capabilities{API: wire.APIv2, Compress: compress.Names(), Codecs: wire.DecodableCodecs()}
+		return wire.Capabilities{API: wire.APIv2, Compress: compress.Names(), Codecs: wire.DecodableCodecs(), Stream: true}
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -540,40 +513,6 @@ func putFrame(b []byte) {
 	}
 	w.b = b
 	framePool.Put(w)
-}
-
-// kindToError rebuilds the sentinel transport errors from a wire response
-// so errors.Is works identically on both fabrics (fault parity).
-func kindToError(kind, msg string) error {
-	switch kind {
-	case kindCrashed:
-		return fmt.Errorf("%w: %s", transport.ErrCrashed, msg)
-	case kindDropped:
-		return fmt.Errorf("%w: %s", transport.ErrDropped, msg)
-	case kindPartitioned:
-		return fmt.Errorf("%w: %s", transport.ErrPartitioned, msg)
-	case kindUnknownNode:
-		return fmt.Errorf("%w: %s", transport.ErrUnknownNode, msg)
-	default:
-		return fmt.Errorf("httptransport: %s: %s", kind, msg)
-	}
-}
-
-// errorToKind classifies a handler error for the wire; the inverse of
-// kindToError. Application errors ship with an empty kind.
-func errorToKind(err error) string {
-	switch {
-	case errors.Is(err, transport.ErrCrashed):
-		return kindCrashed
-	case errors.Is(err, transport.ErrDropped):
-		return kindDropped
-	case errors.Is(err, transport.ErrPartitioned):
-		return kindPartitioned
-	case errors.Is(err, transport.ErrUnknownNode):
-		return kindUnknownNode
-	default:
-		return ""
-	}
 }
 
 // --- server side ---
@@ -670,32 +609,37 @@ func (f *Fabric) handleRPC(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
+	resp := f.invoke(node, req)
+	f.respond(w, codec, resp, deflated)
+	// Pooled response vectors (a download's model snapshot) are done once
+	// the frame is written.
+	if lease, ok := resp.Payload.(wire.ResponseBufferLease); ok {
+		lease.ReleaseResponseBuffers()
+	}
+}
+
+// invoke runs the server-side fault checks and the handler for one decoded
+// request addressed to node — the dispatch shared by the per-POST route and
+// every frame of a stream. The caller encodes the response and afterwards
+// releases any wire.ResponseBufferLease payload.
+func (f *Fabric) invoke(node string, req *wire.Request) *wire.Response {
 	f.mu.RLock()
 	h, ok := f.local[node]
-	crashed := f.crashed[node]
-	cut := f.cuts[cutKey(req.From, node)]
 	f.mu.RUnlock()
 
 	switch {
 	case !ok:
-		f.respond(w, codec, &wire.Response{Kind: kindUnknownNode, Err: node}, deflated)
-	case crashed:
-		f.respond(w, codec, &wire.Response{Kind: kindCrashed, Err: node}, deflated)
-	case cut:
-		f.respond(w, codec, &wire.Response{Kind: kindPartitioned, Err: req.From + " <-> " + node}, deflated)
-	default:
-		out, err := safeInvoke(h, req.Method, req.Payload)
-		if err != nil {
-			f.respond(w, codec, &wire.Response{Kind: errorToKind(err), Err: err.Error()}, deflated)
-			return
-		}
-		f.respond(w, codec, &wire.Response{Payload: out}, deflated)
-		// Pooled response vectors (a download's model snapshot) are done
-		// once the frame is written.
-		if lease, ok := out.(wire.ResponseBufferLease); ok {
-			lease.ReleaseResponseBuffers()
-		}
+		return &wire.Response{Kind: transport.KindUnknownNode, Err: node}
+	case f.Crashed(node):
+		return &wire.Response{Kind: transport.KindCrashed, Err: node}
+	case f.Cut(req.From, node):
+		return &wire.Response{Kind: transport.KindPartitioned, Err: req.From + " <-> " + node}
 	}
+	out, err := safeInvoke(h, req.Method, req.Payload)
+	if err != nil {
+		return &wire.Response{Kind: transport.ErrorToKind(err), Err: err.Error()}
+	}
+	return &wire.Response{Payload: out}
 }
 
 // safeInvoke contains handler panics. In-memory callers are trusted code,
@@ -723,9 +667,9 @@ type nodesDoc struct {
 }
 
 // selfDoc describes this fabric: every build that links this code serves
-// /v2/, decodes every registered compression codec, and decodes every
-// wire codec (including the binary fast path) regardless of its own
-// preference.
+// /v2/, decodes every registered compression codec, decodes every wire
+// codec (including the binary fast path) regardless of its own preference,
+// and accepts streaming sessions on /papaya/v2/stream.
 func (f *Fabric) selfDoc() nodesDoc {
 	return nodesDoc{
 		BaseURL: f.baseURL,
@@ -734,6 +678,7 @@ func (f *Fabric) selfDoc() nodesDoc {
 			API:      wire.APIv2,
 			Compress: compress.Names(),
 			Codecs:   wire.DecodableCodecs(),
+			Stream:   true,
 		},
 	}
 }

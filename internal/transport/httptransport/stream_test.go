@@ -1,0 +1,205 @@
+package httptransport_test
+
+// Tests for the HTTP streaming session backend: one long-lived POST on
+// /papaya/v2/stream carrying a pipelined sequence of length-prefixed
+// frames. The fault-parity contract must hold per frame (injected crashes
+// and partitions take effect mid-stream), sessions must degrade to
+// per-call RPC toward peers that did not negotiate the capability, and
+// closing a fabric must not leak the stream-serving goroutines.
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/httptransport"
+)
+
+func newStreamFabric(t *testing.T, opts httptransport.Options) *httptransport.Fabric {
+	t.Helper()
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	f, err := httptransport.New(opts)
+	if err != nil {
+		t.Fatalf("starting fabric: %v", err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f
+}
+
+// TestStreamSessionPipelinesCalls drives many calls through one explicit
+// session and checks they all dispatch to the registered handler in order.
+func TestStreamSessionPipelinesCalls(t *testing.T) {
+	for _, codec := range []string{"gob", "bin", "json"} {
+		t.Run(codec, func(t *testing.T) {
+			f := newStreamFabric(t, httptransport.Options{Codec: codec})
+			var got []string
+			f.Register("echo", func(method string, payload any) (any, error) {
+				got = append(got, method)
+				return payload, nil
+			})
+			sess, err := f.OpenSession("caller", "echo")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			for i := 0; i < 20; i++ {
+				out, err := sess.Call(fmt.Sprintf("m%d", i), fmt.Sprintf("payload-%d", i))
+				if err != nil {
+					t.Fatalf("call %d: %v", i, err)
+				}
+				if out != fmt.Sprintf("payload-%d", i) {
+					t.Fatalf("call %d echoed %v", i, out)
+				}
+			}
+			if len(got) != 20 || got[0] != "m0" || got[19] != "m19" {
+				t.Fatalf("handler saw %v", got)
+			}
+		})
+	}
+}
+
+// TestStreamCallModeUsesOneConnection: under Options.Stream, repeated
+// Fabric.Call invocations ride cached sessions; the handler still sees
+// every call and fault semantics are preserved.
+func TestStreamCallModeUsesOneConnection(t *testing.T) {
+	f := newStreamFabric(t, httptransport.Options{Stream: true, Codec: "bin"})
+	calls := 0
+	f.Register("node", func(method string, payload any) (any, error) {
+		calls++
+		return true, nil
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := f.Call("caller", "node", "ping", nil); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if calls != 10 {
+		t.Fatalf("handler saw %d calls", calls)
+	}
+}
+
+// TestStreamFaultParityMidSession: crash and partition markers must take
+// effect on the next streamed call, exactly as they do per POST.
+func TestStreamFaultParityMidSession(t *testing.T) {
+	f := newStreamFabric(t, httptransport.Options{})
+	f.Register("node", func(method string, payload any) (any, error) { return true, nil })
+	sess, err := f.OpenSession("caller", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if _, err := sess.Call("ping", nil); err != nil {
+		t.Fatalf("healthy call: %v", err)
+	}
+	f.Crash("node")
+	if _, err := sess.Call("ping", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("crashed callee error = %v, want ErrCrashed", err)
+	}
+	f.Register("node", func(method string, payload any) (any, error) { return true, nil })
+	if _, err := sess.Call("ping", nil); err != nil {
+		t.Fatalf("restarted callee: %v", err)
+	}
+	f.Partition("caller", "node")
+	if _, err := sess.Call("ping", nil); !errors.Is(err, transport.ErrPartitioned) {
+		t.Fatalf("partitioned error = %v, want ErrPartitioned", err)
+	}
+	f.Heal("caller", "node")
+	if _, err := sess.Call("ping", nil); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+	f.Crash("caller")
+	if _, err := sess.Call("ping", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("crashed caller error = %v, want ErrCrashed", err)
+	}
+}
+
+// TestStreamDegradesToPerCallForV1Peers: a session toward a peer that never
+// advertised the stream capability (an unknown remote, i.e. a /v1/ peer)
+// must transparently fall back to per-call POSTs.
+func TestStreamDegradesToPerCallForV1Peers(t *testing.T) {
+	server := newStreamFabric(t, httptransport.Options{})
+	server.Register("node", func(method string, payload any) (any, error) { return "ok", nil })
+	caller := newStreamFabric(t, httptransport.Options{})
+	// AddRoute without Discover: the peer's capabilities stay unknown (the
+	// zero document — a /v1/ peer).
+	caller.AddRoute("node", server.BaseURL())
+
+	sess, err := caller.OpenSession("caller", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	out, err := sess.Call("ping", nil)
+	if err != nil || out != "ok" {
+		t.Fatalf("per-call fallback: %v %v", out, err)
+	}
+}
+
+// TestStreamSessionSurvivesLargeFrames pushes a payload well past the
+// bufio sizes through a session in both directions.
+func TestStreamSessionSurvivesLargeFrames(t *testing.T) {
+	f := newStreamFabric(t, httptransport.Options{Codec: "bin", Compress: "streamed"})
+	f.Register("node", func(method string, payload any) (any, error) { return payload, nil })
+	sess, err := f.OpenSession("caller", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	big := make([]byte, 0, 1<<20)
+	for i := 0; i < 1<<18; i++ {
+		big = append(big, "wxyz"[i%4])
+	}
+	out, err := sess.Call("echo", string(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(string) != string(big) {
+		t.Fatal("large frame corrupted in flight")
+	}
+}
+
+// TestStreamCloseDoesNotLeakGoroutines opens and closes many sessions and
+// fabrics and checks the goroutine count settles back to its baseline.
+func TestStreamCloseDoesNotLeakGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		f, err := httptransport.New(httptransport.Options{Listen: "127.0.0.1:0", Stream: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Register("node", func(method string, payload any) (any, error) { return true, nil })
+		for j := 0; j < 5; j++ {
+			sess, err := f.OpenSession("caller", "node")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Call("ping", nil); err != nil {
+				t.Fatal(err)
+			}
+			sess.Close()
+		}
+		// Exercise the cached-session call path too.
+		if _, err := f.Call("caller", "node", "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutines: %d at start, %d after close\n%s",
+		base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

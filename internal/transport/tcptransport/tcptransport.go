@@ -1,0 +1,940 @@
+// Package tcptransport is the raw-TCP transport.Fabric: the same
+// Coordinator/Aggregator/Selector control plane that runs over the
+// in-memory Network in tests and over net/http in deployments runs here on
+// bare TCP connections carrying length-prefixed wire frames — no request
+// routing, no header parsing, no per-call connection lifecycle. PR 4 left
+// net/http traversal as the single-core bottleneck of the serving path
+// (~1.4ms of ~1.6ms per session on the loopback loadtest); this backend
+// removes that entire layer while reusing everything above it: the
+// versioned wire codecs (wire.Binary preferred, gob/json always decoded),
+// the pooled frame buffers, the stream framing of wire.AppendStreamFrame,
+// and the capability negotiation of versioning rule 4.
+//
+// Protocol: a connection opens with one stream frame whose payload is a
+// wire.StreamHello naming the node every subsequent request addresses (the
+// HTTP transport carries this in the URL path). After the hello, the
+// connection is a streaming session: pipelined request frames answered in
+// order by response frames, each payload a complete self-describing codec
+// frame (sniffed via wire.CodecForFrame, answered in kind), optionally
+// DEFLATE-compressed per frame (wire.StreamFlagDeflate). One connection
+// per session is the native mode — Fabric.Call multiplexes over a cached
+// session pool, and OpenSession hands out dedicated connections.
+//
+// Discovery and advertisement mirror the HTTP fabric's /nodes and
+// /advertise documents: the reserved node name "_fabric" serves the
+// "_nodes" and "_advertise" methods, whose payloads are the same JSON
+// discovery document carried as a string. Fault injection implements
+// transport.FaultInjector with the in-memory backend's semantics, checked
+// client-side before every streamed call and server-side on every frame,
+// so the server conformance suite runs its Appendix E.4 failure drills
+// unchanged against this backend. A dead peer surfaces as a connection
+// error mapped onto transport.ErrCrashed, exactly like the HTTP fabric.
+package tcptransport
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// Compile-time interface checks against the contracts in internal/transport.
+var (
+	_ transport.Fabric        = (*Fabric)(nil)
+	_ transport.FaultInjector = (*Fabric)(nil)
+	_ transport.StreamFabric  = (*Fabric)(nil)
+)
+
+// Scheme prefixes a TCP fabric's advertised base URL ("tcp://host:port"),
+// so tooling can pick the backend from an address the way it picks HTTP
+// from "http://".
+const Scheme = "tcp://"
+
+// fabricNode is the reserved node name serving the fabric's own discovery
+// and advertisement methods; real node names must not collide with it.
+const fabricNode = "_fabric"
+
+// maxFrameBytes bounds one frame payload in either direction, raw or
+// inflated (64 MiB ~ a 16M-parameter checkpoint frame), mirroring the HTTP
+// fabric's RPC body bound so a hostile length prefix or deflate bomb
+// cannot force a huge allocation.
+const maxFrameBytes = 64 << 20
+
+// deflateMinBytes is the frame size below which the deflate stage is
+// skipped (fixed DEFLATE framing would outweigh the savings).
+const deflateMinBytes = 256
+
+// maxIdleSessionsPerPeer caps the cached Call sessions kept per
+// (address, node) pair; extras are closed on release.
+const maxIdleSessionsPerPeer = 16
+
+// Options configures a Fabric.
+type Options struct {
+	// Listen is the TCP listen address (e.g. "127.0.0.1:7071"; port 0
+	// picks a free port).
+	Listen string
+	// Codec selects the preferred wire codec: "gob" (default), "json", or
+	// "bin". As on the HTTP fabric, bin is negotiated: it is used only
+	// toward peers whose discovery document advertised it (every tcp build
+	// does), with gob as the universal fallback. Serving decodes all three
+	// by frame sniffing and answers in kind.
+	Codec string
+	// Compress names the compress.Codec this fabric prefers on the wire
+	// ("" or "none" disables). When the codec includes a streaming stage
+	// (Streams() true, e.g. "streamed" or "flate"), large frames toward
+	// capability-advertising peers are DEFLATE-compressed per frame.
+	Compress string
+	// AdvertiseAddr is the address peers should dial, with or without the
+	// tcp:// prefix. Defaults to the bound address, which is correct on
+	// localhost; set it explicitly behind NAT.
+	AdvertiseAddr string
+	// Seed seeds the probabilistic-loss RNG (SetLoss); 0 is a valid seed.
+	Seed int64
+	// CallTimeout bounds one call end to end (default 30s), enforced with
+	// connection deadlines so a blackholed peer fails fast.
+	CallTimeout time.Duration
+}
+
+// Fabric is the raw-TCP transport.Fabric for one process. It is safe for
+// concurrent use.
+type Fabric struct {
+	codec        wire.Codec
+	binPreferred bool
+	fallback     wire.Codec
+	baseAddr     string // host:port peers dial
+	ln           net.Listener
+	compressName string
+	deflateBody  bool
+	callTimeout  time.Duration
+
+	mu       sync.RWMutex
+	local    map[string]transport.Handler
+	routes   map[string]string            // node name -> peer host:port
+	peerCaps map[string]wire.Capabilities // peer host:port -> capabilities
+
+	// Faults is the injected-fault table shared with the HTTP backend,
+	// promoted so Fabric implements transport.FaultInjector.
+	transport.Faults
+
+	calls     atomic.Uint64
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+
+	// Session bookkeeping: idle Call sessions per "addr|node" key, every
+	// live client session for Close, and the server-side conns.
+	sessMu   sync.Mutex
+	idle     map[string][]*session
+	all      map[*session]struct{}
+	srvConns map[net.Conn]struct{}
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New binds the listener and starts serving. The returned fabric is ready
+// for Register/Call immediately; Close releases the port.
+func New(opts Options) (*Fabric, error) {
+	codecName := opts.Codec
+	if codecName == "" {
+		codecName = "gob"
+	}
+	codec, err := wire.ByName(codecName)
+	if err != nil {
+		return nil, err
+	}
+	compressName := opts.Compress
+	if compressName == "none" {
+		compressName = ""
+	}
+	deflateBody := false
+	if compressName != "" {
+		cc, err := compress.ByName(compressName)
+		if err != nil {
+			return nil, err
+		}
+		deflateBody = cc.Streams()
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listen %s: %w", opts.Listen, err)
+	}
+	baseAddr := strings.TrimPrefix(opts.AdvertiseAddr, Scheme)
+	if baseAddr == "" {
+		baseAddr = ln.Addr().String()
+	}
+	callTimeout := opts.CallTimeout
+	if callTimeout == 0 {
+		callTimeout = 30 * time.Second
+	}
+	f := &Fabric{
+		codec:        codec,
+		binPreferred: codec.Name() == "bin",
+		fallback:     wire.Gob{},
+		baseAddr:     baseAddr,
+		ln:           ln,
+		compressName: compressName,
+		deflateBody:  deflateBody,
+		callTimeout:  callTimeout,
+		local:        make(map[string]transport.Handler),
+		routes:       make(map[string]string),
+		peerCaps:     make(map[string]wire.Capabilities),
+		idle:         make(map[string][]*session),
+		all:          make(map[*session]struct{}),
+		srvConns:     make(map[net.Conn]struct{}),
+	}
+	f.InitFaults(opts.Seed)
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return f, nil
+}
+
+// BaseURL returns the URL peers use to reach this fabric ("tcp://host:port").
+func (f *Fabric) BaseURL() string { return Scheme + f.baseAddr }
+
+// CodecName returns the active wire codec's name.
+func (f *Fabric) CodecName() string { return f.codec.Name() }
+
+// CompressName returns the preferred wire-compression codec name
+// (Options.Compress; "" when compression is disabled).
+func (f *Fabric) CompressName() string { return f.compressName }
+
+// Stats returns a snapshot of the client-side traffic counters.
+func (f *Fabric) Stats() transport.Stats {
+	return transport.Stats{
+		Calls:         f.calls.Load(),
+		BytesSent:     f.bytesSent.Load(),
+		BytesReceived: f.bytesRecv.Load(),
+	}
+}
+
+// Close stops serving, closes every live session and connection, and waits
+// for the serving goroutines. It is idempotent.
+func (f *Fabric) Close() error {
+	f.closeOnce.Do(func() {
+		f.closed.Store(true)
+		_ = f.ln.Close()
+		f.sessMu.Lock()
+		sessions := make([]*session, 0, len(f.all))
+		for s := range f.all {
+			sessions = append(sessions, s)
+		}
+		conns := make([]net.Conn, 0, len(f.srvConns))
+		for c := range f.srvConns {
+			conns = append(conns, c)
+		}
+		f.all = make(map[*session]struct{})
+		f.idle = make(map[string][]*session)
+		f.srvConns = make(map[net.Conn]struct{})
+		f.sessMu.Unlock()
+		for _, s := range sessions {
+			s.teardown()
+		}
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		f.wg.Wait()
+	})
+	return nil
+}
+
+// Register attaches a node served from this process. Re-registering a name
+// replaces its handler and clears any crash marker (a restarted process).
+func (f *Fabric) Register(name string, h transport.Handler) {
+	if h == nil {
+		panic("tcptransport: nil handler")
+	}
+	if name == fabricNode {
+		panic("tcptransport: node name " + fabricNode + " is reserved")
+	}
+	f.mu.Lock()
+	f.local[name] = h
+	f.mu.Unlock()
+	f.ClearCrash(name)
+}
+
+// Unregister detaches a locally served node.
+func (f *Fabric) Unregister(name string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.local, name)
+}
+
+// AddRoute teaches this fabric that node lives at a peer fabric's address
+// (with or without the tcp:// prefix).
+func (f *Fabric) AddRoute(node, addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.routes[node] = strings.TrimPrefix(addr, Scheme)
+}
+
+// Nodes returns the locally served, non-crashed node names, sorted.
+func (f *Fabric) Nodes() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.local))
+	for name := range f.local {
+		if !f.Crashed(name) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkCall resolves where to reach to and applies the injected-fault
+// checks in the in-memory Network's order (unknown node first, then the
+// shared transport.Faults table); every streamed call runs through it, so
+// fault parity holds frame by frame.
+func (f *Fabric) checkCall(from, to, method string) (addr string, isLocal bool, err error) {
+	f.mu.RLock()
+	_, isLocal = f.local[to]
+	route := f.routes[to]
+	f.mu.RUnlock()
+
+	addr = route
+	if isLocal {
+		addr = f.baseAddr
+	}
+	if addr == "" {
+		return "", false, fmt.Errorf("%w: %s", transport.ErrUnknownNode, to)
+	}
+	if err := f.CheckCall(from, to, method); err != nil {
+		return "", false, err
+	}
+	return addr, isLocal, nil
+}
+
+// peerCapabilities returns the capability document governing calls toward
+// addr. Locally served nodes get this build's own document; unknown peers
+// get the zero value — but unlike HTTP (where a /v1/ peer is a real
+// possibility) every tcp peer necessarily runs this code, so the zero
+// value only means "not yet discovered" and gob remains the safe default.
+func (f *Fabric) peerCapabilities(addr string, isLocal bool) wire.Capabilities {
+	if isLocal {
+		return selfCapabilities()
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.peerCaps[addr]
+}
+
+func selfCapabilities() wire.Capabilities {
+	return wire.Capabilities{
+		API:      wire.APIv2,
+		Compress: compress.Names(),
+		Codecs:   wire.DecodableCodecs(),
+		Stream:   true,
+	}
+}
+
+// --- client side ---
+
+// session is one live connection to a peer, opened with a hello pinning
+// the target node. Calls are serialized by mu; the wire.Request frame
+// carries From, so pooled sessions serve any caller.
+type session struct {
+	f    *Fabric
+	addr string
+	node string
+	enc  wire.Codec
+	defl bool
+
+	broken atomic.Bool
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	req     wire.Request
+	encBuf  []byte
+	outBuf  []byte
+	scratch []byte
+}
+
+// dialSession opens a connection to addr, sends the hello for node, and
+// registers the session for Close bookkeeping.
+func (f *Fabric) dialSession(addr, node string, caps wire.Capabilities) (*session, error) {
+	enc := f.codec
+	if f.binPreferred && !caps.SupportsBinary() {
+		enc = f.fallback
+	}
+	conn, err := net.DialTimeout("tcp", addr, f.callTimeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &session{
+		f:    f,
+		addr: addr,
+		node: node,
+		enc:  enc,
+		defl: f.deflateBody && caps.SupportsCompression(),
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 32<<10),
+	}
+	hello := wire.AppendStreamHello(nil, node)
+	frame := wire.AppendStreamFrame(nil, 0, hello)
+	if err := conn.SetWriteDeadline(time.Now().Add(f.callTimeout)); err == nil {
+		defer conn.SetWriteDeadline(time.Time{})
+	}
+	if _, err := conn.Write(frame); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	f.sessMu.Lock()
+	if f.closed.Load() {
+		f.sessMu.Unlock()
+		conn.Close()
+		return nil, errors.New("tcptransport: fabric closed")
+	}
+	f.all[s] = struct{}{}
+	f.sessMu.Unlock()
+	return s, nil
+}
+
+// do sends one call over the session and reads its response; fault checks
+// are the caller's job. Connection-level failures mark the session broken
+// and map to ErrCrashed, like a dead HTTP peer. wrote reports whether any
+// request bytes may have reached the peer — the at-most-once guard:
+// callers may transparently retry a failed call on another connection
+// only when wrote is false.
+func (s *session) do(from, method string, payload any) (out any, err error, wrote bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() || s.broken.Load() {
+		return nil, fmt.Errorf("%w: %s: session closed", transport.ErrCrashed, s.node), false
+	}
+	if err := s.encodeRequest(from, method, payload); err != nil {
+		// An unregistered payload is a caller bug, not a broken session.
+		return nil, fmt.Errorf("tcptransport: encoding %s call to %s: %w", method, s.node, err), false
+	}
+	s.f.calls.Add(1)
+	s.f.bytesSent.Add(uint64(len(s.outBuf)))
+	if s.f.callTimeout > 0 {
+		_ = s.conn.SetDeadline(time.Now().Add(s.f.callTimeout))
+	}
+	if n, werr := s.conn.Write(s.outBuf); werr != nil {
+		s.broken.Store(true)
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, werr), n > 0
+	}
+	wrote = true
+	rflags, raw, scratch, err := wire.ReadStreamFrameFrom(s.br, s.scratch, maxFrameBytes)
+	s.scratch = scratch
+	if err != nil {
+		s.broken.Store(true)
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, err), true
+	}
+	if s.f.callTimeout > 0 {
+		_ = s.conn.SetDeadline(time.Time{})
+	}
+	s.f.bytesRecv.Add(uint64(len(raw)))
+	if rflags&wire.StreamFlagDeflate != 0 {
+		if raw, err = compress.InflateBytes(raw, maxFrameBytes); err != nil {
+			s.broken.Store(true)
+			return nil, fmt.Errorf("tcptransport: inflating response from %s: %w", s.node, err), true
+		}
+	}
+	resp, err := s.enc.DecodeResponse(raw)
+	if err != nil {
+		s.broken.Store(true)
+		return nil, fmt.Errorf("tcptransport: decoding response from %s: %w", s.node, err), true
+	}
+	if resp.Kind != "" {
+		return nil, transport.KindToError(resp.Kind, resp.Err), true
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err), true
+	}
+	return resp.Payload, nil, true
+}
+
+// encodeRequest fills s.outBuf with the framed request. The session's
+// scratch buffers make the steady state allocation-free with an
+// append-capable codec — the pipelined-chunk alloc gate in the tests holds
+// the send path to <= 2 allocations.
+func (s *session) encodeRequest(from, method string, payload any) error {
+	s.req.From, s.req.Method, s.req.Payload = from, method, payload
+	var body []byte
+	var err error
+	if app, ok := s.enc.(wire.Appender); ok {
+		body, err = app.AppendRequest(s.encBuf[:0], &s.req)
+	} else {
+		body, err = s.enc.EncodeRequest(&s.req)
+	}
+	s.req.Payload = nil
+	if err != nil {
+		return err
+	}
+	if cap(body) > cap(s.encBuf) {
+		s.encBuf = body
+	}
+	flags := byte(0)
+	if s.defl && len(body) >= deflateMinBytes {
+		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+			body, flags = packed, wire.StreamFlagDeflate
+		}
+	}
+	s.outBuf = wire.AppendStreamFrame(s.outBuf[:0], flags, body)
+	return nil
+}
+
+// teardown closes the session's connection; idempotent.
+func (s *session) teardown() {
+	if s.closed.Swap(true) {
+		return
+	}
+	_ = s.conn.Close()
+}
+
+func (f *Fabric) forget(s *session) {
+	f.sessMu.Lock()
+	delete(f.all, s)
+	f.sessMu.Unlock()
+}
+
+func (f *Fabric) discardSession(s *session) {
+	f.forget(s)
+	s.teardown()
+}
+
+func sessionKey(addr, node string) string { return addr + "|" + node }
+
+// acquireSession pops a cached idle session for (addr, node) or dials a
+// fresh one.
+func (f *Fabric) acquireSession(addr, node string, caps wire.Capabilities) (s *session, fresh bool, err error) {
+	key := sessionKey(addr, node)
+	f.sessMu.Lock()
+	if idle := f.idle[key]; len(idle) > 0 {
+		s = idle[len(idle)-1]
+		f.idle[key] = idle[:len(idle)-1]
+	}
+	f.sessMu.Unlock()
+	if s != nil {
+		return s, false, nil
+	}
+	s, err = f.dialSession(addr, node, caps)
+	return s, true, err
+}
+
+// releaseSession returns a healthy session to the idle cache (bounded).
+func (f *Fabric) releaseSession(s *session) {
+	if s.broken.Load() || s.closed.Load() {
+		f.discardSession(s)
+		return
+	}
+	key := sessionKey(s.addr, s.node)
+	f.sessMu.Lock()
+	if !f.closed.Load() && len(f.idle[key]) < maxIdleSessionsPerPeer {
+		f.idle[key] = append(f.idle[key], s)
+		f.sessMu.Unlock()
+		return
+	}
+	f.sessMu.Unlock()
+	f.discardSession(s)
+}
+
+// Call implements transport.Fabric: fault checks in the in-memory order,
+// then one framed request over a cached streaming session to wherever the
+// callee lives — through the loopback listener when it is this process, so
+// every call exercises the full TCP wire path. A broken cached session
+// (peer restarted) is discarded and the call retried once on a fresh
+// connection.
+func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
+	addr, isLocal, err := f.checkCall(from, to, method)
+	if err != nil {
+		return nil, err
+	}
+	caps := f.peerCapabilities(addr, isLocal)
+	for {
+		s, fresh, err := f.acquireSession(addr, to, caps)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
+		}
+		out, err, wrote := s.do(from, method, payload)
+		if err == nil {
+			// Success stands even if a deadline marked the session broken
+			// afterwards; releaseSession keeps or discards accordingly.
+			f.releaseSession(s)
+			return out, nil
+		}
+		if !s.broken.Load() {
+			// Application or wire-kind error over a healthy session.
+			f.releaseSession(s)
+			return nil, err
+		}
+		f.discardSession(s)
+		if !fresh && !wrote {
+			// Stale pooled conn, nothing sent: safe to retry on another
+			// connection (the POST-path equivalent of dialing anew). Once
+			// bytes may have reached the peer the call is never resent —
+			// at-most-once; component failover owns the retry decision.
+			continue
+		}
+		return nil, err
+	}
+}
+
+// boundSession is a Session pinned to a (from, to) pair over a dedicated
+// connection — the one-connection-per-session native mode.
+type boundSession struct {
+	f        *Fabric
+	s        *session
+	from, to string
+	closedMk bool
+}
+
+// Call implements transport.Session: the same injected-fault checks as
+// Fabric.Call run per call, then the frame rides the pinned connection.
+func (b *boundSession) Call(method string, payload any) (any, error) {
+	if b.closedMk {
+		return nil, fmt.Errorf("%w: session closed", transport.ErrCrashed)
+	}
+	if _, _, err := b.f.checkCall(b.from, b.to, method); err != nil {
+		return nil, err
+	}
+	out, err, _ := b.s.do(b.from, method, payload)
+	return out, err
+}
+
+// Close implements transport.Session; the connection close is the server's
+// natural end-of-session signal.
+func (b *boundSession) Close() error {
+	if b.closedMk {
+		return nil
+	}
+	b.closedMk = true
+	b.f.discardSession(b.s)
+	return nil
+}
+
+// OpenSession implements transport.StreamFabric: a dedicated connection
+// per session (every tcp peer streams; there is no degraded mode).
+func (f *Fabric) OpenSession(from, to string) (transport.Session, error) {
+	addr, isLocal, err := f.checkCall(from, to, "open-session")
+	if err != nil {
+		return nil, err
+	}
+	s, err := f.dialSession(addr, to, f.peerCapabilities(addr, isLocal))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
+	}
+	return &boundSession{f: f, s: s, from: from, to: to}, nil
+}
+
+// --- server side ---
+
+func (f *Fabric) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.sessMu.Lock()
+		if f.closed.Load() {
+			f.sessMu.Unlock()
+			conn.Close()
+			return
+		}
+		f.srvConns[conn] = struct{}{}
+		f.sessMu.Unlock()
+		f.wg.Add(1)
+		go f.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound streaming session: hello, then pipelined
+// request frames answered in order, each through the same fault-check
+// dispatch as every other backend. The loop exits when the peer closes its
+// end or the connection breaks.
+func (f *Fabric) serveConn(conn net.Conn) {
+	defer f.wg.Done()
+	defer func() {
+		f.sessMu.Lock()
+		delete(f.srvConns, conn)
+		f.sessMu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReaderSize(conn, 32<<10)
+	var scratch []byte
+	_, hello, scratch, err := wire.ReadStreamFrameFrom(br, scratch, maxFrameBytes)
+	if err != nil {
+		return
+	}
+	node, err := wire.ParseStreamHello(hello)
+	if err != nil {
+		return
+	}
+	var out []byte
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	for {
+		flags, payload, sc, err := wire.ReadStreamFrameFrom(br, scratch, maxFrameBytes)
+		scratch = sc
+		if err != nil {
+			return // io.EOF: clean close; anything else: dead peer
+		}
+		if flags&wire.StreamFlagDeflate != 0 {
+			if payload, err = compress.InflateBytes(payload, maxFrameBytes); err != nil {
+				return
+			}
+		}
+		codec, ok := wire.CodecForFrame(payload)
+		if !ok {
+			codec = f.codec
+		}
+		req, err := codec.DecodeRequest(payload)
+		if err != nil {
+			return // unreliable framing: kill the session
+		}
+		resp := f.dispatch(node, req)
+
+		var body []byte
+		framePooled := false
+		if app, ok := codec.(wire.Appender); ok {
+			body, err = app.AppendResponse(getFrame(), resp)
+			framePooled = err == nil
+		} else {
+			body, err = codec.EncodeResponse(resp)
+		}
+		// Lease order mirrors the HTTP fabric: frame encoded, then pooled
+		// response vectors and the request's leased decode vectors return
+		// to their pools.
+		if lease, ok := resp.Payload.(wire.ResponseBufferLease); ok {
+			lease.ReleaseResponseBuffers()
+		}
+		if lease, ok := req.Payload.(wire.BufferLease); ok {
+			lease.ReleaseBinaryBuffers()
+		}
+		if err != nil {
+			body, err = codec.EncodeResponse(&wire.Response{Err: "tcptransport: encoding response: " + err.Error()})
+			if err != nil {
+				return
+			}
+		}
+		respFlags := byte(0)
+		if flags&wire.StreamFlagDeflate != 0 && len(body) >= deflateMinBytes {
+			if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+				if framePooled {
+					putFrame(body)
+					framePooled = false
+				}
+				body, respFlags = packed, wire.StreamFlagDeflate
+			}
+		}
+		out = wire.AppendStreamFrame(out[:0], respFlags, body)
+		if framePooled {
+			putFrame(body)
+		}
+		if _, err := bw.Write(out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs the server-side fault checks and the handler for one
+// decoded request addressed to node; the reserved _fabric node serves
+// discovery and advertisement.
+func (f *Fabric) dispatch(node string, req *wire.Request) *wire.Response {
+	if node == fabricNode {
+		out, err := f.fabricMethod(req)
+		if err != nil {
+			return &wire.Response{Err: err.Error()}
+		}
+		return &wire.Response{Payload: out}
+	}
+	f.mu.RLock()
+	h, ok := f.local[node]
+	f.mu.RUnlock()
+
+	switch {
+	case !ok:
+		return &wire.Response{Kind: transport.KindUnknownNode, Err: node}
+	case f.Crashed(node):
+		return &wire.Response{Kind: transport.KindCrashed, Err: node}
+	case f.Cut(req.From, node):
+		return &wire.Response{Kind: transport.KindPartitioned, Err: req.From + " <-> " + node}
+	}
+	out, err := safeInvoke(h, req.Method, req.Payload)
+	if err != nil {
+		return &wire.Response{Kind: transport.ErrorToKind(err), Err: err.Error()}
+	}
+	return &wire.Response{Payload: out}
+}
+
+// safeInvoke contains handler panics, exactly like the HTTP fabric:
+// network peers are untrusted, and a well-formed frame carrying the wrong
+// registered type must become a wire error, not a crash.
+func safeInvoke(h transport.Handler, method string, payload any) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("tcptransport: handler panic on %q: %v", method, r)
+		}
+	}()
+	return h(method, payload)
+}
+
+// --- discovery / advertisement ---
+
+// nodesDoc is the discovery document exchanged by _nodes and _advertise,
+// carried as a JSON string payload: which nodes a fabric serves, where,
+// and what it is capable of — the same shape as the HTTP fabric's
+// /nodes body, so the capability negotiation surface is identical.
+type nodesDoc struct {
+	// BaseURL is the advertising fabric's dialable address (tcp://host:port).
+	BaseURL string `json:"base_url"`
+	// Nodes lists the fabric's locally served node names.
+	Nodes []string `json:"nodes"`
+	wire.Capabilities
+}
+
+func (f *Fabric) selfDoc() nodesDoc {
+	return nodesDoc{BaseURL: f.BaseURL(), Nodes: f.Nodes(), Capabilities: selfCapabilities()}
+}
+
+// fabricMethod serves the reserved-node methods.
+func (f *Fabric) fabricMethod(req *wire.Request) (any, error) {
+	switch req.Method {
+	case "_nodes":
+		doc, err := json.Marshal(f.selfDoc())
+		if err != nil {
+			return nil, err
+		}
+		return string(doc), nil
+	case "_advertise":
+		raw, _ := req.Payload.(string)
+		var doc nodesDoc
+		if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+			return nil, fmt.Errorf("tcptransport: decoding advertisement: %w", err)
+		}
+		if doc.BaseURL == "" {
+			return nil, errors.New("tcptransport: advertisement missing base_url")
+		}
+		f.recordPeer(doc)
+		self, err := json.Marshal(f.selfDoc())
+		if err != nil {
+			return nil, err
+		}
+		return string(self), nil
+	default:
+		return nil, fmt.Errorf("tcptransport: unknown fabric method %q", req.Method)
+	}
+}
+
+// recordPeer stores a peer's routes and advertised capabilities.
+func (f *Fabric) recordPeer(doc nodesDoc) {
+	addr := strings.TrimPrefix(doc.BaseURL, Scheme)
+	for _, node := range doc.Nodes {
+		f.AddRoute(node, addr)
+	}
+	f.mu.Lock()
+	f.peerCaps[addr] = doc.Capabilities
+	f.mu.Unlock()
+}
+
+// PeerCapabilities returns what the fabric at addr (with or without the
+// tcp:// prefix) advertised — the zero value for unknown peers.
+func (f *Fabric) PeerCapabilities(addr string) wire.Capabilities {
+	addr = strings.TrimPrefix(addr, Scheme)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.peerCaps[addr]
+}
+
+// fabricCall opens a short-lived session to the reserved node at addr and
+// performs one method call — the client half of discovery/advertisement.
+func (f *Fabric) fabricCall(addr, method string, payload any) (string, error) {
+	addr = strings.TrimPrefix(addr, Scheme)
+	s, err := f.dialSession(addr, fabricNode, wire.Capabilities{})
+	if err != nil {
+		return "", fmt.Errorf("tcptransport: reaching fabric at %s: %w", addr, err)
+	}
+	defer f.discardSession(s)
+	out, err, _ := s.do(f.BaseURL(), method, payload)
+	if err != nil {
+		return "", err
+	}
+	doc, _ := out.(string)
+	return doc, nil
+}
+
+// Advertise announces this fabric's locally served nodes to the peer
+// fabric at peerAddr (so the peer can route calls back here) and returns
+// the peer's own node list for symmetric route setup.
+func (f *Fabric) Advertise(peerAddr string) ([]string, error) {
+	self, err := json.Marshal(f.selfDoc())
+	if err != nil {
+		return nil, err
+	}
+	raw, err := f.fabricCall(peerAddr, "_advertise", string(self))
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: advertising to %s: %w", peerAddr, err)
+	}
+	var doc nodesDoc
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		return nil, err
+	}
+	f.recordPeer(doc)
+	return doc.Nodes, nil
+}
+
+// Discover fetches the node inventory of the fabric at addr, adds a route
+// for every node it serves, and records its advertised capabilities — the
+// client-side entry point for capability negotiation.
+func (f *Fabric) Discover(addr string) ([]string, error) {
+	raw, err := f.fabricCall(addr, "_nodes", nil)
+	if err != nil {
+		return nil, fmt.Errorf("tcptransport: listing nodes at %s: %w", addr, err)
+	}
+	var doc nodesDoc
+	if err := json.Unmarshal([]byte(raw), &doc); err != nil {
+		return nil, err
+	}
+	// Route through the address this fabric actually reached the peer at:
+	// behind NAT the advertised one may be unreachable from here.
+	doc.BaseURL = addr
+	f.recordPeer(doc)
+	return doc.Nodes, nil
+}
+
+// framePool recycles encode buffers for server-side responses, mirroring
+// the HTTP fabric's frame pool (wrap headers recycled so a release doesn't
+// heap-allocate a slice header).
+type frameWrap struct{ b []byte }
+
+var (
+	framePool  sync.Pool
+	frameWraps sync.Pool
+)
+
+func getFrame() []byte {
+	if w, _ := framePool.Get().(*frameWrap); w != nil {
+		b := w.b[:0]
+		w.b = nil
+		frameWraps.Put(w)
+		return b
+	}
+	return make([]byte, 0, 4096)
+}
+
+func putFrame(b []byte) {
+	w, _ := frameWraps.Get().(*frameWrap)
+	if w == nil {
+		w = new(frameWrap)
+	}
+	w.b = b
+	framePool.Put(w)
+}

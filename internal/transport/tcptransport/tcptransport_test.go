@@ -1,0 +1,301 @@
+package tcptransport
+
+// White-box tests for the raw-TCP fabric: basic RPC parity, discovery and
+// advertisement, fault injection semantics, session lifecycle, and the
+// allocation gate on the pipelined send path (the whole point of the
+// backend is removing per-call overhead, so the gate keeps it removed).
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+func newTestFabric(t *testing.T, opts Options) *Fabric {
+	t.Helper()
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatalf("starting tcp fabric: %v", err)
+	}
+	t.Cleanup(func() { _ = f.Close() })
+	return f
+}
+
+// TestCallRoundTrip drives registered-message calls through the loopback
+// listener in every codec configuration.
+func TestCallRoundTrip(t *testing.T) {
+	for _, codec := range []string{"gob", "bin", "json"} {
+		t.Run(codec, func(t *testing.T) {
+			f := newTestFabric(t, Options{Codec: codec})
+			f.Register("agg", func(method string, payload any) (any, error) {
+				req := payload.(server.JoinRequest)
+				return server.JoinResponse{Accepted: true, SessionID: uint64(req.ClientID) + 1}, nil
+			})
+			out, err := f.Call("client-7", "agg", "join", server.JoinRequest{TaskID: "t", ClientID: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp := out.(server.JoinResponse); !resp.Accepted || resp.SessionID != 8 {
+				t.Fatalf("response = %+v", resp)
+			}
+		})
+	}
+}
+
+// TestCompressedFrames exercises the per-frame deflate stage with a
+// model-sized payload.
+func TestCompressedFrames(t *testing.T) {
+	f := newTestFabric(t, Options{Codec: "bin", Compress: "streamed"})
+	f.Register("agg", func(method string, payload any) (any, error) {
+		dl := payload.(server.DownloadRequest)
+		params := make([]float32, 4096)
+		return server.DownloadResponse{Params: params, Version: int(dl.SessionID)}, nil
+	})
+	out, err := f.Call("c", "agg", "download", server.DownloadRequest{TaskID: "t", SessionID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := out.(server.DownloadResponse); resp.Version != 3 || len(resp.Params) != 4096 {
+		t.Fatalf("response = %d params v%d", len(resp.Params), resp.Version)
+	}
+}
+
+// TestDiscoveryAndAdvertise wires two fabrics together through the
+// reserved _fabric node and checks routes and capabilities land.
+func TestDiscoveryAndAdvertise(t *testing.T) {
+	a := newTestFabric(t, Options{})
+	b := newTestFabric(t, Options{})
+	a.Register("node-a", func(method string, payload any) (any, error) { return "from-a", nil })
+	b.Register("node-b", func(method string, payload any) (any, error) { return "from-b", nil })
+
+	nodes, err := a.Discover(b.BaseURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 1 || nodes[0] != "node-b" {
+		t.Fatalf("discovered %v", nodes)
+	}
+	caps := a.PeerCapabilities(b.BaseURL())
+	if !caps.SupportsStream() || !caps.SupportsBinary() || !caps.SupportsCompression() {
+		t.Fatalf("peer capabilities = %+v", caps)
+	}
+	if out, err := a.Call("tester", "node-b", "ping", nil); err != nil || out != "from-b" {
+		t.Fatalf("cross-fabric call: %v %v", out, err)
+	}
+
+	// Advertise back: b learns a's nodes.
+	if _, err := a.Advertise(b.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := b.Call("tester", "node-a", "ping", nil); err != nil || out != "from-a" {
+		t.Fatalf("advertised route call: %v %v", out, err)
+	}
+}
+
+// TestFaultParity checks the injected-fault semantics match the in-memory
+// Network: unknown node, crash (callee and caller), partition/heal, and a
+// genuinely dead peer process mapping to ErrCrashed.
+func TestFaultParity(t *testing.T) {
+	f := newTestFabric(t, Options{})
+	f.Register("node", func(method string, payload any) (any, error) { return true, nil })
+
+	if _, err := f.Call("c", "ghost", "ping", nil); !errors.Is(err, transport.ErrUnknownNode) {
+		t.Fatalf("unknown node error = %v", err)
+	}
+	f.Crash("node")
+	if _, err := f.Call("c", "node", "ping", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("crashed callee error = %v", err)
+	}
+	f.Register("node", func(method string, payload any) (any, error) { return true, nil })
+	if _, err := f.Call("c", "node", "ping", nil); err != nil {
+		t.Fatalf("restarted callee: %v", err)
+	}
+	f.Crash("c")
+	if _, err := f.Call("c", "node", "ping", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("crashed caller error = %v", err)
+	}
+	f.Register("c", func(method string, payload any) (any, error) { return true, nil })
+	f.Partition("c", "node")
+	if _, err := f.Call("c", "node", "ping", nil); !errors.Is(err, transport.ErrPartitioned) {
+		t.Fatalf("partitioned error = %v", err)
+	}
+	f.Heal("c", "node")
+	if _, err := f.Call("c", "node", "ping", nil); err != nil {
+		t.Fatalf("healed call: %v", err)
+	}
+
+	// A peer whose process is gone: the route remains but nothing listens.
+	dead := newTestFabric(t, Options{})
+	dead.Register("gone", func(method string, payload any) (any, error) { return true, nil })
+	if _, err := f.Discover(dead.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+	_ = dead.Close()
+	if _, err := f.Call("c", "gone", "ping", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("dead process error = %v", err)
+	}
+}
+
+// TestLossInjection checks SetLoss produces ErrDropped without touching
+// the server side.
+func TestLossInjection(t *testing.T) {
+	f := newTestFabric(t, Options{Seed: 42})
+	served := 0
+	f.Register("node", func(method string, payload any) (any, error) {
+		served++
+		return true, nil
+	})
+	f.SetLoss(0.5)
+	drops := 0
+	for i := 0; i < 40; i++ {
+		if _, err := f.Call("c", "node", "ping", nil); errors.Is(err, transport.ErrDropped) {
+			drops++
+		} else if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if drops == 0 || drops == 40 {
+		t.Fatalf("drops = %d/40 at p=0.5", drops)
+	}
+	if served != 40-drops {
+		t.Fatalf("served %d, want %d (drops must not reach the handler)", served, 40-drops)
+	}
+}
+
+// TestOpenSessionPipelines runs a session's worth of calls over one
+// dedicated connection.
+func TestOpenSessionPipelines(t *testing.T) {
+	f := newTestFabric(t, Options{Codec: "bin"})
+	seen := 0
+	f.Register("agg", func(method string, payload any) (any, error) {
+		seen++
+		return server.UploadResponse{OK: true}, nil
+	})
+	sess, err := f.OpenSession("client-1", "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		out, err := sess.Call("upload-chunk", server.UploadChunk{
+			TaskID: "t", SessionID: 1, Offset: i * 4, Data: []float32{1, 2, 3, 4},
+		})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if !out.(server.UploadResponse).OK {
+			t.Fatalf("chunk %d rejected", i)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Call("upload-chunk", nil); err == nil {
+		t.Fatal("call after close succeeded")
+	}
+	if seen != 32 {
+		t.Fatalf("handler saw %d chunks", seen)
+	}
+}
+
+// TestReservedNodeNameRejected keeps _fabric off-limits to handlers.
+func TestReservedNodeNameRejected(t *testing.T) {
+	f := newTestFabric(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the reserved node name did not panic")
+		}
+	}()
+	f.Register(fabricNode, func(method string, payload any) (any, error) { return nil, nil })
+}
+
+// discardConn swallows writes and never delivers reads — a sink for
+// measuring the send path without a live peer.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (discardConn) SetDeadline(time.Time) error      { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestPipelinedChunkSendAllocs is the alloc gate on the streaming hot
+// path: with the bin codec, sending one pipelined upload chunk (encode the
+// frame into session scratch, length-prefix it, write it) must stay <= 2
+// heap allocations — the same discipline the wire benches enforce on the
+// decode side. Regressions here mean the per-session scratch reuse broke.
+func TestPipelinedChunkSendAllocs(t *testing.T) {
+	s := &session{
+		f:    &Fabric{callTimeout: 0},
+		node: "agg",
+		enc:  wire.Binary{},
+		conn: discardConn{},
+	}
+	chunk := server.UploadChunk{
+		TaskID:    "bench-task",
+		SessionID: 9,
+		Offset:    4096,
+		Data:      make([]float32, 1024),
+	}
+	var payload any = chunk // box once, outside the measured loop
+	// Warm the scratch buffers.
+	if err := s.encodeRequest("client-1", "upload-chunk", payload); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.encodeRequest("client-1", "upload-chunk", payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.conn.Write(s.outBuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("pipelined chunk send costs %.1f allocs, want <= 2", allocs)
+	}
+}
+
+// TestCloseDoesNotLeakGoroutines opens sessions and fabrics, closes them,
+// and checks the goroutine count settles.
+func TestCloseDoesNotLeakGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		f, err := New(Options{Listen: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Register("node", func(method string, payload any) (any, error) { return true, nil })
+		for j := 0; j < 4; j++ {
+			sess, err := f.OpenSession("c", "node")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sess.Call("ping", nil); err != nil {
+				t.Fatal(err)
+			}
+			sess.Close()
+		}
+		if _, err := f.Call("c", "node", "ping", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutines: %d at start, %d after close\n%s",
+		base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}

@@ -59,7 +59,9 @@ const (
 	// may carry a DEFLATE-compressed frame body (Content-Encoding:
 	// deflate), upload payloads may use internal/compress codecs, and —
 	// when the peer also advertised the "bin" wire codec — frames may use
-	// the Binary fast path instead of gob.
+	// the Binary fast path instead of gob. Peers that additionally
+	// advertised Capabilities.Stream accept streaming sessions on
+	// /papaya/v2/stream (see stream.go).
 	APIv2 = 2
 )
 
@@ -79,6 +81,12 @@ type Capabilities struct {
 	// Absent (a /v1/ peer's document, or a pre-bin build) means baseline
 	// only — such peers keep receiving gob frames.
 	Codecs []string `json:"codecs,omitempty"`
+	// Stream reports that the peer serves streaming sessions: one
+	// long-lived connection carrying length-prefixed frames (the HTTP
+	// transport's /papaya/v2/stream route; the raw-TCP fabric is streaming
+	// by construction). Absent means per-call RPC only — callers keep
+	// sending the per-POST bytes such peers always received.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // SupportsCompression reports whether the peer can receive
@@ -100,6 +108,12 @@ func (c Capabilities) SupportsBinary() bool {
 	}
 	return false
 }
+
+// SupportsStream reports whether the peer advertised the streaming-session
+// capability on the /v2/ route. Callers fall back to one-call-per-POST when
+// it returns false — the negotiation default that keeps /v1/ peers
+// receiving exactly the traffic they always did.
+func (c Capabilities) SupportsStream() bool { return c.API >= APIv2 && c.Stream }
 
 // DecodableCodecs returns the wire codec names every build of this package
 // can decode — the codec half of the capability document a fabric

@@ -29,7 +29,36 @@ package vecpool
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
+
+// Outstanding-lease counters: Get of a pool-classed vector increments,
+// Put of one decrements (non-classed slices touch neither). They exist
+// for the leak and double-release assertions in the session-reaper and
+// stream-soak tests — a session reaped with its reassembly vector leased
+// shows up as a stuck positive delta, and a double release drives the
+// count below its baseline. Two relaxed atomics per op; negligible next
+// to the copy the vector exists for.
+//
+// Caveat: the counters track capacity class, not provenance. A foreign
+// slice that happens to have an exact power-of-two capacity (e.g. a
+// gob-decoded chunk of power-of-two length released via
+// wire.BufferLease) is legitimately adopted by the pool on Put and
+// decrements the count without a matching Get. Assertions that demand
+// exact balance must therefore drive workloads whose foreign payload
+// lengths avoid power-of-two sizes (the reaper and soak tests do) or use
+// the pooled bin decode path end to end.
+var (
+	outFloats atomic.Int64
+	outUints  atomic.Int64
+)
+
+// OutstandingFloats reports currently leased pool-classed []float32
+// vectors (gets minus puts since process start).
+func OutstandingFloats() int64 { return outFloats.Load() }
+
+// OutstandingUints reports currently leased pool-classed []uint32 vectors.
+func OutstandingUints() int64 { return outUints.Load() }
 
 // numClasses bounds the pooled size classes: class i holds slices of
 // capacity 1<<i, up to 1<<27 elements (512 MiB of float32s, matching the
@@ -68,6 +97,7 @@ func GetFloats(n int) []float32 {
 	if class >= numClasses {
 		return make([]float32, n)
 	}
+	outFloats.Add(1)
 	if w, _ := floatPools[class].Get().(*floatWrap); w != nil {
 		s := w.s[:n]
 		w.s = nil
@@ -91,6 +121,7 @@ func PutFloats(s []float32) {
 	if class >= numClasses {
 		return
 	}
+	outFloats.Add(-1)
 	w, _ := floatWraps.Get().(*floatWrap)
 	if w == nil {
 		w = new(floatWrap)
@@ -108,6 +139,7 @@ func GetUints(n int) []uint32 {
 	if class >= numClasses {
 		return make([]uint32, n)
 	}
+	outUints.Add(1)
 	if w, _ := uintPools[class].Get().(*uintWrap); w != nil {
 		s := w.s[:n]
 		w.s = nil
@@ -128,6 +160,7 @@ func PutUints(s []uint32) {
 	if class >= numClasses {
 		return
 	}
+	outUints.Add(-1)
 	w, _ := uintWraps.Get().(*uintWrap)
 	if w == nil {
 		w = new(uintWrap)

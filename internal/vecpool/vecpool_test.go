@@ -92,3 +92,28 @@ func BenchmarkGetPutFloats(b *testing.B) {
 		vecpool.PutFloats(s)
 	}
 }
+
+// TestOutstandingCounters: pool-classed leases move the outstanding
+// counters symmetrically; slices the pool discards (non-class capacity)
+// touch neither side, so a Put of an alien slice cannot drive the count
+// negative.
+func TestOutstandingCounters(t *testing.T) {
+	baseF, baseU := vecpool.OutstandingFloats(), vecpool.OutstandingUints()
+	f := vecpool.GetFloats(100)
+	u := vecpool.GetUints(33)
+	if vecpool.OutstandingFloats() != baseF+1 || vecpool.OutstandingUints() != baseU+1 {
+		t.Fatalf("after gets: floats %d->%d uints %d->%d",
+			baseF, vecpool.OutstandingFloats(), baseU, vecpool.OutstandingUints())
+	}
+	// An alien slice with non-class capacity is discarded, uncounted.
+	vecpool.PutFloats(make([]float32, 100))
+	if vecpool.OutstandingFloats() != baseF+1 {
+		t.Fatalf("alien put moved the counter to %d", vecpool.OutstandingFloats())
+	}
+	vecpool.PutFloats(f)
+	vecpool.PutUints(u)
+	if vecpool.OutstandingFloats() != baseF || vecpool.OutstandingUints() != baseU {
+		t.Fatalf("after puts: floats %d (want %d) uints %d (want %d)",
+			vecpool.OutstandingFloats(), baseF, vecpool.OutstandingUints(), baseU)
+	}
+}
