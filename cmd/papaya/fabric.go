@@ -26,6 +26,7 @@ type fabricConn interface {
 	CodecName() string
 	CompressName() string
 	Nodes() []string
+	Routes() map[string]string
 	Close() error
 	Advertise(peer string) ([]string, error)
 	Discover(base string) ([]string, error)

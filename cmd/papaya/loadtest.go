@@ -154,14 +154,27 @@ func runLoadtest(args []string) {
 	defer fabric.Close()
 
 	// Discover the server's selectors and its capability document; retry
-	// briefly so CI can start serve and loadtest back to back.
+	// briefly so CI can start serve and loadtest back to back. Selectors
+	// hosted in the serve process appear in its own node list; a standalone
+	// selector tier (`papaya selector`) is reached through the routes the
+	// coordinator gossips — discoverGossiped also visits each routed fabric
+	// so its capability document (stream, bin) is on hand.
 	var selectors []string
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		nodes, err := fabric.Discover(*serverURL)
 		if err == nil {
+			seen := map[string]bool{}
 			for _, n := range nodes {
-				if strings.HasPrefix(n, "sel-") {
+				if strings.HasPrefix(n, "sel-") && !seen[n] {
+					seen[n] = true
+					selectors = append(selectors, n)
+				}
+			}
+			discoverGossiped(fabric, *serverURL)
+			for n := range fabric.Routes() {
+				if strings.HasPrefix(n, "sel-") && !seen[n] {
+					seen[n] = true
 					selectors = append(selectors, n)
 				}
 			}

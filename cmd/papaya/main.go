@@ -12,11 +12,14 @@
 //	papaya secagg-demo                 narrated secure aggregation run
 //	papaya serve [flags]               run the control plane over HTTP
 //	papaya agent [flags]               run a remote aggregator joining a coordinator
+//	papaya selector [flags]            run a routing-tier selector joining a coordinator
+//	papaya fleet [flags]               spawn a multi-process fleet and measure failover
 //	papaya loadtest [flags]            drive concurrent clients against a live server
 //
-// serve/agent/loadtest make the Section 4 control plane deployable as real
-// OS processes over the HTTP transport; see docs/DEPLOYMENT.md for the
-// multi-process quickstart and the full flag reference.
+// serve/agent/selector/loadtest make the Section 4 control plane deployable
+// as real OS processes over the HTTP transport; fleet orchestrates all three
+// tiers at once; see docs/DEPLOYMENT.md for the multi-process quickstart and
+// the full flag reference.
 //
 // Flags for experiments:
 //
@@ -74,6 +77,10 @@ func main() {
 		runServe(args)
 	case "agent":
 		runAgent(args)
+	case "selector":
+		runSelector(args)
+	case "fleet":
+		runFleet(args)
 	case "loadtest":
 		runLoadtest(args)
 	case "secagg-demo":
@@ -101,6 +108,8 @@ func usage() {
   papaya bench [-o FILE] [-workers 1,2,4] [-scale small|paper] [-updates N] [-concurrency N] [-goal K] [-seed S] [-gotest]
   papaya serve [-listen H:P] [-fabric http|tcp] [-stream] [-codec gob|json|bin] [-aggregators N] [-selectors M] [-task ID] [-mode async|sync] [-params N] [-concurrency N] [-goal K] [-secagg]
   papaya agent -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json|bin] [-stream]
+  papaya selector -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json|bin] [-stream] [-refresh D]
+  papaya fleet [-agents N] [-selectors M] [-clients K] [-uploads N] [-fabric http|tcp] [-stream] [-kill-agent] [-kill-selector] [-o FILE]
   papaya loadtest [-server URL] [-stream] [-clients K] [-uploads N] [-codec gob|json|bin] [-o FILE]
   papaya secagg-demo`)
 }

@@ -111,6 +111,11 @@ func runServe(args []string) {
 		}
 		spec.SecAgg = dep
 	}
+	// Print the bound address before waiting for remote agents: a -listen
+	// :0 deployment (the fleet harness) must learn the URL to start the
+	// very agents the create-task loop below is waiting for.
+	fmt.Printf("papaya serve: listening on %s (codec %s)\n", fabric.BaseURL(), fabric.CodecName())
+
 	// With -aggregators 0 the fleet is remote: task creation waits until the
 	// first `papaya agent` registers (placement needs a live aggregator).
 	// App errors cross the wire as text, so match the sentinel's message.
@@ -127,7 +132,6 @@ func runServe(args []string) {
 		time.Sleep(500 * time.Millisecond)
 	}
 
-	fmt.Printf("papaya serve: listening on %s (codec %s)\n", fabric.BaseURL(), fabric.CodecName())
 	fmt.Printf("papaya serve: nodes %v\n", fabric.Nodes())
 	fmt.Printf("papaya serve: task %q mode=%s params=%d concurrency=%d goal=%d secagg=%v compress=%q\n",
 		*taskID, algo, *numParams, *concurrency, *goal, *useSecAgg, *compressName)

@@ -1,0 +1,120 @@
+package placement_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/placement"
+)
+
+// Node names mirror the fleet harness's real agent names so the test
+// exercises the exact strings production placement hashes.
+func agents(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fleet-agent-%d", i)
+	}
+	return out
+}
+
+func taskIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("task-%04d", i)
+	}
+	return out
+}
+
+// TestDistributionWithinTolerance is the placement regression fence: with
+// 8 agents and 1k synthetic task IDs, rendezvous placement must stay
+// within +-20% of uniform. A hash regression (weaker mixing, a changed
+// separator) shows up here as a skewed bucket.
+func TestDistributionWithinTolerance(t *testing.T) {
+	nodes := agents(8)
+	keys := taskIDs(1000)
+	counts := make(map[string]int, len(nodes))
+	for _, k := range keys {
+		counts[placement.Owner(k, nodes)]++
+	}
+	uniform := float64(len(keys)) / float64(len(nodes))
+	lo, hi := int(uniform*0.8), int(uniform*1.2)
+	for _, n := range nodes {
+		if counts[n] < lo || counts[n] > hi {
+			t.Errorf("node %s owns %d keys, want within [%d, %d] (+-20%% of uniform %.0f)",
+				n, counts[n], lo, hi, uniform)
+		}
+	}
+}
+
+// TestMinimalDisruptionOnDeparture asserts the property the selector tier
+// leans on during failover storms: when one agent leaves, only the keys it
+// owned move (each to its second-ranked node), bounding movement by that
+// agent's share — at most ~1/N of the keyspace (1.2/N with the tolerated
+// +-20% imbalance). Every other key keeps its owner, so routes cached or
+// guessed for surviving agents stay valid.
+func TestMinimalDisruptionOnDeparture(t *testing.T) {
+	nodes := agents(8)
+	keys := taskIDs(1000)
+	departed := nodes[3]
+	survivors := append(append([]string(nil), nodes[:3]...), nodes[4:]...)
+
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = placement.Owner(k, nodes)
+	}
+	moved, departedOwned := 0, 0
+	for _, k := range keys {
+		after := placement.Owner(k, survivors)
+		if before[k] == departed {
+			departedOwned++
+			if after == departed {
+				t.Fatalf("key %s still owned by departed node", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Errorf("key %s moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	if moved != departedOwned {
+		t.Errorf("moved %d keys, want exactly the departed node's %d", moved, departedOwned)
+	}
+	if limit := int(1.2 * float64(len(keys)) / float64(len(nodes))); moved > limit {
+		t.Errorf("departure moved %d keys, want <= %d (1.2/N of %d)", moved, limit, len(keys))
+	}
+}
+
+// TestRankAgreesWithOwner pins Rank's contract: Rank[0] is Owner, and
+// removing the owner promotes Rank[1] — the explicit failover order.
+func TestRankAgreesWithOwner(t *testing.T) {
+	nodes := agents(5)
+	for _, k := range taskIDs(50) {
+		rank := placement.Rank(k, nodes)
+		if len(rank) != len(nodes) {
+			t.Fatalf("Rank returned %d nodes, want %d", len(rank), len(nodes))
+		}
+		if rank[0] != placement.Owner(k, nodes) {
+			t.Fatalf("Rank[0] = %s, Owner = %s for key %s", rank[0], placement.Owner(k, nodes), k)
+		}
+		var survivors []string
+		for _, n := range nodes {
+			if n != rank[0] {
+				survivors = append(survivors, n)
+			}
+		}
+		if got := placement.Owner(k, survivors); got != rank[1] {
+			t.Fatalf("after owner departure Owner = %s, want Rank[1] = %s for key %s", got, rank[1], k)
+		}
+	}
+}
+
+// TestOwnerEmpty pins the degenerate cases.
+func TestOwnerEmpty(t *testing.T) {
+	if got := placement.Owner("k", nil); got != "" {
+		t.Fatalf("Owner with no nodes = %q, want empty", got)
+	}
+	if got := placement.Owner("k", []string{"only"}); got != "only" {
+		t.Fatalf("Owner with one node = %q", got)
+	}
+}

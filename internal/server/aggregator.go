@@ -372,10 +372,11 @@ func (a *Aggregator) download(req DownloadRequest) (any, error) {
 	// model moved between join and download, restart the session at the
 	// current version (equivalent to AFL's version check).
 	s.startVersion = ts.version
-	// The snapshot is leased from the pool: over the HTTP fabric the
+	// The snapshot is leased from the pool: over a networked fabric the
 	// transport returns it once the response frame is encoded
-	// (wire.BufferLease); in-memory callers simply keep it, which a pool
-	// miss tolerates by construction.
+	// (wire.ResponseBufferLease); the in-memory fabric hands the caller a
+	// plain copy and releases it (wire.ResponseSnapshot), so every backend
+	// balances the lease.
 	params := vecpool.GetFloats(len(ts.params))
 	copy(params, ts.params)
 	return DownloadResponse{Params: params, Version: ts.version}, nil

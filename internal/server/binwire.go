@@ -263,6 +263,16 @@ func decodeDownloadResponseBinary(b []byte) (any, error) {
 // HTTP transport returns it here once the response frame is encoded.
 func (r DownloadResponse) ReleaseResponseBuffers() { vecpool.PutFloats(r.Params) }
 
+// SnapshotResponseBuffers implements wire.ResponseSnapshot: the in-memory
+// fabric hands the caller this plain copy — matching what a networked
+// caller gets from decoding the frame — and releases the pooled original.
+func (r DownloadResponse) SnapshotResponseBuffers() any {
+	out := r
+	out.Params = make([]float32, len(r.Params))
+	copy(out.Params, r.Params)
+	return out
+}
+
 // --- ReportRequest ---
 
 // BinaryID implements wire.BinaryMessage.
@@ -632,3 +642,12 @@ func decodeTaskInfoBinary(b []byte) (any, error) {
 // ReleaseResponseBuffers implements wire.ResponseBufferLease; Params is
 // served from a pooled snapshot like DownloadResponse's.
 func (r TaskInfo) ReleaseResponseBuffers() { vecpool.PutFloats(r.Params) }
+
+// SnapshotResponseBuffers implements wire.ResponseSnapshot; see
+// DownloadResponse.SnapshotResponseBuffers.
+func (r TaskInfo) SnapshotResponseBuffers() any {
+	out := r
+	out.Params = make([]float32, len(r.Params))
+	copy(out.Params, r.Params)
+	return out
+}

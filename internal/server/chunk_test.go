@@ -43,7 +43,7 @@ func testChunkedUpload(t *testing.T, fx fabricFactory) {
 			defer coord.Stop()
 			agg := server.NewAggregator("agg", net, "coordinator", testTimings())
 			defer agg.Stop()
-			sel := server.NewSelector("sel", net, "coordinator", testTimings())
+			sel := newTestSelector("sel", net, "coordinator", testTimings(), fx)
 			defer sel.Stop()
 			if _, err := net.Call("test", "coordinator", "register-aggregator", "agg"); err != nil {
 				t.Fatal(err)

@@ -13,6 +13,7 @@ package server_test
 import (
 	"testing"
 
+	"repro/internal/server"
 	"repro/internal/transport"
 	"repro/internal/transport/httptransport"
 	"repro/internal/transport/tcptransport"
@@ -25,10 +26,14 @@ type testFabric interface {
 	transport.FaultInjector
 }
 
-// fabricFactory builds one backend under test.
+// fabricFactory builds one backend under test. routing selects the selector
+// mode the crossing chose for this run: false constructs plain forwarding
+// selectors, true constructs routing-tier selectors (pooled sessions,
+// list-agents discovery, rendezvous route hints) — see newTestSelector.
 type fabricFactory struct {
-	name string
-	make func(t *testing.T, seed int64) testFabric
+	name    string
+	routing bool
+	make    func(t *testing.T, seed int64) testFabric
 }
 
 var fabricFactories = []fabricFactory{
@@ -128,9 +133,34 @@ var fabricFactories = []fabricFactory{
 	}},
 }
 
-// forEachFabric runs a conformance test body once per backend.
+// forEachFabric runs a conformance test body once per backend per selector
+// mode: direct (one fabric call per forwarded request, the classic
+// selector) and via-selector (the routing tier — pooled streamed sessions,
+// live-aggregator discovery, rendezvous route hints). The crossing proves
+// the routing tier is behaviour-compatible on every backend: all sixteen
+// cells inherit the full failover/recovery/reconfigure/multitenant matrix.
 func forEachFabric(t *testing.T, run func(t *testing.T, fx fabricFactory)) {
-	for _, fx := range fabricFactories {
-		t.Run(fx.name, func(t *testing.T) { run(t, fx) })
+	modes := []struct {
+		name    string
+		routing bool
+	}{
+		{name: "direct", routing: false},
+		{name: "via-selector", routing: true},
 	}
+	for _, base := range fabricFactories {
+		for _, mode := range modes {
+			fx := base
+			fx.routing = mode.routing
+			t.Run(base.name+"/"+mode.name, func(t *testing.T) { run(t, fx) })
+		}
+	}
+}
+
+// newTestSelector constructs a selector in the mode the conformance
+// crossing selected for fx; every selector a conformance test builds must
+// go through it so the via-selector half of the matrix actually exercises
+// the routing tier.
+func newTestSelector(name string, net transport.Fabric, coordinator string, timings server.Timings, fx fabricFactory) *server.Selector {
+	return server.NewSelectorWith(name, net, coordinator, timings,
+		server.SelectorOptions{Routing: fx.routing})
 }

@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/placement"
 	"repro/internal/transport"
 )
 
@@ -95,6 +97,8 @@ func (c *Coordinator) handle(method string, payload any) (any, error) {
 		return c.assignClient(payload.(AssignClientRequest))
 	case "map-request":
 		return c.mapRequest()
+	case "list-agents":
+		return c.listAgents()
 	default:
 		return nil, fmt.Errorf("coordinator: unknown method %q", method)
 	}
@@ -108,16 +112,16 @@ func (c *Coordinator) registerAggregator(name string) (any, error) {
 	return true, nil
 }
 
-// createTask places a new task on the least-loaded live aggregator
-// (Section 6.3: "The Coordinator evenly distributes tasks among available
-// Aggregators using the estimated workload of a task").
+// createTask places a new task via placeLocked (Section 6.3: "The
+// Coordinator evenly distributes tasks among available Aggregators using
+// the estimated workload of a task").
 func (c *Coordinator) createTask(spec TaskSpec) (any, error) {
 	c.mu.Lock()
 	if _, dup := c.specs[spec.ID]; dup {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("coordinator: task %q already exists", spec.ID)
 	}
-	target := c.leastLoadedLocked()
+	target := c.placeLocked(spec.ID)
 	if target == "" {
 		c.mu.Unlock()
 		return nil, ErrNoLiveAggregators
@@ -136,24 +140,36 @@ func (c *Coordinator) createTask(spec TaskSpec) (any, error) {
 	return asg, nil
 }
 
-// leastLoadedLocked estimates workload as assigned task count (the paper
-// uses task concurrency x model size; task counts are an adequate proxy at
-// test scale).
-func (c *Coordinator) leastLoadedLocked() string {
-	load := make(map[string]int)
+// placeLocked picks the aggregator for a task: rendezvous hashing over the
+// least-loaded live aggregators. Load (assigned task count — the paper
+// uses concurrency x model size; counts are an adequate proxy at this
+// scale) keeps tasks evenly spread (Section 6.3); rendezvous hashing over
+// the tied candidates makes the choice a pure function of (task, live
+// set), so selectors can guess routes statelessly and a failover moves
+// only the dead aggregator's tasks (Appendix E.4; internal/placement).
+func (c *Coordinator) placeLocked(taskID string) string {
+	load := make(map[string]int, len(c.aggregators))
 	for name := range c.aggregators {
 		load[name] = 0
 	}
 	for _, asg := range c.assignments {
-		load[asg.Aggregator]++
-	}
-	best, bestLoad := "", 1<<31-1
-	for name, l := range load {
-		if l < bestLoad || (l == bestLoad && name < best) || best == "" {
-			best, bestLoad = name, l
+		if _, live := load[asg.Aggregator]; live {
+			load[asg.Aggregator]++
 		}
 	}
-	return best
+	minLoad := -1
+	for _, l := range load {
+		if minLoad < 0 || l < minLoad {
+			minLoad = l
+		}
+	}
+	candidates := make([]string, 0, len(load))
+	for name, l := range load {
+		if l == minLoad {
+			candidates = append(candidates, name)
+		}
+	}
+	return placement.Owner(taskID, candidates)
 }
 
 // aggReport ingests a heartbeat: refresh liveness, pool demand, learn about
@@ -243,6 +259,20 @@ func (c *Coordinator) mapRequest() (any, error) {
 	return MapResponse{Assignments: out}, nil
 }
 
+// listAgents reports the live aggregator set, sorted. Selectors refresh it
+// alongside the assignment map: it is the node set their rendezvous route
+// hints hash over and the set their session pools are pinned to.
+func (c *Coordinator) listAgents() (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.aggregators))
+	for name := range c.aggregators {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return AgentListResponse{Agents: out}, nil
+}
+
 // failureLoop detects dead aggregators by missed heartbeats and reassigns
 // their tasks (E.4 "coordinator detects failures after several missed
 // heartbeats and reassigns all tasks to other aggregators").
@@ -280,7 +310,7 @@ func (c *Coordinator) checkFailures() {
 			if asg.Aggregator != name {
 				continue
 			}
-			target := c.leastLoadedLocked()
+			target := c.placeLocked(taskID)
 			if target == "" {
 				continue // no live aggregator; retry next tick
 			}

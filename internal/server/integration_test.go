@@ -54,7 +54,7 @@ func newWorld(t *testing.T, fx fabricFactory, nAggs, nSels int) *world {
 		}
 	}
 	for i := 0; i < nSels; i++ {
-		w.sels = append(w.sels, server.NewSelector(selName(i), w.net, "coordinator", testTimings()))
+		w.sels = append(w.sels, newTestSelector(selName(i), w.net, "coordinator", testTimings(), fx))
 	}
 	t.Cleanup(func() {
 		for _, a := range w.aggs {
@@ -452,7 +452,7 @@ func testSecAggMatchesPlaintextAggregation(t *testing.T, fx fabricFactory) {
 		defer coord.Stop()
 		agg := server.NewAggregator("agg", net, "coordinator", testTimings())
 		defer agg.Stop()
-		sel := server.NewSelector("sel", net, "coordinator", testTimings())
+		sel := newTestSelector("sel", net, "coordinator", testTimings(), fx)
 		defer sel.Stop()
 		if _, err := net.Call("test", "coordinator", "register-aggregator", "agg"); err != nil {
 			t.Fatal(err)

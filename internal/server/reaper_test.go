@@ -39,7 +39,7 @@ func newReaperWorld(t *testing.T, fx fabricFactory, spec server.TaskSpec) *reape
 	net := fx.make(t, 11)
 	coord := server.NewCoordinator("coordinator", net, reaperTimings(), 7, false)
 	agg := server.NewAggregator("agg", net, "coordinator", reaperTimings())
-	sel := server.NewSelector("sel", net, "coordinator", reaperTimings())
+	sel := newTestSelector("sel", net, "coordinator", reaperTimings(), fx)
 	t.Cleanup(func() {
 		sel.Stop()
 		agg.Stop()
@@ -80,8 +80,7 @@ func (w *reaperWorld) upload(c server.UploadChunk) server.UploadResponse {
 // unknown — the observable fact that the sweep closed it. An accepted
 // probe counts as session activity and resets the idle clock, so probes
 // are spaced beyond the TTL: the sweep always gets a full idle window
-// between them. (Probing by upload, not task-info, keeps pooled download
-// snapshots out of the vecpool accounting on the in-memory fabric.)
+// between them.
 func (w *reaperWorld) waitReaped(taskID string, sessionID uint64, probe server.UploadChunk) {
 	w.t.Helper()
 	deadline := time.Now().Add(10 * time.Second)

@@ -65,15 +65,16 @@ func soakTimings() server.Timings {
 }
 
 // runSoak drives the deterministic soak workload on one fabric and
-// returns the final model. checkLeases gates the vecpool assertions (the
-// in-memory fabric intentionally never releases download snapshots, so
-// its counters don't balance by design).
+// returns the final model. Every backend balances the vecpool counters —
+// networked fabrics release response leases after frame encode, the
+// in-memory fabric through wire.ResponseSnapshot — so checkLeases is on
+// everywhere; it remains a parameter only for targeted debugging runs.
 func runSoak(t *testing.T, fx fabricFactory, stream, checkLeases bool) []float32 {
 	t.Helper()
 	net := fx.make(t, 17)
 	coord := server.NewCoordinator("coordinator", net, soakTimings(), 7, false)
 	agg := server.NewAggregator("agg", net, "coordinator", soakTimings())
-	sel := server.NewSelector("sel", net, "coordinator", soakTimings())
+	sel := newTestSelector("sel", net, "coordinator", soakTimings(), fx)
 	defer func() {
 		sel.Stop()
 		agg.Stop()
@@ -238,10 +239,14 @@ func TestStreamSoak(t *testing.T) {
 	inmemFx := fabricFactory{name: "inmem", make: func(t *testing.T, seed int64) testFabric {
 		return transport.NewNetwork(seed)
 	}}
-	want := runSoak(t, inmemFx, true, false)
+	want := runSoak(t, inmemFx, true, true)
 
+	// Two of the three networked cells run the selector in routing mode, so
+	// the pooled-session tier soaks under the full 208-session concurrent
+	// load (and under -race in CI) while the others keep the direct-mode
+	// reference coverage.
 	backends := []fabricFactory{
-		{name: "http-stream", make: func(t *testing.T, seed int64) testFabric {
+		{name: "http-stream", routing: true, make: func(t *testing.T, seed int64) testFabric {
 			f, err := httptransport.New(httptransport.Options{
 				Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Stream: true,
 			})
@@ -259,7 +264,7 @@ func TestStreamSoak(t *testing.T) {
 			t.Cleanup(func() { _ = f.Close() })
 			return f
 		}},
-		{name: "tcp-bin-deflate", make: func(t *testing.T, seed int64) testFabric {
+		{name: "tcp-bin-deflate", routing: true, make: func(t *testing.T, seed int64) testFabric {
 			f, err := tcptransport.New(tcptransport.Options{
 				Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Compress: "streamed",
 			})

@@ -254,6 +254,16 @@ type MapResponse struct {
 	Assignments map[string]Assignment
 }
 
+// AgentListResponse is the Coordinator's answer to list-agents: the live
+// aggregator set, sorted by name. Routing-tier Selectors refresh it
+// alongside the assignment map — it is the node set their rendezvous
+// route hints hash over (internal/placement) and the set their pooled
+// sessions are pinned to; an aggregator leaving the list triggers a drain
+// of its sessions.
+type AgentListResponse struct {
+	Agents []string
+}
+
 // Timings groups the control-plane intervals (heartbeats, failure
 // deadlines, the Appendix E.4 recovery period) so tests can shrink them
 // and deployments can tune them.

@@ -29,6 +29,7 @@ func init() {
 	wire.Register("papaya/v1/server.AssignClientRequest", AssignClientRequest{})
 	wire.Register("papaya/v1/server.AssignClientResponse", AssignClientResponse{})
 	wire.Register("papaya/v1/server.MapResponse", MapResponse{})
+	wire.Register("papaya/v1/server.AgentListResponse", AgentListResponse{})
 	wire.Register("papaya/v1/server.ReconfigureRequest", ReconfigureRequest{})
 
 	// Client-session calls (Section 6.1's virtual session, stages 1-4).

@@ -193,7 +193,15 @@ func (f *Fabric) openStreamSession(target, node string, caps wire.Capabilities) 
 	httpReq.Header.Set("Content-Type", enc.ContentType())
 	var openTimer *time.Timer
 	if f.callTimeout > 0 {
-		openTimer = time.AfterFunc(f.callTimeout, cancel)
+		openTimer = time.AfterFunc(f.callTimeout, func() {
+			// Closing the body pipe matters as much as the cancel: when
+			// the peer dies mid-open, Do cannot return until the
+			// transport's write loop exits, the write loop is blocked
+			// reading this pipe, and context cancellation cannot
+			// interrupt a body Read — only this close can.
+			pw.CloseWithError(errors.New("httptransport: stream open timed out"))
+			cancel()
+		})
 	}
 	resp, err := f.streamClient.Do(httpReq)
 	if openTimer != nil {

@@ -314,6 +314,19 @@ func (f *Fabric) Nodes() []string {
 	return out
 }
 
+// Routes returns a copy of the remote routes this fabric knows (node name
+// -> base URL), from AddRoute, Advertise/Discover exchanges, and gossip.
+// It is what selfDoc gossips onward.
+func (f *Fabric) Routes() map[string]string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]string, len(f.routes))
+	for node, base := range f.routes {
+		out[node] = base
+	}
+	return out
+}
+
 // --- client side ---
 
 // checkCall resolves where to reach to and applies the injected-fault
@@ -663,6 +676,13 @@ func safeInvoke(h transport.Handler, method string, payload any) (out any, err e
 type nodesDoc struct {
 	BaseURL string   `json:"base_url"`
 	Nodes   []string `json:"nodes"`
+	// Routes gossips the remote routes this fabric has learned (node name
+	// -> base URL of the fabric serving it), making discovery transitive: a
+	// selector that Discovers only the coordinator still learns where every
+	// advertised aggregator lives, without a full-mesh advertise. Absent
+	// from /v1/-era documents; receivers treat it as best-effort hints —
+	// local registrations always win over gossiped routes.
+	Routes map[string]string `json:"routes,omitempty"`
 	wire.Capabilities
 }
 
@@ -674,6 +694,7 @@ func (f *Fabric) selfDoc() nodesDoc {
 	return nodesDoc{
 		BaseURL: f.baseURL,
 		Nodes:   f.Nodes(),
+		Routes:  f.Routes(),
 		Capabilities: wire.Capabilities{
 			API:      wire.APIv2,
 			Compress: compress.Names(),
@@ -683,10 +704,23 @@ func (f *Fabric) selfDoc() nodesDoc {
 	}
 }
 
-// recordPeer stores a peer's routes and advertised capabilities.
+// recordPeer stores a peer's routes and advertised capabilities. Routes
+// the peer gossiped about third-party fabrics are adopted as-is (newest
+// gossip wins, so a node that moved is re-learned on the next exchange);
+// nodes this fabric serves locally are skipped — call resolution prefers
+// local registration anyway, and recording a gossiped route for them would
+// only confuse Routes() readers.
 func (f *Fabric) recordPeer(doc nodesDoc) {
 	for _, node := range doc.Nodes {
 		f.AddRoute(node, doc.BaseURL)
+	}
+	for node, base := range doc.Routes {
+		f.mu.RLock()
+		_, isLocal := f.local[node]
+		f.mu.RUnlock()
+		if !isLocal && base != f.baseURL {
+			f.AddRoute(node, base)
+		}
 	}
 	f.mu.Lock()
 	f.peerCaps[doc.BaseURL] = doc.Capabilities

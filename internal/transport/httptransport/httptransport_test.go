@@ -267,3 +267,36 @@ func TestStatsCountTraffic(t *testing.T) {
 		t.Fatalf("stats did not advance: %+v -> %+v", before, after)
 	}
 }
+
+// TestRouteGossipIsTransitive: an agent advertises to the coordinator's
+// fabric; a selector that only Discovers the coordinator must learn the
+// agent's route from the gossiped document and reach it directly — no
+// full-mesh advertisement.
+func TestRouteGossipIsTransitive(t *testing.T) {
+	coordSide := newFabric(t, "gob")
+	coordSide.Register("coordinator", echoHandler)
+
+	agentSide := newFabric(t, "gob")
+	agentSide.Register("agg-g", func(method string, payload any) (any, error) {
+		return "agg-g here", nil
+	})
+	if _, err := agentSide.Advertise(coordSide.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+
+	selSide := newFabric(t, "gob")
+	selSide.Register("sel-g", echoHandler)
+	if _, err := selSide.Discover(coordSide.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+	if got := selSide.Routes()["agg-g"]; got != agentSide.BaseURL() {
+		t.Fatalf("gossiped route for agg-g = %q, want %q", got, agentSide.BaseURL())
+	}
+	out, err := selSide.Call("sel-g", "agg-g", "join", nil)
+	if err != nil {
+		t.Fatalf("selector -> gossiped agent: %v", err)
+	}
+	if out != "agg-g here" {
+		t.Fatalf("gossiped-route response = %v", out)
+	}
+}

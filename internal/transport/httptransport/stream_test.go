@@ -10,6 +10,8 @@ package httptransport_test
 import (
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
 	"runtime"
 	"testing"
 	"time"
@@ -29,6 +31,55 @@ func newStreamFabric(t *testing.T, opts httptransport.Options) *httptransport.Fa
 	}
 	t.Cleanup(func() { _ = f.Close() })
 	return f
+}
+
+// TestStreamOpenFailsFastWhenPeerNeverResponds: a peer that accepts the
+// stream-open POST but never sends response headers (a tier member dying
+// between accept and response, as a fleet failover storm produces) must
+// surface as a timely error, not a wedge. Regression: Do cannot return
+// until the transport's write loop exits, the write loop blocks reading
+// the session's body pipe, and context cancellation cannot interrupt a
+// body Read — the open timer must close the pipe too.
+func TestStreamOpenFailsFastWhenPeerNeverResponds(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubURL := "http://" + ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /papaya/v1/nodes", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"base_url":%q,"nodes":["victim"],"api":2,"stream":true}`, stubURL)
+	})
+	mux.HandleFunc("POST /papaya/v2/stream/victim", func(w http.ResponseWriter, r *http.Request) {
+		<-release // mute: no headers, no body read
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	f := newStreamFabric(t, httptransport.Options{CallTimeout: 300 * time.Millisecond})
+	if _, err := f.Discover(stubURL); err != nil {
+		t.Fatalf("discovering stub: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		sess, err := f.OpenSession("caller", "victim")
+		if err == nil {
+			sess.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("open against a mute peer unexpectedly succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OpenSession wedged on a mute peer (write loop never released)")
+	}
 }
 
 // TestStreamSessionPipelinesCalls drives many calls through one explicit

@@ -292,6 +292,19 @@ func (f *Fabric) Nodes() []string {
 	return out
 }
 
+// Routes returns a copy of the remote routes this fabric knows (node name
+// -> address, without the tcp:// prefix), from AddRoute, Advertise/
+// Discover exchanges, and gossip. It is what selfDoc gossips onward.
+func (f *Fabric) Routes() map[string]string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string]string, len(f.routes))
+	for node, addr := range f.routes {
+		out[node] = addr
+	}
+	return out
+}
+
 // checkCall resolves where to reach to and applies the injected-fault
 // checks in the in-memory Network's order (unknown node first, then the
 // shared transport.Faults table); every streamed call runs through it, so
@@ -798,11 +811,16 @@ type nodesDoc struct {
 	BaseURL string `json:"base_url"`
 	// Nodes lists the fabric's locally served node names.
 	Nodes []string `json:"nodes"`
+	// Routes gossips the remote routes this fabric has learned (node name
+	// -> address), making discovery transitive — the same hint surface as
+	// the HTTP fabric's document; local registrations always win over
+	// gossiped routes.
+	Routes map[string]string `json:"routes,omitempty"`
 	wire.Capabilities
 }
 
 func (f *Fabric) selfDoc() nodesDoc {
-	return nodesDoc{BaseURL: f.BaseURL(), Nodes: f.Nodes(), Capabilities: selfCapabilities()}
+	return nodesDoc{BaseURL: f.BaseURL(), Nodes: f.Nodes(), Routes: f.Routes(), Capabilities: selfCapabilities()}
 }
 
 // fabricMethod serves the reserved-node methods.
@@ -834,11 +852,24 @@ func (f *Fabric) fabricMethod(req *wire.Request) (any, error) {
 	}
 }
 
-// recordPeer stores a peer's routes and advertised capabilities.
+// recordPeer stores a peer's routes and advertised capabilities. Gossiped
+// third-party routes are adopted as-is (newest gossip wins); nodes this
+// fabric serves locally, and routes pointing back at this fabric, are
+// skipped — mirroring the HTTP fabric.
 func (f *Fabric) recordPeer(doc nodesDoc) {
 	addr := strings.TrimPrefix(doc.BaseURL, Scheme)
 	for _, node := range doc.Nodes {
 		f.AddRoute(node, addr)
+	}
+	self := f.baseAddr
+	for node, base := range doc.Routes {
+		base = strings.TrimPrefix(base, Scheme)
+		f.mu.RLock()
+		_, isLocal := f.local[node]
+		f.mu.RUnlock()
+		if !isLocal && base != self {
+			f.AddRoute(node, base)
+		}
 	}
 	f.mu.Lock()
 	f.peerCaps[addr] = doc.Capabilities

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"net"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -298,4 +299,33 @@ func TestCloseDoesNotLeakGoroutines(t *testing.T) {
 	buf := make([]byte, 1<<16)
 	t.Fatalf("goroutines: %d at start, %d after close\n%s",
 		base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestRouteGossipIsTransitive mirrors the HTTP fabric's gossip test: a
+// selector fabric that only Discovers the coordinator's fabric learns the
+// routes of everyone who advertised there.
+func TestRouteGossipIsTransitive(t *testing.T) {
+	coordSide := newTestFabric(t, Options{})
+	coordSide.Register("coordinator", func(method string, payload any) (any, error) { return true, nil })
+
+	agentSide := newTestFabric(t, Options{})
+	agentSide.Register("agg-g", func(method string, payload any) (any, error) { return "agg-g here", nil })
+	if _, err := agentSide.Advertise(coordSide.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+
+	selSide := newTestFabric(t, Options{})
+	if _, err := selSide.Discover(coordSide.BaseURL()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := selSide.Routes()["agg-g"], strings.TrimPrefix(agentSide.BaseURL(), Scheme); got != want {
+		t.Fatalf("gossiped route for agg-g = %q, want %q", got, want)
+	}
+	out, err := selSide.Call("sel-g", "agg-g", "join", nil)
+	if err != nil {
+		t.Fatalf("selector -> gossiped agent: %v", err)
+	}
+	if out != "agg-g here" {
+		t.Fatalf("gossiped-route response = %v", out)
+	}
 }

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"repro/internal/transport/wire"
 )
 
 // Handler processes one request addressed to a node.
@@ -205,7 +207,19 @@ func (n *Network) Call(from, to, method string, payload any) (any, error) {
 	if latency > 0 {
 		time.Sleep(latency)
 	}
-	return h(method, payload)
+	out, err := h(method, payload)
+	// Mirror the networked fabrics' response-lease lifecycle: they release
+	// pooled response vectors once the frame is encoded and the caller
+	// decodes an independent copy. In-process there is no encode, so
+	// responses that serve pooled buffers (wire.ResponseSnapshot) are
+	// snapshotted into caller-owned memory and the handler's lease released
+	// here — otherwise every in-memory download would strand a pooled
+	// vector and skew the outstanding-lease counters.
+	if snap, ok := out.(wire.ResponseSnapshot); ok {
+		out = snap.SnapshotResponseBuffers()
+		snap.ReleaseResponseBuffers()
+	}
+	return out, err
 }
 
 // Nodes returns the names of all registered, non-crashed nodes.

@@ -57,13 +57,30 @@ type BufferLease interface {
 // ResponseBufferLease is the response-side counterpart of BufferLease:
 // implemented by response messages whose vectors the handler leased from a
 // pool (a download's model snapshot). The HTTP transport releases them
-// once the response frame is encoded; in-memory callers keep the vectors,
-// which is safe because nothing ever releases them there. It is a distinct
-// interface from BufferLease so a handler echoing its request payload back
-// cannot cause a double release.
+// once the response frame is encoded. It is a distinct interface from
+// BufferLease so a handler echoing its request payload back cannot cause a
+// double release.
 type ResponseBufferLease interface {
 	// ReleaseResponseBuffers returns leased vectors to their pools.
 	ReleaseResponseBuffers()
+}
+
+// ResponseSnapshot is the in-process counterpart of ResponseBufferLease.
+// Networked fabrics release a response's pooled buffers after encoding its
+// frame — the remote caller decodes an independent copy, so the lease and
+// the caller's lifetime never overlap. The in-memory fabric has no encode
+// step: without intervention the caller would keep the handler's pooled
+// vectors forever, draining the pool and skewing the outstanding-lease
+// counters. A response implementing this interface lets the in-memory
+// fabric reproduce the networked lifecycle: it hands the caller
+// SnapshotResponseBuffers' plain copy (the moral equivalent of the remote
+// decode) and releases the original via ReleaseResponseBuffers.
+type ResponseSnapshot interface {
+	ResponseBufferLease
+	// SnapshotResponseBuffers returns a copy of the response whose pooled
+	// vectors are replaced by plain caller-owned allocations. The copy must
+	// not alias any buffer ReleaseResponseBuffers returns to a pool.
+	SnapshotResponseBuffers() any
 }
 
 // Appender is the allocation-free encode surface a codec may offer:

@@ -87,6 +87,9 @@ func samples(t *testing.T, w *secaggWorld) map[string]any {
 				"wt": {TaskID: "wt", Aggregator: "agg-0", Seq: 4},
 			},
 		},
+		"papaya/v1/server.AgentListResponse": server.AgentListResponse{
+			Agents: []string{"agg-0", "agg-1"},
+		},
 		"papaya/v1/server.ReconfigureRequest": server.ReconfigureRequest{
 			TaskID: "wt", Mode: core.Sync, AggregationGoal: 3, MaxStaleness: 1,
 		},

@@ -237,6 +237,15 @@ func NewSelector(name string, net Fabric, coordinator string, timings Timings) *
 	return server.NewSelector(name, net, coordinator, timings)
 }
 
+// SelectorOptions configures optional selector behaviours — Routing turns
+// a selector into the standalone routing tier (`papaya selector`).
+type SelectorOptions = server.SelectorOptions
+
+// NewSelectorWith starts a selector node with explicit options.
+func NewSelectorWith(name string, net Fabric, coordinator string, timings Timings, opts SelectorOptions) *Selector {
+	return server.NewSelectorWith(name, net, coordinator, timings, opts)
+}
+
 // DefaultTimings returns production-flavoured control-plane intervals.
 func DefaultTimings() Timings { return server.DefaultTimings() }
 
