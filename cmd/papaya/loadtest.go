@@ -17,9 +17,11 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/compress"
+	"repro/internal/fedopt"
 	"repro/internal/lmdata"
 	"repro/internal/nn"
 	"repro/internal/rng"
+	"repro/internal/scenario"
 	"repro/internal/server"
 )
 
@@ -77,6 +79,39 @@ type loadRun struct {
 	NumGC           uint32  `json:"num_gc"`
 	FinalVersion    int     `json:"final_server_version"`
 	FinalUpdates    int64   `json:"final_server_updates"`
+	// Scenario and Tiers appear when -scenario shapes the fleet: the
+	// profile name and per-tier outcome counts with latency percentiles,
+	// so a tiered run's tail behaviour is visible per device class rather
+	// than smeared into the fleet-wide p99.
+	Scenario string    `json:"scenario,omitempty"`
+	Tiers    []tierCol `json:"tiers,omitempty"`
+}
+
+// tierCol is one device tier's column set in a scenario-shaped loadtest.
+type tierCol struct {
+	Tier        string  `json:"tier"`
+	Clients     int     `json:"clients"`
+	Completed   int64   `json:"completed"`
+	Dropped     int64   `json:"dropped"`
+	Rejected    int64   `json:"rejected"`
+	Unavailable int64   `json:"unavailable"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+}
+
+// pacedExec injects a scenario tier's simulated device compute between
+// download and training, mirroring internal/scenario's pacing so slow
+// tiers hold live sessions longer (and accumulate real staleness).
+type pacedExec struct {
+	inner client.Executor
+	delay time.Duration
+}
+
+func (p *pacedExec) Train(params []float32, examples [][]int) ([]float32, float64) {
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	return p.inner.Train(params, examples)
 }
 
 // gitCommit best-efforts the build's VCS revision from the binary's build
@@ -127,7 +162,22 @@ func runLoadtest(args []string) {
 	dim := fs.Int("dim", 4, "with -train: embedding dimension")
 	out := fs.String("o", "BENCH_loadtest.json", "output path (- for stdout); existing reports are appended to")
 	label := fs.String("label", "", "free-form run label recorded in the report")
+	scenarioPath := fs.String("scenario", "", "scenario profile JSON (examples/scenarios/): shape the fleet into device tiers — slowdown, dropout, availability, non-IID dialect partition — and report per-tier latency columns; overrides -clients/-uploads with the profile's fleet and attempt budget")
 	_ = fs.Parse(args)
+
+	var spec *scenario.Spec
+	if *scenarioPath != "" {
+		s, err := scenario.LoadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "papaya loadtest:", err)
+			os.Exit(1)
+		}
+		spec = &s
+		*clients = s.NumClients()
+		if *train {
+			*vocab, *dim = s.Model.Vocab, s.Model.Dim
+		}
+	}
 
 	var offered []string
 	switch *compressFlag {
@@ -228,6 +278,24 @@ func runLoadtest(args []string) {
 		negotiatedMu                          sync.Mutex
 		negotiated                            string
 	)
+	// Per-tier accounting for -scenario runs.
+	var tierMu sync.Mutex
+	var tierStats []tierCol
+	var tierLats [][]time.Duration
+	var proxMu float64
+	if spec != nil {
+		for _, tr := range spec.Tiers {
+			tierStats = append(tierStats, tierCol{Tier: tr.Name, Clients: tr.Clients})
+		}
+		tierLats = make([][]time.Duration, len(spec.Tiers))
+		// FedProx is two-sided: when the profile selects it, clients train
+		// with the proximal pull matching the server-side damping.
+		if rule, err := fedopt.AggregationByName(spec.Aggregation, spec.AggParam); err == nil {
+			if prox, ok := rule.(fedopt.FedProx); ok {
+				proxMu = prox.Mu
+			}
+		}
+	}
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	stopAt := time.Now().Add(*timeout)
@@ -235,6 +303,12 @@ func runLoadtest(args []string) {
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
+		// Scenario clients are 1-based so the profile's tier and dialect
+		// mapping applies; the classic loadtest keeps its 1000+ IDs.
+		cid := int64(1000 + c)
+		if spec != nil {
+			cid = int64(c + 1)
+		}
 		go func(id int64) {
 			defer wg.Done()
 			// Per-client jittered exponential backoff for rejected
@@ -262,13 +336,25 @@ func runLoadtest(args []string) {
 			if *train {
 				// Realistic deltas: a per-client dialect shard of the
 				// synthetic corpus and real local SGD, so the compression
-				// ratio is measured on non-constant updates.
-				for _, seq := range corpus.ClientExamples(id, int(id)%corpus.Config().NumDialects, 0.5, 8) {
+				// ratio is measured on non-constant updates. A scenario
+				// profile supplies its own non-IID partition.
+				dialect, weight, n := int(id)%corpus.Config().NumDialects, 0.5, 8
+				if spec != nil {
+					dialect, weight, n = spec.DialectOf(id), spec.Data.DialectWeight, spec.Data.ExamplesPerClient
+				}
+				cfg := nn.DefaultSGDConfig()
+				cfg.ProxMu = proxMu
+				for _, seq := range corpus.ClientExamples(id, dialect, weight, n) {
 					store.Add(seq, time.Now())
 				}
-				exec = &client.SGDExecutor{Model: model, Config: nn.DefaultSGDConfig(), Rng: rng.New(uint64(id))}
+				exec = &client.SGDExecutor{Model: model, Config: cfg, Rng: rng.New(uint64(id))}
 			} else {
 				store.Add([]int{1, 2, 3}, time.Now())
+			}
+			var paced *pacedExec
+			if spec != nil {
+				paced = &pacedExec{inner: exec}
+				exec = paced
 			}
 			// Spread initial selector choice across the fleet.
 			sels := append([]string(nil), selectors[id%int64(len(selectors)):]...)
@@ -283,6 +369,64 @@ func runLoadtest(args []string) {
 				Random:    rand.Reader,
 				Compress:  offered,
 				Stream:    *stream,
+			}
+			if spec != nil {
+				// Scenario-shaped fleet: each client runs its attempt
+				// budget with the profile's pre-drawn per-attempt plan —
+				// availability window, dropout stage, simulated compute.
+				tier := spec.TierOf(id)
+				for attempt := 0; attempt < spec.Attempts && time.Now().Before(stopAt); attempt++ {
+					plan := spec.PlanFor(id, attempt)
+					if !plan.Available {
+						tierMu.Lock()
+						tierStats[tier].Unavailable++
+						tierMu.Unlock()
+						continue
+					}
+					paced.delay = plan.Delay
+					dev.Dropout = func() (client.DropStage, bool) { return plan.Drop, plan.Vanish }
+					sessStart := time.Now()
+					res, err := dev.RunOnce(sessStart)
+					if err != nil {
+						terrors.Add(1)
+						sleepJittered()
+						continue
+					}
+					switch res.Outcome {
+					case client.Completed:
+						backoff = minBackoff
+						completed.Add(1)
+						bytesRaw.Add(res.UploadRawBytes)
+						bytesWire.Add(res.UploadWireBytes)
+						if res.Compress != "" {
+							negotiatedMu.Lock()
+							negotiated = res.Compress
+							negotiatedMu.Unlock()
+						}
+						lat := time.Since(sessStart)
+						latMu.Lock()
+						latencies = append(latencies, lat)
+						latMu.Unlock()
+						tierMu.Lock()
+						tierStats[tier].Completed++
+						tierLats[tier] = append(tierLats[tier], lat)
+						tierMu.Unlock()
+					case client.Dropped:
+						tierMu.Lock()
+						tierStats[tier].Dropped++
+						tierMu.Unlock()
+					case client.Rejected:
+						rejected.Add(1)
+						tierMu.Lock()
+						tierStats[tier].Rejected++
+						tierMu.Unlock()
+						sleepJittered()
+					case client.Aborted:
+						backoff = minBackoff
+						aborted.Add(1)
+					}
+				}
+				return
 			}
 			for completed.Load() < int64(*uploads) && time.Now().Before(stopAt) {
 				sessStart := time.Now()
@@ -314,7 +458,7 @@ func runLoadtest(args []string) {
 					aborted.Add(1)
 				}
 			}
-		}(int64(1000 + c))
+		}(cid)
 	}
 	wg.Wait()
 	wall := time.Since(start)
@@ -369,6 +513,15 @@ func runLoadtest(args []string) {
 		FinalVersion:     final.Version,
 		FinalUpdates:     final.Updates,
 	}
+	if spec != nil {
+		run.Scenario = spec.Name
+		for i := range tierStats {
+			tierStats[i].P50Millis = percentileMillis(tierLats[i], 0.50)
+			tierStats[i].P99Millis = percentileMillis(tierLats[i], 0.99)
+		}
+		run.Tiers = tierStats
+		run.TargetUploads = 0 // the attempt budget, not -uploads, bounded this run
+	}
 
 	if err := writeLoadReport(*out, run); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -393,6 +546,21 @@ func runLoadtest(args []string) {
 		"papaya loadtest: check-in rejection rate %.1f%% (%d rejected / %d attempts), %.0f allocs/upload, %d GCs (%.1f ms pause)\n",
 		rejRate, run.RejectedCheckins, attempts, run.AllocsPerUpload, run.NumGC, run.GCPauseMillis)
 
+	if spec != nil {
+		for _, ts := range run.Tiers {
+			fmt.Fprintf(os.Stderr,
+				"papaya loadtest: tier %-12s clients=%-3d completed=%-4d dropped=%-3d rejected=%-4d unavailable=%-3d p50=%.1fms p99=%.1fms\n",
+				ts.Tier, ts.Clients, ts.Completed, ts.Dropped, ts.Rejected,
+				ts.Unavailable, ts.P50Millis, ts.P99Millis)
+		}
+		// A scenario run is bounded by its attempt budget, not -uploads;
+		// it fails only if the whole fleet made no progress.
+		if run.CompletedUploads == 0 {
+			fmt.Fprintln(os.Stderr, "papaya loadtest: FAIL: scenario fleet completed no uploads")
+			os.Exit(1)
+		}
+		return
+	}
 	if run.CompletedUploads < int64(*uploads) {
 		fmt.Fprintf(os.Stderr, "papaya loadtest: FAIL: reached %d/%d uploads before timeout\n",
 			run.CompletedUploads, *uploads)

@@ -15,6 +15,7 @@
 //	papaya selector [flags]            run a routing-tier selector joining a coordinator
 //	papaya fleet [flags]               spawn a multi-process fleet and measure failover
 //	papaya loadtest [flags]            drive concurrent clients against a live server
+//	papaya scenario [flags]            run a declarative fleet profile in process
 //
 // serve/agent/selector/loadtest make the Section 4 control plane deployable
 // as real OS processes over the HTTP transport; fleet orchestrates all three
@@ -83,6 +84,8 @@ func main() {
 		runFleet(args)
 	case "loadtest":
 		runLoadtest(args)
+	case "scenario":
+		runScenario(args)
 	case "secagg-demo":
 		secaggDemo()
 	case "help", "-h", "--help":
@@ -110,7 +113,8 @@ func usage() {
   papaya agent -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json|bin] [-stream]
   papaya selector -coordinator URL [-listen H:P] [-name NAME] [-codec gob|json|bin] [-stream] [-refresh D]
   papaya fleet [-agents N] [-selectors M] [-clients K] [-uploads N] [-fabric http|tcp] [-stream] [-kill-agent] [-kill-selector] [-o FILE]
-  papaya loadtest [-server URL] [-stream] [-clients K] [-uploads N] [-codec gob|json|bin] [-o FILE]
+  papaya loadtest [-server URL] [-stream] [-clients K] [-uploads N] [-codec gob|json|bin] [-scenario FILE] [-o FILE]
+  papaya scenario -file FILE [-fabric inmem|http|tcp] [-stream] [-aggregation fedavg|fedbuff|fedprox] [-mode async|sync] [-workers W] [-o FILE]
   papaya secagg-demo`)
 }
 

@@ -150,6 +150,25 @@ const (
 	// Aborted means the server discarded the session (staleness, round
 	// close) after training started.
 	Aborted Outcome = "aborted"
+	// Dropped means the device itself abandoned the session mid-attempt
+	// (a scenario-injected dropout, Runtime.Dropout).
+	Dropped Outcome = "dropped"
+)
+
+// DropStage is the participation stage after which an injected dropout
+// abandons the attempt (see Runtime.Dropout).
+type DropStage string
+
+const (
+	// DropNone completes the attempt normally.
+	DropNone DropStage = ""
+	// DropAfterDownload dies after downloading, before training.
+	DropAfterDownload DropStage = "download"
+	// DropAfterTrain dies after local training, before reporting.
+	DropAfterTrain DropStage = "train"
+	// DropDuringUpload dies mid-upload, before the final chunk, leaving a
+	// partially reassembled session buffer on the aggregator.
+	DropDuringUpload DropStage = "upload"
 )
 
 // Errors returned by RunOnce.
@@ -200,6 +219,14 @@ type Runtime struct {
 	// stream falls back to per-call failover through the remaining
 	// selectors, so enabling it is always safe.
 	Stream bool
+	// Dropout, when non-nil, is consulted once per accepted participation
+	// and returns the stage at which this attempt's device dies (DropNone
+	// = survive) plus whether it vanishes silently. A vanishing client
+	// sends no fail-session call — the leaked virtual session is exactly
+	// what the server's session-TTL reaper exists for — while a non-
+	// vanishing one reports the failure so the slot frees immediately.
+	// The scenario engine drives this from its pre-drawn fault plans.
+	Dropout func() (stage DropStage, vanish bool)
 
 	lastParticipation time.Time
 }
@@ -236,6 +263,15 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	}
 	r.lastParticipation = now
 
+	// Scenario-injected faults: one draw decides whether (and where) this
+	// attempt's device dies. The draw happens before any stage runs so the
+	// schedule is independent of server behaviour.
+	var dropStage DropStage
+	var dropVanish bool
+	if r.Dropout != nil {
+		dropStage, dropVanish = r.Dropout()
+	}
+
 	// Participation stage 1: download model parameters.
 	dl, err := p.route(checkin.TaskID, "download", server.DownloadRequest{
 		TaskID:    checkin.TaskID,
@@ -245,9 +281,15 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 		return nil, err
 	}
 	download := dl.(server.DownloadResponse)
+	if dropStage == DropAfterDownload {
+		return r.abandon(p, checkin, dropStage, dropVanish, 0), nil
+	}
 
 	// Stage 2: local training.
 	delta, loss := r.Exec.Train(download.Params, examples)
+	if dropStage == DropAfterTrain {
+		return r.abandon(p, checkin, dropStage, dropVanish, loss), nil
+	}
 
 	// Stage 3: report status, receive upload (and SecAgg) configuration,
 	// offering the compression codecs this client can encode.
@@ -271,6 +313,9 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 		staleness = 0
 	}
 	codec := r.uploadCodec(report.Compress)
+	if dropStage == DropDuringUpload {
+		p.dropUpload, p.dropVanish = true, dropVanish
+	}
 	var meter uploadMeter
 	var uploadErr *Result
 	if report.SecAggEnabled {
@@ -292,6 +337,27 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	res.UploadRawBytes = meter.raw
 	res.UploadWireBytes = meter.wire
 	return res, nil
+}
+
+// abandon terminates an attempt at a scheduled dropout point. A vanishing
+// device just stops talking (its virtual session leaks until the server's
+// TTL reaper collects it); otherwise the client reports the failure so the
+// concurrency slot frees immediately. Transport errors are ignored — a
+// dying device cannot guarantee delivery.
+func (r *Runtime) abandon(p *participation, checkin server.CheckinResponse,
+	stage DropStage, vanish bool, loss float64) *Result {
+	if !vanish {
+		_, _ = p.route(checkin.TaskID, "fail-session", server.FailRequest{
+			TaskID:    checkin.TaskID,
+			SessionID: checkin.SessionID,
+		})
+	}
+	return &Result{
+		Outcome: Dropped,
+		Reason:  "dropout after " + string(stage),
+		TaskID:  checkin.TaskID,
+		Loss:    loss,
+	}
 }
 
 // uploadMeter accumulates the upload path's byte accounting: raw payload
@@ -327,6 +393,10 @@ type participation struct {
 	r        *Runtime
 	selector string
 	sess     transport.Session // nil: per-call RPC
+	// dropUpload/dropVanish carry a DropDuringUpload schedule into the
+	// chunk loops: the attempt dies right before its final (Done) chunk.
+	dropUpload bool
+	dropVanish bool
 }
 
 // close releases the streaming session (the server's natural end-of-
@@ -415,6 +485,9 @@ func (r *Runtime) uploadPlain(p *participation, checkin server.CheckinResponse,
 			Done:        end == len(delta),
 			NumExamples: numExamples,
 		}
+		if p.dropUpload && chunk.Done {
+			return r.abandon(p, checkin, DropDuringUpload, p.dropVanish, 0), nil
+		}
 		raw := int64(4 * (end - off))
 		meter.raw += raw
 		if codec != nil {
@@ -486,6 +559,9 @@ func (r *Runtime) uploadSecAgg(p *participation, checkin server.CheckinResponse,
 			Offset:      off,
 			Done:        end == len(up.Masked),
 			NumExamples: numExamples,
+		}
+		if p.dropUpload && chunk.Done {
+			return r.abandon(p, checkin, DropDuringUpload, p.dropVanish, 0), nil
 		}
 		raw := int64(4 * (end - off))
 		meter.raw += raw

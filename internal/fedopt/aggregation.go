@@ -1,0 +1,159 @@
+package fedopt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vecf"
+)
+
+// Aggregation is a pluggable aggregation rule: it decides how much each
+// accepted client update counts (Weight) and how the released weighted
+// mean is adjusted before the server optimizer consumes it (Transform).
+//
+// The rule is orthogonal to both the weighted-mean accumulator
+// (internal/buffer, which only ever sees the weights this interface
+// produces) and the server optimizer (Optimizer, which only ever sees the
+// transformed mean), so new rules drop in without touching either.
+type Aggregation interface {
+	// Name identifies the rule in task specs, reports, and bench rows.
+	Name() string
+	// Weight maps an accepted update's example count and staleness
+	// (server versions elapsed since the client downloaded the model) to
+	// its aggregation weight. Implementations must return a positive
+	// weight; numExamples <= 0 is treated as 1 and staleness < 0 panics.
+	Weight(numExamples, staleness int) float64
+	// Transform adjusts the released weighted-mean update in place before
+	// the server optimizer steps on it. Most rules are the identity.
+	Transform(update []float32)
+}
+
+// exampleWeight is the shared example-count floor: an update from a client
+// that reported no example count still carries weight 1.
+func exampleWeight(numExamples int) float64 {
+	if numExamples <= 0 {
+		return 1
+	}
+	return float64(numExamples)
+}
+
+// FedAvg is classic example-count weighting with staleness ignored — the
+// paper's SyncFL server behaviour (Section 4.1) made explicit as a rule.
+type FedAvg struct{}
+
+// Name implements Aggregation.
+func (FedAvg) Name() string { return "fedavg" }
+
+// Weight implements Aggregation: weight = max(numExamples, 1).
+func (FedAvg) Weight(numExamples, staleness int) float64 {
+	if staleness < 0 {
+		panic("fedopt: negative staleness")
+	}
+	return exampleWeight(numExamples)
+}
+
+// Transform implements Aggregation (identity).
+func (FedAvg) Transform(update []float32) {}
+
+// FedBuff is the paper's AsyncFL mitigation (Section 5.1, Appendix E.2):
+// example-count weighting damped polynomially in staleness,
+// w = max(n,1) * (1+s)^(-Exponent). Exponent 0.5 is the paper's 1/sqrt(1+s).
+type FedBuff struct {
+	// Exponent is the polynomial staleness exponent a in (1+s)^(-a).
+	Exponent float64
+}
+
+// NewFedBuff returns the staleness-weighted async rule. exponent must be
+// >= 0; 0 degenerates to FedAvg-style constant weighting.
+func NewFedBuff(exponent float64) FedBuff {
+	if exponent < 0 {
+		panic("fedopt: staleness exponent must be >= 0")
+	}
+	return FedBuff{Exponent: exponent}
+}
+
+// Name implements Aggregation.
+func (r FedBuff) Name() string { return "fedbuff" }
+
+// Weight implements Aggregation: max(numExamples,1) * (1+s)^(-Exponent).
+func (r FedBuff) Weight(numExamples, staleness int) float64 {
+	if staleness < 0 {
+		panic("fedopt: negative staleness")
+	}
+	return exampleWeight(numExamples) * math.Pow(1+float64(staleness), -r.Exponent)
+}
+
+// Transform implements Aggregation (identity).
+func (r FedBuff) Transform(update []float32) {}
+
+// FedProx is the server half of FedProx (Li et al. 2020): clients add a
+// proximal term mu/2*||w - w0||^2 to their local objective
+// (nn.SGDConfig.ProxMu), and the server damps the released pseudo-gradient
+// by 1/(1+Mu) so the effective step shrinks as the proximal pull grows.
+// Weighting matches FedBuff at the paper's default exponent so the rule
+// composes with async staleness.
+type FedProx struct {
+	// Mu is the proximal coefficient; the same value clients train with.
+	Mu float64
+}
+
+// DefaultProxMu is the proximal coefficient used when a FedProx task does
+// not specify one (the middle of the mu grid in Li et al. 2020).
+const DefaultProxMu = 0.1
+
+// NewFedProx returns the FedProx rule. mu must be positive.
+func NewFedProx(mu float64) FedProx {
+	if mu <= 0 {
+		panic("fedopt: FedProx mu must be positive")
+	}
+	return FedProx{Mu: mu}
+}
+
+// Name implements Aggregation.
+func (r FedProx) Name() string { return "fedprox" }
+
+// Weight implements Aggregation: max(numExamples,1) / sqrt(1+s).
+func (r FedProx) Weight(numExamples, staleness int) float64 {
+	return FedBuff{Exponent: 0.5}.Weight(numExamples, staleness)
+}
+
+// Transform implements Aggregation: update *= 1/(1+Mu).
+func (r FedProx) Transform(update []float32) {
+	vecf.Scale(update, float32(1/(1+r.Mu)))
+}
+
+// DefaultAggregation is the rule an empty task-spec name resolves to: the
+// paper's staleness-weighted async aggregation, which is also bit-identical
+// to plain example-count weighting whenever staleness is zero (every
+// accepted SyncFL upload, since closing a round aborts its live sessions).
+func DefaultAggregation() Aggregation { return FedBuff{Exponent: 0.5} }
+
+// AggregationByName resolves a task spec's aggregation rule. Known names
+// are "" (default), "fedavg", "fedbuff", and "fedprox"; param carries the
+// rule's knob (FedBuff exponent, FedProx mu) with 0 meaning the default.
+func AggregationByName(name string, param float64) (Aggregation, error) {
+	switch name {
+	case "", "default":
+		return DefaultAggregation(), nil
+	case "fedavg":
+		return FedAvg{}, nil
+	case "fedbuff":
+		if param == 0 {
+			param = 0.5
+		}
+		if param < 0 {
+			return nil, fmt.Errorf("fedopt: fedbuff exponent must be >= 0, got %g", param)
+		}
+		return FedBuff{Exponent: param}, nil
+	case "fedprox":
+		if param == 0 {
+			param = DefaultProxMu
+		}
+		if param < 0 {
+			return nil, fmt.Errorf("fedopt: fedprox mu must be positive, got %g", param)
+		}
+		return FedProx{Mu: param}, nil
+	default:
+		return nil, fmt.Errorf("fedopt: unknown aggregation rule %q (want fedavg|fedbuff|fedprox)", name)
+	}
+}

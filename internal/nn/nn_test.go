@@ -360,3 +360,54 @@ func BenchmarkClientLocalUpdate(b *testing.B) {
 		_, _ = LocalUpdate(m, p, seqs, cfg, r)
 	}
 }
+
+// TestProxMuShrinksDrift verifies the FedProx proximal term: with a large
+// mu the local delta must be pulled sharply toward the anchor (the initial
+// params), and mu=0 must be the plain SGD path bit for bit.
+func TestProxMuShrinksDrift(t *testing.T) {
+	corpus := lmdata.NewCorpus(lmdata.Config{
+		VocabSize: 16, NumDialects: 2, Seed: 5,
+		SeqLenMin: 5, SeqLenMax: 10, BranchFactor: 3, ZipfS: 1.3, SmoothMass: 0.05,
+	})
+	seqs := corpus.ClientExamples(1, 0, 0.3, 120)
+	m := NewBilinear(16, 8)
+	initial := m.InitParams(rng.New(2))
+
+	cfg := SGDConfig{LearningRate: 0.5, Epochs: 3, BatchSize: 16, ClipNorm: 5}
+	plain, _ := LocalUpdate(m, initial, seqs, cfg, rng.New(3))
+
+	cfgZero := cfg
+	cfgZero.ProxMu = 0
+	zero, _ := LocalUpdate(m, initial, seqs, cfgZero, rng.New(3))
+	for i := range plain {
+		if plain[i] != zero[i] {
+			t.Fatal("ProxMu=0 changed the plain SGD path")
+		}
+	}
+
+	cfgProx := cfg
+	cfgProx.ProxMu = 10
+	prox, _ := LocalUpdate(m, initial, seqs, cfgProx, rng.New(3))
+	np, nq := vecf.Norm2(plain), vecf.Norm2(prox)
+	if nq == 0 {
+		t.Fatal("proximal SGD produced a zero delta")
+	}
+	if nq >= 0.5*np {
+		t.Fatalf("mu=10 did not shrink drift: ||prox||=%v vs ||plain||=%v", nq, np)
+	}
+
+	// Determinism with the proximal term enabled.
+	again, _ := LocalUpdate(m, initial, seqs, cfgProx, rng.New(3))
+	for i := range prox {
+		if prox[i] != again[i] {
+			t.Fatal("proximal SGD not deterministic")
+		}
+	}
+
+	// Negative mu is a configuration error.
+	bad := cfg
+	bad.ProxMu = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative ProxMu accepted")
+	}
+}

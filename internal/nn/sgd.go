@@ -19,6 +19,11 @@ type SGDConfig struct {
 	BatchSize int
 	// ClipNorm caps the per-batch gradient norm; 0 disables clipping.
 	ClipNorm float64
+	// ProxMu, when positive, adds FedProx's proximal term (Li et al. 2020)
+	// to every batch gradient: grad += ProxMu * (params - anchor), where
+	// anchor is the parameter vector local training started from. The pull
+	// toward the downloaded model bounds client drift on non-IID data.
+	ProxMu float64
 }
 
 // DefaultSGDConfig matches the paper's client configuration.
@@ -37,6 +42,8 @@ func (c SGDConfig) Validate() error {
 		return fmt.Errorf("nn: BatchSize must be >= 1")
 	case c.ClipNorm < 0:
 		return fmt.Errorf("nn: ClipNorm must be >= 0")
+	case c.ProxMu < 0:
+		return fmt.Errorf("nn: ProxMu must be >= 0")
 	}
 	return nil
 }
@@ -60,6 +67,12 @@ func sgdScratch(m Model, params, grad []float32, seqs [][]int, cfg SGDConfig, r 
 	if len(seqs) == 0 {
 		return 0
 	}
+	// FedProx anchors the proximal pull at the parameters training started
+	// from (the downloaded server model), not the moving iterate.
+	var anchor []float32
+	if cfg.ProxMu > 0 {
+		anchor = vecf.Clone(params)
+	}
 	order := make([]int, len(seqs))
 	for i := range order {
 		order[i] = i
@@ -81,6 +94,12 @@ func sgdScratch(m Model, params, grad []float32, seqs [][]int, cfg SGDConfig, r 
 			}
 			vecf.Zero(grad)
 			loss := m.Gradient(params, batch, grad)
+			if anchor != nil {
+				// The proximal term is part of the local objective, so it
+				// is clipped along with the data gradient.
+				vecf.AXPY(grad, float32(cfg.ProxMu), params)
+				vecf.AXPY(grad, -float32(cfg.ProxMu), anchor)
+			}
 			if cfg.ClipNorm > 0 {
 				vecf.ClipNorm(grad, cfg.ClipNorm)
 			}

@@ -1,0 +1,46 @@
+package scenario_test
+
+// The determinism regression: the fault schedule is a pure function of
+// (seed, client, attempt) — worker count only changes interleaving. This
+// pins the PR 1 RNG-splitting rule at the scenario layer.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+// TestScenarioTraceDeterministicAcrossWorkers runs the same profile with
+// one driver worker and with eight, on fresh in-memory fabrics, and diffs
+// the planned event traces. Any divergence means a fault draw leaked a
+// dependency on goroutine scheduling.
+func TestScenarioTraceDeterministicAcrossWorkers(t *testing.T) {
+	spec := loadSpec(t, "tiered-stragglers")
+	run := func(workers int) *scenario.Report {
+		t.Helper()
+		rep, err := scenario.Run(spec, scenario.Options{
+			Fabric:     transport.NewNetwork(int64(workers)),
+			FabricName: "inmem",
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rep
+	}
+	serial, parallel := run(1), run(8)
+	a, b := serial.PlanTrace(), parallel.PlanTrace()
+	if a == b {
+		return
+	}
+	// Report the first diverging line, not two full trace dumps.
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			t.Fatalf("plan trace diverges at line %d:\n  workers=1: %s\n  workers=8: %s", i+1, al[i], bl[i])
+		}
+	}
+	t.Fatalf("plan traces differ in length: %d vs %d lines", len(al), len(bl))
+}

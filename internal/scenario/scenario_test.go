@@ -1,0 +1,163 @@
+package scenario_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/scenario"
+	"repro/internal/transport"
+)
+
+// specDir is where the committed profiles live; the conformance suite runs
+// the very files users and CI run.
+const specDir = "../../examples/scenarios"
+
+func loadSpec(t *testing.T, name string) scenario.Spec {
+	t.Helper()
+	s, err := scenario.LoadFile(filepath.Join(specDir, name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCommittedProfilesValidate parses every committed profile through the
+// strict loader (unknown fields rejected), so a schema typo in
+// examples/scenarios/ fails here rather than in CI's smoke job.
+func TestCommittedProfilesValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join(specDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected >= 3 committed profiles, found %d", len(paths))
+	}
+	for _, p := range paths {
+		if _, err := scenario.LoadFile(p); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+// TestSpecValidation exercises the loader's rejection paths.
+func TestSpecValidation(t *testing.T) {
+	for name, raw := range map[string]string{
+		"unknown-field": `{"name":"x","bogus":1}`,
+		"no-tiers":      `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[]}`,
+		"bad-mode":      `{"name":"x","mode":"turbo","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[{"name":"t","clients":1}]}`,
+		"bad-rule":      `{"name":"x","aggregation":"powersgd","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[{"name":"t","clients":1}]}`,
+		"bad-dropout":   `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[{"name":"t","clients":1,"dropout":1.5}]}`,
+		"bad-dialect":   `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":2,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[{"name":"t","clients":1,"dialect":5}]}`,
+		"bad-loss":      `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"network":{"loss_prob":1},"tiers":[{"name":"t","clients":1}]}`,
+	} {
+		if _, err := scenario.Load([]byte(raw)); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+}
+
+// TestPlanForDeterministicAndKeyed pins the (seed, client, attempt) keying:
+// the same coordinates always draw the same plan, and changing any one
+// coordinate changes the stream.
+func TestPlanForDeterministicAndKeyed(t *testing.T) {
+	spec := loadSpec(t, "tiered-stragglers")
+	// Same coordinates -> identical plan, every time.
+	for id := int64(1); id <= int64(spec.NumClients()); id++ {
+		for a := 0; a < spec.Attempts; a++ {
+			p1, p2 := spec.PlanFor(id, a), spec.PlanFor(id, a)
+			if p1 != p2 {
+				t.Fatalf("client %d attempt %d: PlanFor not deterministic: %+v vs %+v", id, a, p1, p2)
+			}
+		}
+	}
+	// Different seeds must decorrelate the schedule.
+	other := spec
+	other.Seed++
+	diff := 0
+	for id := int64(1); id <= int64(spec.NumClients()); id++ {
+		for a := 0; a < spec.Attempts; a++ {
+			if spec.PlanFor(id, a) != other.PlanFor(id, a) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the seed changed no plan")
+	}
+	// Tier semantics: the no-fault tier never drops and is always
+	// available; straggler delays dominate fast delays.
+	var fastMax, stragglerMin = 0.0, 1e18
+	for a := 0; a < spec.Attempts; a++ {
+		p := spec.PlanFor(1, a) // tier "fast"
+		if p.Drop != client.DropNone || !p.Available {
+			t.Fatalf("fast tier drew a fault: %+v", p)
+		}
+		if d := p.Delay.Seconds(); d > fastMax {
+			fastMax = d
+		}
+		q := spec.PlanFor(int64(spec.NumClients()), a) // tier "straggler"
+		if d := q.Delay.Seconds(); d < stragglerMin {
+			stragglerMin = d
+		}
+	}
+	if stragglerMin <= fastMax {
+		t.Fatalf("slowdown 16 tier not slower than slowdown 1 tier: straggler min %.4fs vs fast max %.4fs",
+			stragglerMin, fastMax)
+	}
+}
+
+// TestTierAndDialectMapping covers the client->tier->dialect bookkeeping.
+func TestTierAndDialectMapping(t *testing.T) {
+	spec := loadSpec(t, "tiered-stragglers")
+	if got, want := spec.NumClients(), 14; got != want {
+		t.Fatalf("NumClients = %d, want %d", got, want)
+	}
+	for id, wantTier := range map[int64]int{1: 0, 6: 0, 7: 1, 10: 1, 11: 2, 14: 2} {
+		if got := spec.TierOf(id); got != wantTier {
+			t.Errorf("TierOf(%d) = %d, want %d", id, got, wantTier)
+		}
+	}
+	// The straggler tier pins dialect 3; unpinned tiers spread by ID.
+	for id := int64(11); id <= 14; id++ {
+		if got := spec.DialectOf(id); got != 3 {
+			t.Errorf("DialectOf(%d) = %d, want pinned 3", id, got)
+		}
+	}
+	if spec.DialectOf(1) == spec.DialectOf(2) {
+		t.Error("unpinned adjacent clients share a dialect (round-robin broken)")
+	}
+}
+
+// TestEngineSmoke runs the uniform profile once on the in-memory fabric
+// and sanity-checks the report's internal consistency. The convergence
+// and throughput assertions live in the conformance suite.
+func TestEngineSmoke(t *testing.T) {
+	spec := loadSpec(t, "uniform")
+	rep, err := scenario.Run(spec, scenario.Options{
+		Fabric:     transport.NewNetwork(1),
+		FabricName: "inmem",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Uploads == 0 {
+		t.Fatalf("no uploads completed: %s", rep.Summary())
+	}
+	if len(rep.Trace) != spec.NumClients()*spec.Attempts {
+		t.Fatalf("trace has %d events, want %d", len(rep.Trace), spec.NumClients()*spec.Attempts)
+	}
+	var completed int
+	for _, ts := range rep.Tiers {
+		completed += ts.Completed
+	}
+	if int64(completed) != rep.Uploads {
+		t.Fatalf("tier completed sum %d != accepted uploads %d", completed, rep.Uploads)
+	}
+	if rep.Rule != "fedbuff" || rep.Mode != "async" {
+		t.Fatalf("unexpected rule/mode: %s/%s", rep.Rule, rep.Mode)
+	}
+	if rep.Tiers[0].P50Millis <= 0 {
+		t.Fatal("per-tier p50 latency missing")
+	}
+}

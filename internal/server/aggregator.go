@@ -126,7 +126,7 @@ type taskState struct {
 	opt     fedopt.Optimizer
 	buf     *buffer.Buffered
 	secAgg  *secagg.Aggregator
-	stale   fedopt.StalenessWeight
+	agg     fedopt.Aggregation
 	// scratch receives buffer releases (ReleaseInto), so a server step
 	// allocates nothing model-sized. Guarded by mu like params.
 	scratch []float32
@@ -152,6 +152,13 @@ func newTaskState(req AssignTaskRequest) (*taskState, error) {
 			return nil, err
 		}
 	}
+	// Same placement-time validation for the aggregation rule: an unknown
+	// rule would otherwise fail on every upload, so reject it here and let
+	// create-task surface the typo.
+	agg, err := fedopt.AggregationByName(spec.Aggregation, spec.AggParam)
+	if err != nil {
+		return nil, err
+	}
 	if spec.SecAgg != nil {
 		// A spec that crossed the wire carries an inert deployment recipe;
 		// placement is where this host launches its own enclave from it
@@ -167,7 +174,7 @@ func newTaskState(req AssignTaskRequest) (*taskState, error) {
 		seq:      req.Seq,
 		opt:      optimizerFor(spec),
 		buf:      buffer.New(spec.NumParams, spec.AggregationGoal, shards),
-		stale:    fedopt.DefaultStaleness(),
+		agg:      agg,
 		sessions: make(map[uint64]*sessionState),
 		version:  req.Version,
 		scratch:  make([]float32, spec.NumParams),
@@ -565,10 +572,9 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 	}
 
 	// Weight for the plaintext paths (SecAgg clients weight on-device).
-	w := float64(c.NumExamples)
-	if w <= 0 {
-		w = 1
-	}
+	// The task's aggregation rule owns the whole mapping — example-count
+	// floor and staleness damping both — so sync and async share one call.
+	w := ts.agg.Weight(c.NumExamples, staleness)
 
 	switch {
 	case ts.spec.SecAgg != nil:
@@ -633,7 +639,6 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 			release()
 			return UploadResponse{OK: false, Reason: "incomplete upload"}, nil
 		}
-		w *= ts.stale(staleness)
 		clientID := s.clientID
 		ts.mu.Unlock()
 
@@ -710,6 +715,9 @@ func (a *Aggregator) serverStepLocked(ts *taskState) error {
 		ts.buf.ReleaseInto(ts.scratch)
 		update = ts.scratch
 	}
+	// The rule's server-side transform (e.g. FedProx's 1/(1+mu) damp) sees
+	// the weighted mean exactly as the optimizer would.
+	ts.agg.Transform(update)
 	ts.opt.Step(ts.params, update)
 	ts.version++
 	ts.roundReceived = 0

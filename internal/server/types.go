@@ -56,6 +56,14 @@ type TaskSpec struct {
 	// offered at report time, so clients that offer nothing (older /v1/
 	// builds) upload raw and keep working.
 	Compress string
+	// Aggregation names the fedopt.Aggregation rule weighting accepted
+	// uploads: "" (the default staleness-weighted FedBuff), "fedavg",
+	// "fedbuff", or "fedprox". Unknown names are rejected at placement.
+	// TaskSpec is a cold gob message, so adding the field is wire-safe.
+	Aggregation string
+	// AggParam is the rule's knob (FedBuff staleness exponent, FedProx
+	// proximal mu); 0 selects the rule's default.
+	AggParam float64
 }
 
 // optimizerFor builds the server optimizer for a task. Each placement gets a

@@ -26,6 +26,7 @@ var doclintDirs = []string{
 	"tcptransport",  // internal/transport/tcptransport
 	"../server",     // internal/server
 	"../compress",   // internal/compress
+	"../scenario",   // internal/scenario
 }
 
 func TestExportedSymbolsAreDocumented(t *testing.T) {

@@ -46,12 +46,78 @@ import (
 // wire.BufferLease) is legitimately adopted by the pool on Put and
 // decrements the count without a matching Get. Assertions that demand
 // exact balance must therefore drive workloads whose foreign payload
-// lengths avoid power-of-two sizes (the reaper and soak tests do) or use
-// the pooled bin decode path end to end.
+// lengths avoid power-of-two sizes (the reaper and soak tests do), use
+// the pooled bin decode path end to end, or enable the SetDebug
+// provenance lease table, which tracks exactly which slices this package
+// handed out and quarantines foreign Puts instead of adopting them.
 var (
 	outFloats atomic.Int64
 	outUints  atomic.Int64
 )
+
+// Debug-mode provenance lease table (the VecPoolDebug switch). When
+// enabled, every pooled Get records its slice's backing array and Put
+// verifies the slice came from this package: a foreign power-of-two slice
+// is counted in ForeignPuts and discarded to the GC — neither adopted nor
+// allowed to skew the Outstanding counters. The table costs a mutexed map
+// op per pooled Get/Put, so it is strictly for tests and diagnosis, never
+// the serving path.
+var (
+	debugOn          atomic.Bool
+	debugMu          sync.Mutex
+	debugFloatLeases map[*float32]struct{}
+	debugUintLeases  map[*uint32]struct{}
+	debugForeignPuts atomic.Int64
+)
+
+// SetDebug toggles the provenance lease table. Enabling (or re-enabling)
+// resets the table and the ForeignPuts counter; slices leased while debug
+// was off are treated as foreign if Put while it is on.
+func SetDebug(on bool) {
+	debugMu.Lock()
+	if on {
+		debugFloatLeases = make(map[*float32]struct{})
+		debugUintLeases = make(map[*uint32]struct{})
+		debugForeignPuts.Store(0)
+	}
+	debugOn.Store(on)
+	debugMu.Unlock()
+}
+
+// DebugEnabled reports whether the provenance lease table is active.
+func DebugEnabled() bool { return debugOn.Load() }
+
+// ForeignPuts reports Puts of pool-classed slices that were not
+// outstanding leases of this package — foreign allocations and double
+// releases both — observed since the last SetDebug(true). Each one would
+// have silently skewed the Outstanding counters with debug off.
+func ForeignPuts() int64 { return debugForeignPuts.Load() }
+
+// debugLease records a pooled lease under the debug table. The map
+// variable is dereferenced under debugMu so a concurrent SetDebug swap is
+// safe.
+func debugLease[T any](leases *map[*T]struct{}, s []T) {
+	debugMu.Lock()
+	(*leases)[&s[0]] = struct{}{}
+	debugMu.Unlock()
+}
+
+// debugRelease validates a Put under the debug table and reports whether
+// the slice is a genuine outstanding lease; foreign (or doubly released)
+// slices are counted and rejected.
+func debugRelease[T any](leases *map[*T]struct{}, s []T) bool {
+	key := &s[:1][0]
+	debugMu.Lock()
+	_, ok := (*leases)[key]
+	if ok {
+		delete(*leases, key)
+	}
+	debugMu.Unlock()
+	if !ok {
+		debugForeignPuts.Add(1)
+	}
+	return ok
+}
 
 // OutstandingFloats reports currently leased pool-classed []float32
 // vectors (gets minus puts since process start).
@@ -103,9 +169,16 @@ func GetFloats(n int) []float32 {
 		w.s = nil
 		floatWraps.Put(w)
 		clear(s)
+		if debugOn.Load() {
+			debugLease(&debugFloatLeases, s)
+		}
 		return s
 	}
-	return make([]float32, n, 1<<class)
+	s := make([]float32, n, 1<<class)
+	if debugOn.Load() {
+		debugLease(&debugFloatLeases, s)
+	}
+	return s
 }
 
 // PutFloats returns a leased slice to its pool. Slices whose capacity is
@@ -120,6 +193,9 @@ func PutFloats(s []float32) {
 	class := classFor(c)
 	if class >= numClasses {
 		return
+	}
+	if debugOn.Load() && !debugRelease(&debugFloatLeases, s) {
+		return // quarantined: neither adopted nor counted
 	}
 	outFloats.Add(-1)
 	w, _ := floatWraps.Get().(*floatWrap)
@@ -145,9 +221,16 @@ func GetUints(n int) []uint32 {
 		w.s = nil
 		uintWraps.Put(w)
 		clear(s)
+		if debugOn.Load() {
+			debugLease(&debugUintLeases, s)
+		}
 		return s
 	}
-	return make([]uint32, n, 1<<class)
+	s := make([]uint32, n, 1<<class)
+	if debugOn.Load() {
+		debugLease(&debugUintLeases, s)
+	}
+	return s
 }
 
 // PutUints returns a leased slice to its pool; see PutFloats.
@@ -159,6 +242,9 @@ func PutUints(s []uint32) {
 	class := classFor(c)
 	if class >= numClasses {
 		return
+	}
+	if debugOn.Load() && !debugRelease(&debugUintLeases, s) {
+		return // quarantined: neither adopted nor counted
 	}
 	outUints.Add(-1)
 	w, _ := uintWraps.Get().(*uintWrap)

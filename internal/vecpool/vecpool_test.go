@@ -117,3 +117,69 @@ func TestOutstandingCounters(t *testing.T) {
 			vecpool.OutstandingFloats(), baseF, vecpool.OutstandingUints(), baseU)
 	}
 }
+
+// TestDebugLeaseTableCatchesForeignPut demonstrates the documented counter
+// caveat and its debug-mode fix. With debug off, Putting a foreign slice of
+// exact power-of-two capacity is adopted by the pool and decrements the
+// Outstanding counter without a matching Get (the skew). With the
+// provenance lease table on, the same Put is detected as foreign: counted
+// in ForeignPuts, quarantined, and the counters stay balanced.
+func TestDebugLeaseTableCatchesForeignPut(t *testing.T) {
+	// Part 1: the skew the caveat documents, with debug off.
+	baseF := vecpool.OutstandingFloats()
+	vecpool.PutFloats(make([]float32, 64)) // foreign, power-of-two capacity: adopted
+	if got := vecpool.OutstandingFloats(); got != baseF-1 {
+		t.Fatalf("debug off: foreign Put should skew the counter: got %d, want %d", got, baseF-1)
+	}
+	// Rebalance by leasing the adopted slice back out.
+	_ = vecpool.GetFloats(64)
+
+	// Part 2: the same Put under the provenance lease table.
+	vecpool.SetDebug(true)
+	defer vecpool.SetDebug(false)
+	if !vecpool.DebugEnabled() {
+		t.Fatal("vecpool.SetDebug(true) did not enable debug")
+	}
+
+	baseF = vecpool.OutstandingFloats()
+	s := vecpool.GetFloats(100) // class cap 128
+	vecpool.PutFloats(s)
+	if got := vecpool.OutstandingFloats(); got != baseF {
+		t.Fatalf("own lease cycle unbalanced under debug: got %d, want %d", got, baseF)
+	}
+	if got := vecpool.ForeignPuts(); got != 0 {
+		t.Fatalf("own lease cycle counted as foreign: %d", got)
+	}
+
+	vecpool.PutFloats(make([]float32, 64)) // deliberately foreign
+	if got := vecpool.OutstandingFloats(); got != baseF {
+		t.Fatalf("debug on: foreign Put skewed the counter: got %d, want %d", got, baseF)
+	}
+	if got := vecpool.ForeignPuts(); got != 1 {
+		t.Fatalf("ForeignPuts = %d, want 1", got)
+	}
+
+	// A double release is caught the same way (the first Put retires the
+	// lease, so the second has no matching provenance).
+	s = vecpool.GetFloats(32)
+	vecpool.PutFloats(s)
+	vecpool.PutFloats(s)
+	if got := vecpool.OutstandingFloats(); got != baseF {
+		t.Fatalf("double Put skewed the counter under debug: got %d, want %d", got, baseF)
+	}
+	if got := vecpool.ForeignPuts(); got != 2 {
+		t.Fatalf("ForeignPuts after double release = %d, want 2", got)
+	}
+
+	// The uint pool has the same protection.
+	baseU := vecpool.OutstandingUints()
+	u := vecpool.GetUints(100)
+	vecpool.PutUints(u)
+	vecpool.PutUints(make([]uint32, 128)) // foreign
+	if got := vecpool.OutstandingUints(); got != baseU {
+		t.Fatalf("debug on: foreign uint Put skewed the counter: got %d, want %d", got, baseU)
+	}
+	if got := vecpool.ForeignPuts(); got != 3 {
+		t.Fatalf("ForeignPuts after uint foreign Put = %d, want 3", got)
+	}
+}
