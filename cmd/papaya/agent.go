@@ -28,6 +28,7 @@ func runAgent(args []string) {
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (bin negotiates per peer; gob remains the universal fallback)")
 	compressName := fs.String("compress", "", "wire compression codec for RPC bodies toward /v2/ peers: none|streamed|flate (heartbeat checkpoints are the win here)")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "heartbeat cadence (match the server)")
+	obsListen := fs.String("obs-listen", "", "observability listen address (H:P): /metrics, /trace, /debug/vars, /debug/pprof; empty disables")
 	_ = fs.Parse(args)
 
 	if *coordURL == "" {
@@ -66,6 +67,9 @@ func runAgent(args []string) {
 		fmt.Fprintf(os.Stderr, "papaya agent: registering with coordinator: %v\n", err)
 		os.Exit(1)
 	}
+
+	obsShutdown := startObs("agent", *obsListen, fabric, fabricKindForURL(*coordURL))
+	defer obsShutdown()
 
 	fmt.Printf("papaya agent: %s serving on %s, registered with %s\n",
 		aggName, fabric.BaseURL(), *coordURL)

@@ -7,6 +7,7 @@ import (
 	mrand "math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,12 +75,30 @@ func runFleet(args []string) {
 		"-codec", *codec, "-aggregators", "0", "-selectors", "0",
 		"-params", fmt.Sprint(*numParams), "-goal", fmt.Sprint(*goal),
 		"-concurrency", fmt.Sprint(*concurrency),
+		"-obs-listen", "127.0.0.1:0",
 	}), os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	procs := []*fleet.Proc{coord}
+	// Every tier child serves an obs endpoint on an ephemeral port; the
+	// harness learns each URL from the child's "obs listening on" line and
+	// scrapes /metrics at the end of the run into the committed report.
+	obsURLs := map[string]string{}
+	var obsMu sync.Mutex
+	recordObsURL := func(name string, p *fleet.Proc) {
+		line, err := p.WaitForLine("obs listening on ", 15*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "papaya fleet: %s: no obs endpoint: %v\n", name, err)
+			return
+		}
+		f := strings.Fields(line)
+		obsMu.Lock()
+		obsURLs[name] = f[len(f)-1]
+		obsMu.Unlock()
+	}
+	recordObsURL("coord", coord)
 	shutdown := func() {
 		// Reverse order: selectors and agents first, coordinator last.
 		for i := len(procs) - 1; i >= 0; i-- {
@@ -122,6 +141,7 @@ func runFleet(args []string) {
 		p, err := fleet.Spawn(name, bin, streamArgs([]string{
 			"agent", "-coordinator", coordURL, "-listen", "127.0.0.1:0",
 			"-name", name, "-codec", *codec,
+			"-obs-listen", "127.0.0.1:0",
 		}), os.Stderr)
 		if err != nil {
 			return nil, err
@@ -129,6 +149,7 @@ func runFleet(args []string) {
 		if _, err := p.WaitForLine("papaya agent: ready", 15*time.Second); err != nil {
 			return nil, err
 		}
+		recordObsURL(name, p)
 		return p, nil
 	}
 	for i := 0; i < *nAgents; i++ {
@@ -153,6 +174,7 @@ func runFleet(args []string) {
 		p, err := fleet.Spawn(name, bin, streamArgs([]string{
 			"selector", "-coordinator", coordURL, "-listen", "127.0.0.1:0",
 			"-name", name, "-codec", *codec, "-refresh", "250ms",
+			"-obs-listen", "127.0.0.1:0",
 		}), os.Stderr)
 		if err != nil {
 			fatalf("%v", err)
@@ -160,6 +182,7 @@ func runFleet(args []string) {
 		if _, err := p.WaitForLine("papaya selector: ready", 15*time.Second); err != nil {
 			fatalf("%v", err)
 		}
+		recordObsURL(name, p)
 		procs = append(procs, p)
 		selNames = append(selNames, name)
 		selProc[name] = p
@@ -311,6 +334,25 @@ func runFleet(args []string) {
 			faultPhase.Uploads, faultPhase.UploadsPerSecond)
 		rep.Phases = append(rep.Phases, faultPhase)
 	}
+
+	// --- End-of-run scrape: commit each live tier process's metrics into
+	// the report. A process killed without restart simply drops out.
+	obsMu.Lock()
+	names := make([]string, 0, len(obsURLs))
+	for n := range obsURLs {
+		names = append(names, n)
+	}
+	obsMu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		m, err := scrapeObs(obsURLs[n])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "papaya fleet: scraping %s: %v\n", n, err)
+			continue
+		}
+		rep.Obs = append(rep.Obs, fleet.NodeMetrics{Node: n, Metrics: m})
+	}
+	fmt.Fprintf(os.Stderr, "papaya fleet: scraped %d/%d obs endpoints\n", len(rep.Obs), len(names))
 
 	if err := fleet.WriteReport(*out, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)

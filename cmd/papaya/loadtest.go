@@ -163,6 +163,7 @@ func runLoadtest(args []string) {
 	out := fs.String("o", "BENCH_loadtest.json", "output path (- for stdout); existing reports are appended to")
 	label := fs.String("label", "", "free-form run label recorded in the report")
 	scenarioPath := fs.String("scenario", "", "scenario profile JSON (examples/scenarios/): shape the fleet into device tiers — slowdown, dropout, availability, non-IID dialect partition — and report per-tier latency columns; overrides -clients/-uploads with the profile's fleet and attempt budget")
+	obsListen := fs.String("obs-listen", "", "observability listen address (H:P): /metrics, /trace (client-side spans), /debug/vars, /debug/pprof; empty disables")
 	_ = fs.Parse(args)
 
 	var spec *scenario.Spec
@@ -202,6 +203,9 @@ func runLoadtest(args []string) {
 		os.Exit(1)
 	}
 	defer fabric.Close()
+
+	obsShutdown := startObs("loadtest", *obsListen, fabric, fabricKindForURL(*serverURL))
+	defer obsShutdown()
 
 	// Discover the server's selectors and its capability document; retry
 	// briefly so CI can start serve and loadtest back to back. Selectors

@@ -16,6 +16,7 @@
 //	papaya fleet [flags]               spawn a multi-process fleet and measure failover
 //	papaya loadtest [flags]            drive concurrent clients against a live server
 //	papaya scenario [flags]            run a declarative fleet profile in process
+//	papaya trace [flags]               stitch one session's spans across tier obs endpoints
 //
 // serve/agent/selector/loadtest make the Section 4 control plane deployable
 // as real OS processes over the HTTP transport; fleet orchestrates all three
@@ -86,6 +87,8 @@ func main() {
 		runLoadtest(args)
 	case "scenario":
 		runScenario(args)
+	case "trace":
+		runTrace(args)
 	case "secagg-demo":
 		secaggDemo()
 	case "help", "-h", "--help":
@@ -115,7 +118,12 @@ func usage() {
   papaya fleet [-agents N] [-selectors M] [-clients K] [-uploads N] [-fabric http|tcp] [-stream] [-kill-agent] [-kill-selector] [-o FILE]
   papaya loadtest [-server URL] [-stream] [-clients K] [-uploads N] [-codec gob|json|bin] [-scenario FILE] [-o FILE]
   papaya scenario -file FILE [-fabric inmem|http|tcp] [-stream] [-aggregation fedavg|fedbuff|fedprox] [-mode async|sync] [-workers W] [-o FILE]
-  papaya secagg-demo`)
+  papaya trace -from URL[,URL...] [-trace ID]
+  papaya secagg-demo
+
+serve, agent, selector, and loadtest all accept -obs-listen H:P to serve
+/metrics (Prometheus text), /trace (span ring JSON), /debug/vars, and
+/debug/pprof; see docs/DEPLOYMENT.md "Observability".`)
 }
 
 func scaleByName(name string) experiments.Scale {

@@ -32,6 +32,7 @@ func runSelector(args []string) {
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (bin negotiates per peer; gob remains the universal fallback)")
 	compressName := fs.String("compress", "", "wire compression codec for RPC bodies toward /v2/ peers: none|streamed|flate")
 	refresh := fs.Duration("refresh", 250*time.Millisecond, "assignment-map and live-agent refresh cadence")
+	obsListen := fs.String("obs-listen", "", "observability listen address (H:P): /metrics, /trace, /debug/vars, /debug/pprof; empty disables")
 	_ = fs.Parse(args)
 
 	if *coordURL == "" {
@@ -89,6 +90,9 @@ func runSelector(args []string) {
 			}
 		}
 	}()
+
+	obsShutdown := startObs("selector", *obsListen, fabric, fabricKindForURL(*coordURL))
+	defer obsShutdown()
 
 	fmt.Printf("papaya selector: %s serving on %s, coordinator %s\n",
 		selName, fabric.BaseURL(), *coordURL)

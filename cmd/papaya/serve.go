@@ -41,6 +41,7 @@ func runServe(args []string) {
 	useSecAgg := fs.Bool("secagg", false, "enable Asynchronous SecAgg on uploads (Section 5)")
 	compressName := fs.String("compress", "", "wire compression codec preferred for uploads: none|quantized|quantized16|streamed|flate (negotiated per client; /v1/ peers stay raw)")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "aggregator heartbeat cadence")
+	obsListen := fs.String("obs-listen", "", "observability listen address (H:P): /metrics, /trace, /debug/vars, /debug/pprof; empty disables")
 	_ = fs.Parse(args)
 
 	if *compressName != "" && *compressName != "none" {
@@ -111,6 +112,9 @@ func runServe(args []string) {
 		}
 		spec.SecAgg = dep
 	}
+	obsShutdown := startObs("serve", *obsListen, fabric, *fabricKind)
+	defer obsShutdown()
+
 	// Print the bound address before waiting for remote agents: a -listen
 	// :0 deployment (the fleet harness) must learn the URL to start the
 	// very agents the create-task loop below is waiting for.

@@ -1,0 +1,191 @@
+package main
+
+// `papaya trace` stitches one session's spans across tiers: it fetches
+// the bounded span rings exported at each node's obs endpoint (/trace),
+// merges them, and prints either a per-trace summary list or — given
+// -trace — one session's cross-tier timeline ordered by start time.
+// Wall clocks on one host agree well enough for the relative offsets to
+// read as a waterfall; across hosts the per-tier ordering still holds.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runTrace implements the `papaya trace` subcommand.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	from := fs.String("from", "", "comma-separated obs endpoint URLs to fetch spans from (required), e.g. http://127.0.0.1:9090,http://127.0.0.1:9091")
+	traceFlag := fs.String("trace", "", "trace ID to stitch (decimal or 0x hex, as printed by loadtest/summary); empty lists every trace seen")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-endpoint fetch timeout")
+	_ = fs.Parse(args)
+
+	if *from == "" {
+		fmt.Fprintln(os.Stderr, "papaya trace: -from URL[,URL...] is required")
+		os.Exit(2)
+	}
+	var trace uint64
+	if *traceFlag != "" {
+		v, err := strconv.ParseUint(*traceFlag, 0, 64)
+		if err != nil || v == 0 {
+			fmt.Fprintf(os.Stderr, "papaya trace: bad -trace %q (want a nonzero decimal or 0x hex ID)\n", *traceFlag)
+			os.Exit(2)
+		}
+		trace = v
+	}
+
+	var spans []obs.Span
+	fetched := 0
+	for _, base := range strings.Split(*from, ",") {
+		base = strings.TrimSpace(base)
+		if base == "" {
+			continue
+		}
+		got, err := fetchSpans(base, trace, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "papaya trace: %s: %v\n", base, err)
+			continue
+		}
+		fetched++
+		spans = append(spans, got...)
+	}
+	if fetched == 0 {
+		fmt.Fprintln(os.Stderr, "papaya trace: no obs endpoint reachable")
+		os.Exit(1)
+	}
+
+	if trace == 0 {
+		printTraceList(spans)
+		return
+	}
+	printTimeline(trace, spans)
+}
+
+// fetchSpans pulls one obs endpoint's span ring, server-side filtered
+// when trace is nonzero.
+func fetchSpans(base string, trace uint64, timeout time.Duration) ([]obs.Span, error) {
+	url := strings.TrimRight(base, "/") + "/trace"
+	if trace != 0 {
+		url += fmt.Sprintf("?trace=%d", trace)
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var spans []obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, fmt.Errorf("decoding %s: %v", url, err)
+	}
+	return spans, nil
+}
+
+// printTraceList groups spans by trace ID and prints one summary line
+// per trace, most recent first.
+func printTraceList(spans []obs.Span) {
+	type summary struct {
+		trace       uint64
+		task        string
+		tiers       map[string]bool
+		spans       int
+		errs        int
+		first, last int64 // UnixNano window
+	}
+	byTrace := map[uint64]*summary{}
+	for _, s := range spans {
+		sm := byTrace[s.Trace]
+		if sm == nil {
+			sm = &summary{trace: s.Trace, tiers: map[string]bool{}, first: s.StartUnixNano}
+			byTrace[s.Trace] = sm
+		}
+		sm.spans++
+		sm.tiers[s.Tier] = true
+		if s.Task != "" {
+			sm.task = s.Task
+		}
+		if s.Err != "" {
+			sm.errs++
+		}
+		if s.StartUnixNano < sm.first {
+			sm.first = s.StartUnixNano
+		}
+		if end := s.StartUnixNano + s.DurationNanos; end > sm.last {
+			sm.last = end
+		}
+	}
+	list := make([]*summary, 0, len(byTrace))
+	for _, sm := range byTrace {
+		list = append(list, sm)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].first > list[j].first })
+	if len(list) == 0 {
+		fmt.Println("papaya trace: no spans retained")
+		return
+	}
+	fmt.Printf("%-18s %-10s %-6s %-5s %-24s %s\n", "TRACE", "TASK", "SPANS", "ERRS", "TIERS", "WALL")
+	for _, sm := range list {
+		tiers := make([]string, 0, len(sm.tiers))
+		for t := range sm.tiers {
+			tiers = append(tiers, t)
+		}
+		sort.Strings(tiers)
+		fmt.Printf("%-18s %-10s %-6d %-5d %-24s %.1fms\n",
+			fmt.Sprintf("%#x", sm.trace), sm.task, sm.spans, sm.errs,
+			strings.Join(tiers, ","), float64(sm.last-sm.first)/1e6)
+	}
+}
+
+// printTimeline prints one trace's spans as a start-ordered waterfall.
+func printTimeline(trace uint64, spans []obs.Span) {
+	filtered := spans[:0]
+	for _, s := range spans {
+		if s.Trace == trace {
+			filtered = append(filtered, s)
+		}
+	}
+	if len(filtered) == 0 {
+		fmt.Printf("papaya trace: no spans for trace %#x\n", trace)
+		return
+	}
+	sort.SliceStable(filtered, func(i, j int) bool {
+		return filtered[i].StartUnixNano < filtered[j].StartUnixNano
+	})
+	t0 := filtered[0].StartUnixNano
+	task := ""
+	for _, s := range filtered {
+		if s.Task != "" {
+			task = s.Task
+			break
+		}
+	}
+	fmt.Printf("trace %#x  task %q  %d spans\n", trace, task, len(filtered))
+	fmt.Printf("%-10s %-10s %-12s %-16s %-10s %s\n", "OFFSET", "TIER", "NODE", "STAGE", "TOOK", "NOTE")
+	for _, s := range filtered {
+		note := ""
+		if s.Session != 0 {
+			note = fmt.Sprintf("session=%d", s.Session)
+		}
+		if s.Err != "" {
+			if note != "" {
+				note += " "
+			}
+			note += "err=" + s.Err
+		}
+		fmt.Printf("%+9.1fms %-10s %-12s %-16s %8.2fms %s\n",
+			float64(s.StartUnixNano-t0)/1e6, s.Tier, s.Node, s.Name,
+			float64(s.DurationNanos)/1e6, note)
+	}
+}

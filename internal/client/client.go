@@ -17,6 +17,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/fedopt"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/secagg"
 	"repro/internal/server"
@@ -137,6 +138,14 @@ type Result struct {
 	// frame bytes when a codec was negotiated, raw bytes otherwise. The
 	// loadtest aggregates these two into its compression-ratio columns.
 	UploadWireBytes int64
+	// TraceID is the cross-tier trace ID this attempt minted at
+	// check-in (internal/obs); feed it to `papaya trace` to stitch the
+	// session's spans across tiers.
+	TraceID uint64
+	// Traced reports whether the control plane echoed the trace ID at
+	// check-in — false means a /v1 (or untraced) selector handled the
+	// session and server-side spans do not exist for it.
+	Traced bool
 }
 
 // Outcome is a participation attempt's terminal state.
@@ -259,9 +268,11 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	}
 	defer p.close()
 	if !checkin.Accepted {
-		return &Result{Outcome: Rejected, Reason: checkin.Reason}, nil
+		return &Result{Outcome: Rejected, Reason: checkin.Reason, TraceID: p.trace, Traced: checkin.TraceID != 0}, nil
 	}
 	r.lastParticipation = now
+	p.sessionID = checkin.SessionID
+	traced := checkin.TraceID != 0
 
 	// Scenario-injected faults: one draw decides whether (and where) this
 	// attempt's device dies. The draw happens before any stage runs so the
@@ -286,7 +297,9 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	}
 
 	// Stage 2: local training.
+	trainStart := time.Now()
 	delta, loss := r.Exec.Train(download.Params, examples)
+	obs.RecordSpan(p.trace, "client", r.name(), "train", checkin.TaskID, checkin.SessionID, trainStart, time.Since(trainStart), "")
 	if dropStage == DropAfterTrain {
 		return r.abandon(p, checkin, dropStage, dropVanish, loss), nil
 	}
@@ -303,7 +316,7 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	}
 	report := rep.(server.ReportResponse)
 	if !report.OK {
-		return &Result{Outcome: Aborted, Reason: report.Reason, TaskID: checkin.TaskID, Loss: loss}, nil
+		return &Result{Outcome: Aborted, Reason: report.Reason, TaskID: checkin.TaskID, Loss: loss, TraceID: p.trace, Traced: traced}, nil
 	}
 
 	// Stage 4: chunked upload — compressed when negotiated, masked when
@@ -336,6 +349,8 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	}
 	res.UploadRawBytes = meter.raw
 	res.UploadWireBytes = meter.wire
+	res.TraceID = p.trace
+	res.Traced = traced
 	return res, nil
 }
 
@@ -357,6 +372,8 @@ func (r *Runtime) abandon(p *participation, checkin server.CheckinResponse,
 		Reason:  "dropout after " + string(stage),
 		TaskID:  checkin.TaskID,
 		Loss:    loss,
+		TraceID: p.trace,
+		Traced:  checkin.TraceID != 0,
 	}
 }
 
@@ -393,6 +410,11 @@ type participation struct {
 	r        *Runtime
 	selector string
 	sess     transport.Session // nil: per-call RPC
+	// trace is the attempt's cross-tier trace ID (minted in checkin);
+	// sessionID is filled in once the check-in is accepted so chunk
+	// spans carry it.
+	trace     uint64
+	sessionID uint64
 	// dropUpload/dropVanish carry a DropDuringUpload schedule into the
 	// chunk loops: the attempt dies right before its final (Done) chunk.
 	dropUpload bool
@@ -411,7 +433,13 @@ func (p *participation) close() {
 // checkin tries each selector in order; under Stream it opens the
 // session-long connection the rest of the participation will ride.
 func (r *Runtime) checkin() (*participation, server.CheckinResponse, error) {
-	req := server.CheckinRequest{ClientID: r.ClientID, Capabilities: r.Capabilities}
+	// Every attempt mints a trace ID (internal/obs): one uint64 on the
+	// cold control messages. A /v1 control plane drops the field and
+	// the session degrades to untraced server-side; client spans are
+	// recorded locally either way.
+	trace := obs.NextTraceID(r.ClientID)
+	start := time.Now()
+	req := server.CheckinRequest{ClientID: r.ClientID, Capabilities: r.Capabilities, TraceID: trace}
 	for _, sel := range r.Selectors {
 		if r.Stream {
 			sess, err := transport.OpenSession(r.Net, r.name(), sel)
@@ -423,13 +451,17 @@ func (r *Runtime) checkin() (*participation, server.CheckinResponse, error) {
 				_ = sess.Close()
 				continue
 			}
-			return &participation{r: r, selector: sel, sess: sess}, resp.(server.CheckinResponse), nil
+			cr := resp.(server.CheckinResponse)
+			obs.RecordSpan(trace, "client", r.name(), "checkin", cr.TaskID, cr.SessionID, start, time.Since(start), cr.Reason)
+			return &participation{r: r, selector: sel, sess: sess, trace: trace}, cr, nil
 		}
 		resp, err := r.Net.Call(r.name(), sel, "checkin", req)
 		if err != nil {
 			continue
 		}
-		return &participation{r: r, selector: sel}, resp.(server.CheckinResponse), nil
+		cr := resp.(server.CheckinResponse)
+		obs.RecordSpan(trace, "client", r.name(), "checkin", cr.TaskID, cr.SessionID, start, time.Since(start), cr.Reason)
+		return &participation{r: r, selector: sel, trace: trace}, cr, nil
 	}
 	return nil, server.CheckinResponse{}, ErrNoSelector
 }
@@ -439,7 +471,14 @@ func (r *Runtime) checkin() (*participation, server.CheckinResponse, error) {
 // the remaining selectors on transport errors.
 func (p *participation) route(taskID, method string, payload any) (any, error) {
 	r := p.r
-	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload}
+	start := time.Now()
+	// One client span per in-session call, named after the forwarded
+	// method (download, report, upload-chunk, fail-session) — chunk
+	// spans fall out of the upload loop calling this per chunk.
+	defer func() {
+		obs.RecordSpan(p.trace, "client", r.name(), method, taskID, p.sessionID, start, time.Since(start), "")
+	}()
+	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload, TraceID: p.trace}
 	if p.sess != nil {
 		if resp, err := p.sess.Call("route", req); err == nil {
 			return resp, nil

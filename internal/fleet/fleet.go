@@ -179,6 +179,18 @@ type Report struct {
 	Phases    []Phase    `json:"phases"`
 	Placement Placement  `json:"placement"`
 	Failovers []Failover `json:"failovers"`
+	// Obs holds each tier process's end-of-run /metrics scrape (nonzero
+	// papaya_ samples only), so the committed report carries tier-level
+	// counters and latency histograms, not just stdout-derived figures.
+	Obs []NodeMetrics `json:"obs,omitempty"`
+}
+
+// NodeMetrics is one process's scraped metric samples, keyed by the full
+// Prometheus sample name (histograms appear as their cumulative
+// _bucket/_sum/_count series).
+type NodeMetrics struct {
+	Node    string             `json:"node"`
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 // Phase is one point on the scaling curve: a fixed client count driven

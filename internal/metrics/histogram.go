@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// The histogram is the observability plane's latency/size primitive: a
+// fixed array of log-spaced (power-of-two) buckets updated with a single
+// atomic add per Observe, so hot paths (per-chunk upload handling, the
+// aggregator's server step) can record durations without taking a lock
+// or allocating. Buckets span 2^-20 .. 2^20 — roughly 1µs to 12 days
+// when observing seconds, and 1B to 1MiB when observing sizes — with
+// everything above the top bound landing in a +Inf overflow bucket.
+
+const (
+	// histMinExp is the exponent of the smallest bucket upper bound:
+	// bucket 0 holds observations <= 2^histMinExp.
+	histMinExp = -20
+
+	// HistogramBuckets is the number of finite buckets in every
+	// Histogram; bucket i has upper bound 2^(histMinExp+i). One extra
+	// overflow slot catches observations above the last finite bound.
+	HistogramBuckets = 41
+)
+
+// Histogram is a lock-free, log-bucketed histogram of float64
+// observations. The zero value is ready to use. All methods are safe for
+// concurrent use; Observe costs one atomic add per bucket update plus a
+// CAS loop for the running sum.
+type Histogram struct {
+	counts  [HistogramBuckets + 1]atomic.Int64 // last slot = +Inf overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// bucketIndex returns the smallest bucket whose upper bound is >= v:
+// the index i such that 2^(histMinExp+i-1) < v <= 2^(histMinExp+i),
+// clamped into [0, HistogramBuckets] (the last index is the +Inf slot).
+func bucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	e := exp
+	if frac == 0.5 { // v is an exact power of two: 2^(exp-1)
+		e--
+	}
+	idx := e - histMinExp
+	if idx < 0 {
+		return 0
+	}
+	if idx > HistogramBuckets {
+		return HistogramBuckets
+	}
+	return idx
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Merge adds every bucket count and the running sum of o into h. It is
+// how per-shard histograms are folded into one exposition series; o is
+// read with atomic loads, so merging a live shard is safe (the result is
+// a consistent-enough snapshot, as with any concurrent scrape).
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	var total int64
+	for i := range o.counts {
+		n := o.counts[i].Load()
+		if n != 0 {
+			h.counts[i].Add(n)
+			total += n
+		}
+	}
+	h.count.Add(total)
+	add := math.Float64frombits(o.sumBits.Load())
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + add)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramBucket is one (upper bound, count) pair in a snapshot. Counts
+// are per-bucket, not cumulative; UpperBound is +Inf for the overflow
+// slot.
+type HistogramBucket struct {
+	UpperBound float64
+	Count      int64
+}
+
+// Snapshot returns the per-bucket counts (including the +Inf overflow
+// slot), total count, and sum. Taken with atomic loads; under concurrent
+// Observe the parts may be skewed by in-flight updates, which scrapers
+// tolerate.
+func (h *Histogram) Snapshot() (buckets []HistogramBucket, count int64, sum float64) {
+	buckets = make([]HistogramBucket, HistogramBuckets+1)
+	for i := 0; i < HistogramBuckets; i++ {
+		buckets[i] = HistogramBucket{
+			UpperBound: math.Ldexp(1, histMinExp+i),
+			Count:      h.counts[i].Load(),
+		}
+	}
+	buckets[HistogramBuckets] = HistogramBucket{
+		UpperBound: math.Inf(1),
+		Count:      h.counts[HistogramBuckets].Load(),
+	}
+	return buckets, h.count.Load(), h.Sum()
+}
+
+// BucketUpperBounds returns the upper bounds of the finite buckets, in
+// increasing order (the +Inf overflow slot is implied). Exposed so tests
+// and text-format writers agree on boundaries without duplicating the
+// constant.
+func BucketUpperBounds() []float64 {
+	out := make([]float64, HistogramBuckets)
+	for i := range out {
+		out[i] = math.Ldexp(1, histMinExp+i)
+	}
+	return out
+}

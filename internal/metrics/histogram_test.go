@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// bucketOf returns the index Observe(v) lands in, read back through a
+// snapshot, so the test exercises the public surface.
+func bucketOf(t *testing.T, v float64) int {
+	t.Helper()
+	var h Histogram
+	h.Observe(v)
+	buckets, count, _ := h.Snapshot()
+	if count != 1 {
+		t.Fatalf("count after one Observe = %d", count)
+	}
+	for i, b := range buckets {
+		if b.Count == 1 {
+			return i
+		}
+	}
+	t.Fatalf("observation of %g landed in no bucket", v)
+	return -1
+}
+
+// TestHistogramBucketBoundaries pins the le-semantics at the tricky
+// points: exact powers of two belong to their own bucket (v <= bound),
+// values just above spill into the next, and the extremes clamp.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := BucketUpperBounds()
+	if len(bounds) != HistogramBuckets {
+		t.Fatalf("BucketUpperBounds returned %d bounds, want %d", len(bounds), HistogramBuckets)
+	}
+	if bounds[0] != math.Ldexp(1, histMinExp) {
+		t.Fatalf("bounds[0] = %g, want 2^%d", bounds[0], histMinExp)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != 2*bounds[i-1] {
+			t.Fatalf("bounds not log-2 spaced at %d: %g then %g", i, bounds[i-1], bounds[i])
+		}
+	}
+
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{v: 0, want: 0},
+		{v: -3, want: 0}, // non-positive clamps low
+		{v: math.Ldexp(1, histMinExp-5), want: 0},              // below the smallest bound
+		{v: bounds[0], want: 0},                                // exactly the first bound: le
+		{v: bounds[0] * 1.0001, want: 1},                       // just above spills over
+		{v: 1.0, want: -histMinExp},                            // 2^0 in its own bucket
+		{v: math.Nextafter(1.0, 2.0), want: -histMinExp + 1},   // just above 2^0
+		{v: 0.75, want: -histMinExp},                           // (0.5, 1]
+		{v: 0.5, want: -histMinExp - 1},                        // exactly 2^-1
+		{v: 3, want: -histMinExp + 2},                          // (2, 4]
+		{v: bounds[len(bounds)-1], want: HistogramBuckets - 1}, // top finite bound
+		{v: bounds[len(bounds)-1] * 2, want: HistogramBuckets}, // overflow -> +Inf
+		{v: math.MaxFloat64, want: HistogramBuckets},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(t, tc.v); got != tc.want {
+			t.Errorf("Observe(%g) landed in bucket %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramCountSum checks the running aggregates against a plain
+// serial tally.
+func TestHistogramCountSum(t *testing.T) {
+	var h Histogram
+	want := 0.0
+	for i := 1; i <= 100; i++ {
+		v := float64(i) * 0.013
+		h.Observe(v)
+		want += v
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), want)
+	}
+	_, count, sum := h.Snapshot()
+	if count != 100 || math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("Snapshot count/sum = %d/%g, want 100/%g", count, sum, want)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race in CI) and checks nothing is lost: the
+// total count, the sum, and the per-bucket tallies must all be exact.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// Dyadic values so the concurrent sum is exact regardless
+				// of CAS interleaving.
+				h.Observe(float64(1+(w+i)%4) * 0.25)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*perW {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*perW)
+	}
+	buckets, _, sum := h.Snapshot()
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != workers*perW {
+		t.Fatalf("bucket total = %d, want %d", total, workers*perW)
+	}
+	// Each worker observes 0.25, 0.5, 0.75, 1.0 in rotation; the exact
+	// expected sum is workers*perW/4 * (0.25+0.5+0.75+1.0).
+	want := float64(workers*perW) / 4 * 2.5
+	if sum != want {
+		t.Fatalf("Sum = %g, want %g", sum, want)
+	}
+}
+
+// TestHistogramMerge folds per-shard histograms into one and checks the
+// merged aggregates equal a single histogram fed the union.
+func TestHistogramMerge(t *testing.T) {
+	var shards [4]Histogram
+	var whole Histogram
+	v := 0.001
+	for i := 0; i < 400; i++ {
+		shards[i%4].Observe(v)
+		whole.Observe(v)
+		v *= 1.05
+		if v > 1000 {
+			v = 0.001
+		}
+	}
+	var merged Histogram
+	for i := range shards {
+		merged.Merge(&shards[i])
+	}
+	merged.Merge(nil) // nil shard is a no-op
+
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged Count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if math.Abs(merged.Sum()-whole.Sum()) > 1e-6 {
+		t.Fatalf("merged Sum = %g, want %g", merged.Sum(), whole.Sum())
+	}
+	mb, _, _ := merged.Snapshot()
+	wb, _, _ := whole.Snapshot()
+	for i := range mb {
+		if mb[i].Count != wb[i].Count {
+			t.Fatalf("bucket %d (le %g): merged %d, whole %d",
+				i, mb[i].UpperBound, mb[i].Count, wb[i].Count)
+		}
+	}
+}
+
+// TestVecChildIdentity pins the labeled-family contract the registry
+// depends on: With returns the same child for the same label values, a
+// distinct child otherwise, and keys survive the split round-trip.
+func TestVecChildIdentity(t *testing.T) {
+	var cv CounterVec
+	a := cv.With("agg-0", "ok")
+	b := cv.With("agg-0", "ok")
+	c := cv.With("agg-1", "ok")
+	if a != b {
+		t.Fatal("same label values resolved different counter children")
+	}
+	if a == c {
+		t.Fatal("different label values resolved the same counter child")
+	}
+	a.Inc()
+	a.Inc()
+	c.Inc()
+	children := cv.Children()
+	if n := children[VecKey("agg-0", "ok")].Value(); n != 2 {
+		t.Fatalf("agg-0 child = %d, want 2", n)
+	}
+	if got := SplitVecKey(VecKey("agg-0", "ok")); len(got) != 2 || got[0] != "agg-0" || got[1] != "ok" {
+		t.Fatalf("SplitVecKey round-trip = %v", got)
+	}
+	var hv HistogramVec
+	if hv.With("x") != hv.With("x") {
+		t.Fatal("histogram vec did not dedupe children")
+	}
+	var gv GaugeVec
+	gv.With("x").Set(7)
+	if gv.With("x").Value() != 7 {
+		t.Fatal("gauge vec did not dedupe children")
+	}
+}

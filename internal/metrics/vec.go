@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Labeled metric families. A *Vec maps a tuple of label values to one
+// child metric (Counter, Gauge, or Histogram); instrumented code resolves
+// the child once (at construction, off the hot path) and then touches
+// only the child's atomics. The vec does not know label names — callers
+// (the obs registry) keep name order and pair values back up at
+// exposition time via Children. The zero value of every Vec is ready to
+// use, like the child metrics themselves.
+
+// VecKeySeparator joins label values into a child key. It is a control
+// character so it cannot collide with real label values like node names
+// or codec identifiers.
+const VecKeySeparator = "\x1f"
+
+// VecKey joins label values into the child-map key used by every *Vec.
+func VecKey(values ...string) string { return strings.Join(values, VecKeySeparator) }
+
+// SplitVecKey recovers the label values joined by VecKey.
+func SplitVecKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, VecKeySeparator)
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	mu sync.RWMutex
+	m  map[string]*Counter
+}
+
+// NewCounterVec returns an empty counter family.
+func NewCounterVec() *CounterVec { return &CounterVec{m: make(map[string]*Counter)} }
+
+// With returns the child for the given label values, creating it on
+// first use. Resolve children once per node/label tuple, not per
+// observation.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := VecKey(values...)
+	v.mu.RLock()
+	c, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[key]; !ok {
+		if v.m == nil {
+			v.m = make(map[string]*Counter)
+		}
+		c = &Counter{}
+		v.m[key] = c
+	}
+	return c
+}
+
+// Children returns a copy of the child map, keyed by VecKey-joined label
+// values, sorted iteration being the caller's concern.
+func (v *CounterVec) Children() map[string]*Counter {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Counter, len(v.m))
+	for k, c := range v.m {
+		out[k] = c
+	}
+	return out
+}
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct {
+	mu sync.RWMutex
+	m  map[string]*Gauge
+}
+
+// NewGaugeVec returns an empty gauge family.
+func NewGaugeVec() *GaugeVec { return &GaugeVec{m: make(map[string]*Gauge)} }
+
+// With returns the child for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := VecKey(values...)
+	v.mu.RLock()
+	g, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok = v.m[key]; !ok {
+		if v.m == nil {
+			v.m = make(map[string]*Gauge)
+		}
+		g = &Gauge{}
+		v.m[key] = g
+	}
+	return g
+}
+
+// Children returns a copy of the child map, keyed by VecKey-joined label
+// values.
+func (v *GaugeVec) Children() map[string]*Gauge {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Gauge, len(v.m))
+	for k, g := range v.m {
+		out[k] = g
+	}
+	return out
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	mu sync.RWMutex
+	m  map[string]*Histogram
+}
+
+// NewHistogramVec returns an empty histogram family.
+func NewHistogramVec() *HistogramVec { return &HistogramVec{m: make(map[string]*Histogram)} }
+
+// With returns the child for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := VecKey(values...)
+	v.mu.RLock()
+	h, ok := v.m[key]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[key]; !ok {
+		if v.m == nil {
+			v.m = make(map[string]*Histogram)
+		}
+		h = &Histogram{}
+		v.m[key] = h
+	}
+	return h
+}
+
+// Children returns a copy of the child map, keyed by VecKey-joined label
+// values.
+func (v *HistogramVec) Children() map[string]*Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Histogram, len(v.m))
+	for k, h := range v.m {
+		out[k] = h
+	}
+	return out
+}
+
+// SortedKeys returns the keys of a child map in lexicographic order, so
+// exposition output is deterministic.
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

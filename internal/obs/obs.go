@@ -1,0 +1,196 @@
+// Package obs is the runtime observability plane: a per-process metrics
+// registry with Prometheus text exposition, a bounded in-memory span
+// ring for cross-tier session traces, and the HTTP handler that serves
+// both (plus /debug/vars and net/http/pprof) on the -obs-listen
+// endpoint of every serve|agent|selector process.
+//
+// The design follows the paper's operational posture (Section 4 runs
+// coordinator/aggregator/selector tiers as fleets of stateless-ish
+// processes): metrics are process-global and labeled by node name, so a
+// `papaya serve` process hosting a coordinator, N aggregators, and M
+// selectors exposes one scrape with per-node series, exactly like a
+// multi-tenant production binary would. Instrumented packages resolve
+// labeled children once at construction (internal/metrics vecs) and the
+// hot path touches only atomics.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Metric family kinds, as rendered in Prometheus `# TYPE` lines.
+const (
+	// KindCounter marks a monotonically increasing family.
+	KindCounter = "counter"
+	// KindGauge marks a family that can go up and down.
+	KindGauge = "gauge"
+	// KindHistogram marks a log-bucketed histogram family.
+	KindHistogram = "histogram"
+)
+
+// gaugeFunc is one lazily-read gauge series: label values plus the
+// closure sampled at scrape time (vecpool outstanding leases, transport
+// byte counters — values owned by other subsystems).
+type gaugeFunc struct {
+	values []string
+	fn     func() float64
+}
+
+// Family is one named metric family in a Registry: a help string, the
+// ordered label names, and the children (eager vecs or lazy gauge
+// funcs).
+type Family struct {
+	// Name is the fully-qualified series name (papaya_uploads_total).
+	Name string
+	// Help is the one-line HELP text.
+	Help string
+	// Kind is one of KindCounter, KindGauge, KindHistogram.
+	Kind string
+	// Labels is the ordered label-name list; With calls must pass
+	// values in this order.
+	Labels []string
+
+	counters *metrics.CounterVec
+	gauges   *metrics.GaugeVec
+	hists    *metrics.HistogramVec
+
+	mu    sync.Mutex
+	funcs []gaugeFunc
+}
+
+// Registry is a named collection of metric families. The zero value is
+// not usable; call NewRegistry, or use the process-global Default.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*Family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry served by the -obs-listen
+// endpoint. Instrumented packages register their families here.
+func Default() *Registry { return defaultRegistry }
+
+// family returns the named family, creating it with the given shape on
+// first use. Re-registration with a different kind or label arity is a
+// programming error and panics loudly (silent divergence would corrupt
+// the exposition).
+func (r *Registry) family(name, help, kind string, labels []string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &Family{Name: name, Help: help, Kind: kind, Labels: labels}
+		switch kind {
+		case KindCounter:
+			f.counters = metrics.NewCounterVec()
+		case KindGauge:
+			f.gauges = metrics.NewGaugeVec()
+		case KindHistogram:
+			f.hists = metrics.NewHistogramVec()
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.Kind != kind || len(f.Labels) != len(labels) {
+		panic(fmt.Sprintf("obs: family %q re-registered as %s/%d labels (was %s/%d)",
+			name, kind, len(labels), f.Kind, len(f.Labels)))
+	}
+	return f
+}
+
+// Counter registers (or returns) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *Family {
+	return r.family(name, help, KindCounter, labels)
+}
+
+// Gauge registers (or returns) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Family {
+	return r.family(name, help, KindGauge, labels)
+}
+
+// Histogram registers (or returns) a histogram family.
+func (r *Registry) Histogram(name, help string, labels ...string) *Family {
+	return r.family(name, help, KindHistogram, labels)
+}
+
+// GaugeFunc registers a lazily-sampled gauge series: fn is called at
+// scrape time. values must match the family's label arity. Registering
+// the same label tuple again replaces the previous closure (a restarted
+// node re-registers its sampler).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels []string, values ...string) {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("obs: GaugeFunc %q: %d label values for %d labels", name, len(values), len(labels)))
+	}
+	f := r.family(name, help, KindGauge, labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := metrics.VecKey(values...)
+	for i := range f.funcs {
+		if metrics.VecKey(f.funcs[i].values...) == key {
+			f.funcs[i].fn = fn
+			return
+		}
+	}
+	f.funcs = append(f.funcs, gaugeFunc{values: values, fn: fn})
+}
+
+// CounterWith resolves one counter child; values follow the family's
+// label order. Resolve once per node, not per observation.
+func (f *Family) CounterWith(values ...string) *metrics.Counter {
+	f.checkArity(values)
+	return f.counters.With(values...)
+}
+
+// GaugeWith resolves one gauge child.
+func (f *Family) GaugeWith(values ...string) *metrics.Gauge {
+	f.checkArity(values)
+	return f.gauges.With(values...)
+}
+
+// HistogramWith resolves one histogram child.
+func (f *Family) HistogramWith(values ...string) *metrics.Histogram {
+	f.checkArity(values)
+	return f.hists.With(values...)
+}
+
+func (f *Family) checkArity(values []string) {
+	if len(values) != len(f.Labels) {
+		panic(fmt.Sprintf("obs: family %q: %d label values for %d labels", f.Name, len(values), len(f.Labels)))
+	}
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*Family {
+	r.mu.Lock()
+	out := make([]*Family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Snapshot flattens the registry into fully-labeled sample names →
+// values, the same samples WriteProm renders: counters and gauges as-is,
+// histograms expanded to _bucket/_sum/_count series. It is how the
+// in-process scenario engine commits tier metrics without a scrape.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.families() {
+		f.eachSample(func(name string, v float64) {
+			out[name] = v
+		})
+	}
+	return out
+}

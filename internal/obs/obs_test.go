@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestWritePromGolden pins the exact text exposition for counter, gauge,
+// and gauge-func families: HELP/TYPE headers, families sorted by name,
+// samples sorted by label tuple, label values quoted. Any drift here
+// breaks every scraper downstream (fleet, soak test, CI smoke job).
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("t_requests_total", "Requests handled.", "node", "outcome")
+	reqs.CounterWith("agg-1", "ok").Add(1)
+	reqs.CounterWith("agg-0", "ok").Add(3)
+	reqs.CounterWith("agg-0", "reject").Add(2)
+	r.Gauge("t_active", "Open things.").GaugeWith().Set(2)
+	r.GaugeFunc("t_lazy", "Sampled at scrape.", func() float64 { return 4.5 }, []string{"node"}, "n1")
+
+	const want = `# HELP t_active Open things.
+# TYPE t_active gauge
+t_active 2
+# HELP t_lazy Sampled at scrape.
+# TYPE t_lazy gauge
+t_lazy{node="n1"} 4.5
+# HELP t_requests_total Requests handled.
+# TYPE t_requests_total counter
+t_requests_total{node="agg-0",outcome="ok"} 3
+t_requests_total{node="agg-0",outcome="reject"} 2
+t_requests_total{node="agg-1",outcome="ok"} 1
+`
+	got := promText(t, r)
+	if got != want {
+		t.Fatalf("WriteProm output drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// Determinism: a second render must be byte-identical.
+	if again := promText(t, r); again != got {
+		t.Fatal("WriteProm is not deterministic across calls")
+	}
+}
+
+func promText(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	return b.String()
+}
+
+// TestHistogramExposition checks the cumulative-bucket expansion through
+// the full write→parse round trip: le semantics, the +Inf catch-all,
+// and _sum/_count series.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	lat := r.Histogram("t_lat_seconds", "Latency.", "node")
+	h := lat.HistogramWith("n1")
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	samples, err := ParseText(strings.NewReader(promText(t, r)))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	checks := map[string]float64{
+		`t_lat_seconds_bucket{node="n1",le="0.5"}`:  2, // both 0.5s land at the bound
+		`t_lat_seconds_bucket{node="n1",le="2"}`:    2, // 3 is above
+		`t_lat_seconds_bucket{node="n1",le="4"}`:    3, // cumulative picks it up
+		`t_lat_seconds_bucket{node="n1",le="+Inf"}`: 3,
+		`t_lat_seconds_sum{node="n1"}`:              4,
+		`t_lat_seconds_count{node="n1"}`:            3,
+	}
+	for name, want := range checks {
+		got, ok := samples[name]
+		if !ok {
+			t.Fatalf("sample %s missing from exposition", name)
+		}
+		if got != want {
+			t.Errorf("%s = %g, want %g", name, got, want)
+		}
+	}
+	// Cumulative counts must be monotone across the whole bucket ladder.
+	prev := -1.0
+	for _, b := range append(metrics.BucketUpperBounds(), math.Inf(1)) {
+		name := `t_lat_seconds_bucket{node="n1",le="` + formatFloat(b) + `"}`
+		v, ok := samples[name]
+		if !ok {
+			t.Fatalf("bucket %s missing", name)
+		}
+		if v < prev {
+			t.Fatalf("cumulative bucket counts not monotone at le=%g: %g < %g", b, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestParseTextRoundTrip: every sample the registry snapshots must
+// survive the text round trip with the same key and value.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_a_total", "a", "x").CounterWith("v1").Add(7)
+	r.Gauge("t_b", "b").GaugeWith().Set(-3)
+	r.Histogram("t_c_seconds", "c").HistogramWith().Observe(0.125)
+
+	parsed, err := ParseText(strings.NewReader(promText(t, r)))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	snap := r.Snapshot()
+	if len(parsed) != len(snap) {
+		t.Fatalf("parsed %d samples, snapshot has %d", len(parsed), len(snap))
+	}
+	for name, want := range snap {
+		got, ok := parsed[name]
+		if !ok {
+			t.Fatalf("snapshot sample %s lost in text round trip", name)
+		}
+		if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+			t.Errorf("%s: parsed %g, snapshot %g", name, got, want)
+		}
+	}
+}
+
+// TestGaugeFuncReplacement: re-registering the same label tuple swaps
+// the closure in place (a restarted node re-registers its sampler) and
+// must not grow a duplicate series.
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("t_g", "g", func() float64 { return 1 }, []string{"node"}, "n1")
+	r.GaugeFunc("t_g", "g", func() float64 { return 9 }, []string{"node"}, "n1")
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("expected 1 sample after replacement, got %d: %v", len(snap), snap)
+	}
+	if v := snap[`t_g{node="n1"}`]; v != 9 {
+		t.Fatalf("replaced gauge func reads %g, want 9", v)
+	}
+}
+
+// TestFamilyShapePanics: silent shape divergence would corrupt the
+// exposition, so re-registration with a different kind or arity, and
+// With calls with the wrong arity, must panic.
+func TestFamilyShapePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_shape_total", "s", "node")
+
+	mustPanic(t, "kind mismatch", func() { r.Gauge("t_shape_total", "s", "node") })
+	mustPanic(t, "arity mismatch", func() { r.Counter("t_shape_total", "s", "node", "extra") })
+	mustPanic(t, "With arity", func() { r.Counter("t_shape_total", "s", "node").CounterWith("a", "b") })
+	mustPanic(t, "GaugeFunc arity", func() {
+		r.GaugeFunc("t_shape_g", "g", func() float64 { return 0 }, []string{"node"}, "a", "b")
+	})
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", what)
+		}
+	}()
+	fn()
+}
+
+// TestSpanRingWrap: the ring holds the most recent n spans in record
+// order once it wraps; older spans are overwritten, not leaked.
+func TestSpanRingWrap(t *testing.T) {
+	ring := NewSpanRing(8)
+	for i := 1; i <= 20; i++ {
+		ring.Record(Span{Trace: uint64(i), Name: "s"})
+	}
+	if ring.Len() != 8 {
+		t.Fatalf("Len after wrap = %d, want 8", ring.Len())
+	}
+	got := ring.Snapshot(0)
+	if len(got) != 8 {
+		t.Fatalf("Snapshot returned %d spans, want 8", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(13 + i); s.Trace != want {
+			t.Fatalf("span %d has trace %d, want %d (oldest must be overwritten in order)", i, s.Trace, want)
+		}
+	}
+}
+
+// TestSpanRingFilterAndUntraced: Snapshot(trace) filters to one trace,
+// and trace-0 spans are never retained (the /v1 degradation contract).
+func TestSpanRingFilterAndUntraced(t *testing.T) {
+	ring := NewSpanRing(16)
+	ring.Record(Span{Trace: 0, Name: "dropped"})
+	ring.Record(Span{Trace: 5, Name: "a"})
+	ring.Record(Span{Trace: 6, Name: "b"})
+	ring.Record(Span{Trace: 5, Name: "c"})
+	if ring.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (trace-0 span must be dropped)", ring.Len())
+	}
+	only5 := ring.Snapshot(5)
+	if len(only5) != 2 || only5[0].Name != "a" || only5[1].Name != "c" {
+		t.Fatalf("Snapshot(5) = %+v, want spans a,c in order", only5)
+	}
+}
+
+// TestNextTraceID: IDs are nonzero, unique per call, and carry the
+// client ID in the high bits so a human can read it back from hex.
+func TestNextTraceID(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := NextTraceID(42)
+		if id == 0 {
+			t.Fatal("NextTraceID returned 0 (reserved for untraced)")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %#x", id)
+		}
+		seen[id] = true
+		if id>>24 != 42 {
+			t.Fatalf("trace ID %#x does not carry client 42 in the high bits", id)
+		}
+	}
+}
+
+// TestRecordSpanUntracedNoop: RecordSpan with trace 0 must not touch
+// the global ring — the one-branch cost of an untraced session.
+func TestRecordSpanUntracedNoop(t *testing.T) {
+	before := Spans().Len()
+	RecordSpan(0, "client", "c", "checkin", "t", 1, time.Now(), time.Millisecond, "")
+	if Spans().Len() != before {
+		t.Fatal("RecordSpan(0, ...) grew the global ring")
+	}
+}
+
+// TestHandlerEndpoints drives the HTTP surface: /metrics serves the
+// exposition, /trace serves filtered JSON, bad trace IDs 400, and hex
+// trace IDs are accepted (papaya trace prints them as 0x...).
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	Default().Counter("t_handler_total", "h").CounterWith().Add(3)
+	trace := NextTraceID(999)
+	RecordSpan(trace, "client", "client-999", "checkin", "task-h", 4, time.Now(), time.Millisecond, "")
+
+	body := httpGet(t, srv.URL+"/metrics")
+	samples, err := ParseText(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("ParseText(/metrics): %v", err)
+	}
+	if samples["t_handler_total"] != 3 {
+		t.Fatalf("/metrics t_handler_total = %g, want 3", samples["t_handler_total"])
+	}
+
+	for _, q := range []string{
+		"?trace=" + strconv.FormatUint(trace, 10),
+		"?trace=0x" + strconv.FormatUint(trace, 16),
+	} {
+		body := httpGet(t, srv.URL+"/trace"+q)
+		if !strings.Contains(body, `"task-h"`) || !strings.Contains(body, `"checkin"`) {
+			t.Fatalf("/trace%s missing recorded span: %s", q, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/trace?trace=nope")
+	if err != nil {
+		t.Fatalf("GET /trace?trace=nope: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace id returned %d, want 400", resp.StatusCode)
+	}
+
+	if body := httpGet(t, srv.URL+"/debug/vars"); !strings.Contains(body, "papaya_metrics") {
+		t.Fatal("/debug/vars does not publish papaya_metrics")
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Prometheus text exposition (version 0.0.4) plus the tiny parser the
+// harnesses reuse: `papaya fleet` scrapes child processes' /metrics into
+// BENCH_fleet.json, the stream-soak test asserts vecpool balance via a
+// scrape, and the CI obs-smoke job greps the same format.
+
+// sampleName renders one fully-labeled sample: name{l1="v1",l2="v2"} or
+// a bare name when the family has no labels.
+func sampleName(name string, labels, values []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sampleNameExtra is sampleName with one extra trailing label (the
+// histogram "le" bound).
+func sampleNameExtra(name string, labels, values []string, extraLabel, extraValue string) string {
+	return sampleName(name, append(append([]string{}, labels...), extraLabel),
+		append(append([]string{}, values...), extraValue))
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// eachSample visits every fully-labeled sample of the family in
+// deterministic (sorted label tuple) order. Histograms expand into
+// cumulative _bucket{le=...} series plus _sum and _count, matching
+// Prometheus histogram semantics.
+func (f *Family) eachSample(visit func(name string, v float64)) {
+	switch f.Kind {
+	case KindCounter:
+		children := f.counters.Children()
+		for _, key := range metrics.SortedKeys(children) {
+			visit(sampleName(f.Name, f.Labels, metrics.SplitVecKey(key)), float64(children[key].Value()))
+		}
+	case KindGauge:
+		children := f.gauges.Children()
+		for _, key := range metrics.SortedKeys(children) {
+			visit(sampleName(f.Name, f.Labels, metrics.SplitVecKey(key)), float64(children[key].Value()))
+		}
+		f.mu.Lock()
+		funcs := append([]gaugeFunc(nil), f.funcs...)
+		f.mu.Unlock()
+		sort.Slice(funcs, func(i, j int) bool {
+			return metrics.VecKey(funcs[i].values...) < metrics.VecKey(funcs[j].values...)
+		})
+		for _, gf := range funcs {
+			visit(sampleName(f.Name, f.Labels, gf.values), gf.fn())
+		}
+	case KindHistogram:
+		children := f.hists.Children()
+		for _, key := range metrics.SortedKeys(children) {
+			values := metrics.SplitVecKey(key)
+			buckets, count, sum := children[key].Snapshot()
+			cum := int64(0)
+			for _, b := range buckets {
+				cum += b.Count
+				visit(sampleNameExtra(f.Name+"_bucket", f.Labels, values, "le", formatFloat(b.UpperBound)), float64(cum))
+			}
+			visit(sampleName(f.Name+"_sum", f.Labels, values), sum)
+			visit(sampleName(f.Name+"_count", f.Labels, values), float64(count))
+		}
+	}
+}
+
+// WriteProm renders the registry in Prometheus text exposition format:
+// HELP/TYPE headers followed by every sample, families sorted by name,
+// samples sorted by label tuple. Deterministic, so tests can golden it.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		f.eachSample(func(name string, v float64) {
+			fmt.Fprintf(bw, "%s %s\n", name, formatFloat(v))
+		})
+	}
+	return bw.Flush()
+}
+
+// ParseText parses Prometheus text exposition into fully-labeled sample
+// name → value. Comment and blank lines are skipped; the label block is
+// kept verbatim as part of the key (the writer emits labels in a fixed
+// order, so exact-string keys are stable). This is the scraper half used
+// by fleet, the soak test, and papaya trace's metric helpers.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the field after the last space that is not
+		// inside the label block.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("obs: unparseable exposition line %q", line)
+		}
+		name := strings.TrimSpace(line[:cut])
+		valStr := strings.TrimSpace(line[cut+1:])
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			if valStr == "+Inf" {
+				v = math.Inf(1)
+			} else {
+				return nil, fmt.Errorf("obs: bad sample value in %q: %v", line, err)
+			}
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

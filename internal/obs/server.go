@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The obs HTTP endpoint. One per process (not per node): -obs-listen on
+// serve|agent|selector|loadtest binds it, and everything it serves is
+// read-only introspection — scraping must never perturb the control
+// plane, so this listener is separate from the fabric listener.
+
+var publishOnce sync.Once
+
+// Handler returns the obs mux:
+//
+//	/metrics     Prometheus text exposition of the default registry
+//	/trace       JSON span dump (?trace=<id> filters; 0x-hex accepted)
+//	/debug/vars  expvar (memstats, cmdline, papaya_metrics)
+//	/debug/pprof stdlib profiling endpoints
+func Handler() http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("papaya_metrics", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = Default().WriteProm(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		var trace uint64
+		if s := req.URL.Query().Get("trace"); s != "" {
+			v, err := strconv.ParseUint(s, 0, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			trace = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(Spans().Snapshot(trace))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds the obs endpoint on addr (host:port; port 0 picks a free
+// one) and serves Handler in the background. It returns the endpoint's
+// base URL ("http://127.0.0.1:port") and a shutdown func that closes the
+// listener.
+func Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+	return url, func() error { return srv.Close() }, nil
+}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/fedopt"
 	"repro/internal/lmdata"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/transport"
@@ -206,6 +208,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 	// where) is pre-drawn per (client, attempt), so worker count only
 	// affects interleaving, never the trace.
 	start := time.Now()
+	obsBefore := obs.Default().Snapshot()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -223,6 +226,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 	close(jobs)
 	wg.Wait()
 	wall := time.Since(start)
+	obsDelta := metricsDelta(obsBefore, obs.Default().Snapshot())
 
 	// Lift the fault profile before the final info query so the readout
 	// cannot be dropped by its own scenario.
@@ -253,6 +257,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		Version:    info.Version,
 		Uploads:    info.Updates,
 		WallSecs:   wall.Seconds(),
+		Metrics:    obsDelta,
 	}
 	if wall > 0 {
 		rep.UploadsPerSec = float64(info.Updates) / wall.Seconds()
@@ -400,6 +405,26 @@ func (d *device) run() {
 		}
 		d.trace = append(d.trace, ev)
 	}
+}
+
+// metricsDelta subtracts two registry snapshots and keeps the nonzero
+// papaya_ movements — what this run itself added to the shared
+// in-process registry. Samples that first appeared during the run (new
+// labeled children) count from zero.
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range after {
+		if !strings.HasPrefix(name, "papaya_") {
+			continue
+		}
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // percentileMillis is the loadtest's percentile, local to the engine.

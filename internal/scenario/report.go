@@ -45,6 +45,12 @@ type Report struct {
 	UploadsPerSec float64 `json:"uploads_per_sec"`
 	// Tiers carries per-tier outcome counts and latency percentiles.
 	Tiers []TierStats `json:"tiers"`
+	// Metrics is the run's delta of the process-global obs registry
+	// (nonzero papaya_ samples only): server-tier counters and latency
+	// histogram series attributable to this run, committed alongside the
+	// stdout-derived figures. Deltas, because the in-process registry is
+	// shared across runs in one test binary.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Trace is the per-attempt event log, sorted by (client, attempt).
 	// It is excluded from bench rows (PlanTrace renders it for diffing).
 	Trace []TraceEvent `json:"-"`

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"log"
 	"sync"
 	"time"
 
@@ -21,6 +22,10 @@ type sessionState struct {
 	startVersion int
 	aborted      bool   // guarded by the task mutex
 	abortReason  string // guarded by the task mutex
+	// trace is the session's cross-tier trace ID (internal/obs), set
+	// once at join and immutable after — readable without a lock. 0
+	// means untraced.
+	trace uint64
 
 	// Upload assembly runs under the session's own mutex, never the
 	// task's: chunk copies for different sessions proceed fully in
@@ -210,6 +215,10 @@ type Aggregator struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// obs holds this node's resolved metric children (obsmetrics.go);
+	// hot paths touch only its atomics.
+	obs *aggObs
 }
 
 // NewAggregator registers an aggregator node on the fabric and starts its
@@ -223,7 +232,15 @@ func NewAggregator(name string, net transport.Fabric, coordinator string, timing
 		tasks:           make(map[string]*taskState),
 		lastCkptVersion: make(map[string]int),
 		stop:            make(chan struct{}),
+		obs:             newAggObs(name),
 	}
+	// Live session count as a lazily-read gauge: summing per-task maps
+	// at scrape time costs nothing on the serving path and can never
+	// drift from the maps the way an inc/dec pair could.
+	obsreg.GaugeFunc("papaya_active_sessions",
+		"Currently open virtual sessions.",
+		func() float64 { return float64(a.activeSessionCount()) },
+		[]string{"node"}, name)
 	net.Register(name, a.handle)
 	a.wg.Add(1)
 	go a.heartbeatLoop()
@@ -332,6 +349,7 @@ func (a *Aggregator) dropTask(taskID string) (any, error) {
 		for _, s := range sessions {
 			s.close()
 		}
+		a.obs.sessionsClosed.Add(int64(len(sessions)))
 	}
 	return true, nil
 }
@@ -348,6 +366,7 @@ func (a *Aggregator) task(id string) (*taskState, error) {
 
 // join enforces max concurrency (Appendix E.1) and opens a virtual session.
 func (a *Aggregator) join(req JoinRequest) (any, error) {
+	start := time.Now()
 	ts, err := a.task(req.TaskID)
 	if err != nil {
 		return nil, err
@@ -355,15 +374,19 @@ func (a *Aggregator) join(req JoinRequest) (any, error) {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	if len(ts.sessions) >= ts.spec.Concurrency {
+		a.obs.span(req.TraceID, "join", req.TaskID, 0, start, "task at max concurrency")
 		return JoinResponse{Accepted: false, Reason: "task at max concurrency"}, nil
 	}
 	ts.nextSession++
 	id := ts.nextSession
-	ts.sessions[id] = &sessionState{clientID: req.ClientID, startVersion: ts.version, lastActive: time.Now()}
+	ts.sessions[id] = &sessionState{clientID: req.ClientID, startVersion: ts.version, lastActive: time.Now(), trace: req.TraceID}
+	a.obs.sessionsOpened.Inc()
+	a.obs.span(req.TraceID, "join", req.TaskID, id, start, "")
 	return JoinResponse{Accepted: true, SessionID: id, Version: ts.version}, nil
 }
 
 func (a *Aggregator) download(req DownloadRequest) (any, error) {
+	start := time.Now()
 	ts, err := a.task(req.TaskID)
 	if err != nil {
 		return nil, err
@@ -386,12 +409,14 @@ func (a *Aggregator) download(req DownloadRequest) (any, error) {
 	// balances the lease.
 	params := vecpool.GetFloats(len(ts.params))
 	copy(params, ts.params)
+	a.obs.span(s.trace, "download", req.TaskID, req.SessionID, start, "")
 	return DownloadResponse{Params: params, Version: ts.version}, nil
 }
 
 // report hands the client its upload configuration (participation stage 3),
 // including the SecAgg bundle when the task runs with secure aggregation.
 func (a *Aggregator) report(req ReportRequest) (any, error) {
+	start := time.Now()
 	ts, err := a.task(req.TaskID)
 	if err != nil {
 		return nil, err
@@ -408,6 +433,8 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 		delete(ts.sessions, req.SessionID)
 		ts.mu.Unlock()
 		s.close()
+		a.obs.sessionsClosed.Inc()
+		a.obs.span(s.trace, "report", req.TaskID, req.SessionID, start, reason)
 		return ReportResponse{OK: false, Reason: reason}, nil
 	}
 	chunk := ts.spec.UploadChunkSize
@@ -425,6 +452,10 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 	}
 	dep := ts.spec.SecAgg
 	ts.mu.Unlock()
+	// Codec negotiation outcome: which upload codec chain this session
+	// will actually use ("raw" when the negotiation yielded nothing).
+	a.obs.negotiated(resp.Compress)
+	a.obs.span(s.trace, "report", req.TaskID, req.SessionID, start, "")
 
 	if dep != nil {
 		bundles, err := dep.FetchInitialBundles(1)
@@ -439,6 +470,7 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 }
 
 func (a *Aggregator) failSession(req FailRequest) (any, error) {
+	start := time.Now()
 	ts, err := a.task(req.TaskID)
 	if err != nil {
 		return nil, err
@@ -449,6 +481,8 @@ func (a *Aggregator) failSession(req FailRequest) (any, error) {
 	ts.mu.Unlock()
 	if s != nil {
 		s.close()
+		a.obs.sessionsClosed.Inc()
+		a.obs.span(s.trace, "fail", req.TaskID, req.SessionID, start, "client-failed")
 	}
 	return true, nil
 }
@@ -463,7 +497,20 @@ func (a *Aggregator) failSession(req FailRequest) (any, error) {
 // under the aggregation buffer's per-shard locks (Section 6.3's parallel
 // buffered aggregation), so concurrent uploads from different sessions
 // contend only on their shard, never on the whole task.
-func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
+func (a *Aggregator) uploadChunk(c UploadChunk) (out any, err error) {
+	start := time.Now()
+	var trace uint64
+	defer func() {
+		// One histogram observation per chunk accept — the hot-path
+		// latency series — plus the chunk span for traced sessions
+		// (both are atomic-cheap; RecordSpan no-ops on trace 0).
+		a.obs.chunkSeconds.Observe(time.Since(start).Seconds())
+		errText := ""
+		if resp, isResp := out.(UploadResponse); isResp && !resp.OK {
+			errText = resp.Reason
+		}
+		a.obs.span(trace, "chunk", c.TaskID, c.SessionID, start, errText)
+	}()
 	ts, err := a.task(c.TaskID)
 	if err != nil {
 		return nil, err
@@ -473,11 +520,16 @@ func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
 	useSecAgg := ts.spec.SecAgg != nil
 	numParams := ts.spec.NumParams
 	s, ok := ts.sessions[c.SessionID]
+	if ok {
+		trace = s.trace
+	}
 	if ok && s.aborted {
 		reason := s.abortReason
 		delete(ts.sessions, c.SessionID)
 		ts.mu.Unlock()
 		s.close()
+		a.obs.sessionsClosed.Inc()
+		a.obs.uploadRejects.Inc()
 		return UploadResponse{OK: false, Reason: reason}, nil
 	}
 	ts.mu.Unlock()
@@ -540,7 +592,14 @@ func (a *Aggregator) uploadChunk(c UploadChunk) (any, error) {
 // finishUpload completes a session's upload and runs the aggregation path.
 // It owns the session's reassembly buffers (via take) and must release
 // them on every path once their contents are folded into durable state.
-func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState) (any, error) {
+func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState) (out any, err error) {
+	finishStart := time.Now()
+	defer func() {
+		a.obs.finishSeconds.Observe(time.Since(finishStart).Seconds())
+		if resp, isResp := out.(UploadResponse); isResp && !resp.OK {
+			a.obs.uploadRejects.Inc()
+		}
+	}()
 	pending, pendingGp, received, ok := s.take()
 	if !ok {
 		return UploadResponse{OK: false, Reason: "unknown session"}, nil
@@ -561,6 +620,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		delete(ts.sessions, c.SessionID)
 		ts.mu.Unlock()
 		release()
+		a.obs.sessionsClosed.Inc()
 		return UploadResponse{OK: false, Reason: reason}, nil
 	}
 	staleness := ts.version - s.startVersion
@@ -568,6 +628,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		delete(ts.sessions, c.SessionID)
 		ts.mu.Unlock()
 		release()
+		a.obs.sessionsClosed.Inc()
 		return UploadResponse{OK: false, Reason: "staleness exceeded"}, nil
 	}
 
@@ -585,6 +646,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 			delete(ts.sessions, c.SessionID)
 			ts.mu.Unlock()
 			release()
+			a.obs.sessionsClosed.Inc()
 			return UploadResponse{OK: false, Reason: "incomplete masked upload"}, nil
 		}
 		up := secagg.Upload{
@@ -597,6 +659,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 			delete(ts.sessions, c.SessionID)
 			ts.mu.Unlock()
 			release()
+			a.obs.sessionsClosed.Inc()
 			return UploadResponse{OK: false, Reason: err.Error()}, nil
 		}
 		out, err := a.countAndMaybeStepLocked(ts, c.SessionID)
@@ -612,6 +675,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 			delete(ts.sessions, c.SessionID)
 			ts.mu.Unlock()
 			release()
+			a.obs.sessionsClosed.Inc()
 			return UploadResponse{OK: false, Reason: "incomplete upload"}, nil
 		}
 		ts.buf.Add(pending, w, int(s.clientID))
@@ -637,6 +701,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 			delete(ts.sessions, c.SessionID)
 			ts.mu.Unlock()
 			release()
+			a.obs.sessionsClosed.Inc()
 			return UploadResponse{OK: false, Reason: "incomplete upload"}, nil
 		}
 		clientID := s.clientID
@@ -660,9 +725,15 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 // double-trigger a release — the first one to lock sees the goal and
 // drains the buffer; the rest see the drained count.
 func (a *Aggregator) countAndMaybeStepLocked(ts *taskState, sessionID uint64) (any, error) {
+	var trace uint64
+	if s := ts.sessions[sessionID]; s != nil {
+		trace = s.trace
+	}
 	ts.updates++
 	ts.roundReceived++
 	delete(ts.sessions, sessionID)
+	a.obs.uploads.Inc()
+	a.obs.sessionsClosed.Inc()
 
 	var goalMet bool
 	switch {
@@ -683,9 +754,15 @@ func (a *Aggregator) countAndMaybeStepLocked(ts *taskState, sessionID uint64) (a
 		goalMet = false
 	}
 	if goalMet {
+		stepStart := time.Now()
 		if err := a.serverStepLocked(ts); err != nil {
 			return nil, err
 		}
+		a.obs.stepSeconds.Observe(time.Since(stepStart).Seconds())
+		a.obs.aggregateSteps.Inc()
+		// The aggregate span is attributed to the session whose upload
+		// met the goal — the last hop of that session's trace.
+		a.obs.span(trace, "aggregate", ts.spec.ID, sessionID, stepStart, "")
 	}
 	return UploadResponse{OK: true}, nil
 }
@@ -775,6 +852,24 @@ func (a *Aggregator) taskInfo(taskID string) (any, error) {
 	}, nil
 }
 
+// activeSessionCount sums open sessions across this aggregator's tasks;
+// sampled lazily by the papaya_active_sessions gauge at scrape time.
+func (a *Aggregator) activeSessionCount() int {
+	a.mu.Lock()
+	tasks := make([]*taskState, 0, len(a.tasks))
+	for _, ts := range a.tasks {
+		tasks = append(tasks, ts)
+	}
+	a.mu.Unlock()
+	n := 0
+	for _, ts := range tasks {
+		ts.mu.Lock()
+		n += len(ts.sessions)
+		ts.mu.Unlock()
+	}
+	return n
+}
+
 // heartbeatLoop reports demand and checkpoints to the coordinator
 // (Section 6.2: "each Aggregator tracks client demand for the tasks that are
 // assigned to it") and executes drop directives for stale assignments.
@@ -812,19 +907,32 @@ func (a *Aggregator) reapSessions(now time.Time) {
 	a.mu.Unlock()
 	for _, ts := range tasks {
 		var dead []*sessionState
+		var deadIDs []uint64
 		ts.mu.Lock()
+		taskID := ts.spec.ID
 		for id, s := range ts.sessions {
 			if now.Sub(s.idleSince()) > ttl {
 				delete(ts.sessions, id)
 				dead = append(dead, s)
+				deadIDs = append(deadIDs, id)
 			}
 		}
 		ts.mu.Unlock()
 		// close returns the leased buffers outside the task mutex; a
 		// concurrent in-flight chunk copy observes the closed marker and
 		// is rejected, never a buffer handed to another session.
-		for _, s := range dead {
+		for i, s := range dead {
 			s.close()
+			a.obs.span(s.trace, "reap", taskID, deadIDs[i], now, "session ttl exceeded")
+		}
+		// A reap is not a clean close: it means a client went silent
+		// holding a concurrency slot, so it gets its own counter and a
+		// log line — the signal PR 7's silent-vanish scenarios are
+		// confirmed by on a live fleet.
+		if len(dead) > 0 {
+			a.obs.sessionsReaped.Add(int64(len(dead)))
+			log.Printf("aggregator %s: reaped %d session(s) idle past %v on task %q",
+				a.name, len(dead), ttl, taskID)
 		}
 	}
 }

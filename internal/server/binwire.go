@@ -96,7 +96,8 @@ func (CheckinRequest) BinaryID() byte { return binIDCheckinRequest }
 // AppendBinary implements wire.BinaryMessage.
 func (r CheckinRequest) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendVarint(dst, r.ClientID)
-	return wire.AppendStringSlice(dst, r.Capabilities)
+	dst = wire.AppendStringSlice(dst, r.Capabilities)
+	return wire.AppendUvarint(dst, r.TraceID)
 }
 
 func decodeCheckinRequestBinary(b []byte) (any, error) {
@@ -106,6 +107,9 @@ func decodeCheckinRequestBinary(b []byte) (any, error) {
 		return nil, err
 	}
 	if r.Capabilities, b, err = wire.ReadStringSlice(b); err != nil {
+		return nil, err
+	}
+	if r.TraceID, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
 	return r, done(b)
@@ -123,7 +127,8 @@ func (r CheckinResponse) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendString(dst, r.TaskID)
 	dst = wire.AppendString(dst, r.Aggregator)
 	dst = wire.AppendUvarint(dst, r.SessionID)
-	return wire.AppendVarint(dst, int64(r.Version))
+	dst = wire.AppendVarint(dst, int64(r.Version))
+	return wire.AppendUvarint(dst, r.TraceID)
 }
 
 func decodeCheckinResponseBinary(b []byte) (any, error) {
@@ -149,6 +154,9 @@ func decodeCheckinResponseBinary(b []byte) (any, error) {
 		return nil, err
 	}
 	r.Version = int(v)
+	if r.TraceID, b, err = wire.ReadUvarint(b); err != nil {
+		return nil, err
+	}
 	return r, done(b)
 }
 
@@ -160,7 +168,8 @@ func (JoinRequest) BinaryID() byte { return binIDJoinRequest }
 // AppendBinary implements wire.BinaryMessage.
 func (r JoinRequest) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendString(dst, r.TaskID)
-	return wire.AppendVarint(dst, r.ClientID)
+	dst = wire.AppendVarint(dst, r.ClientID)
+	return wire.AppendUvarint(dst, r.TraceID)
 }
 
 func decodeJoinRequestBinary(b []byte) (any, error) {
@@ -170,6 +179,9 @@ func decodeJoinRequestBinary(b []byte) (any, error) {
 		return nil, err
 	}
 	if r.ClientID, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	if r.TraceID, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
 	return r, done(b)
@@ -564,6 +576,10 @@ func (RouteRequest) BinaryID() byte { return binIDRouteRequest }
 func (r RouteRequest) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendString(dst, r.TaskID)
 	dst = wire.AppendString(dst, r.Method)
+	// TraceID rides before the nested payload: the payload decode
+	// consumes the remainder of the frame, so trailing fields cannot be
+	// appended after it.
+	dst = wire.AppendUvarint(dst, r.TraceID)
 	out, err := wire.AppendPayloadBinary(dst, r.Payload)
 	if err != nil {
 		// An unregistered nested payload cannot encode; emit a frame the
@@ -582,6 +598,9 @@ func decodeRouteRequestBinary(b []byte) (any, error) {
 		return nil, err
 	}
 	if r.Method, b, err = wire.ReadString(b); err != nil {
+		return nil, err
+	}
+	if r.TraceID, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
 	if r.Payload, err = wire.DecodePayloadBinary(b); err != nil {

@@ -46,6 +46,9 @@ type Selector struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// obs holds this node's resolved metric children (obsmetrics.go).
+	obs *selObs
 }
 
 // SelectorOptions configures optional selector behaviours.
@@ -77,6 +80,7 @@ func NewSelectorWith(name string, net transport.Fabric, coordinator string, timi
 		assignments: make(map[string]Assignment),
 		pools:       make(map[string][]transport.Session),
 		stop:        make(chan struct{}),
+		obs:         newSelObs(name),
 	}
 	net.Register(name, s.handle)
 	s.wg.Add(1)
@@ -122,6 +126,12 @@ type RouteRequest struct {
 	TaskID  string
 	Method  string
 	Payload any
+
+	// TraceID is the session's trace ID (0 = untraced); the selector
+	// records a routing span for every forwarded in-session call under
+	// it. Cold field, zero-defaulted for /v1 callers (versioning rule
+	// 2).
+	TraceID uint64
 }
 
 // checkin runs the selection phase for one client: ask the Coordinator for
@@ -129,34 +139,53 @@ type RouteRequest struct {
 // Aggregator. Rejection is a normal outcome ("the client will try to
 // participate at another time").
 func (s *Selector) checkin(req CheckinRequest) (any, error) {
+	start := time.Now()
 	resp, err := s.net.Call(s.name, s.coord, "assign-client", AssignClientRequest{
 		ClientID:     req.ClientID,
 		Capabilities: req.Capabilities,
 	})
 	if err != nil {
+		s.obs.checkinsErrored.Inc()
+		s.obs.checkinSeconds.Observe(time.Since(start).Seconds())
+		s.obs.span(req.TraceID, "checkin", "", start, "coordinator unreachable")
 		return nil, fmt.Errorf("selector %s: coordinator unreachable: %w", s.name, err)
 	}
 	asg := resp.(AssignClientResponse)
 	if !asg.Assigned {
-		return CheckinResponse{Accepted: false, Reason: "no task with demand"}, nil
+		s.obs.checkinsRejected.Inc()
+		s.obs.checkinSeconds.Observe(time.Since(start).Seconds())
+		s.obs.span(req.TraceID, "checkin", "", start, "no task with demand")
+		// TraceID is echoed even on rejection: the client learns the
+		// control plane records spans before it ever holds a session.
+		return CheckinResponse{Accepted: false, Reason: "no task with demand", TraceID: req.TraceID}, nil
 	}
 	s.learn(Assignment{TaskID: asg.TaskID, Aggregator: asg.Aggregator, Seq: asg.Seq})
 
 	joinResp, err := s.callAgent(asg.Aggregator, "join",
-		JoinRequest{TaskID: asg.TaskID, ClientID: req.ClientID})
+		JoinRequest{TaskID: asg.TaskID, ClientID: req.ClientID, TraceID: req.TraceID})
 	if err != nil {
-		return CheckinResponse{Accepted: false, Reason: err.Error()}, nil
+		s.obs.checkinsErrored.Inc()
+		s.obs.checkinSeconds.Observe(time.Since(start).Seconds())
+		s.obs.span(req.TraceID, "checkin", asg.TaskID, start, err.Error())
+		return CheckinResponse{Accepted: false, Reason: err.Error(), TraceID: req.TraceID}, nil
 	}
 	jr := joinResp.(JoinResponse)
 	if !jr.Accepted {
-		return CheckinResponse{Accepted: false, Reason: jr.Reason}, nil
+		s.obs.checkinsRejected.Inc()
+		s.obs.checkinSeconds.Observe(time.Since(start).Seconds())
+		s.obs.span(req.TraceID, "checkin", asg.TaskID, start, jr.Reason)
+		return CheckinResponse{Accepted: false, Reason: jr.Reason, TraceID: req.TraceID}, nil
 	}
+	s.obs.checkinsAccepted.Inc()
+	s.obs.checkinSeconds.Observe(time.Since(start).Seconds())
+	s.obs.span(req.TraceID, "checkin", asg.TaskID, start, "")
 	return CheckinResponse{
 		Accepted:   true,
 		TaskID:     asg.TaskID,
 		Aggregator: asg.Aggregator,
 		SessionID:  jr.SessionID,
 		Version:    jr.Version,
+		TraceID:    req.TraceID,
 	}, nil
 }
 
@@ -169,7 +198,16 @@ func (s *Selector) checkin(req CheckinRequest) (any, error) {
 // (placement is rendezvous-consistent). The refreshed map stays the
 // authority: after a refresh only its entry is trusted, so a genuinely
 // unknown task still reports "no assignment".
-func (s *Selector) route(req RouteRequest) (any, error) {
+func (s *Selector) route(req RouteRequest) (out any, err error) {
+	start := time.Now()
+	defer func() {
+		s.obs.routeSeconds.Observe(time.Since(start).Seconds())
+		errText := ""
+		if err != nil {
+			errText = err.Error()
+		}
+		s.obs.span(req.TraceID, "route/"+req.Method, req.TaskID, start, errText)
+	}()
 	if asg, ok := s.lookup(req.TaskID); ok {
 		out, err := s.callAgent(asg.Aggregator, req.Method, req.Payload)
 		if err == nil {

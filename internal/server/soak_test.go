@@ -6,7 +6,10 @@ package server_test
 // is byte-identical to the same workload on the in-memory fabric, (3) no
 // goroutine leaks once everything is closed, and (4) the vecpool
 // outstanding-lease count returns exactly to its baseline (a stuck
-// positive delta is a leak, a negative one a double release). The
+// positive delta is a leak, a negative one a double release). The lease
+// balance is read through a live obs endpoint scrape — /metrics over
+// HTTP, parsed back — so the soak also proves the observability plane's
+// own export path under concurrent load. The
 // workload is built from exact dyadic deltas with unit weights so
 // floating-point summation is order-independent and cross-fabric bit
 // equality is a meaningful invariant, not luck.
@@ -19,6 +22,7 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"runtime"
 	"sync"
@@ -28,11 +32,11 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/transport"
 	"repro/internal/transport/httptransport"
 	"repro/internal/transport/tcptransport"
-	"repro/internal/vecpool"
 )
 
 const (
@@ -97,7 +101,17 @@ func runSoak(t *testing.T, fx fabricFactory, stream, checkLeases bool) []float32
 		t.Fatal(err)
 	}
 
-	baseF, baseU := vecpool.OutstandingFloats(), vecpool.OutstandingUints()
+	// The lease baseline and final balance come from a real scrape of the
+	// obs endpoint (satellite of the observability plane): the gauges are
+	// lazily-read views over the same vecpool counters the old direct
+	// calls used, so the assertion is as exact — and now also covers
+	// Serve/WriteProm/ParseText under soak concurrency.
+	obsURL, obsShutdown, err := obs.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = obsShutdown() }()
+	baseF, baseU := scrapeVecpoolGauges(t, obsURL)
 	delta := soakDelta()
 
 	// failSession drives a doomed client by hand: join, upload part of the
@@ -219,13 +233,41 @@ func runSoak(t *testing.T, fx fabricFactory, stream, checkLeases bool) []float32
 	}
 
 	if checkLeases {
-		f, u := vecpool.OutstandingFloats(), vecpool.OutstandingUints()
+		f, u := scrapeVecpoolGauges(t, obsURL)
 		if f != baseF || u != baseU {
-			t.Fatalf("vecpool leases after soak: floats %d (want %d — leak if higher, double release if lower), uints %d (want %d)",
+			t.Fatalf("vecpool leases after soak (scraped): floats %g (want %g — leak if higher, double release if lower), uints %g (want %g)",
 				f, baseF, u, baseU)
 		}
 	}
 	return info.Params
+}
+
+// scrapeVecpoolGauges reads the vecpool balance gauges through a live
+// /metrics scrape, also asserting the foreign-put counter stayed zero.
+func scrapeVecpoolGauges(t *testing.T, baseURL string) (floats, uints float64) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("scraping obs endpoint: %v", err)
+	}
+	defer resp.Body.Close()
+	m, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parsing scrape: %v", err)
+	}
+	for _, name := range []string{
+		"papaya_vecpool_outstanding_floats",
+		"papaya_vecpool_outstanding_uints",
+		"papaya_vecpool_foreign_puts",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Fatalf("scrape is missing %s", name)
+		}
+	}
+	if fp := m["papaya_vecpool_foreign_puts"]; fp != 0 {
+		t.Fatalf("papaya_vecpool_foreign_puts = %g, want 0", fp)
+	}
+	return m["papaya_vecpool_outstanding_floats"], m["papaya_vecpool_outstanding_uints"]
 }
 
 // TestStreamSoak runs the soak on every streaming backend and checks each

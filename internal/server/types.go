@@ -88,6 +88,13 @@ type Assignment struct {
 type JoinRequest struct {
 	TaskID   string
 	ClientID int64
+
+	// TraceID carries the client-minted session trace ID to the
+	// aggregator, which stores it on the session and records spans for
+	// every later in-session call (internal/obs). Cold field on a cold
+	// gob message, so adding it is wire-safe (versioning rule 2); 0
+	// means untraced.
+	TraceID uint64
 }
 
 // JoinResponse opens a virtual session. Everything the client does next
@@ -182,6 +189,12 @@ type FailRequest struct {
 type CheckinRequest struct {
 	ClientID     int64
 	Capabilities []string
+
+	// TraceID is the session trace ID minted by the client at check-in
+	// (internal/obs.NextTraceID). 0 means the client is not tracing. A
+	// /v1 selector's decoder drops the field (zero value), so the
+	// session degrades to untraced rather than failing.
+	TraceID uint64
 }
 
 // CheckinResponse tells the client whether it was accepted and where to go;
@@ -194,6 +207,11 @@ type CheckinResponse struct {
 	Aggregator string
 	SessionID  uint64
 	Version    int
+
+	// TraceID echoes the request's trace ID when the selector recorded
+	// it; a zero echo tells the client the control plane is /v1 (or
+	// untraced) and server-side spans will not exist for this session.
+	TraceID uint64
 }
 
 // AssignClientRequest is Selector -> Coordinator: pick an eligible task

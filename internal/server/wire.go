@@ -54,6 +54,7 @@ type routeRequestJSON struct {
 	TaskID  string          `json:"task_id"`
 	Method  string          `json:"method"`
 	Payload json.RawMessage `json:"payload"`
+	TraceID uint64          `json:"trace_id,omitempty"`
 }
 
 // MarshalJSON implements json.Marshaler so the JSON wire codec can carry
@@ -63,7 +64,7 @@ func (r RouteRequest) MarshalJSON() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(routeRequestJSON{TaskID: r.TaskID, Method: r.Method, Payload: payload})
+	return json.Marshal(routeRequestJSON{TaskID: r.TaskID, Method: r.Method, Payload: payload, TraceID: r.TraceID})
 }
 
 // UnmarshalJSON implements json.Unmarshaler; see MarshalJSON.
@@ -76,6 +77,6 @@ func (r *RouteRequest) UnmarshalJSON(b []byte) error {
 	if err != nil {
 		return err
 	}
-	r.TaskID, r.Method, r.Payload = j.TaskID, j.Method, payload
+	r.TaskID, r.Method, r.Payload, r.TraceID = j.TaskID, j.Method, payload, j.TraceID
 	return nil
 }

@@ -27,6 +27,8 @@ var doclintDirs = []string{
 	"../server",     // internal/server
 	"../compress",   // internal/compress
 	"../scenario",   // internal/scenario
+	"../obs",        // internal/obs (observability plane)
+	"../metrics",    // internal/metrics (histogram/vec primitives)
 }
 
 func TestExportedSymbolsAreDocumented(t *testing.T) {

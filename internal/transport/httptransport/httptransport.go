@@ -489,7 +489,7 @@ const maxRPCBodyBytes = 64 << 20
 // get the zero value, i.e. /v1/ baseline.
 func (f *Fabric) peerCapabilities(target string, isLocal bool) wire.Capabilities {
 	if isLocal {
-		return wire.Capabilities{API: wire.APIv2, Compress: compress.Names(), Codecs: wire.DecodableCodecs(), Stream: true}
+		return wire.Capabilities{API: wire.APIv2, Compress: compress.Names(), Codecs: wire.DecodableCodecs(), Stream: true, Trace: true}
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
@@ -700,6 +700,7 @@ func (f *Fabric) selfDoc() nodesDoc {
 			Compress: compress.Names(),
 			Codecs:   wire.DecodableCodecs(),
 			Stream:   true,
+			Trace:    true,
 		},
 	}
 }

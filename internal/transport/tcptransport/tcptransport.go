@@ -348,6 +348,7 @@ func selfCapabilities() wire.Capabilities {
 		Compress: compress.Names(),
 		Codecs:   wire.DecodableCodecs(),
 		Stream:   true,
+		Trace:    true,
 	}
 }
 

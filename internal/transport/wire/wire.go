@@ -87,6 +87,14 @@ type Capabilities struct {
 	// by construction). Absent means per-call RPC only — callers keep
 	// sending the per-POST bytes such peers always received.
 	Stream bool `json:"stream,omitempty"`
+	// Trace reports that the peer understands cross-tier session trace
+	// IDs (internal/obs): it records spans for the TraceID field on the
+	// session-control messages and echoes the ID at check-in. The field
+	// is cold (one uint64 on control messages, zero on the chunk path),
+	// so traced builds always send it; a /v1 peer's decoder drops the
+	// unknown field and the session degrades to untraced (versioning
+	// rule 2), which this flag makes visible at discovery.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SupportsCompression reports whether the peer can receive
@@ -114,6 +122,13 @@ func (c Capabilities) SupportsBinary() bool {
 // it returns false — the negotiation default that keeps /v1/ peers
 // receiving exactly the traffic they always did.
 func (c Capabilities) SupportsStream() bool { return c.API >= APIv2 && c.Stream }
+
+// SupportsTrace reports whether the peer advertised cross-tier session
+// tracing on the /v2/ route. Untraced peers still decode traced frames
+// (the TraceID field is cold and zero-defaulted, versioning rule 2) —
+// they just record no spans, so sessions through them degrade to
+// untraced rather than failing.
+func (c Capabilities) SupportsTrace() bool { return c.API >= APIv2 && c.Trace }
 
 // DecodableCodecs returns the wire codec names every build of this package
 // can decode — the codec half of the capability document a fabric
