@@ -23,6 +23,7 @@ func runAgent(args []string) {
 	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen> or tcp://<listen>)")
 	coordURL := fs.String("coordinator", "", "base URL of the papaya serve process (required; a tcp:// URL selects the raw-TCP fabric)")
 	stream := fs.Bool("stream", false, "route calls toward the coordinator over persistent streaming sessions (http backend; tcp always streams)")
+	ackElide := fs.Bool("ack-elide", true, "send non-final streamed upload chunks without per-chunk acknowledgements toward peers that negotiated the capability (serving elided peers is always on)")
 	coordName := fs.String("coordinator-name", "coordinator", "coordinator node name")
 	name := fs.String("name", "", "aggregator node name (default agent-<pid>)")
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (bin negotiates per peer; gob remains the universal fallback)")
@@ -44,7 +45,8 @@ func runAgent(args []string) {
 	// flag covers both deployments.
 	fabric, err := newFabric(fabricSpec{
 		kind: fabricKindForURL(*coordURL), listen: *listen, codec: *codec,
-		advertise: *advertise, compress: *compressName, stream: *stream, seed: 1,
+		advertise: *advertise, compress: *compressName, stream: *stream,
+		ackElide: *ackElide, seed: 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

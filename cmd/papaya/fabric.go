@@ -41,6 +41,7 @@ type fabricSpec struct {
 	advertise string
 	compress  string
 	stream    bool
+	ackElide  bool
 	seed      int64
 }
 
@@ -50,12 +51,13 @@ func newFabric(spec fabricSpec) (fabricConn, error) {
 	case "http", "":
 		return httptransport.New(httptransport.Options{
 			Listen: spec.listen, Codec: spec.codec, AdvertiseURL: spec.advertise,
-			Compress: spec.compress, Stream: spec.stream, Seed: spec.seed,
+			Compress: spec.compress, Stream: spec.stream, AckElide: spec.ackElide,
+			Seed: spec.seed,
 		})
 	case "tcp":
 		return tcptransport.New(tcptransport.Options{
 			Listen: spec.listen, Codec: spec.codec, AdvertiseAddr: spec.advertise,
-			Compress: spec.compress, Seed: spec.seed,
+			Compress: spec.compress, AckElide: spec.ackElide, Seed: spec.seed,
 		})
 	default:
 		return nil, fmt.Errorf("unknown fabric %q (want http|tcp)", spec.kind)

@@ -194,7 +194,7 @@ func runFleet(args []string) {
 	// per base URL, which discoverGossiped does.
 	fab, err := newFabric(fabricSpec{
 		kind: *fabricKind, listen: "127.0.0.1:0", codec: *codec,
-		stream: *stream, seed: 7,
+		stream: *stream, ackElide: true, seed: 7,
 	})
 	if err != nil {
 		fatalf("%v", err)

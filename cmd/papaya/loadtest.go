@@ -40,31 +40,43 @@ type loadReport struct {
 // accumulates across machines stays interpretable; the bytesRaw/bytesWire
 // pair meters the upload path before and after wire compression.
 type loadRun struct {
-	Label            string  `json:"label,omitempty"`
-	Commit           string  `json:"commit,omitempty"`
-	GOMAXPROCS       int     `json:"gomaxprocs"`
-	Server           string  `json:"server"`
-	Fabric           string  `json:"fabric,omitempty"`
-	Stream           bool    `json:"stream,omitempty"`
-	Codec            string  `json:"codec"`
-	Compress         string  `json:"compress,omitempty"`
-	Train            bool    `json:"train,omitempty"`
-	Task             string  `json:"task"`
-	Mode             string  `json:"mode"`
-	NumParams        int     `json:"num_params"`
-	Clients          int     `json:"clients"`
-	TargetUploads    int     `json:"target_uploads"`
-	CompletedUploads int64   `json:"completed_uploads"`
-	RejectedCheckins int64   `json:"rejected_checkins"`
-	AbortedSessions  int64   `json:"aborted_sessions"`
-	TransportErrors  int64   `json:"transport_errors"`
-	WallSeconds      float64 `json:"wall_seconds"`
-	UploadsPerSecond float64 `json:"uploads_per_second"`
-	P50Millis        float64 `json:"p50_session_millis"`
-	P99Millis        float64 `json:"p99_session_millis"`
-	Calls            uint64  `json:"rpc_calls"`
-	BytesSent        uint64  `json:"bytes_sent"`
-	BytesReceived    uint64  `json:"bytes_received"`
+	Label            string `json:"label,omitempty"`
+	Commit           string `json:"commit,omitempty"`
+	GOMAXPROCS       int    `json:"gomaxprocs"`
+	Server           string `json:"server"`
+	Fabric           string `json:"fabric,omitempty"`
+	Stream           bool   `json:"stream,omitempty"`
+	Codec            string `json:"codec"`
+	AckElide         bool   `json:"ack_elide,omitempty"`
+	Compress         string `json:"compress,omitempty"`
+	Train            bool   `json:"train,omitempty"`
+	Task             string `json:"task"`
+	Mode             string `json:"mode"`
+	NumParams        int    `json:"num_params"`
+	Clients          int    `json:"clients"`
+	TargetUploads    int    `json:"target_uploads"`
+	CompletedUploads int64  `json:"completed_uploads"`
+	RejectedCheckins int64  `json:"rejected_checkins"`
+	// RejectedBySelector/RejectedByAggregator split the rejections by the
+	// control-plane tier that issued them: a selector with no demand
+	// ("no task with demand") versus an aggregator at its concurrency
+	// ceiling ("task at max concurrency").
+	RejectedBySelector   int64   `json:"rejected_by_selector,omitempty"`
+	RejectedByAggregator int64   `json:"rejected_by_aggregator,omitempty"`
+	AbortedSessions      int64   `json:"aborted_sessions"`
+	TransportErrors      int64   `json:"transport_errors"`
+	WallSeconds          float64 `json:"wall_seconds"`
+	UploadsPerSecond     float64 `json:"uploads_per_second"`
+	P50Millis            float64 `json:"p50_session_millis"`
+	P99Millis            float64 `json:"p99_session_millis"`
+	Calls                uint64  `json:"rpc_calls"`
+	BytesSent            uint64  `json:"bytes_sent"`
+	BytesReceived        uint64  `json:"bytes_received"`
+	// AcksElided counts streamed calls whose acknowledgement never crossed
+	// the wire; FramesCoalesced counts stream frames that shipped inside a
+	// multi-frame writev batch. Both are zero on per-call runs.
+	AcksElided       uint64  `json:"acks_elided,omitempty"`
+	FramesCoalesced  uint64  `json:"frames_coalesced,omitempty"`
 	BytesRaw         int64   `json:"bytes_raw_upload"`
 	BytesWire        int64   `json:"bytes_wire_upload"`
 	CompressionRatio float64 `json:"compression_ratio"`
@@ -151,6 +163,7 @@ func runLoadtest(args []string) {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	serverURL := fs.String("server", "http://127.0.0.1:7070", "base URL of the papaya serve process (a tcp:// URL selects the raw-TCP fabric)")
 	stream := fs.Bool("stream", false, "one streaming connection per session: pipeline check-in through upload over it (negotiated; /v1/ servers degrade to per-call)")
+	ackElide := fs.Bool("ack-elide", true, "with -stream: send non-final upload chunks without per-chunk acknowledgements when the peer negotiated the capability (/v1 and non-stream peers keep per-chunk acks)")
 	task := fs.String("task", "default", "task ID to drive")
 	clients := fs.Int("clients", 16, "concurrent simulated clients")
 	uploads := fs.Int("uploads", 200, "successful upload target (run ends when reached)")
@@ -196,7 +209,7 @@ func runLoadtest(args []string) {
 
 	fabric, err := newFabric(fabricSpec{
 		kind: fabricKindForURL(*serverURL), listen: "127.0.0.1:0", codec: *codec,
-		compress: *compressFlag, stream: *stream, seed: 2,
+		compress: *compressFlag, stream: *stream, ackElide: *ackElide, seed: 2,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -276,12 +289,23 @@ func runLoadtest(args []string) {
 
 	var (
 		completed, rejected, aborted, terrors atomic.Int64
+		rejectedSel, rejectedAgg              atomic.Int64
 		bytesRaw, bytesWire                   atomic.Int64
 		latMu                                 sync.Mutex
 		latencies                             []time.Duration
 		negotiatedMu                          sync.Mutex
 		negotiated                            string
 	)
+	// classifyRejection splits a rejected check-in by the control-plane
+	// tier that issued it: aggregators reject at their concurrency ceiling,
+	// selectors when no task has demand (or no live aggregator owns one).
+	classifyRejection := func(reason string) {
+		if strings.Contains(reason, "concurrency") {
+			rejectedAgg.Add(1)
+		} else {
+			rejectedSel.Add(1)
+		}
+	}
 	// Per-tier accounting for -scenario runs.
 	var tierMu sync.Mutex
 	var tierStats []tierCol
@@ -323,8 +347,16 @@ func runLoadtest(args []string) {
 			rnd := mrand.New(mrand.NewSource(id))
 			const minBackoff, maxBackoff = 5 * time.Millisecond, 200 * time.Millisecond
 			backoff := minBackoff
-			sleepJittered := func() {
+			// hint is the server's Retry-After-style back-off from a
+			// rejected check-in (the aggregator's session-close cadence);
+			// the client never sleeps less than the server asked, while
+			// its own jittered exponential schedule still de-synchronizes
+			// the fleet and caps the storm.
+			sleepJittered := func(hint time.Duration) {
 				d := backoff/2 + time.Duration(rnd.Int63n(int64(backoff)))
+				if hint > d {
+					d = hint
+				}
 				if until := time.Until(stopAt); d > until {
 					d = until
 				}
@@ -393,7 +425,7 @@ func runLoadtest(args []string) {
 					res, err := dev.RunOnce(sessStart)
 					if err != nil {
 						terrors.Add(1)
-						sleepJittered()
+						sleepJittered(0)
 						continue
 					}
 					switch res.Outcome {
@@ -421,10 +453,11 @@ func runLoadtest(args []string) {
 						tierMu.Unlock()
 					case client.Rejected:
 						rejected.Add(1)
+						classifyRejection(res.Reason)
 						tierMu.Lock()
 						tierStats[tier].Rejected++
 						tierMu.Unlock()
-						sleepJittered()
+						sleepJittered(res.RetryAfter)
 					case client.Aborted:
 						backoff = minBackoff
 						aborted.Add(1)
@@ -437,7 +470,7 @@ func runLoadtest(args []string) {
 				res, err := dev.RunOnce(sessStart)
 				if err != nil {
 					terrors.Add(1)
-					sleepJittered()
+					sleepJittered(0)
 					continue
 				}
 				switch res.Outcome {
@@ -456,7 +489,8 @@ func runLoadtest(args []string) {
 					latMu.Unlock()
 				case client.Rejected:
 					rejected.Add(1)
-					sleepJittered()
+					classifyRejection(res.Reason)
+					sleepJittered(res.RetryAfter)
 				case client.Aborted:
 					backoff = minBackoff
 					aborted.Add(1)
@@ -483,39 +517,44 @@ func runLoadtest(args []string) {
 		allocsPerUpload = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n)
 	}
 	run := loadRun{
-		Label:            *label,
-		Commit:           gitCommit(),
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		Server:           *serverURL,
-		Fabric:           fabricKindForURL(*serverURL),
-		Stream:           *stream,
-		Codec:            *codec,
-		Compress:         negotiated,
-		Train:            *train,
-		Task:             *task,
-		Mode:             string(info.Mode),
-		NumParams:        numParams,
-		Clients:          *clients,
-		TargetUploads:    *uploads,
-		CompletedUploads: completed.Load(),
-		RejectedCheckins: rejected.Load(),
-		AbortedSessions:  aborted.Load(),
-		TransportErrors:  terrors.Load(),
-		WallSeconds:      wall.Seconds(),
-		UploadsPerSecond: float64(completed.Load()) / wall.Seconds(),
-		P50Millis:        percentileMillis(latencies, 0.50),
-		P99Millis:        percentileMillis(latencies, 0.99),
-		Calls:            stats.Calls,
-		BytesSent:        stats.BytesSent,
-		BytesReceived:    stats.BytesReceived,
-		BytesRaw:         bytesRaw.Load(),
-		BytesWire:        bytesWire.Load(),
-		CompressionRatio: ratio,
-		AllocsPerUpload:  allocsPerUpload,
-		GCPauseMillis:    float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
-		NumGC:            msAfter.NumGC - msBefore.NumGC,
-		FinalVersion:     final.Version,
-		FinalUpdates:     final.Updates,
+		Label:                *label,
+		Commit:               gitCommit(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		Server:               *serverURL,
+		Fabric:               fabricKindForURL(*serverURL),
+		Stream:               *stream,
+		Codec:                *codec,
+		AckElide:             *ackElide && *stream,
+		Compress:             negotiated,
+		Train:                *train,
+		Task:                 *task,
+		Mode:                 string(info.Mode),
+		NumParams:            numParams,
+		Clients:              *clients,
+		TargetUploads:        *uploads,
+		CompletedUploads:     completed.Load(),
+		RejectedCheckins:     rejected.Load(),
+		RejectedBySelector:   rejectedSel.Load(),
+		RejectedByAggregator: rejectedAgg.Load(),
+		AbortedSessions:      aborted.Load(),
+		TransportErrors:      terrors.Load(),
+		WallSeconds:          wall.Seconds(),
+		UploadsPerSecond:     float64(completed.Load()) / wall.Seconds(),
+		P50Millis:            percentileMillis(latencies, 0.50),
+		P99Millis:            percentileMillis(latencies, 0.99),
+		Calls:                stats.Calls,
+		BytesSent:            stats.BytesSent,
+		BytesReceived:        stats.BytesReceived,
+		AcksElided:           stats.AcksElided,
+		FramesCoalesced:      stats.FramesCoalesced,
+		BytesRaw:             bytesRaw.Load(),
+		BytesWire:            bytesWire.Load(),
+		CompressionRatio:     ratio,
+		AllocsPerUpload:      allocsPerUpload,
+		GCPauseMillis:        float64(msAfter.PauseTotalNs-msBefore.PauseTotalNs) / 1e6,
+		NumGC:                msAfter.NumGC - msBefore.NumGC,
+		FinalVersion:         final.Version,
+		FinalUpdates:         final.Updates,
 	}
 	if spec != nil {
 		run.Scenario = spec.Name
@@ -547,8 +586,12 @@ func runLoadtest(args []string) {
 		rejRate = 100 * float64(run.RejectedCheckins) / float64(attempts)
 	}
 	fmt.Fprintf(os.Stderr,
-		"papaya loadtest: check-in rejection rate %.1f%% (%d rejected / %d attempts), %.0f allocs/upload, %d GCs (%.1f ms pause)\n",
-		rejRate, run.RejectedCheckins, attempts, run.AllocsPerUpload, run.NumGC, run.GCPauseMillis)
+		"papaya loadtest: check-in rejection rate %.1f%% (%d rejected / %d attempts; selector tier %d, aggregator tier %d), %.0f allocs/upload, %d GCs (%.1f ms pause)\n",
+		rejRate, run.RejectedCheckins, attempts, run.RejectedBySelector, run.RejectedByAggregator,
+		run.AllocsPerUpload, run.NumGC, run.GCPauseMillis)
+	fmt.Fprintf(os.Stderr,
+		"papaya loadtest: acks elided: %d, frames coalesced: %d\n",
+		run.AcksElided, run.FramesCoalesced)
 
 	if spec != nil {
 		for _, ts := range run.Tiers {

@@ -84,4 +84,10 @@ func registerTransportGauges(reg *obs.Registry, kind string, stats func() transp
 	reg.GaugeFunc("papaya_transport_bytes_received",
 		"Response payload bytes read by this process's fabric.",
 		func() float64 { return float64(stats().BytesReceived) }, labels, kind)
+	reg.GaugeFunc("papaya_transport_acks_elided",
+		"Streamed calls whose acknowledgement never crossed the wire (no-ack frames sent plus responses suppressed while serving).",
+		func() float64 { return float64(stats().AcksElided) }, labels, kind)
+	reg.GaugeFunc("papaya_transport_frames_coalesced",
+		"Stream frames written as part of a multi-frame coalesced batch (one writev instead of one write per frame).",
+		func() float64 { return float64(stats().FramesCoalesced) }, labels, kind)
 }

@@ -27,6 +27,7 @@ func runSelector(args []string) {
 	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen> or tcp://<listen>)")
 	coordURL := fs.String("coordinator", "", "base URL of the papaya serve process (required; a tcp:// URL selects the raw-TCP fabric)")
 	stream := fs.Bool("stream", false, "route forwarded calls over persistent streaming sessions (http backend; tcp always streams)")
+	ackElide := fs.Bool("ack-elide", true, "send non-final streamed upload chunks without per-chunk acknowledgements toward peers that negotiated the capability (serving elided peers is always on)")
 	coordName := fs.String("coordinator-name", "coordinator", "coordinator node name")
 	name := fs.String("name", "", "selector node name (default selector-<pid>)")
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (bin negotiates per peer; gob remains the universal fallback)")
@@ -46,7 +47,8 @@ func runSelector(args []string) {
 
 	fabric, err := newFabric(fabricSpec{
 		kind: fabricKindForURL(*coordURL), listen: *listen, codec: *codec,
-		advertise: *advertise, compress: *compressName, stream: *stream, seed: 1,
+		advertise: *advertise, compress: *compressName, stream: *stream,
+		ackElide: *ackElide, seed: 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

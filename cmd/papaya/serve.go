@@ -28,6 +28,7 @@ func runServe(args []string) {
 	advertise := fs.String("advertise", "", "public base URL peers should use (default http://<listen> or tcp://<listen>)")
 	fabricKind := fs.String("fabric", "http", "transport backend: http (stdlib net/http) or tcp (raw-TCP streaming fabric)")
 	stream := fs.Bool("stream", false, "route internal control-plane calls over persistent streaming sessions (http backend; tcp always streams)")
+	ackElide := fs.Bool("ack-elide", true, "send non-final streamed upload chunks without per-chunk acknowledgements toward peers that negotiated the capability (serving elided peers is always on)")
 	codec := fs.String("codec", "gob", "preferred wire codec: gob|json|bin (every codec is always decoded; bin is sent only to peers that advertised it)")
 	nAggs := fs.Int("aggregators", 2, "in-process aggregators (0 = wait for remote agents)")
 	nSels := fs.Int("selectors", 2, "in-process selectors")
@@ -64,7 +65,7 @@ func runServe(args []string) {
 
 	fabric, err := newFabric(fabricSpec{
 		kind: *fabricKind, listen: *listen, codec: *codec, advertise: *advertise,
-		compress: *compressName, stream: *stream, seed: 1,
+		compress: *compressName, stream: *stream, ackElide: *ackElide, seed: 1,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -146,6 +146,12 @@ type Result struct {
 	// check-in — false means a /v1 (or untraced) selector handled the
 	// session and server-side spans do not exist for it.
 	Traced bool
+	// RetryAfter is the server's back-off hint on a rejected check-in:
+	// how long the aggregator expects before a concurrency slot frees
+	// (derived from its session-close cadence). Zero means no hint — a
+	// /v1 control plane or a rejection with no signal — and the caller
+	// falls back to its own jittered schedule.
+	RetryAfter time.Duration
 }
 
 // Outcome is a participation attempt's terminal state.
@@ -238,9 +244,18 @@ type Runtime struct {
 	Dropout func() (stage DropStage, vanish bool)
 
 	lastParticipation time.Time
+	cachedName        string
 }
 
-func (r *Runtime) name() string { return fmt.Sprintf("client-%d", r.ClientID) }
+// name is the runtime's fabric node name, formatted once per Runtime — it is
+// on every call and span path, so a per-call Sprintf shows up directly in
+// allocs_per_upload.
+func (r *Runtime) name() string {
+	if r.cachedName == "" {
+		r.cachedName = fmt.Sprintf("client-%d", r.ClientID)
+	}
+	return r.cachedName
+}
 
 // RunOnce attempts one full participation: check-in, download, train,
 // report, upload. It returns ErrNotEligible/ErrTooSoon without contacting
@@ -268,7 +283,13 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	}
 	defer p.close()
 	if !checkin.Accepted {
-		return &Result{Outcome: Rejected, Reason: checkin.Reason, TraceID: p.trace, Traced: checkin.TraceID != 0}, nil
+		return &Result{
+			Outcome:    Rejected,
+			Reason:     checkin.Reason,
+			TraceID:    p.trace,
+			Traced:     checkin.TraceID != 0,
+			RetryAfter: time.Duration(checkin.RetryAfterMs) * time.Millisecond,
+		}, nil
 	}
 	r.lastParticipation = now
 	p.sessionID = checkin.SessionID
@@ -468,16 +489,19 @@ func (r *Runtime) checkin() (*participation, server.CheckinResponse, error) {
 
 // route sends an in-session call through the selector — over the
 // streaming session when one is open, failing over to per-call RPC through
-// the remaining selectors on transport errors.
+// the remaining selectors on transport errors. One client span per
+// in-session call, named after the forwarded method (download, report,
+// upload-chunk, fail-session) — chunk spans fall out of the upload loop
+// calling this per chunk.
 func (p *participation) route(taskID, method string, payload any) (any, error) {
-	r := p.r
 	start := time.Now()
-	// One client span per in-session call, named after the forwarded
-	// method (download, report, upload-chunk, fail-session) — chunk
-	// spans fall out of the upload loop calling this per chunk.
-	defer func() {
-		obs.RecordSpan(p.trace, "client", r.name(), method, taskID, p.sessionID, start, time.Since(start), "")
-	}()
+	resp, err := p.routeCall(taskID, method, payload)
+	obs.RecordSpan(p.trace, "client", p.r.name(), method, taskID, p.sessionID, start, time.Since(start), "")
+	return resp, err
+}
+
+func (p *participation) routeCall(taskID, method string, payload any) (any, error) {
+	r := p.r
 	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload, TraceID: p.trace}
 	if p.sess != nil {
 		if resp, err := p.sess.Call("route", req); err == nil {
@@ -502,15 +526,112 @@ func (p *participation) route(taskID, method string, payload any) (any, error) {
 	return nil, ErrNoSelector
 }
 
+// elider returns the streaming session's ack-elision surface when this
+// participation negotiated it, nil otherwise (no stream, a /v1 peer, or a
+// backend without the capability) — the single gate the upload loops check
+// before switching to the elided chunk train.
+func (p *participation) elider() transport.ElidingSession {
+	if es, ok := p.sess.(transport.ElidingSession); ok && es.ElidesAcks() {
+		return es
+	}
+	return nil
+}
+
+// routeNoAck queues an in-session call on the streaming session without
+// waiting for an acknowledgement (negotiated ack elision). An error means
+// the stream broke and the elided train must restart acked; a server-side
+// failure of this call surfaces on the attempt's next acknowledged call.
+func (p *participation) routeNoAck(es transport.ElidingSession, taskID, method string, payload any) error {
+	start := time.Now()
+	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload, TraceID: p.trace}
+	err := es.SendNoAck("route", req)
+	obs.RecordSpan(p.trace, "client", p.r.name(), method, taskID, p.sessionID, start, time.Since(start), "")
+	return err
+}
+
+// routeStreamOnly sends one acknowledged call strictly over the streaming
+// session, with none of route's per-call failover. The final call of an
+// elided chunk train must use it: earlier frames on this stream were never
+// acknowledged, so resending only this call over a fresh per-call path
+// would present the aggregator an incomplete upload. A failure here instead
+// restarts the whole train in acked mode.
+func (p *participation) routeStreamOnly(taskID, method string, payload any) (any, error) {
+	start := time.Now()
+	req := server.RouteRequest{TaskID: taskID, Method: method, Payload: payload, TraceID: p.trace}
+	resp, err := p.sess.Call("route", req)
+	obs.RecordSpan(p.trace, "client", p.r.name(), method, taskID, p.sessionID, start, time.Since(start), "")
+	return resp, err
+}
+
+// errElidedTrainLost marks a streaming failure inside an elided chunk
+// train: some unacknowledged chunks may not have reached the aggregator,
+// so the upload must restart from the first chunk in acked mode. The
+// aggregator's idempotent contiguous-prefix chunk accounting makes the
+// full resend safe.
+var errElidedTrainLost = errors.New("client: elided chunk train lost")
+
+// sendChunk ships one upload chunk: elided (no acknowledgement) for
+// non-final chunks when es is set, acknowledged otherwise. The final chunk
+// of an elided train stays on the stream with no per-call failover —
+// earlier frames were never acknowledged, so resending only the final
+// chunk over a fresh path would present the aggregator an incomplete
+// upload; any failure returns errElidedTrainLost so the caller restarts
+// the whole train acked instead.
+func (p *participation) sendChunk(es transport.ElidingSession, taskID string,
+	chunk server.UploadChunk) (*Result, error) {
+	if es != nil && !chunk.Done {
+		if err := p.routeNoAck(es, taskID, "upload-chunk", chunk); err != nil {
+			return nil, fmt.Errorf("%w: %v", errElidedTrainLost, err)
+		}
+		return nil, nil
+	}
+	var resp any
+	var err error
+	if es != nil {
+		resp, err = p.routeStreamOnly(taskID, "upload-chunk", chunk)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errElidedTrainLost, err)
+		}
+	} else {
+		resp, err = p.route(taskID, "upload-chunk", chunk)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ur := resp.(server.UploadResponse)
+	if !ur.OK {
+		return &Result{Outcome: Aborted, Reason: ur.Reason, TaskID: taskID}, nil
+	}
+	return nil, nil
+}
+
 // uploadPlain ships the delta in chunks, each one compressed with the
-// negotiated codec (nil = raw). One frame scratch buffer is reused across
-// the session's chunks: the transport encodes the chunk synchronously
-// inside route (and the in-memory fabric's handler copies before
-// returning), so by the time the next iteration overwrites the scratch the
-// previous frame is no longer referenced.
+// negotiated codec (nil = raw). When the streaming session negotiated ack
+// elision, non-final chunks ride unacknowledged and only the Done chunk
+// waits for a reply; a broken stream mid-train restarts the upload once in
+// per-chunk-ack mode with the byte meter rolled back. One frame scratch
+// buffer is reused across the session's chunks: the transport encodes the
+// chunk synchronously inside route/SendNoAck (and the in-memory fabric's
+// handler copies before returning), so by the time the next iteration
+// overwrites the scratch the previous frame is no longer referenced.
 func (r *Runtime) uploadPlain(p *participation, checkin server.CheckinResponse,
 	report server.ReportResponse, delta []float32, numExamples int,
 	codec compress.Codec, meter *uploadMeter) (*Result, error) {
+	if es := p.elider(); es != nil {
+		saved := *meter
+		res, err := r.uploadPlainChunks(p, es, checkin, report, delta, numExamples, codec, meter)
+		if !errors.Is(err, errElidedTrainLost) {
+			return res, err
+		}
+		*meter = saved
+		p.close()
+	}
+	return r.uploadPlainChunks(p, nil, checkin, report, delta, numExamples, codec, meter)
+}
+
+func (r *Runtime) uploadPlainChunks(p *participation, es transport.ElidingSession,
+	checkin server.CheckinResponse, report server.ReportResponse, delta []float32,
+	numExamples int, codec compress.Codec, meter *uploadMeter) (*Result, error) {
 	var scratch []byte
 	for off := 0; off < len(delta); off += report.ChunkSize {
 		end := off + report.ChunkSize
@@ -541,13 +662,8 @@ func (r *Runtime) uploadPlain(p *participation, checkin server.CheckinResponse,
 			chunk.Data = delta[off:end]
 			meter.wire += raw
 		}
-		resp, err := p.route(checkin.TaskID, "upload-chunk", chunk)
-		if err != nil {
-			return nil, err
-		}
-		ur := resp.(server.UploadResponse)
-		if !ur.OK {
-			return &Result{Outcome: Aborted, Reason: ur.Reason, TaskID: checkin.TaskID}, nil
+		if res, err := p.sendChunk(es, checkin.TaskID, chunk); res != nil || err != nil {
+			return res, err
 		}
 	}
 	return nil, nil
@@ -586,6 +702,24 @@ func (r *Runtime) uploadSecAgg(p *participation, checkin server.CheckinResponse,
 		return nil, err
 	}
 
+	if es := p.elider(); es != nil {
+		saved := *meter
+		res, serr := r.uploadMaskedChunks(p, es, checkin, report, up, numExamples, codec, meter)
+		if !errors.Is(serr, errElidedTrainLost) {
+			return res, serr
+		}
+		*meter = saved
+		p.close()
+	}
+	return r.uploadMaskedChunks(p, nil, checkin, report, up, numExamples, codec, meter)
+}
+
+// uploadMaskedChunks ships one masked SecAgg vector in chunks — elided when
+// es is set (see uploadPlain), acked per chunk otherwise.
+func (r *Runtime) uploadMaskedChunks(p *participation, es transport.ElidingSession,
+	checkin server.CheckinResponse, report server.ReportResponse,
+	up secagg.Upload, numExamples int, codec compress.Codec,
+	meter *uploadMeter) (*Result, error) {
 	var scratch []byte
 	for off := 0; off < len(up.Masked); off += report.ChunkSize {
 		end := off + report.ChunkSize
@@ -621,13 +755,8 @@ func (r *Runtime) uploadSecAgg(p *participation, checkin server.CheckinResponse,
 			chunk.SecAggCompleting = up.Completing
 			chunk.SecAggEncSeed = up.EncSeed
 		}
-		resp, err := p.route(checkin.TaskID, "upload-chunk", chunk)
-		if err != nil {
-			return nil, err
-		}
-		ur := resp.(server.UploadResponse)
-		if !ur.OK {
-			return &Result{Outcome: Aborted, Reason: ur.Reason, TaskID: checkin.TaskID}, nil
+		if res, err := p.sendChunk(es, checkin.TaskID, chunk); res != nil || err != nil {
+			return res, err
 		}
 	}
 	return nil, nil

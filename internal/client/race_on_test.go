@@ -1,0 +1,8 @@
+//go:build race
+
+package client
+
+// raceEnabled reports whether this test binary was built with -race, whose
+// instrumentation adds allocations that make AllocsPerRun assertions
+// meaningless.
+const raceEnabled = true

@@ -58,7 +58,12 @@ func (s *sessionState) idleSince() time.Time {
 }
 
 // addChunk copies one chunk into the session's reassembly buffer under the
-// session mutex. A non-nil response is a rejection.
+// session mutex. A non-nil response is a rejection. Coverage is tracked as
+// the contiguous prefix of received elements, which makes duplicate chunks
+// idempotent: a client that re-sends an upload from offset 0 (the restart
+// path when an ack-eliding stream breaks mid-train) re-copies identical
+// data without inflating the received count, while a gap still fails
+// finishUpload's completeness check.
 func (s *sessionState) addChunk(c *UploadChunk, useSecAgg bool, numParams int) *UploadResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -66,6 +71,7 @@ func (s *sessionState) addChunk(c *UploadChunk, useSecAgg bool, numParams int) *
 		return &UploadResponse{OK: false, Reason: "unknown session"}
 	}
 	s.lastActive = time.Now()
+	var n int
 	if useSecAgg {
 		if s.pendingGp == nil {
 			s.pendingGp = vecpool.GetUints(numParams + 1)
@@ -74,7 +80,7 @@ func (s *sessionState) addChunk(c *UploadChunk, useSecAgg bool, numParams int) *
 			return &UploadResponse{OK: false, Reason: "chunk out of bounds"}
 		}
 		copy(s.pendingGp[c.Offset:], c.Masked)
-		s.received += len(c.Masked)
+		n = len(c.Masked)
 	} else {
 		if s.pending == nil {
 			s.pending = vecpool.GetFloats(numParams)
@@ -83,7 +89,10 @@ func (s *sessionState) addChunk(c *UploadChunk, useSecAgg bool, numParams int) *
 			return &UploadResponse{OK: false, Reason: "chunk out of bounds"}
 		}
 		copy(s.pending[c.Offset:], c.Data)
-		s.received += len(c.Data)
+		n = len(c.Data)
+	}
+	if end := c.Offset + n; c.Offset <= s.received && end > s.received {
+		s.received = end
 	}
 	return nil
 }
@@ -141,6 +150,46 @@ type taskState struct {
 	updates     int64 // client updates received
 	// roundReceived counts updates in the current sync round.
 	roundReceived int
+
+	// lastClose and closeEWMAms feed the RetryAfterMs hint on join
+	// rejections: the EWMA of intervals between session closes estimates
+	// how soon a slot frees up when the task sits at max concurrency.
+	lastClose   time.Time
+	closeEWMAms float64
+}
+
+// dropSessionLocked removes a session from the table and feeds the
+// close-interval EWMA behind the join-rejection backoff hint. Caller holds
+// ts.mu.
+func (ts *taskState) dropSessionLocked(id uint64) {
+	delete(ts.sessions, id)
+	now := time.Now()
+	if !ts.lastClose.IsZero() {
+		iv := float64(now.Sub(ts.lastClose)) / float64(time.Millisecond)
+		if ts.closeEWMAms == 0 {
+			ts.closeEWMAms = iv
+		} else {
+			ts.closeEWMAms = 0.8*ts.closeEWMAms + 0.2*iv
+		}
+	}
+	ts.lastClose = now
+}
+
+// retryAfterLocked returns the backoff hint for a join rejection, clamped
+// to [1ms, 5s]; 0 when no close interval has been observed yet (no
+// signal — the client keeps its own jittered backoff). Caller holds ts.mu.
+func (ts *taskState) retryAfterLocked() int {
+	if ts.closeEWMAms == 0 {
+		return 0
+	}
+	ms := int(ts.closeEWMAms + 0.5)
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 5000 {
+		ms = 5000
+	}
+	return ms
 }
 
 func newTaskState(req AssignTaskRequest) (*taskState, error) {
@@ -375,7 +424,10 @@ func (a *Aggregator) join(req JoinRequest) (any, error) {
 	defer ts.mu.Unlock()
 	if len(ts.sessions) >= ts.spec.Concurrency {
 		a.obs.span(req.TraceID, "join", req.TaskID, 0, start, "task at max concurrency")
-		return JoinResponse{Accepted: false, Reason: "task at max concurrency"}, nil
+		// The rejection carries the task's own estimate of when a slot
+		// frees up, so rejected clients back off for one expected
+		// session-close interval instead of hammering the selector.
+		return JoinResponse{Accepted: false, Reason: "task at max concurrency", RetryAfterMs: ts.retryAfterLocked()}, nil
 	}
 	ts.nextSession++
 	id := ts.nextSession
@@ -430,7 +482,7 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 	s.touch(time.Now())
 	if s.aborted {
 		reason := s.abortReason
-		delete(ts.sessions, req.SessionID)
+		ts.dropSessionLocked(req.SessionID)
 		ts.mu.Unlock()
 		s.close()
 		a.obs.sessionsClosed.Inc()
@@ -477,7 +529,7 @@ func (a *Aggregator) failSession(req FailRequest) (any, error) {
 	}
 	ts.mu.Lock()
 	s := ts.sessions[req.SessionID]
-	delete(ts.sessions, req.SessionID)
+	ts.dropSessionLocked(req.SessionID)
 	ts.mu.Unlock()
 	if s != nil {
 		s.close()
@@ -525,7 +577,7 @@ func (a *Aggregator) uploadChunk(c UploadChunk) (out any, err error) {
 	}
 	if ok && s.aborted {
 		reason := s.abortReason
-		delete(ts.sessions, c.SessionID)
+		ts.dropSessionLocked(c.SessionID)
 		ts.mu.Unlock()
 		s.close()
 		a.obs.sessionsClosed.Inc()
@@ -617,7 +669,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 	}
 	if s.aborted {
 		reason := s.abortReason
-		delete(ts.sessions, c.SessionID)
+		ts.dropSessionLocked(c.SessionID)
 		ts.mu.Unlock()
 		release()
 		a.obs.sessionsClosed.Inc()
@@ -625,7 +677,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 	}
 	staleness := ts.version - s.startVersion
 	if ts.spec.MaxStaleness > 0 && staleness > ts.spec.MaxStaleness {
-		delete(ts.sessions, c.SessionID)
+		ts.dropSessionLocked(c.SessionID)
 		ts.mu.Unlock()
 		release()
 		a.obs.sessionsClosed.Inc()
@@ -643,7 +695,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		// concurrency-safe and stays under the task mutex; the boundary
 		// crossing dominates its cost anyway (Section 5).
 		if received != ts.spec.NumParams+1 {
-			delete(ts.sessions, c.SessionID)
+			ts.dropSessionLocked(c.SessionID)
 			ts.mu.Unlock()
 			release()
 			a.obs.sessionsClosed.Inc()
@@ -656,7 +708,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 			EncSeed:    c.SecAggEncSeed,
 		}
 		if err := ts.secAgg.Add(up); err != nil {
-			delete(ts.sessions, c.SessionID)
+			ts.dropSessionLocked(c.SessionID)
 			ts.mu.Unlock()
 			release()
 			a.obs.sessionsClosed.Inc()
@@ -672,7 +724,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		// the possible round close (with its over-selection discard,
 		// Appendix E.3) stay consistent under the task mutex.
 		if received != ts.spec.NumParams {
-			delete(ts.sessions, c.SessionID)
+			ts.dropSessionLocked(c.SessionID)
 			ts.mu.Unlock()
 			release()
 			a.obs.sessionsClosed.Inc()
@@ -698,7 +750,7 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		// arrival-order tolerance FedBuff is built on (Section 6.3), and
 		// bounded at one step by the staleness check still holding ts.mu.
 		if received != ts.spec.NumParams {
-			delete(ts.sessions, c.SessionID)
+			ts.dropSessionLocked(c.SessionID)
 			ts.mu.Unlock()
 			release()
 			a.obs.sessionsClosed.Inc()
@@ -731,7 +783,7 @@ func (a *Aggregator) countAndMaybeStepLocked(ts *taskState, sessionID uint64) (a
 	}
 	ts.updates++
 	ts.roundReceived++
-	delete(ts.sessions, sessionID)
+	ts.dropSessionLocked(sessionID)
 	a.obs.uploads.Inc()
 	a.obs.sessionsClosed.Inc()
 
@@ -912,7 +964,7 @@ func (a *Aggregator) reapSessions(now time.Time) {
 		taskID := ts.spec.ID
 		for id, s := range ts.sessions {
 			if now.Sub(s.idleSince()) > ttl {
-				delete(ts.sessions, id)
+				ts.dropSessionLocked(id)
 				dead = append(dead, s)
 				deadIDs = append(deadIDs, id)
 			}

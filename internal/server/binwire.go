@@ -128,7 +128,8 @@ func (r CheckinResponse) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendString(dst, r.Aggregator)
 	dst = wire.AppendUvarint(dst, r.SessionID)
 	dst = wire.AppendVarint(dst, int64(r.Version))
-	return wire.AppendUvarint(dst, r.TraceID)
+	dst = wire.AppendUvarint(dst, r.TraceID)
+	return wire.AppendVarint(dst, int64(r.RetryAfterMs))
 }
 
 func decodeCheckinResponseBinary(b []byte) (any, error) {
@@ -157,6 +158,10 @@ func decodeCheckinResponseBinary(b []byte) (any, error) {
 	if r.TraceID, b, err = wire.ReadUvarint(b); err != nil {
 		return nil, err
 	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	r.RetryAfterMs = int(v)
 	return r, done(b)
 }
 
@@ -197,7 +202,8 @@ func (r JoinResponse) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendBool(dst, r.Accepted)
 	dst = wire.AppendString(dst, r.Reason)
 	dst = wire.AppendUvarint(dst, r.SessionID)
-	return wire.AppendVarint(dst, int64(r.Version))
+	dst = wire.AppendVarint(dst, int64(r.Version))
+	return wire.AppendVarint(dst, int64(r.RetryAfterMs))
 }
 
 func decodeJoinResponseBinary(b []byte) (any, error) {
@@ -217,6 +223,10 @@ func decodeJoinResponseBinary(b []byte) (any, error) {
 		return nil, err
 	}
 	r.Version = int(v)
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	r.RetryAfterMs = int(v)
 	return r, done(b)
 }
 

@@ -33,7 +33,11 @@ type testFabric interface {
 type fabricFactory struct {
 	name    string
 	routing bool
-	make    func(t *testing.T, seed int64) testFabric
+	// elides marks backends configured to send no-ack upload chunks over
+	// negotiated streaming sessions (Options.AckElide); the degradation
+	// test asserts elision happens exactly on these and nowhere else.
+	elides bool
+	make   func(t *testing.T, seed int64) testFabric
 }
 
 var fabricFactories = []fabricFactory{
@@ -96,9 +100,9 @@ var fabricFactories = []fabricFactory{
 	// call, proving the streaming path preserves the full failover/
 	// reconfigure/multitenant behaviour matrix — including faults injected
 	// mid-stream.
-	{name: "http-stream", make: func(t *testing.T, seed int64) testFabric {
+	{name: "http-stream", elides: true, make: func(t *testing.T, seed int64) testFabric {
 		f, err := httptransport.New(httptransport.Options{
-			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Stream: true,
+			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Stream: true, AckElide: true,
 		})
 		if err != nil {
 			t.Fatalf("starting streaming http fabric: %v", err)
@@ -109,9 +113,9 @@ var fabricFactories = []fabricFactory{
 	// The raw-TCP fabric: no HTTP anywhere — pipelined wire frames over
 	// bare connections, with the same discovery/advertise and
 	// fault-injection semantics. Default (gob) codec configuration.
-	{name: "tcp", make: func(t *testing.T, seed int64) testFabric {
+	{name: "tcp", elides: true, make: func(t *testing.T, seed int64) testFabric {
 		f, err := tcptransport.New(tcptransport.Options{
-			Listen: "127.0.0.1:0", Seed: seed,
+			Listen: "127.0.0.1:0", Seed: seed, AckElide: true,
 		})
 		if err != nil {
 			t.Fatalf("starting tcp fabric: %v", err)
@@ -121,9 +125,9 @@ var fabricFactories = []fabricFactory{
 	}},
 	// Raw TCP with both negotiated capabilities: binary frames, large ones
 	// DEFLATE-compressed per frame.
-	{name: "tcp-bin-deflate", make: func(t *testing.T, seed int64) testFabric {
+	{name: "tcp-bin-deflate", elides: true, make: func(t *testing.T, seed int64) testFabric {
 		f, err := tcptransport.New(tcptransport.Options{
-			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Compress: "streamed",
+			Listen: "127.0.0.1:0", Seed: seed, Codec: "bin", Compress: "streamed", AckElide: true,
 		})
 		if err != nil {
 			t.Fatalf("starting deflating bin tcp fabric: %v", err)

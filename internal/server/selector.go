@@ -174,7 +174,9 @@ func (s *Selector) checkin(req CheckinRequest) (any, error) {
 		s.obs.checkinsRejected.Inc()
 		s.obs.checkinSeconds.Observe(time.Since(start).Seconds())
 		s.obs.span(req.TraceID, "checkin", asg.TaskID, start, jr.Reason)
-		return CheckinResponse{Accepted: false, Reason: jr.Reason, TraceID: req.TraceID}, nil
+		// The aggregator's backoff hint rides through unchanged: the
+		// selector has no better estimate of when a slot frees up.
+		return CheckinResponse{Accepted: false, Reason: jr.Reason, TraceID: req.TraceID, RetryAfterMs: jr.RetryAfterMs}, nil
 	}
 	s.obs.checkinsAccepted.Inc()
 	s.obs.checkinSeconds.Observe(time.Since(start).Seconds())

@@ -451,3 +451,99 @@ func TestStreamBeatsPerChunkPost(t *testing.T) {
 			tcpStream, post, benchParams)
 	}
 }
+
+// TestElidedBeatsPerChunkAck is the v2 bench-compare gate (set
+// PAPAYA_BENCH_COMPARE=1): at 16k params on the TCP fabric, the
+// ack-eliding upload rhythm — non-final chunks unacknowledged, frames
+// coalesced into one writev batch — must move at least as many
+// uploads/sec as the same fabric running per-chunk acks. This fences the
+// reason the /v2 capability exists; both cells are measured in the same
+// process on the same host so the comparison is apples to apples.
+func TestElidedBeatsPerChunkAck(t *testing.T) {
+	if os.Getenv("PAPAYA_BENCH_COMPARE") == "" {
+		t.Skip("set PAPAYA_BENCH_COMPARE=1 to run the elided-vs-acked comparison")
+	}
+	const (
+		benchParams  = 16384
+		benchUploads = 48
+		benchClients = 8
+	)
+	measure := func(name string, elide bool) float64 {
+		t.Helper()
+		f, err := tcptransport.New(tcptransport.Options{
+			Listen: "127.0.0.1:0", Codec: "bin", AckElide: elide,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = f.Close() })
+		net := testFabric(f)
+		coord := server.NewCoordinator("coordinator", net, testTimings(), 7, false)
+		agg := server.NewAggregator("agg", net, "coordinator", testTimings())
+		sel := server.NewSelector("sel", net, "coordinator", testTimings())
+		defer func() {
+			sel.Stop()
+			agg.Stop()
+			coord.Stop()
+		}()
+		if _, err := net.Call("test", "coordinator", "register-aggregator", "agg"); err != nil {
+			t.Fatal(err)
+		}
+		spec := server.TaskSpec{
+			ID: "bench", Mode: core.Async, NumParams: benchParams,
+			Concurrency: benchClients * 2, AggregationGoal: 8, Capability: "lm",
+			InitParams: make([]float32, benchParams), UploadChunkSize: 4096,
+		}
+		if _, err := net.Call("test", "coordinator", "create-task", spec); err != nil {
+			t.Fatal(err)
+		}
+		delta := make([]float32, benchParams)
+		for i := range delta {
+			delta[i] = 0.001
+		}
+		var completed atomic.Int64
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < benchClients; c++ {
+			wg.Add(1)
+			go func(id int64) {
+				defer wg.Done()
+				store := client.NewExampleStore(0, 0)
+				store.Add([]int{1, 2, 3}, time.Now())
+				dev := &client.Runtime{
+					ClientID: id, Capabilities: []string{"lm"},
+					Store: store, Exec: fixedExecutor{delta: delta},
+					Net: net, Selectors: []string{"sel"},
+					State:    client.DeviceState{Idle: true, Charging: true, Unmetered: true},
+					Random:   rand.Reader,
+					Compress: []string{"none"},
+					Stream:   true,
+				}
+				for completed.Load() < benchUploads {
+					res, err := dev.RunOnce(time.Now())
+					if err == nil && res.Outcome == client.Completed {
+						completed.Add(1)
+					}
+				}
+			}(int64(100 + c))
+		}
+		wg.Wait()
+		rate := float64(completed.Load()) / time.Since(start).Seconds()
+		elided := f.Stats().AcksElided
+		t.Logf("%s: %.1f uploads/sec at %d params (%d acks elided)", name, rate, benchParams, elided)
+		if elide && elided == 0 {
+			t.Fatalf("%s: ack elision was enabled but no acks were elided", name)
+		}
+		if !elide && elided != 0 {
+			t.Fatalf("%s: per-chunk-ack run elided %d acks", name, elided)
+		}
+		return rate
+	}
+
+	acked := measure("tcp per-chunk ack", false)
+	elided := measure("tcp elided", true)
+	if elided < acked {
+		t.Fatalf("elided tcp uploads (%.1f/s) fell below per-chunk-ack tcp (%.1f/s) at %d params",
+			elided, acked, benchParams)
+	}
+}

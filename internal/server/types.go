@@ -104,6 +104,14 @@ type JoinResponse struct {
 	Reason    string
 	SessionID uint64
 	Version   int // model version the client will download
+
+	// RetryAfterMs, on a rejection, hints how long the client should back
+	// off before its next check-in — the aggregator's estimate of when a
+	// session slot frees up (its EWMA of session-close intervals). 0 means
+	// no hint: the client keeps its own jittered backoff. Cold gob field
+	// (versioning rule 2): an older peer's decoder drops it and the client
+	// degrades to local backoff.
+	RetryAfterMs int
 }
 
 // DownloadRequest fetches model parameters (the paper serves these from a
@@ -175,6 +183,12 @@ type UploadResponse struct {
 	Reason string
 }
 
+// AckElidable implements transport.AckElidable: a successful chunk ack
+// carries no information the uploader needs per chunk (rejections always
+// ride the wire), so a peer that negotiated the ack-elide capability may
+// suppress it.
+func (u UploadResponse) AckElidable() bool { return u.OK }
+
 // FailRequest tells the aggregator a session died client-side (the paper
 // also detects this via missed heartbeats; the explicit path keeps tests
 // deterministic).
@@ -212,6 +226,11 @@ type CheckinResponse struct {
 	// it; a zero echo tells the client the control plane is /v1 (or
 	// untraced) and server-side spans will not exist for this session.
 	TraceID uint64
+
+	// RetryAfterMs, on a rejection, propagates the aggregator's backoff
+	// hint (JoinResponse.RetryAfterMs) through the selector to the client.
+	// 0 means no hint. Cold gob field (versioning rule 2).
+	RetryAfterMs int
 }
 
 // AssignClientRequest is Selector -> Coordinator: pick an eligible task

@@ -13,6 +13,12 @@ package httptransport
 // .EnableFullDuplex) lets the handler answer frame by frame while the
 // client keeps writing.
 //
+// The session machinery itself — pipelined serving, idle pooling, per-call
+// deadlines, ack elision, frame coalescing — lives in the shared
+// internal/transport/streamcore engine; this file supplies the two HTTP
+// adapters (the client's long-lived POST pipe and the server's full-duplex
+// response) and the negotiation glue.
+//
 // Streaming is a negotiated /v2/ capability (wire.Capabilities.Stream,
 // versioning rule 4): every build serves the route, but a fabric streams
 // only toward peers that advertised it; everyone else keeps receiving the
@@ -27,19 +33,23 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/compress"
 	"repro/internal/transport"
+	"repro/internal/transport/streamcore"
 	"repro/internal/transport/wire"
 )
 
-// Compile-time check: the HTTP backend offers the streaming surface.
-var _ transport.StreamFabric = (*Fabric)(nil)
+// Compile-time checks: the HTTP backend offers the streaming surface, and
+// its bound sessions expose the ack-elision surface.
+var (
+	_ transport.StreamFabric   = (*Fabric)(nil)
+	_ transport.ElidingSession = (*boundSession)(nil)
+)
 
 // streamContentType marks a streaming response body (a frame sequence, not
 // a single RPC frame).
@@ -51,14 +61,49 @@ const maxIdleStreamsPerPeer = 16
 
 // --- server side ---
 
-// handleStream serves one streaming session: a pipelined sequence of
-// length-prefixed request frames answered in order by response frames over
-// a single POST. Each frame is decoded by its own sniffed codec and runs
-// through the same fault-check dispatch as a per-POST call, so streamed
-// traffic has identical semantics — including injected crashes and
-// partitions taking effect mid-stream. The loop exits when the client
-// closes its end (the session's natural close signal) or the connection
-// breaks.
+// httpConn adapts one inbound stream POST (request body in, response
+// writer out) to the engine's Conn. Deadlines map onto the
+// http.ResponseController's read/write deadlines.
+type httpConn struct {
+	w       http.ResponseWriter
+	rc      *http.ResponseController
+	body    io.Closer
+	br      *bufio.Reader
+	scratch []byte
+}
+
+func (h *httpConn) ReadFrame(max int) (byte, []byte, error) {
+	flags, payload, scratch, err := wire.ReadStreamFrameFrom(h.br, h.scratch, max)
+	h.scratch = scratch
+	return flags, payload, err
+}
+
+func (h *httpConn) WriteFrames(bufs net.Buffers) (int64, error) {
+	n, err := bufs.WriteTo(h.w)
+	if err != nil {
+		return n, err
+	}
+	return n, h.rc.Flush()
+}
+
+func (h *httpConn) SetDeadline(t time.Time) error {
+	if err := h.rc.SetReadDeadline(t); err != nil {
+		return err
+	}
+	return h.rc.SetWriteDeadline(t)
+}
+
+func (h *httpConn) Close() error { return h.body.Close() }
+
+// handleStream serves one streaming session through the shared engine: a
+// pipelined sequence of length-prefixed request frames answered in order by
+// response frames over a single POST. Each frame is decoded by its own
+// sniffed codec and runs through the same fault-check dispatch as a
+// per-POST call, so streamed traffic has identical semantics — including
+// injected crashes and partitions taking effect mid-stream, and the no-ack
+// suppression path for peers that negotiated ack elision. The loop exits
+// when the client closes its end (the session's natural close signal) or
+// the connection breaks.
 func (f *Fabric) handleStream(w http.ResponseWriter, r *http.Request) {
 	node := r.PathValue("node")
 	rc := http.NewResponseController(w)
@@ -70,109 +115,94 @@ func (f *Fabric) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush() // release the client's Do() before the first frame
 
-	br := bufio.NewReaderSize(r.Body, 32<<10)
-	var scratch, out []byte
-	for {
-		flags, payload, sc, err := wire.ReadStreamFrameFrom(br, scratch, maxRPCBodyBytes)
-		scratch = sc
-		if err != nil {
-			return // io.EOF: clean close; anything else: dead peer
-		}
-		if flags&wire.StreamFlagDeflate != 0 {
-			if payload, err = compress.InflateBytes(payload, maxRPCBodyBytes); err != nil {
-				return
-			}
-		}
-		codec, ok := wire.CodecForFrame(payload)
-		if !ok {
-			codec = f.codec
-		}
-		req, err := codec.DecodeRequest(payload)
-		if err != nil {
-			// A frame that does not decode means the stream framing itself
-			// is unreliable; kill the session rather than guess at framing.
-			return
-		}
-		resp := f.invoke(node, req)
-
-		var body []byte
-		framePooled := false
-		if app, ok := codec.(wire.Appender); ok {
-			body, err = app.AppendResponse(getFrame(), resp)
-			framePooled = err == nil
-		} else {
-			body, err = codec.EncodeResponse(resp)
-		}
-		// Leases follow the same order as the per-POST path: the response
-		// frame is fully encoded, then pooled response vectors (a
-		// download's model snapshot) and the request's leased decode
-		// vectors go back to their pools.
-		if lease, ok := resp.Payload.(wire.ResponseBufferLease); ok {
-			lease.ReleaseResponseBuffers()
-		}
-		if lease, ok := req.Payload.(wire.BufferLease); ok {
-			lease.ReleaseBinaryBuffers()
-		}
-		if err != nil {
-			body, err = codec.EncodeResponse(&wire.Response{Err: "httptransport: encoding response: " + err.Error()})
-			if err != nil {
-				return
-			}
-		}
-		respFlags := byte(0)
-		// Mirror the request's compression choice: a peer that deflated
-		// its frame asked for deflate back (the stream-era Accept-Encoding).
-		if flags&wire.StreamFlagDeflate != 0 && len(body) >= deflateMinBytes {
-			if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
-				if framePooled {
-					putFrame(body)
-					framePooled = false
-				}
-				body, respFlags = packed, wire.StreamFlagDeflate
-			}
-		}
-		out = wire.AppendStreamFrame(out[:0], respFlags, body)
-		if framePooled {
-			putFrame(body)
-		}
-		if _, err := w.Write(out); err != nil {
-			return
-		}
-		_ = rc.Flush()
-	}
+	conn := &httpConn{w: w, rc: rc, body: r.Body, br: bufio.NewReaderSize(r.Body, 32<<10)}
+	streamcore.Serve(conn, streamcore.ServeConfig{
+		DefaultCodec: f.codec,
+		MaxFrame:     maxRPCBodyBytes,
+		Prefix:       "httptransport",
+		Counters:     &f.counters,
+		Invoke: func(req *wire.Request) *wire.Response {
+			return f.invoke(node, req)
+		},
+	})
 }
 
 // --- client side ---
 
-// streamSession is one live /v2/stream connection to a peer, pinned to a
-// target node. The wire.Request frame carries From, so any caller may use
-// a pooled session; calls are serialized by mu (one frame in flight at a
-// time, like the protocol the session carries).
-type streamSession struct {
-	f      *Fabric
-	target string // peer base URL
-	node   string // callee every frame addresses
-	enc    wire.Codec
-	defl   bool // deflate large request frames (peer negotiated APIv2)
+// pipeConn adapts the client half of one stream POST — the request-body
+// pipe out, the response body in — to the engine's Conn. HTTP bodies have
+// no native deadlines, so SetDeadline arms one persistent reusable timer
+// that force-closes the conn (the engine clears it after every completed
+// exchange; an armed timer firing while the session idles in a pool would
+// otherwise destroy it).
+type pipeConn struct {
+	pw     *io.PipeWriter
+	resp   *http.Response
+	br     *bufio.Reader
 	cancel context.CancelFunc
 
-	broken atomic.Bool // connection-level failure observed
-	closed atomic.Bool
+	scratch []byte
 
-	mu      sync.Mutex
-	pw      *io.PipeWriter
-	resp    *http.Response
-	br      *bufio.Reader
-	req     wire.Request // reused header; payload set per call
-	encBuf  []byte       // codec frame scratch
-	outBuf  []byte       // stream frame scratch
-	scratch []byte       // response read scratch
+	tmu   sync.Mutex
+	timer *time.Timer
+}
+
+func (p *pipeConn) ReadFrame(max int) (byte, []byte, error) {
+	flags, payload, scratch, err := wire.ReadStreamFrameFrom(p.br, p.scratch, max)
+	p.scratch = scratch
+	return flags, payload, err
+}
+
+func (p *pipeConn) WriteFrames(bufs net.Buffers) (int64, error) {
+	return bufs.WriteTo(p.pw)
+}
+
+func (p *pipeConn) SetDeadline(t time.Time) error {
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	if t.IsZero() {
+		if p.timer != nil {
+			p.timer.Stop()
+		}
+		return nil
+	}
+	d := time.Until(t)
+	if p.timer == nil {
+		p.timer = time.AfterFunc(d, p.abort)
+		return nil
+	}
+	p.timer.Stop()
+	p.timer.Reset(d)
+	return nil
+}
+
+// abort force-closes the underlying connection, unblocking any in-flight
+// read or pipe write. Closing the body pipe matters as much as the cancel:
+// when the peer dies, the transport's write loop is blocked reading this
+// pipe, and context cancellation cannot interrupt a body Read — only the
+// close can.
+func (p *pipeConn) abort() {
+	p.pw.CloseWithError(errors.New("httptransport: stream call timed out"))
+	p.resp.Body.Close()
+	p.cancel()
+}
+
+func (p *pipeConn) Close() error {
+	p.tmu.Lock()
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.tmu.Unlock()
+	p.pw.Close() // EOF at the server: the session's natural close signal
+	p.resp.Body.Close()
+	p.cancel()
+	return nil
 }
 
 // openStreamSession dials one streaming session toward target for node.
 // The caller has already checked faults and confirmed the peer negotiated
 // the capability.
-func (f *Fabric) openStreamSession(target, node string, caps wire.Capabilities) (*streamSession, error) {
+func (f *Fabric) openStreamSession(target, node string, caps wire.Capabilities) (*streamcore.Session, error) {
 	enc := f.codec
 	if f.binPreferred && !caps.SupportsBinary() {
 		enc = f.fallback
@@ -194,11 +224,6 @@ func (f *Fabric) openStreamSession(target, node string, caps wire.Capabilities) 
 	var openTimer *time.Timer
 	if f.callTimeout > 0 {
 		openTimer = time.AfterFunc(f.callTimeout, func() {
-			// Closing the body pipe matters as much as the cancel: when
-			// the peer dies mid-open, Do cannot return until the
-			// transport's write loop exits, the write loop is blocked
-			// reading this pipe, and context cancellation cannot
-			// interrupt a body Read — only this close can.
 			pw.CloseWithError(errors.New("httptransport: stream open timed out"))
 			cancel()
 		})
@@ -219,132 +244,24 @@ func (f *Fabric) openStreamSession(target, node string, caps wire.Capabilities) 
 		pw.Close()
 		return nil, fmt.Errorf("httptransport: stream to %s: HTTP %d: %s", node, resp.StatusCode, msg)
 	}
-	s := &streamSession{
-		f:      f,
-		target: target,
-		node:   node,
-		enc:    enc,
-		defl:   f.deflateBody && caps.SupportsCompression(),
-		cancel: cancel,
-		pw:     pw,
-		resp:   resp,
-		br:     bufio.NewReaderSize(resp.Body, 32<<10),
-	}
-	f.streamMu.Lock()
-	if f.closed {
+	conn := &pipeConn{pw: pw, resp: resp, br: bufio.NewReaderSize(resp.Body, 32<<10), cancel: cancel}
+	s := streamcore.NewSession(conn, streamcore.Config{
+		Codec:       enc,
+		Deflate:     f.deflateBody && caps.SupportsCompression(),
+		Node:        node,
+		Prefix:      "httptransport",
+		CallTimeout: f.callTimeout,
+		MaxFrame:    maxRPCBodyBytes,
+		Counters:    &f.counters,
+	})
+	s.Addr = target
+	if !f.pool.Track(s) {
 		// Lost the race against Close: a session registered now would
-		// never be torn down (Close already snapshotted allStreams).
-		f.streamMu.Unlock()
-		s.teardown()
+		// never be torn down (Close already snapshotted the pool).
+		conn.Close()
 		return nil, errors.New("httptransport: fabric closed")
 	}
-	f.allStreams[s] = struct{}{}
-	f.streamMu.Unlock()
 	return s, nil
-}
-
-// do sends one call over the session and reads its response. Fault checks
-// are the caller's job (Call and boundSession both run checkCall first).
-// A connection-level failure marks the session broken; the caller discards
-// it and maps the error to ErrCrashed, exactly like a failed POST. wrote
-// reports whether any request bytes may have reached the peer — the
-// at-most-once guard: callers may transparently retry a failed call on
-// another connection only when wrote is false.
-func (s *streamSession) do(from, method string, payload any) (out any, err error, wrote bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed.Load() || s.broken.Load() {
-		return nil, fmt.Errorf("%w: %s: stream closed", transport.ErrCrashed, s.node), false
-	}
-	s.req.From, s.req.Method, s.req.Payload = from, method, payload
-	var body []byte
-	if app, ok := s.enc.(wire.Appender); ok {
-		body, err = app.AppendRequest(s.encBuf[:0], &s.req)
-	} else {
-		body, err = s.enc.EncodeRequest(&s.req)
-	}
-	s.req.Payload = nil
-	if err != nil {
-		// An unregistered payload is a caller bug, not a broken stream.
-		return nil, fmt.Errorf("httptransport: encoding %s stream call to %s: %w", method, s.node, err), false
-	}
-	if cap(body) > cap(s.encBuf) {
-		s.encBuf = body // keep the grown scratch for the next frame
-	}
-	flags := byte(0)
-	if s.defl && len(body) >= deflateMinBytes {
-		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
-			body, flags = packed, wire.StreamFlagDeflate
-		}
-	}
-	s.outBuf = wire.AppendStreamFrame(s.outBuf[:0], flags, body)
-	s.f.calls.Add(1)
-	s.f.bytesSent.Add(uint64(len(s.outBuf)))
-
-	// Per-call watchdog: the stream client has no overall timeout (the
-	// connection is supposed to be long-lived), so a blackholed peer must
-	// be cut per call — failover paths are built on calls failing fast.
-	if s.f.callTimeout > 0 {
-		timer := time.AfterFunc(s.f.callTimeout, s.abort)
-		defer timer.Stop()
-	}
-	if n, werr := s.pw.Write(s.outBuf); werr != nil {
-		s.broken.Store(true)
-		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, werr), n > 0
-	}
-	wrote = true
-	rflags, raw, scratch, err := wire.ReadStreamFrameFrom(s.br, s.scratch, maxRPCBodyBytes)
-	s.scratch = scratch
-	if err != nil {
-		s.broken.Store(true)
-		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, err), true
-	}
-	s.f.bytesRecv.Add(uint64(len(raw)))
-	if rflags&wire.StreamFlagDeflate != 0 {
-		if raw, err = compress.InflateBytes(raw, maxRPCBodyBytes); err != nil {
-			s.broken.Store(true)
-			return nil, fmt.Errorf("httptransport: inflating stream response from %s: %w", s.node, err), true
-		}
-	}
-	resp, err := s.enc.DecodeResponse(raw)
-	if err != nil {
-		s.broken.Store(true)
-		return nil, fmt.Errorf("httptransport: decoding stream response from %s: %w", s.node, err), true
-	}
-	if resp.Kind != "" {
-		return nil, transport.KindToError(resp.Kind, resp.Err), true
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err), true
-	}
-	return resp.Payload, nil, true
-}
-
-// abort force-closes the underlying connection, unblocking any in-flight
-// read. Safe to call concurrently with do.
-func (s *streamSession) abort() {
-	s.broken.Store(true)
-	s.pw.CloseWithError(errors.New("httptransport: stream aborted"))
-	s.resp.Body.Close()
-	s.cancel()
-}
-
-// teardown closes the session and forgets it; used by session Close and
-// fabric Close.
-func (s *streamSession) teardown() {
-	if s.closed.Swap(true) {
-		return
-	}
-	s.pw.Close() // EOF at the server: the session's natural close signal
-	s.resp.Body.Close()
-	s.cancel()
-}
-
-// forget removes a session from the fabric's tracking maps.
-func (f *Fabric) forget(s *streamSession) {
-	f.streamMu.Lock()
-	delete(f.allStreams, s)
-	f.streamMu.Unlock()
 }
 
 // --- the Options.Stream call path ---
@@ -354,43 +271,12 @@ func streamKey(target, node string) string { return target + "|" + node }
 // acquireStream pops a cached idle session for (target, node) or opens a
 // fresh one; fresh reports which, so the caller knows whether a broken
 // session might just have been stale.
-func (f *Fabric) acquireStream(target, node string, caps wire.Capabilities) (s *streamSession, fresh bool, err error) {
-	key := streamKey(target, node)
-	f.streamMu.Lock()
-	if idle := f.idleStreams[key]; len(idle) > 0 {
-		s = idle[len(idle)-1]
-		f.idleStreams[key] = idle[:len(idle)-1]
-	}
-	f.streamMu.Unlock()
-	if s != nil {
+func (f *Fabric) acquireStream(target, node string, caps wire.Capabilities) (s *streamcore.Session, fresh bool, err error) {
+	if s = f.pool.Take(streamKey(target, node)); s != nil {
 		return s, false, nil
 	}
 	s, err = f.openStreamSession(target, node, caps)
 	return s, true, err
-}
-
-// releaseStream returns a healthy session to the idle cache (bounded;
-// extras are closed).
-func (f *Fabric) releaseStream(target, node string, s *streamSession) {
-	if s.broken.Load() || s.closed.Load() {
-		f.discardStream(s)
-		return
-	}
-	key := streamKey(target, node)
-	f.streamMu.Lock()
-	if !f.closed && len(f.idleStreams[key]) < maxIdleStreamsPerPeer {
-		f.idleStreams[key] = append(f.idleStreams[key], s)
-		f.streamMu.Unlock()
-		return
-	}
-	f.streamMu.Unlock()
-	f.discardStream(s)
-}
-
-// discardStream closes a session for good.
-func (f *Fabric) discardStream(s *streamSession) {
-	f.forget(s)
-	s.teardown()
 }
 
 // streamCall routes one Fabric.Call over a cached streaming session. A
@@ -406,20 +292,20 @@ func (f *Fabric) streamCall(from, to, target, method string, payload any, caps w
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
 		}
-		out, err, wrote := s.do(from, method, payload)
+		out, err, wrote := s.Do(from, method, payload)
 		if err == nil {
-			// The call succeeded even if a racing watchdog marked the
-			// session broken afterwards; releaseStream keeps or discards
-			// the session accordingly.
-			f.releaseStream(target, to, s)
+			// The call succeeded even if a racing deadline marked the
+			// session broken afterwards; Release keeps or discards the
+			// session accordingly.
+			f.pool.Release(streamKey(target, to), s)
 			return out, nil
 		}
-		if !s.broken.Load() {
+		if !s.Broken() {
 			// Application or wire-kind error over a healthy session.
-			f.releaseStream(target, to, s)
+			f.pool.Release(streamKey(target, to), s)
 			return nil, err
 		}
-		f.discardStream(s)
+		f.pool.Discard(s)
 		if !fresh && !wrote {
 			continue // stale pooled conn, nothing sent: safe to retry
 		}
@@ -435,8 +321,9 @@ func (f *Fabric) streamCall(from, to, target, method string, payload any, caps w
 // fallback with identical semantics.
 type boundSession struct {
 	f        *Fabric
-	s        *streamSession // nil: per-call fallback
+	s        *streamcore.Session // nil: per-call fallback
 	from, to string
+	elide    bool
 	closed   bool
 }
 
@@ -452,8 +339,31 @@ func (b *boundSession) Call(method string, payload any) (any, error) {
 	if _, _, err := b.f.checkCall(b.from, b.to, method); err != nil {
 		return nil, err
 	}
-	out, err, _ := b.s.do(b.from, method, payload)
+	out, err, _ := b.s.Do(b.from, method, payload)
 	return out, err
+}
+
+// ElidesAcks implements transport.ElidingSession: true only when this
+// fabric has ack elision enabled, the peer negotiated the capability, and
+// the session actually streams (a per-call fallback always acks).
+func (b *boundSession) ElidesAcks() bool { return b.elide && b.s != nil && !b.closed }
+
+// SendNoAck implements transport.ElidingSession: the same injected-fault
+// checks run per elided call (fault parity frame by frame), then the
+// no-ack frame queues to coalesce into the session's next flush. On a
+// per-call fallback session it degrades to an ordinary acked call.
+func (b *boundSession) SendNoAck(method string, payload any) error {
+	if b.closed {
+		return fmt.Errorf("%w: session closed", transport.ErrCrashed)
+	}
+	if b.s == nil {
+		_, err := b.f.Call(b.from, b.to, method, payload)
+		return err
+	}
+	if _, _, err := b.f.checkCall(b.from, b.to, method); err != nil {
+		return err
+	}
+	return b.s.SendNoAck(b.from, method, payload)
 }
 
 // Close implements transport.Session; closing the stream is the server's
@@ -465,14 +375,17 @@ func (b *boundSession) Close() error {
 	}
 	b.closed = true
 	if b.s != nil {
-		b.f.discardStream(b.s)
+		b.f.pool.Discard(b.s)
 	}
 	return nil
 }
 
 // OpenSession implements transport.StreamFabric: one dedicated connection
 // per session toward stream-capable peers, a transparent per-call fallback
-// toward everyone else (the negotiation default of versioning rule 4).
+// toward everyone else (the negotiation default of versioning rule 4). The
+// session elides acks only when this fabric opted in and the peer
+// advertised the capability — otherwise per-chunk acks keep flowing,
+// bit-identically to the pre-elision protocol.
 func (f *Fabric) OpenSession(from, to string) (transport.Session, error) {
 	target, isLocal, err := f.checkCall(from, to, "open-session")
 	if err != nil {
@@ -486,5 +399,5 @@ func (f *Fabric) OpenSession(from, to string) (transport.Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
 	}
-	return &boundSession{f: f, s: s, from: from, to: to}, nil
+	return &boundSession{f: f, s: s, from: from, to: to, elide: f.ackElide && caps.SupportsAckElide()}, nil
 }

@@ -46,11 +46,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/compress"
 	"repro/internal/transport"
+	"repro/internal/transport/streamcore"
 	"repro/internal/transport/wire"
 )
 
@@ -97,6 +97,14 @@ type Options struct {
 	// keep receiving per-POST traffic. Serving is unconditional — every
 	// fabric accepts streams regardless of this setting.
 	Stream bool
+	// AckElide lets this fabric's streamed sessions send no-ack frames
+	// toward peers that advertised the ack-elide capability
+	// (wire.Capabilities.AckElide): non-final upload chunks ride the
+	// stream unanswered and coalesce into batched writes. Off, every
+	// streamed call keeps its per-frame acknowledgement. Serving no-ack
+	// frames is unconditional — the knob only governs what this fabric
+	// sends.
+	AckElide bool
 	// Seed seeds the probabilistic-loss RNG (SetLoss); 0 is a valid seed.
 	Seed int64
 	// CallTimeout bounds one RPC end to end (default 30s). The in-memory
@@ -130,6 +138,7 @@ type Fabric struct {
 	// the session watchdog instead.
 	streamClient *http.Client
 	callTimeout  time.Duration
+	ackElide     bool
 
 	mu       sync.RWMutex
 	local    map[string]transport.Handler
@@ -140,18 +149,14 @@ type Fabric struct {
 	// backend, promoted so Fabric implements transport.FaultInjector.
 	transport.Faults
 
-	// Stream-session cache for Options.Stream: idle sessions keyed by
-	// "<peer base URL>|<node>" (any caller may reuse one — the frame
-	// carries From), plus the set of every live fabric-opened session so
-	// Close can tear them down. closed gates both against a racing Close.
-	streamMu    sync.Mutex
-	closed      bool
-	idleStreams map[string][]*streamSession
-	allStreams  map[*streamSession]struct{}
+	// counters feed Stats; the per-POST path and the shared stream engine
+	// both update them.
+	counters streamcore.Counters
 
-	calls     atomic.Uint64
-	bytesSent atomic.Uint64
-	bytesRecv atomic.Uint64
+	// pool caches idle stream sessions per "<peer base URL>|<node>" key
+	// (any caller may reuse one — the frame carries From) and tracks every
+	// live fabric-opened session so Close can tear them down.
+	pool *streamcore.Pool
 
 	closeOnce sync.Once
 }
@@ -205,11 +210,11 @@ func New(opts Options) (*Fabric, error) {
 		deflateBody:  deflateBody,
 		streamMode:   opts.Stream,
 		callTimeout:  callTimeout,
+		ackElide:     opts.AckElide,
 		local:        make(map[string]transport.Handler),
 		routes:       make(map[string]string),
 		peerCaps:     make(map[string]wire.Capabilities),
-		idleStreams:  make(map[string][]*streamSession),
-		allStreams:   make(map[*streamSession]struct{}),
+		pool:         streamcore.NewPool(maxIdleStreamsPerPeer),
 		client:       &http.Client{Transport: tr, Timeout: callTimeout},
 		streamClient: &http.Client{Transport: tr},
 	}
@@ -242,32 +247,15 @@ func (f *Fabric) CodecName() string { return f.codec.Name() }
 // (Options.Compress; "" when compression is disabled).
 func (f *Fabric) CompressName() string { return f.compressName }
 
-// Stats returns a snapshot of the client-side traffic counters.
-func (f *Fabric) Stats() Stats {
-	return Stats{
-		Calls:         f.calls.Load(),
-		BytesSent:     f.bytesSent.Load(),
-		BytesReceived: f.bytesRecv.Load(),
-	}
-}
+// Stats returns a snapshot of the fabric's traffic counters.
+func (f *Fabric) Stats() Stats { return f.counters.Snapshot() }
 
 // Close stops serving, tears down live stream sessions, and closes idle
 // connections. It is idempotent.
 func (f *Fabric) Close() error {
 	var err error
 	f.closeOnce.Do(func() {
-		f.streamMu.Lock()
-		f.closed = true
-		sessions := make([]*streamSession, 0, len(f.allStreams))
-		for s := range f.allStreams {
-			sessions = append(sessions, s)
-		}
-		f.allStreams = make(map[*streamSession]struct{})
-		f.idleStreams = make(map[string][]*streamSession)
-		f.streamMu.Unlock()
-		for _, s := range sessions {
-			s.teardown()
-		}
+		f.pool.Close()
 		err = f.srv.Close()
 		f.client.CloseIdleConnections()
 	})
@@ -425,8 +413,8 @@ func (f *Fabric) postCall(from, to, target string, isLocal bool, method string, 
 			body, deflated = packed, true
 		}
 	}
-	f.calls.Add(1)
-	f.bytesSent.Add(uint64(len(body)))
+	f.counters.Calls.Add(1)
+	f.counters.BytesSent.Add(uint64(len(body)))
 	httpReq, err := http.NewRequest(http.MethodPost, target+prefix+"/rpc/"+url.PathEscape(to), bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("httptransport: building %s call to %s: %w", method, to, err)
@@ -449,7 +437,7 @@ func (f *Fabric) postCall(from, to, target string, isLocal bool, method string, 
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s: reading response: %v", transport.ErrCrashed, to, err)
 	}
-	f.bytesRecv.Add(uint64(len(raw)))
+	f.counters.BytesReceived.Add(uint64(len(raw)))
 	if httpResp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("httptransport: %s returned HTTP %d: %s", to, httpResp.StatusCode, raw)
 	}
@@ -489,44 +477,33 @@ const maxRPCBodyBytes = 64 << 20
 // get the zero value, i.e. /v1/ baseline.
 func (f *Fabric) peerCapabilities(target string, isLocal bool) wire.Capabilities {
 	if isLocal {
-		return wire.Capabilities{API: wire.APIv2, Compress: compress.Names(), Codecs: wire.DecodableCodecs(), Stream: true, Trace: true}
+		return selfCapabilities()
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return f.peerCaps[target]
 }
 
-// framePool recycles wire-frame encode buffers across calls and
-// responses; with an append-capable codec (wire.Appender) the encode path
-// allocates nothing once the pool is warm. The wrap headers are recycled
-// through a second pool (same trick as internal/vecpool) — a naive
-// Put(&b) would heap-allocate a slice header per release, re-adding one
-// allocation to every RPC this pool exists to de-allocate.
-type frameWrap struct{ b []byte }
-
-var (
-	framePool  sync.Pool
-	frameWraps sync.Pool
-)
-
-func getFrame() []byte {
-	if w, _ := framePool.Get().(*frameWrap); w != nil {
-		b := w.b[:0]
-		w.b = nil
-		frameWraps.Put(w)
-		return b
+// selfCapabilities is this build's own capability document: every build
+// that links this code serves /v2/, decodes every registered codec and
+// compression, accepts streaming sessions, and serves no-ack frames.
+func selfCapabilities() wire.Capabilities {
+	return wire.Capabilities{
+		API:      wire.APIv2,
+		Compress: compress.Names(),
+		Codecs:   wire.DecodableCodecs(),
+		Stream:   true,
+		Trace:    true,
+		AckElide: true,
 	}
-	return make([]byte, 0, 4096)
 }
 
-func putFrame(b []byte) {
-	w, _ := frameWraps.Get().(*frameWrap)
-	if w == nil {
-		w = new(frameWrap)
-	}
-	w.b = b
-	framePool.Put(w)
-}
+// getFrame and putFrame delegate to the shared engine's frame pool —
+// per-POST frames and stream frames recycle through one pool; with an
+// append-capable codec (wire.Appender) the encode path allocates nothing
+// once the pool is warm.
+func getFrame() []byte  { return streamcore.GetFrame() }
+func putFrame(b []byte) { streamcore.PutFrame(b) }
 
 // --- server side ---
 
@@ -692,16 +669,10 @@ type nodesDoc struct {
 // and accepts streaming sessions on /papaya/v2/stream.
 func (f *Fabric) selfDoc() nodesDoc {
 	return nodesDoc{
-		BaseURL: f.baseURL,
-		Nodes:   f.Nodes(),
-		Routes:  f.Routes(),
-		Capabilities: wire.Capabilities{
-			API:      wire.APIv2,
-			Compress: compress.Names(),
-			Codecs:   wire.DecodableCodecs(),
-			Stream:   true,
-			Trace:    true,
-		},
+		BaseURL:      f.baseURL,
+		Nodes:        f.Nodes(),
+		Routes:       f.Routes(),
+		Capabilities: selfCapabilities(),
 	}
 }
 

@@ -13,9 +13,11 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/server"
 	"repro/internal/transport"
 	"repro/internal/transport/httptransport"
 )
@@ -253,4 +255,131 @@ func TestStreamCloseDoesNotLeakGoroutines(t *testing.T) {
 	buf := make([]byte, 1<<16)
 	t.Fatalf("goroutines: %d at start, %d after close\n%s",
 		base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestAckElideEndToEnd mirrors the TCP fabric's elision test on the HTTP
+// streaming session: no-ack chunk sends are all dispatched, only the final
+// acked call crosses with a reply, and the shared counters record both the
+// elided acks and the coalesced flush.
+func TestAckElideEndToEnd(t *testing.T) {
+	f := newStreamFabric(t, httptransport.Options{Codec: "bin", AckElide: true})
+	// The handler runs on the serving goroutine; the only ordering toward
+	// the test's final read is socket I/O, which the race detector cannot
+	// see, so the record needs its own lock.
+	var mu sync.Mutex
+	var methods []string
+	f.Register("agg", func(method string, payload any) (any, error) {
+		mu.Lock()
+		methods = append(methods, method)
+		mu.Unlock()
+		return server.UploadResponse{OK: true}, nil
+	})
+	sess, err := f.OpenSession("client-1", "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	es, ok := sess.(transport.ElidingSession)
+	if !ok || !es.ElidesAcks() {
+		t.Fatalf("loopback session does not elide (ok=%v)", ok)
+	}
+	for i := 0; i < 5; i++ {
+		if err := es.SendNoAck("chunk", server.FailRequest{TaskID: "t", SessionID: uint64(i)}); err != nil {
+			t.Fatalf("no-ack send %d: %v", i, err)
+		}
+	}
+	out, err := es.Call("done", server.FailRequest{TaskID: "t", SessionID: 99})
+	if err != nil {
+		t.Fatalf("final acked call: %v", err)
+	}
+	if ur := out.(server.UploadResponse); !ur.OK {
+		t.Fatalf("final response = %+v", ur)
+	}
+	mu.Lock()
+	if len(methods) != 6 || methods[0] != "chunk" || methods[5] != "done" {
+		t.Fatalf("handler saw %v", methods)
+	}
+	mu.Unlock()
+	st := f.Stats()
+	if st.AcksElided < 5 {
+		t.Fatalf("AcksElided = %d, want >= 5", st.AcksElided)
+	}
+	if st.FramesCoalesced == 0 {
+		t.Fatal("queued no-ack frames never coalesced into a batched write")
+	}
+}
+
+// TestAckElideHeldFailureSurfacesOnNextCall: the held-response protocol on
+// the HTTP stream — first non-suppressible response to an elided frame is
+// held, later elided frames drain without dispatch, and the next acked
+// call is answered with the held response without being invoked.
+func TestAckElideHeldFailureSurfacesOnNextCall(t *testing.T) {
+	f := newStreamFabric(t, httptransport.Options{Codec: "bin", AckElide: true})
+	var mu sync.Mutex
+	var methods []string
+	f.Register("agg", func(method string, payload any) (any, error) {
+		mu.Lock()
+		methods = append(methods, method)
+		mu.Unlock()
+		if method == "bad" {
+			return server.UploadResponse{OK: false, Reason: "nope"}, nil
+		}
+		return server.UploadResponse{OK: true}, nil
+	})
+	sess, err := f.OpenSession("client-1", "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	es := sess.(transport.ElidingSession)
+	for _, m := range []string{"ok", "bad", "after"} {
+		if err := es.SendNoAck(m, server.FailRequest{TaskID: "t"}); err != nil {
+			t.Fatalf("no-ack %s: %v", m, err)
+		}
+	}
+	out, err := es.Call("final", server.FailRequest{TaskID: "t"})
+	if err != nil {
+		t.Fatalf("acked call after held failure: %v", err)
+	}
+	ur := out.(server.UploadResponse)
+	if ur.OK || ur.Reason != "nope" {
+		t.Fatalf("held response = %+v, want the bad chunk's failure", ur)
+	}
+	mu.Lock()
+	if len(methods) != 2 || methods[0] != "ok" || methods[1] != "bad" {
+		t.Fatalf("handler saw %v", methods)
+	}
+	mu.Unlock()
+}
+
+// TestAckElideDegradesForV1Peers: toward a peer whose capabilities were
+// never fetched (a /v1 peer), OpenSession falls back to per-call POSTs —
+// the session must not offer elision, and SendNoAck (if reached through
+// the interface) degrades to an acked per-call RPC rather than failing.
+func TestAckElideDegradesForV1Peers(t *testing.T) {
+	srv := newStreamFabric(t, httptransport.Options{})
+	srv.Register("node", func(method string, payload any) (any, error) {
+		return server.UploadResponse{OK: true}, nil
+	})
+	caller := newStreamFabric(t, httptransport.Options{AckElide: true})
+	caller.AddRoute("node", srv.BaseURL())
+
+	sess, err := caller.OpenSession("client-1", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if es, ok := sess.(transport.ElidingSession); ok && es.ElidesAcks() {
+		t.Fatal("session elides acks toward a peer that never negotiated the capability")
+	}
+	out, err := sess.Call("chunk", server.FailRequest{TaskID: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur := out.(server.UploadResponse); !ur.OK {
+		t.Fatalf("per-chunk acked call = %+v", ur)
+	}
+	if st := caller.Stats(); st.AcksElided != 0 {
+		t.Fatalf("AcksElided = %d toward a non-negotiating peer", st.AcksElided)
+	}
 }

@@ -38,6 +38,36 @@ type StreamFabric interface {
 	OpenSession(from, to string) (Session, error)
 }
 
+// ElidingSession is the optional ack-elision surface of a Session: calls
+// whose responses the caller does not need (non-final upload chunks) can be
+// sent without waiting for an acknowledgement, halving the stream's round
+// trips. A session offers it only when the peer negotiated the ack-elide
+// stream capability (wire.Capabilities.AckElide); everywhere else callers
+// keep using Call and the per-frame rhythm is unchanged.
+type ElidingSession interface {
+	Session
+	// ElidesAcks reports whether this session negotiated ack elision with
+	// its peer. When false, SendNoAck must not be used.
+	ElidesAcks() bool
+	// SendNoAck sends one call without waiting for its response. The frame
+	// may be buffered and coalesced with later frames; the next Call
+	// flushes everything queued ahead of itself. If any elided call failed
+	// on the server, the failure surfaces as that next Call's response.
+	// An error return means the session broke and nothing further can be
+	// sent on it (queued frames may or may not have reached the peer).
+	SendNoAck(method string, payload any) error
+}
+
+// AckElidable lets a response payload opt its acknowledgement out of the
+// wire: when a streamed call was sent no-ack and the handler's response
+// payload reports AckElidable() == true (with no error attached), the
+// server sends nothing back. Responses that do not implement the interface
+// — and any error — always travel, carried on the session's next
+// acknowledged frame.
+type AckElidable interface {
+	AckElidable() bool
+}
+
 // OpenSession opens a streaming session on any Fabric: backends that
 // implement StreamFabric stream (or degrade per their negotiation);
 // everything else — the in-memory Network included — gets a per-call
@@ -83,6 +113,13 @@ type Stats struct {
 	BytesSent uint64
 	// BytesReceived counts response payload bytes read.
 	BytesReceived uint64
+	// AcksElided counts streamed calls whose acknowledgement never crossed
+	// the wire: no-ack frames sent client-side plus responses suppressed
+	// server-side (a loopback fabric counts both halves).
+	AcksElided uint64
+	// FramesCoalesced counts stream frames written as part of a
+	// multi-frame batch (one writev instead of one syscall per frame).
+	FramesCoalesced uint64
 }
 
 // Error kinds carried in wire.Response.Kind so transport-level failure

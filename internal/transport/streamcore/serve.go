@@ -1,0 +1,162 @@
+package streamcore
+
+import (
+	"net"
+
+	"repro/internal/compress"
+	"repro/internal/transport"
+	"repro/internal/transport/wire"
+)
+
+// ServeConfig parameterizes the server half of the engine for the fabric
+// that owns the connection.
+type ServeConfig struct {
+	// DefaultCodec answers frames whose codec could not be sniffed.
+	DefaultCodec wire.Codec
+	// MaxFrame bounds one request payload, raw or inflated.
+	MaxFrame int
+	// Prefix is the owning fabric's error prefix.
+	Prefix string
+	// Counters receives the server-side accounting (acks elided).
+	Counters *Counters
+	// Invoke runs one decoded request through the fabric's fault-check
+	// dispatch — the same path per-call RPC takes, so fault parity holds
+	// frame by frame.
+	Invoke func(req *wire.Request) *wire.Response
+}
+
+// Serve runs one inbound streaming session: pipelined request frames
+// answered in order by response frames, each decoded by its own sniffed
+// codec, compressed responses mirroring the request's deflate choice, and
+// buffer leases released in the per-call order (response frame fully
+// encoded, then response leases, then request leases).
+//
+// Frames carrying wire.StreamFlagNoAck are the ack-elision path: a
+// successful response whose payload opts in (transport.AckElidable) is
+// suppressed entirely. The first non-suppressible response to a no-ack
+// frame is encoded immediately and *held*; subsequent no-ack frames are
+// drained without decode or dispatch (their sender's protocol state is
+// already failed), and the held frame answers the session's next
+// acknowledged call in place of invoking it — one response per
+// acknowledged frame, always, so the two ends can never disagree about
+// framing.
+//
+// Serve returns when the peer closes its end (the session's natural close
+// signal) or the connection breaks; the caller owns conn cleanup.
+func Serve(conn Conn, cfg ServeConfig) {
+	var out []byte
+	var held []byte // encoded response to the first failed no-ack call
+	for {
+		flags, payload, err := conn.ReadFrame(cfg.MaxFrame)
+		if err != nil {
+			return // io.EOF: clean close; anything else: dead peer
+		}
+		noAck := flags&wire.StreamFlagNoAck != 0
+		if held != nil {
+			if noAck {
+				continue // session already failing: drain elided frames
+			}
+			if _, err := conn.WriteFrames(net.Buffers{held}); err != nil {
+				return
+			}
+			held = nil
+			continue
+		}
+		if flags&wire.StreamFlagDeflate != 0 {
+			if payload, err = compress.InflateBytes(payload, int64(cfg.MaxFrame)); err != nil {
+				return
+			}
+		}
+		codec, ok := wire.CodecForFrame(payload)
+		if !ok {
+			codec = cfg.DefaultCodec
+		}
+		req, err := codec.DecodeRequest(payload)
+		if err != nil {
+			// A frame that does not decode means the stream framing itself
+			// is unreliable; kill the session rather than guess at framing.
+			return
+		}
+		resp := cfg.Invoke(req)
+		if noAck && suppressible(resp) {
+			releaseLeases(resp, req)
+			cfg.Counters.AcksElided.Add(1)
+			continue
+		}
+		out, err = AppendResponseFrame(out[:0], codec, resp, req, flags, cfg.Prefix)
+		if err != nil {
+			return
+		}
+		if noAck {
+			held = append([]byte(nil), out...)
+			continue
+		}
+		if _, err := conn.WriteFrames(net.Buffers{out}); err != nil {
+			return
+		}
+	}
+}
+
+// suppressible reports whether a response to a no-ack frame may be elided:
+// nothing failed and the payload explicitly opted its acknowledgement out
+// of the wire.
+func suppressible(resp *wire.Response) bool {
+	if resp.Kind != "" || resp.Err != "" {
+		return false
+	}
+	el, ok := resp.Payload.(transport.AckElidable)
+	return ok && el.AckElidable()
+}
+
+// releaseLeases returns pooled buffers in the per-call order for a
+// response that never gets encoded.
+func releaseLeases(resp *wire.Response, req *wire.Request) {
+	if lease, ok := resp.Payload.(wire.ResponseBufferLease); ok {
+		lease.ReleaseResponseBuffers()
+	}
+	if lease, ok := req.Payload.(wire.BufferLease); ok {
+		lease.ReleaseBinaryBuffers()
+	}
+}
+
+// AppendResponseFrame encodes one response as a complete stream frame into
+// dst: codec body via the append fast path when available, leases released
+// once the body is encoded, the request's deflate choice mirrored back
+// (the stream-era Accept-Encoding).
+func AppendResponseFrame(dst []byte, codec wire.Codec, resp *wire.Response, req *wire.Request, reqFlags byte, prefix string) ([]byte, error) {
+	var body []byte
+	var err error
+	framePooled := false
+	if app, ok := codec.(wire.Appender); ok {
+		body, err = app.AppendResponse(GetFrame(), resp)
+		framePooled = err == nil
+	} else {
+		body, err = codec.EncodeResponse(resp)
+	}
+	// Leases follow the same order as the per-POST path: the response
+	// frame is fully encoded, then pooled response vectors (a download's
+	// model snapshot) and the request's leased decode vectors go back to
+	// their pools.
+	releaseLeases(resp, req)
+	if err != nil {
+		body, err = codec.EncodeResponse(&wire.Response{Err: prefix + ": encoding response: " + err.Error()})
+		if err != nil {
+			return dst, err
+		}
+	}
+	respFlags := byte(0)
+	if reqFlags&wire.StreamFlagDeflate != 0 && len(body) >= DeflateMin {
+		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
+			if framePooled {
+				PutFrame(body)
+				framePooled = false
+			}
+			body, respFlags = packed, wire.StreamFlagDeflate
+		}
+	}
+	dst = wire.AppendStreamFrame(dst, respFlags, body)
+	if framePooled {
+		PutFrame(body)
+	}
+	return dst, nil
+}

@@ -32,7 +32,6 @@
 package tcptransport
 
 import (
-	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,14 +44,16 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/transport"
+	"repro/internal/transport/streamcore"
 	"repro/internal/transport/wire"
 )
 
 // Compile-time interface checks against the contracts in internal/transport.
 var (
-	_ transport.Fabric        = (*Fabric)(nil)
-	_ transport.FaultInjector = (*Fabric)(nil)
-	_ transport.StreamFabric  = (*Fabric)(nil)
+	_ transport.Fabric         = (*Fabric)(nil)
+	_ transport.FaultInjector  = (*Fabric)(nil)
+	_ transport.StreamFabric   = (*Fabric)(nil)
+	_ transport.ElidingSession = (*boundSession)(nil)
 )
 
 // Scheme prefixes a TCP fabric's advertised base URL ("tcp://host:port"),
@@ -69,10 +70,6 @@ const fabricNode = "_fabric"
 // fabric's RPC body bound so a hostile length prefix or deflate bomb
 // cannot force a huge allocation.
 const maxFrameBytes = 64 << 20
-
-// deflateMinBytes is the frame size below which the deflate stage is
-// skipped (fixed DEFLATE framing would outweigh the savings).
-const deflateMinBytes = 256
 
 // maxIdleSessionsPerPeer caps the cached Call sessions kept per
 // (address, node) pair; extras are closed on release.
@@ -103,6 +100,14 @@ type Options struct {
 	// CallTimeout bounds one call end to end (default 30s), enforced with
 	// connection deadlines so a blackholed peer fails fast.
 	CallTimeout time.Duration
+	// AckElide lets this fabric's streamed sessions send no-ack frames
+	// toward peers that advertised the ack-elide capability
+	// (wire.Capabilities.AckElide): non-final upload chunks ride the
+	// stream unanswered and coalesce into writev batches. Off, every
+	// streamed call keeps its per-frame acknowledgement. Serving no-ack
+	// frames is unconditional — the knob only governs what this fabric
+	// sends.
+	AckElide bool
 }
 
 // Fabric is the raw-TCP transport.Fabric for one process. It is safe for
@@ -116,6 +121,7 @@ type Fabric struct {
 	compressName string
 	deflateBody  bool
 	callTimeout  time.Duration
+	ackElide     bool
 
 	mu       sync.RWMutex
 	local    map[string]transport.Handler
@@ -126,15 +132,14 @@ type Fabric struct {
 	// promoted so Fabric implements transport.FaultInjector.
 	transport.Faults
 
-	calls     atomic.Uint64
-	bytesSent atomic.Uint64
-	bytesRecv atomic.Uint64
+	// counters feed Stats; the shared engine updates them on both halves.
+	counters streamcore.Counters
 
-	// Session bookkeeping: idle Call sessions per "addr|node" key, every
-	// live client session for Close, and the server-side conns.
-	sessMu   sync.Mutex
-	idle     map[string][]*session
-	all      map[*session]struct{}
+	// pool caches idle Call sessions per "addr|node" key and tracks every
+	// live client session for Close; srvConns tracks the server side.
+	pool *streamcore.Pool
+
+	srvMu    sync.Mutex
 	srvConns map[net.Conn]struct{}
 
 	closed    atomic.Bool
@@ -186,11 +191,11 @@ func New(opts Options) (*Fabric, error) {
 		compressName: compressName,
 		deflateBody:  deflateBody,
 		callTimeout:  callTimeout,
+		ackElide:     opts.AckElide,
 		local:        make(map[string]transport.Handler),
 		routes:       make(map[string]string),
 		peerCaps:     make(map[string]wire.Capabilities),
-		idle:         make(map[string][]*session),
-		all:          make(map[*session]struct{}),
+		pool:         streamcore.NewPool(maxIdleSessionsPerPeer),
 		srvConns:     make(map[net.Conn]struct{}),
 	}
 	f.InitFaults(opts.Seed)
@@ -209,14 +214,8 @@ func (f *Fabric) CodecName() string { return f.codec.Name() }
 // (Options.Compress; "" when compression is disabled).
 func (f *Fabric) CompressName() string { return f.compressName }
 
-// Stats returns a snapshot of the client-side traffic counters.
-func (f *Fabric) Stats() transport.Stats {
-	return transport.Stats{
-		Calls:         f.calls.Load(),
-		BytesSent:     f.bytesSent.Load(),
-		BytesReceived: f.bytesRecv.Load(),
-	}
-}
+// Stats returns a snapshot of the fabric's traffic counters.
+func (f *Fabric) Stats() transport.Stats { return f.counters.Snapshot() }
 
 // Close stops serving, closes every live session and connection, and waits
 // for the serving goroutines. It is idempotent.
@@ -224,22 +223,14 @@ func (f *Fabric) Close() error {
 	f.closeOnce.Do(func() {
 		f.closed.Store(true)
 		_ = f.ln.Close()
-		f.sessMu.Lock()
-		sessions := make([]*session, 0, len(f.all))
-		for s := range f.all {
-			sessions = append(sessions, s)
-		}
+		f.pool.Close()
+		f.srvMu.Lock()
 		conns := make([]net.Conn, 0, len(f.srvConns))
 		for c := range f.srvConns {
 			conns = append(conns, c)
 		}
-		f.all = make(map[*session]struct{})
-		f.idle = make(map[string][]*session)
 		f.srvConns = make(map[net.Conn]struct{})
-		f.sessMu.Unlock()
-		for _, s := range sessions {
-			s.teardown()
-		}
+		f.srvMu.Unlock()
 		for _, c := range conns {
 			_ = c.Close()
 		}
@@ -349,36 +340,16 @@ func selfCapabilities() wire.Capabilities {
 		Codecs:   wire.DecodableCodecs(),
 		Stream:   true,
 		Trace:    true,
+		AckElide: true,
 	}
 }
 
 // --- client side ---
 
-// session is one live connection to a peer, opened with a hello pinning
-// the target node. Calls are serialized by mu; the wire.Request frame
-// carries From, so pooled sessions serve any caller.
-type session struct {
-	f    *Fabric
-	addr string
-	node string
-	enc  wire.Codec
-	defl bool
-
-	broken atomic.Bool
-	closed atomic.Bool
-
-	mu      sync.Mutex
-	conn    net.Conn
-	br      *bufio.Reader
-	req     wire.Request
-	encBuf  []byte
-	outBuf  []byte
-	scratch []byte
-}
-
-// dialSession opens a connection to addr, sends the hello for node, and
-// registers the session for Close bookkeeping.
-func (f *Fabric) dialSession(addr, node string, caps wire.Capabilities) (*session, error) {
+// dialSession opens a connection to addr, sends the hello pinning node,
+// and registers the resulting engine session for Close bookkeeping. The
+// wire.Request frame carries From, so pooled sessions serve any caller.
+func (f *Fabric) dialSession(addr, node string, caps wire.Capabilities) (*streamcore.Session, error) {
 	enc := f.codec
 	if f.binPreferred && !caps.SupportsBinary() {
 		enc = f.fallback
@@ -387,174 +358,43 @@ func (f *Fabric) dialSession(addr, node string, caps wire.Capabilities) (*sessio
 	if err != nil {
 		return nil, err
 	}
-	s := &session{
-		f:    f,
-		addr: addr,
-		node: node,
-		enc:  enc,
-		defl: f.deflateBody && caps.SupportsCompression(),
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 32<<10),
-	}
+	nc := streamcore.NewNetConn(conn)
 	hello := wire.AppendStreamHello(nil, node)
 	frame := wire.AppendStreamFrame(nil, 0, hello)
 	if err := conn.SetWriteDeadline(time.Now().Add(f.callTimeout)); err == nil {
 		defer conn.SetWriteDeadline(time.Time{})
 	}
-	if _, err := conn.Write(frame); err != nil {
+	if _, err := nc.WriteFrames(net.Buffers{frame}); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	f.sessMu.Lock()
-	if f.closed.Load() {
-		f.sessMu.Unlock()
+	s := streamcore.NewSession(nc, streamcore.Config{
+		Codec:       enc,
+		Deflate:     f.deflateBody && caps.SupportsCompression(),
+		Node:        node,
+		Prefix:      "tcptransport",
+		CallTimeout: f.callTimeout,
+		MaxFrame:    maxFrameBytes,
+		Counters:    &f.counters,
+	})
+	s.Addr = addr
+	if !f.pool.Track(s) {
 		conn.Close()
 		return nil, errors.New("tcptransport: fabric closed")
 	}
-	f.all[s] = struct{}{}
-	f.sessMu.Unlock()
 	return s, nil
-}
-
-// do sends one call over the session and reads its response; fault checks
-// are the caller's job. Connection-level failures mark the session broken
-// and map to ErrCrashed, like a dead HTTP peer. wrote reports whether any
-// request bytes may have reached the peer — the at-most-once guard:
-// callers may transparently retry a failed call on another connection
-// only when wrote is false.
-func (s *session) do(from, method string, payload any) (out any, err error, wrote bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed.Load() || s.broken.Load() {
-		return nil, fmt.Errorf("%w: %s: session closed", transport.ErrCrashed, s.node), false
-	}
-	if err := s.encodeRequest(from, method, payload); err != nil {
-		// An unregistered payload is a caller bug, not a broken session.
-		return nil, fmt.Errorf("tcptransport: encoding %s call to %s: %w", method, s.node, err), false
-	}
-	s.f.calls.Add(1)
-	s.f.bytesSent.Add(uint64(len(s.outBuf)))
-	if s.f.callTimeout > 0 {
-		_ = s.conn.SetDeadline(time.Now().Add(s.f.callTimeout))
-	}
-	if n, werr := s.conn.Write(s.outBuf); werr != nil {
-		s.broken.Store(true)
-		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, werr), n > 0
-	}
-	wrote = true
-	rflags, raw, scratch, err := wire.ReadStreamFrameFrom(s.br, s.scratch, maxFrameBytes)
-	s.scratch = scratch
-	if err != nil {
-		s.broken.Store(true)
-		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, s.node, err), true
-	}
-	if s.f.callTimeout > 0 {
-		_ = s.conn.SetDeadline(time.Time{})
-	}
-	s.f.bytesRecv.Add(uint64(len(raw)))
-	if rflags&wire.StreamFlagDeflate != 0 {
-		if raw, err = compress.InflateBytes(raw, maxFrameBytes); err != nil {
-			s.broken.Store(true)
-			return nil, fmt.Errorf("tcptransport: inflating response from %s: %w", s.node, err), true
-		}
-	}
-	resp, err := s.enc.DecodeResponse(raw)
-	if err != nil {
-		s.broken.Store(true)
-		return nil, fmt.Errorf("tcptransport: decoding response from %s: %w", s.node, err), true
-	}
-	if resp.Kind != "" {
-		return nil, transport.KindToError(resp.Kind, resp.Err), true
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err), true
-	}
-	return resp.Payload, nil, true
-}
-
-// encodeRequest fills s.outBuf with the framed request. The session's
-// scratch buffers make the steady state allocation-free with an
-// append-capable codec — the pipelined-chunk alloc gate in the tests holds
-// the send path to <= 2 allocations.
-func (s *session) encodeRequest(from, method string, payload any) error {
-	s.req.From, s.req.Method, s.req.Payload = from, method, payload
-	var body []byte
-	var err error
-	if app, ok := s.enc.(wire.Appender); ok {
-		body, err = app.AppendRequest(s.encBuf[:0], &s.req)
-	} else {
-		body, err = s.enc.EncodeRequest(&s.req)
-	}
-	s.req.Payload = nil
-	if err != nil {
-		return err
-	}
-	if cap(body) > cap(s.encBuf) {
-		s.encBuf = body
-	}
-	flags := byte(0)
-	if s.defl && len(body) >= deflateMinBytes {
-		if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
-			body, flags = packed, wire.StreamFlagDeflate
-		}
-	}
-	s.outBuf = wire.AppendStreamFrame(s.outBuf[:0], flags, body)
-	return nil
-}
-
-// teardown closes the session's connection; idempotent.
-func (s *session) teardown() {
-	if s.closed.Swap(true) {
-		return
-	}
-	_ = s.conn.Close()
-}
-
-func (f *Fabric) forget(s *session) {
-	f.sessMu.Lock()
-	delete(f.all, s)
-	f.sessMu.Unlock()
-}
-
-func (f *Fabric) discardSession(s *session) {
-	f.forget(s)
-	s.teardown()
 }
 
 func sessionKey(addr, node string) string { return addr + "|" + node }
 
 // acquireSession pops a cached idle session for (addr, node) or dials a
 // fresh one.
-func (f *Fabric) acquireSession(addr, node string, caps wire.Capabilities) (s *session, fresh bool, err error) {
-	key := sessionKey(addr, node)
-	f.sessMu.Lock()
-	if idle := f.idle[key]; len(idle) > 0 {
-		s = idle[len(idle)-1]
-		f.idle[key] = idle[:len(idle)-1]
-	}
-	f.sessMu.Unlock()
-	if s != nil {
+func (f *Fabric) acquireSession(addr, node string, caps wire.Capabilities) (s *streamcore.Session, fresh bool, err error) {
+	if s = f.pool.Take(sessionKey(addr, node)); s != nil {
 		return s, false, nil
 	}
 	s, err = f.dialSession(addr, node, caps)
 	return s, true, err
-}
-
-// releaseSession returns a healthy session to the idle cache (bounded).
-func (f *Fabric) releaseSession(s *session) {
-	if s.broken.Load() || s.closed.Load() {
-		f.discardSession(s)
-		return
-	}
-	key := sessionKey(s.addr, s.node)
-	f.sessMu.Lock()
-	if !f.closed.Load() && len(f.idle[key]) < maxIdleSessionsPerPeer {
-		f.idle[key] = append(f.idle[key], s)
-		f.sessMu.Unlock()
-		return
-	}
-	f.sessMu.Unlock()
-	f.discardSession(s)
 }
 
 // Call implements transport.Fabric: fault checks in the in-memory order,
@@ -574,19 +414,19 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
 		}
-		out, err, wrote := s.do(from, method, payload)
+		out, err, wrote := s.Do(from, method, payload)
 		if err == nil {
 			// Success stands even if a deadline marked the session broken
-			// afterwards; releaseSession keeps or discards accordingly.
-			f.releaseSession(s)
+			// afterwards; Release keeps or discards accordingly.
+			f.pool.Release(sessionKey(addr, to), s)
 			return out, nil
 		}
-		if !s.broken.Load() {
+		if !s.Broken() {
 			// Application or wire-kind error over a healthy session.
-			f.releaseSession(s)
+			f.pool.Release(sessionKey(addr, to), s)
 			return nil, err
 		}
-		f.discardSession(s)
+		f.pool.Discard(s)
 		if !fresh && !wrote {
 			// Stale pooled conn, nothing sent: safe to retry on another
 			// connection (the POST-path equivalent of dialing anew). Once
@@ -602,8 +442,9 @@ func (f *Fabric) Call(from, to, method string, payload any) (any, error) {
 // connection — the one-connection-per-session native mode.
 type boundSession struct {
 	f        *Fabric
-	s        *session
+	s        *streamcore.Session
 	from, to string
+	elide    bool
 	closedMk bool
 }
 
@@ -616,8 +457,25 @@ func (b *boundSession) Call(method string, payload any) (any, error) {
 	if _, _, err := b.f.checkCall(b.from, b.to, method); err != nil {
 		return nil, err
 	}
-	out, err, _ := b.s.do(b.from, method, payload)
+	out, err, _ := b.s.Do(b.from, method, payload)
 	return out, err
+}
+
+// ElidesAcks implements transport.ElidingSession: true only when this
+// fabric has ack elision enabled and the peer negotiated the capability.
+func (b *boundSession) ElidesAcks() bool { return b.elide && !b.closedMk }
+
+// SendNoAck implements transport.ElidingSession: the same injected-fault
+// checks run per elided call (fault parity frame by frame), then the no-ack
+// frame queues to coalesce into the session's next flush.
+func (b *boundSession) SendNoAck(method string, payload any) error {
+	if b.closedMk {
+		return fmt.Errorf("%w: session closed", transport.ErrCrashed)
+	}
+	if _, _, err := b.f.checkCall(b.from, b.to, method); err != nil {
+		return err
+	}
+	return b.s.SendNoAck(b.from, method, payload)
 }
 
 // Close implements transport.Session; the connection close is the server's
@@ -627,22 +485,26 @@ func (b *boundSession) Close() error {
 		return nil
 	}
 	b.closedMk = true
-	b.f.discardSession(b.s)
+	b.f.pool.Discard(b.s)
 	return nil
 }
 
 // OpenSession implements transport.StreamFabric: a dedicated connection
-// per session (every tcp peer streams; there is no degraded mode).
+// per session (every tcp peer streams; there is no degraded mode). The
+// session elides acks only when this fabric opted in and the peer
+// advertised the capability — otherwise per-chunk acks keep flowing,
+// bit-identically to the pre-elision protocol.
 func (f *Fabric) OpenSession(from, to string) (transport.Session, error) {
 	addr, isLocal, err := f.checkCall(from, to, "open-session")
 	if err != nil {
 		return nil, err
 	}
-	s, err := f.dialSession(addr, to, f.peerCapabilities(addr, isLocal))
+	caps := f.peerCapabilities(addr, isLocal)
+	s, err := f.dialSession(addr, to, caps)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s unreachable: %v", transport.ErrCrashed, to, err)
 	}
-	return &boundSession{f: f, s: s, from: from, to: to}, nil
+	return &boundSession{f: f, s: s, from: from, to: to, elide: f.ackElide && caps.SupportsAckElide()}, nil
 }
 
 // --- server side ---
@@ -654,35 +516,35 @@ func (f *Fabric) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		f.sessMu.Lock()
+		f.srvMu.Lock()
 		if f.closed.Load() {
-			f.sessMu.Unlock()
+			f.srvMu.Unlock()
 			conn.Close()
 			return
 		}
 		f.srvConns[conn] = struct{}{}
-		f.sessMu.Unlock()
+		f.srvMu.Unlock()
 		f.wg.Add(1)
 		go f.serveConn(conn)
 	}
 }
 
-// serveConn handles one inbound streaming session: hello, then pipelined
-// request frames answered in order, each through the same fault-check
-// dispatch as every other backend. The loop exits when the peer closes its
+// serveConn handles one inbound streaming session: hello, then the shared
+// engine's serve loop answers pipelined request frames in order, each
+// through the same fault-check dispatch as every other backend (including
+// the no-ack suppression path). The loop exits when the peer closes its
 // end or the connection breaks.
 func (f *Fabric) serveConn(conn net.Conn) {
 	defer f.wg.Done()
 	defer func() {
-		f.sessMu.Lock()
+		f.srvMu.Lock()
 		delete(f.srvConns, conn)
-		f.sessMu.Unlock()
+		f.srvMu.Unlock()
 		conn.Close()
 	}()
 
-	br := bufio.NewReaderSize(conn, 32<<10)
-	var scratch []byte
-	_, hello, scratch, err := wire.ReadStreamFrameFrom(br, scratch, maxFrameBytes)
+	nc := streamcore.NewNetConn(conn)
+	_, hello, err := nc.ReadFrame(maxFrameBytes)
 	if err != nil {
 		return
 	}
@@ -690,73 +552,15 @@ func (f *Fabric) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
-	var out []byte
-	bw := bufio.NewWriterSize(conn, 32<<10)
-	for {
-		flags, payload, sc, err := wire.ReadStreamFrameFrom(br, scratch, maxFrameBytes)
-		scratch = sc
-		if err != nil {
-			return // io.EOF: clean close; anything else: dead peer
-		}
-		if flags&wire.StreamFlagDeflate != 0 {
-			if payload, err = compress.InflateBytes(payload, maxFrameBytes); err != nil {
-				return
-			}
-		}
-		codec, ok := wire.CodecForFrame(payload)
-		if !ok {
-			codec = f.codec
-		}
-		req, err := codec.DecodeRequest(payload)
-		if err != nil {
-			return // unreliable framing: kill the session
-		}
-		resp := f.dispatch(node, req)
-
-		var body []byte
-		framePooled := false
-		if app, ok := codec.(wire.Appender); ok {
-			body, err = app.AppendResponse(getFrame(), resp)
-			framePooled = err == nil
-		} else {
-			body, err = codec.EncodeResponse(resp)
-		}
-		// Lease order mirrors the HTTP fabric: frame encoded, then pooled
-		// response vectors and the request's leased decode vectors return
-		// to their pools.
-		if lease, ok := resp.Payload.(wire.ResponseBufferLease); ok {
-			lease.ReleaseResponseBuffers()
-		}
-		if lease, ok := req.Payload.(wire.BufferLease); ok {
-			lease.ReleaseBinaryBuffers()
-		}
-		if err != nil {
-			body, err = codec.EncodeResponse(&wire.Response{Err: "tcptransport: encoding response: " + err.Error()})
-			if err != nil {
-				return
-			}
-		}
-		respFlags := byte(0)
-		if flags&wire.StreamFlagDeflate != 0 && len(body) >= deflateMinBytes {
-			if packed, derr := compress.DeflateBytes(body); derr == nil && len(packed) < len(body) {
-				if framePooled {
-					putFrame(body)
-					framePooled = false
-				}
-				body, respFlags = packed, wire.StreamFlagDeflate
-			}
-		}
-		out = wire.AppendStreamFrame(out[:0], respFlags, body)
-		if framePooled {
-			putFrame(body)
-		}
-		if _, err := bw.Write(out); err != nil {
-			return
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-	}
+	streamcore.Serve(nc, streamcore.ServeConfig{
+		DefaultCodec: f.codec,
+		MaxFrame:     maxFrameBytes,
+		Prefix:       "tcptransport",
+		Counters:     &f.counters,
+		Invoke: func(req *wire.Request) *wire.Response {
+			return f.dispatch(node, req)
+		},
+	})
 }
 
 // dispatch runs the server-side fault checks and the handler for one
@@ -894,8 +698,8 @@ func (f *Fabric) fabricCall(addr, method string, payload any) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("tcptransport: reaching fabric at %s: %w", addr, err)
 	}
-	defer f.discardSession(s)
-	out, err, _ := s.do(f.BaseURL(), method, payload)
+	defer f.pool.Discard(s)
+	out, err, _ := s.Do(f.BaseURL(), method, payload)
 	if err != nil {
 		return "", err
 	}
@@ -940,33 +744,4 @@ func (f *Fabric) Discover(addr string) ([]string, error) {
 	doc.BaseURL = addr
 	f.recordPeer(doc)
 	return doc.Nodes, nil
-}
-
-// framePool recycles encode buffers for server-side responses, mirroring
-// the HTTP fabric's frame pool (wrap headers recycled so a release doesn't
-// heap-allocate a slice header).
-type frameWrap struct{ b []byte }
-
-var (
-	framePool  sync.Pool
-	frameWraps sync.Pool
-)
-
-func getFrame() []byte {
-	if w, _ := framePool.Get().(*frameWrap); w != nil {
-		b := w.b[:0]
-		w.b = nil
-		frameWraps.Put(w)
-		return b
-	}
-	return make([]byte, 0, 4096)
-}
-
-func putFrame(b []byte) {
-	w, _ := frameWraps.Get().(*frameWrap)
-	if w == nil {
-		w = new(frameWrap)
-	}
-	w.b = b
-	framePool.Put(w)
 }

@@ -10,11 +10,14 @@ import (
 	"net"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/server"
 	"repro/internal/transport"
+	"repro/internal/transport/streamcore"
 	"repro/internal/transport/wire"
 )
 
@@ -150,9 +153,11 @@ func TestFaultParity(t *testing.T) {
 // the server side.
 func TestLossInjection(t *testing.T) {
 	f := newTestFabric(t, Options{Seed: 42})
-	served := 0
+	// The handler runs on the serving goroutine; the test's read at the end
+	// is ordered only by socket I/O, which the race detector cannot see.
+	var served atomic.Int64
 	f.Register("node", func(method string, payload any) (any, error) {
-		served++
+		served.Add(1)
 		return true, nil
 	})
 	f.SetLoss(0.5)
@@ -167,8 +172,8 @@ func TestLossInjection(t *testing.T) {
 	if drops == 0 || drops == 40 {
 		t.Fatalf("drops = %d/40 at p=0.5", drops)
 	}
-	if served != 40-drops {
-		t.Fatalf("served %d, want %d (drops must not reach the handler)", served, 40-drops)
+	if served.Load() != int64(40-drops) {
+		t.Fatalf("served %d, want %d (drops must not reach the handler)", served.Load(), 40-drops)
 	}
 }
 
@@ -176,9 +181,9 @@ func TestLossInjection(t *testing.T) {
 // dedicated connection.
 func TestOpenSessionPipelines(t *testing.T) {
 	f := newTestFabric(t, Options{Codec: "bin"})
-	seen := 0
+	var seen atomic.Int64
 	f.Register("agg", func(method string, payload any) (any, error) {
-		seen++
+		seen.Add(1)
 		return server.UploadResponse{OK: true}, nil
 	})
 	sess, err := f.OpenSession("client-1", "agg")
@@ -202,8 +207,8 @@ func TestOpenSessionPipelines(t *testing.T) {
 	if _, err := sess.Call("upload-chunk", nil); err == nil {
 		t.Fatal("call after close succeeded")
 	}
-	if seen != 32 {
-		t.Fatalf("handler saw %d chunks", seen)
+	if seen.Load() != 32 {
+		t.Fatalf("handler saw %d chunks", seen.Load())
 	}
 }
 
@@ -218,26 +223,37 @@ func TestReservedNodeNameRejected(t *testing.T) {
 	f.Register(fabricNode, func(method string, payload any) (any, error) { return nil, nil })
 }
 
-// discardConn swallows writes and never delivers reads — a sink for
-// measuring the send path without a live peer.
-type discardConn struct{ net.Conn }
+// discardConn swallows writes and never delivers reads — a streamcore.Conn
+// sink for measuring the send path without a live peer.
+type discardConn struct{}
 
-func (discardConn) Write(p []byte) (int, error)      { return len(p), nil }
-func (discardConn) SetDeadline(time.Time) error      { return nil }
-func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+func (discardConn) ReadFrame(int) (byte, []byte, error) {
+	return 0, nil, errors.New("discardConn: no reads")
+}
+func (discardConn) WriteFrames(bufs net.Buffers) (int64, error) {
+	var n int64
+	for _, b := range bufs {
+		n += int64(len(b))
+	}
+	return n, nil
+}
+func (discardConn) SetDeadline(time.Time) error { return nil }
+func (discardConn) Close() error                { return nil }
 
 // TestPipelinedChunkSendAllocs is the alloc gate on the streaming hot
-// path: with the bin codec, sending one pipelined upload chunk (encode the
-// frame into session scratch, length-prefix it, write it) must stay <= 2
-// heap allocations — the same discipline the wire benches enforce on the
-// decode side. Regressions here mean the per-session scratch reuse broke.
+// path: with the bin codec, sending one pipelined no-ack upload chunk
+// (encode the frame into pooled scratch, length-prefix it, coalesce and
+// write it) must stay <= 2 heap allocations — the same discipline the wire
+// benches enforce on the decode side. Regressions here mean the engine's
+// per-session scratch reuse broke.
 func TestPipelinedChunkSendAllocs(t *testing.T) {
-	s := &session{
-		f:    &Fabric{callTimeout: 0},
-		node: "agg",
-		enc:  wire.Binary{},
-		conn: discardConn{},
-	}
+	s := streamcore.NewSession(discardConn{}, streamcore.Config{
+		Codec:    wire.Binary{},
+		Node:     "agg",
+		Prefix:   "tcptransport",
+		MaxFrame: maxFrameBytes,
+		Counters: &streamcore.Counters{},
+	})
 	chunk := server.UploadChunk{
 		TaskID:    "bench-task",
 		SessionID: 9,
@@ -245,15 +261,18 @@ func TestPipelinedChunkSendAllocs(t *testing.T) {
 		Data:      make([]float32, 1024),
 	}
 	var payload any = chunk // box once, outside the measured loop
-	// Warm the scratch buffers.
-	if err := s.encodeRequest("client-1", "upload-chunk", payload); err != nil {
+	// Warm the scratch buffers and frame pool.
+	if err := s.SendNoAck("client-1", "upload-chunk", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if err := s.encodeRequest("client-1", "upload-chunk", payload); err != nil {
+		if err := s.SendNoAck("client-1", "upload-chunk", payload); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := s.conn.Write(s.outBuf); err != nil {
+		if err := s.Flush(); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -327,5 +346,138 @@ func TestRouteGossipIsTransitive(t *testing.T) {
 	}
 	if out != "agg-g here" {
 		t.Fatalf("gossiped-route response = %v", out)
+	}
+}
+
+// TestAckElideEndToEnd: with Options.AckElide toward a negotiated peer
+// (loopback fabrics always negotiate), non-final chunk sends ride the
+// stream without acknowledgements, the serving side invokes every one of
+// them, and only the final acked call crosses with a reply. The shared
+// counters prove acks were actually elided and the coalesced flush batched
+// the queued frames.
+func TestAckElideEndToEnd(t *testing.T) {
+	f := newTestFabric(t, Options{Codec: "bin", AckElide: true})
+	// The handler runs on the serving goroutine; the only ordering toward
+	// the test's final read is socket I/O, which the race detector cannot
+	// see, so the record needs its own lock.
+	var mu sync.Mutex
+	var methods []string
+	f.Register("agg", func(method string, payload any) (any, error) {
+		mu.Lock()
+		methods = append(methods, method)
+		mu.Unlock()
+		return server.UploadResponse{OK: true}, nil
+	})
+	sess, err := f.OpenSession("client-1", "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	es, ok := sess.(transport.ElidingSession)
+	if !ok || !es.ElidesAcks() {
+		t.Fatalf("loopback session does not elide (ok=%v)", ok)
+	}
+	for i := 0; i < 5; i++ {
+		if err := es.SendNoAck("chunk", server.FailRequest{TaskID: "t", SessionID: uint64(i)}); err != nil {
+			t.Fatalf("no-ack send %d: %v", i, err)
+		}
+	}
+	out, err := es.Call("done", server.FailRequest{TaskID: "t", SessionID: 99})
+	if err != nil {
+		t.Fatalf("final acked call: %v", err)
+	}
+	if ur := out.(server.UploadResponse); !ur.OK {
+		t.Fatalf("final response = %+v", ur)
+	}
+	mu.Lock()
+	if len(methods) != 6 || methods[0] != "chunk" || methods[5] != "done" {
+		t.Fatalf("handler saw %v", methods)
+	}
+	mu.Unlock()
+	st := f.Stats()
+	if st.AcksElided < 5 {
+		t.Fatalf("AcksElided = %d, want >= 5", st.AcksElided)
+	}
+	if st.FramesCoalesced == 0 {
+		t.Fatal("queued no-ack frames never coalesced into a batched write")
+	}
+}
+
+// TestAckElideHeldFailureSurfacesOnNextCall: the no-ack serving protocol —
+// the first non-suppressible response to an elided frame is held, later
+// elided frames are drained without dispatch, and the next acknowledged
+// call is answered with the held response instead of being invoked. This
+// is what lets an elided chunk train fail loudly on its Done chunk.
+func TestAckElideHeldFailureSurfacesOnNextCall(t *testing.T) {
+	f := newTestFabric(t, Options{Codec: "bin", AckElide: true})
+	var mu sync.Mutex
+	var methods []string
+	f.Register("agg", func(method string, payload any) (any, error) {
+		mu.Lock()
+		methods = append(methods, method)
+		mu.Unlock()
+		if method == "bad" {
+			return server.UploadResponse{OK: false, Reason: "nope"}, nil
+		}
+		return server.UploadResponse{OK: true}, nil
+	})
+	sess, err := f.OpenSession("client-1", "agg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	es := sess.(transport.ElidingSession)
+	for _, m := range []string{"ok", "bad", "after"} {
+		if err := es.SendNoAck(m, server.FailRequest{TaskID: "t"}); err != nil {
+			t.Fatalf("no-ack %s: %v", m, err)
+		}
+	}
+	out, err := es.Call("final", server.FailRequest{TaskID: "t"})
+	if err != nil {
+		t.Fatalf("acked call after held failure: %v", err)
+	}
+	ur := out.(server.UploadResponse)
+	if ur.OK || ur.Reason != "nope" {
+		t.Fatalf("held response = %+v, want the bad chunk's failure", ur)
+	}
+	// "after" was drained without dispatch and "final" was answered from
+	// the held response without being invoked.
+	mu.Lock()
+	if len(methods) != 2 || methods[0] != "ok" || methods[1] != "bad" {
+		t.Fatalf("handler saw %v", methods)
+	}
+	mu.Unlock()
+}
+
+// TestAckElideDegradesForUnknownCapsPeer: toward a peer whose capability
+// document was never fetched (the zero document — a /v1 peer), the session
+// still streams (TCP always does) but must keep per-chunk acknowledgements:
+// the elision surface reports false and no acks are elided.
+func TestAckElideDegradesForUnknownCapsPeer(t *testing.T) {
+	srv := newTestFabric(t, Options{})
+	srv.Register("node", func(method string, payload any) (any, error) {
+		return server.UploadResponse{OK: true}, nil
+	})
+	caller := newTestFabric(t, Options{AckElide: true})
+	// AddRoute without Discover: capabilities stay unknown.
+	caller.AddRoute("node", srv.BaseURL())
+
+	sess, err := caller.OpenSession("client-1", "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if es, ok := sess.(transport.ElidingSession); ok && es.ElidesAcks() {
+		t.Fatal("session elides acks toward a peer that never negotiated the capability")
+	}
+	out, err := sess.Call("chunk", server.FailRequest{TaskID: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ur := out.(server.UploadResponse); !ur.OK {
+		t.Fatalf("per-chunk acked call = %+v", ur)
+	}
+	if st := caller.Stats(); st.AcksElided != 0 {
+		t.Fatalf("AcksElided = %d toward a non-negotiating peer", st.AcksElided)
 	}
 }

@@ -39,10 +39,19 @@ import (
 // encode).
 const StreamFlagDeflate = 1 << 0
 
+// StreamFlagNoAck marks a request frame whose sender does not wait for a
+// response: the server answers it only when the call fails (and then on the
+// next acknowledged frame, keeping request/response framing in sync). It is
+// the ack-elision half of the streaming v2 capability
+// (Capabilities.AckElide, versioning rule 4): a sender uses it only toward
+// peers that advertised the capability, so peers that would reject the
+// unknown flag bit never see it.
+const StreamFlagNoAck = 1 << 1
+
 // streamKnownFlags masks the flag bits this build understands; a frame
 // carrying unknown flags is rejected (versioning rule 1 — fail loudly
 // instead of misinterpreting a future format).
-const streamKnownFlags = StreamFlagDeflate
+const streamKnownFlags = StreamFlagDeflate | StreamFlagNoAck
 
 // AppendStreamFrame appends one length-prefixed stream frame carrying
 // payload with the given flags. The payload is copied; callers reuse their

@@ -33,6 +33,15 @@ func FuzzStreamDecode(f *testing.F) {
 	seq = wire.AppendStreamFrame(seq, 0, reqFrame)
 	seq = wire.AppendStreamFrame(seq, wire.StreamFlagDeflate, respFrame)
 	f.Add(seq)
+	// A coalesced no-ack chunk train as the writev path produces it: several
+	// NoAck frames back to back in one buffer, a deflated one among them,
+	// closed by the acked frame that flushes the batch.
+	batch := wire.AppendStreamFrame(nil, wire.StreamFlagNoAck, reqFrame)
+	batch = wire.AppendStreamFrame(batch, wire.StreamFlagNoAck, reqFrame)
+	batch = wire.AppendStreamFrame(batch, wire.StreamFlagNoAck|wire.StreamFlagDeflate, respFrame)
+	batch = wire.AppendStreamFrame(batch, 0, reqFrame)
+	f.Add(batch)
+	f.Add(wire.AppendStreamFrame(nil, wire.StreamFlagNoAck, []byte("{}")))
 	f.Add(wire.AppendStreamFrame(nil, 0, []byte("{}")))
 	f.Add(wire.AppendUvarint(nil, 1<<40))                 // length bomb
 	f.Add([]byte{0x80, 0x80, 0x80})                       // truncated varint

@@ -95,6 +95,13 @@ type Capabilities struct {
 	// unknown field and the session degrades to untraced (versioning
 	// rule 2), which this flag makes visible at discovery.
 	Trace bool `json:"trace,omitempty"`
+	// AckElide reports that the peer's streaming server understands
+	// StreamFlagNoAck frames: pipelined calls marked no-ack ride the
+	// stream unanswered (the server replies only on failure, carried on
+	// the next acknowledged frame). Absent means every streamed call is
+	// acknowledged — senders keep the per-frame request/response rhythm
+	// such peers always saw.
+	AckElide bool `json:"ack_elide,omitempty"`
 }
 
 // SupportsCompression reports whether the peer can receive
@@ -122,6 +129,14 @@ func (c Capabilities) SupportsBinary() bool {
 // it returns false — the negotiation default that keeps /v1/ peers
 // receiving exactly the traffic they always did.
 func (c Capabilities) SupportsStream() bool { return c.API >= APIv2 && c.Stream }
+
+// SupportsAckElide reports whether the peer's streaming server accepts
+// no-ack frames (StreamFlagNoAck). It implies SupportsStream; callers fall
+// back to per-frame acknowledgements when it returns false, so peers that
+// would reject the unknown flag bit never receive it.
+func (c Capabilities) SupportsAckElide() bool {
+	return c.API >= APIv2 && c.Stream && c.AckElide
+}
 
 // SupportsTrace reports whether the peer advertised cross-tier session
 // tracing on the /v2/ route. Untraced peers still decode traced frames

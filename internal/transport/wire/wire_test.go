@@ -96,9 +96,12 @@ func samples(t *testing.T, w *secaggWorld) map[string]any {
 		"papaya/v1/server.CheckinRequest": server.CheckinRequest{ClientID: 5, Capabilities: []string{"lm"}},
 		"papaya/v1/server.CheckinResponse": server.CheckinResponse{
 			Accepted: true, TaskID: "wt", Aggregator: "agg-0", SessionID: 12, Version: 9,
+			RetryAfterMs: 40,
 		},
-		"papaya/v1/server.JoinRequest":  server.JoinRequest{TaskID: "wt", ClientID: 5},
-		"papaya/v1/server.JoinResponse": server.JoinResponse{Accepted: true, SessionID: 12, Version: 9},
+		"papaya/v1/server.JoinRequest": server.JoinRequest{TaskID: "wt", ClientID: 5},
+		"papaya/v1/server.JoinResponse": server.JoinResponse{
+			Accepted: true, SessionID: 12, Version: 9, RetryAfterMs: 40,
+		},
 		"papaya/v1/server.DownloadRequest": server.DownloadRequest{
 			TaskID: "wt", SessionID: 12,
 		},
