@@ -91,6 +91,16 @@ type loadRun struct {
 	NumGC           uint32  `json:"num_gc"`
 	FinalVersion    int     `json:"final_server_version"`
 	FinalUpdates    int64   `json:"final_server_updates"`
+	// DP columns appear when the task runs under central differential
+	// privacy: the cumulative privacy spend the final task-info reported,
+	// the release count it covers, and whether the epsilon budget capped
+	// the run ("budget_exhausted").
+	DPEnabled   bool    `json:"dp_enabled,omitempty"`
+	DPEpsilon   float64 `json:"dp_epsilon,omitempty"`
+	DPDelta     float64 `json:"dp_delta,omitempty"`
+	DPReleases  int     `json:"dp_releases,omitempty"`
+	DPBudget    float64 `json:"dp_epsilon_budget,omitempty"`
+	DPExhausted bool    `json:"dp_budget_exhausted,omitempty"`
 	// Scenario and Tiers appear when -scenario shapes the fleet: the
 	// profile name and per-tier outcome counts with latency percentiles,
 	// so a tiered run's tail behaviour is visible per device class rather
@@ -295,6 +305,10 @@ func runLoadtest(args []string) {
 		latencies                             []time.Duration
 		negotiatedMu                          sync.Mutex
 		negotiated                            string
+		// budgetStop flips when any client sees "budget_exhausted": the
+		// task is complete by definition, so the fleet stops instead of
+		// hammering a capped task until the timeout.
+		budgetStop atomic.Bool
 	)
 	// classifyRejection splits a rejected check-in by the control-plane
 	// tier that issued it: aggregators reject at their concurrency ceiling,
@@ -465,13 +479,16 @@ func runLoadtest(args []string) {
 				}
 				return
 			}
-			for completed.Load() < int64(*uploads) && time.Now().Before(stopAt) {
+			for completed.Load() < int64(*uploads) && time.Now().Before(stopAt) && !budgetStop.Load() {
 				sessStart := time.Now()
 				res, err := dev.RunOnce(sessStart)
 				if err != nil {
 					terrors.Add(1)
 					sleepJittered(0)
 					continue
+				}
+				if res.Reason == "budget_exhausted" {
+					budgetStop.Store(true)
 				}
 				switch res.Outcome {
 				case client.Completed:
@@ -555,6 +572,12 @@ func runLoadtest(args []string) {
 		NumGC:                msAfter.NumGC - msBefore.NumGC,
 		FinalVersion:         final.Version,
 		FinalUpdates:         final.Updates,
+		DPEnabled:            final.DPEnabled,
+		DPEpsilon:            final.DPEpsilon,
+		DPDelta:              final.DPDelta,
+		DPReleases:           final.DPReleases,
+		DPBudget:             final.DPBudget,
+		DPExhausted:          final.DPExhausted,
 	}
 	if spec != nil {
 		run.Scenario = spec.Name
@@ -592,6 +615,15 @@ func runLoadtest(args []string) {
 	fmt.Fprintf(os.Stderr,
 		"papaya loadtest: acks elided: %d, frames coalesced: %d\n",
 		run.AcksElided, run.FramesCoalesced)
+	if run.DPEnabled {
+		status := "within budget"
+		if run.DPExhausted {
+			status = "budget_exhausted"
+		}
+		fmt.Fprintf(os.Stderr,
+			"papaya loadtest: dp epsilon=%.4f delta=%g releases=%d budget=%g status=%s\n",
+			run.DPEpsilon, run.DPDelta, run.DPReleases, run.DPBudget, status)
+	}
 
 	if spec != nil {
 		for _, ts := range run.Tiers {
@@ -609,6 +641,13 @@ func runLoadtest(args []string) {
 		return
 	}
 	if run.CompletedUploads < int64(*uploads) {
+		if run.DPExhausted {
+			// A capped DP task completing with status "budget_exhausted"
+			// is the graceful outcome, not a failure.
+			fmt.Fprintf(os.Stderr, "papaya loadtest: stopped early after %d/%d uploads: dp budget_exhausted\n",
+				run.CompletedUploads, *uploads)
+			return
+		}
 		fmt.Fprintf(os.Stderr, "papaya loadtest: FAIL: reached %d/%d uploads before timeout\n",
 			run.CompletedUploads, *uploads)
 		os.Exit(1)

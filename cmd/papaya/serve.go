@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/secagg"
 	"repro/internal/server"
 	"repro/internal/tee"
@@ -40,6 +41,12 @@ func runServe(args []string) {
 	staleness := fs.Int("staleness", 0, "max staleness (async; 0 = unlimited)")
 	chunk := fs.Int("chunk", 4096, "upload chunk size (elements)")
 	useSecAgg := fs.Bool("secagg", false, "enable Asynchronous SecAgg on uploads (Section 5)")
+	dpClip := fs.Float64("dp-clip", 0, "central DP: L2 clip bound on every client update (0 disables DP)")
+	dpNoise := fs.Float64("dp-noise", 1.0, "central DP: Gaussian noise multiplier z (active when -dp-clip > 0)")
+	dpDelta := fs.Float64("dp-delta", 1e-6, "central DP: target delta for epsilon accounting")
+	dpBudget := fs.Float64("dp-epsilon-budget", 0, "central DP: refuse releases once one more would exceed this epsilon (0 = unlimited)")
+	dpLocal := fs.Bool("dp-local", false, "local DP: clients also noise their own deltas on-device")
+	dpSeed := fs.Uint64("dp-seed", 0, "deterministic DP noise seed, tests only (0 = crypto/rand, the safe default)")
 	compressName := fs.String("compress", "", "wire compression codec preferred for uploads: none|quantized|quantized16|streamed|flate (negotiated per client; /v1/ peers stay raw)")
 	heartbeat := fs.Duration("heartbeat", 250*time.Millisecond, "aggregator heartbeat cadence")
 	obsListen := fs.String("obs-listen", "", "observability listen address (H:P): /metrics, /trace, /debug/vars, /debug/pprof; empty disables")
@@ -103,6 +110,16 @@ func runServe(args []string) {
 		InitParams:      make([]float32, *numParams),
 		Compress:        *compressName,
 	}
+	if *dpClip > 0 {
+		spec.DP = &dp.Config{
+			Clip:            *dpClip,
+			NoiseMultiplier: *dpNoise,
+			Delta:           *dpDelta,
+			Seed:            *dpSeed,
+			EpsilonBudget:   *dpBudget,
+			Local:           *dpLocal,
+		}
+	}
 	if *useSecAgg {
 		dep, err := secagg.NewDeployment(secagg.Params{
 			VecLen: *numParams + 1, Threshold: *goal, Scale: 1 << 16,
@@ -140,6 +157,10 @@ func runServe(args []string) {
 	fmt.Printf("papaya serve: nodes %v\n", fabric.Nodes())
 	fmt.Printf("papaya serve: task %q mode=%s params=%d concurrency=%d goal=%d secagg=%v compress=%q\n",
 		*taskID, algo, *numParams, *concurrency, *goal, *useSecAgg, *compressName)
+	if spec.DP != nil {
+		fmt.Printf("papaya serve: dp clip=%g noise=%g delta=%g epsilon-budget=%g local=%v\n",
+			spec.DP.Clip, spec.DP.NoiseMultiplier, spec.DP.Delta, spec.DP.EpsilonBudget, spec.DP.Local)
+	}
 	fmt.Println("papaya serve: ready")
 
 	sig := make(chan os.Signal, 1)

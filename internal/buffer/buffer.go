@@ -38,6 +38,7 @@ type shard struct {
 	mu     sync.Mutex
 	sum    []float32
 	weight float64
+	maxW   float64
 	n      int
 	_      [32]byte // pad to reduce false sharing between adjacent shards
 }
@@ -105,6 +106,9 @@ func (b *Buffered) Add(update []float32, weight float64, shardHint int) bool {
 	s.mu.Lock()
 	vecf.AXPY(s.sum, float32(weight), update)
 	s.weight += weight
+	if weight > s.maxW {
+		s.maxW = weight
+	}
 	s.n++
 	s.mu.Unlock()
 	return b.count.Add(1) == b.goal.Load()
@@ -125,12 +129,33 @@ func (b *Buffered) Release() (update []float32, totalWeight float64, n int) {
 // zeroes first), so callers on a hot path can recycle the output vector. It
 // panics if dst has the wrong length or the buffer is empty.
 func (b *Buffered) ReleaseInto(dst []float32) (totalWeight float64, n int) {
+	stats := b.ReleaseIntoStats(dst)
+	return stats.TotalWeight, stats.N
+}
+
+// ReleaseStats describes one release window: the weight mass folded into
+// the released mean and the largest single contribution. The DP mechanism
+// calibrates its noise from these (one client's influence on the weighted
+// mean is bounded by MaxWeight/TotalWeight times the clip).
+type ReleaseStats struct {
+	// TotalWeight is the sum of the released updates' weights.
+	TotalWeight float64
+	// MaxWeight is the largest single update's weight in the window.
+	MaxWeight float64
+	// N is the number of client updates released.
+	N int
+}
+
+// ReleaseIntoStats is ReleaseInto additionally reporting the release
+// window's weight statistics, which downstream privacy accounting needs.
+func (b *Buffered) ReleaseIntoStats(dst []float32) ReleaseStats {
 	if len(dst) != b.numParams {
 		panic(fmt.Sprintf("buffer: dst length %d, want %d", len(dst), b.numParams))
 	}
 	b.releaseMu.Lock()
 	defer b.releaseMu.Unlock()
 
+	var stats ReleaseStats
 	update := dst
 	vecf.Zero(update)
 	for i := range b.shards {
@@ -138,19 +163,23 @@ func (b *Buffered) ReleaseInto(dst []float32) (totalWeight float64, n int) {
 		s.mu.Lock()
 		if s.n > 0 {
 			vecf.Add(update, s.sum)
-			totalWeight += s.weight
-			n += s.n
+			stats.TotalWeight += s.weight
+			if s.maxW > stats.MaxWeight {
+				stats.MaxWeight = s.maxW
+			}
+			stats.N += s.n
 			vecf.Zero(s.sum)
 			s.weight = 0
+			s.maxW = 0
 			s.n = 0
 		}
 		s.mu.Unlock()
 	}
-	if n == 0 {
+	if stats.N == 0 {
 		panic("buffer: Release on empty buffer")
 	}
-	b.count.Add(int64(-n))
+	b.count.Add(int64(-stats.N))
 	b.released.Add(1)
-	vecf.Scale(update, float32(1/totalWeight))
-	return totalWeight, n
+	vecf.Scale(update, float32(1/stats.TotalWeight))
+	return stats
 }

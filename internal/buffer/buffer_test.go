@@ -280,3 +280,64 @@ func BenchmarkAddSingleShard(b *testing.B) {
 		}
 	})
 }
+
+// TestReleaseIntoStats pins the weight statistics the DP tier calibrates
+// noise from: TotalWeight and N as before, plus MaxWeight tracked across
+// shards and reset by the release.
+func TestReleaseIntoStats(t *testing.T) {
+	b := New(2, 3, 2)
+	b.Add([]float32{1, 0}, 0.5, 0)
+	b.Add([]float32{0, 1}, 2.0, 1)
+	b.Add([]float32{1, 1}, 1.0, 2)
+	dst := make([]float32, 2)
+	st := b.ReleaseIntoStats(dst)
+	if st.N != 3 {
+		t.Fatalf("N = %d", st.N)
+	}
+	if math.Abs(st.TotalWeight-3.5) > 1e-9 {
+		t.Fatalf("TotalWeight = %v", st.TotalWeight)
+	}
+	if st.MaxWeight != 2.0 {
+		t.Fatalf("MaxWeight = %v, want 2.0", st.MaxWeight)
+	}
+	// (0.5*[1,0] + 2*[0,1] + 1*[1,1]) / 3.5 = [1.5/3.5, 3/3.5]
+	if math.Abs(float64(dst[0])-1.5/3.5) > 1e-6 || math.Abs(float64(dst[1])-3.0/3.5) > 1e-6 {
+		t.Fatalf("dst = %v", dst)
+	}
+	// The max tracker resets with the rest of the shard state.
+	b.Add([]float32{1, 1}, 0.25, 0)
+	b.Add([]float32{1, 1}, 0.75, 1)
+	b.Add([]float32{1, 1}, 0.5, 2)
+	st = b.ReleaseIntoStats(dst)
+	if st.MaxWeight != 0.75 {
+		t.Fatalf("MaxWeight after reset = %v, want 0.75", st.MaxWeight)
+	}
+}
+
+// TestReleaseIntoStatsMatchesReleaseInto keeps the two release paths
+// byte-identical: ReleaseInto is now a thin wrapper over ReleaseIntoStats.
+func TestReleaseIntoStatsMatchesReleaseInto(t *testing.T) {
+	r := rng.New(7)
+	mk := func() *Buffered {
+		b := New(3, 6, 4)
+		rr := rng.New(42)
+		for i := 0; i < 6; i++ {
+			u := []float32{float32(rr.NormFloat64()), float32(rr.NormFloat64()), float32(rr.NormFloat64())}
+			b.Add(u, 0.5+rr.Float64(), i)
+		}
+		return b
+	}
+	_ = r
+	d1 := make([]float32, 3)
+	d2 := make([]float32, 3)
+	st := mk().ReleaseIntoStats(d1)
+	w, n := mk().ReleaseInto(d2)
+	if st.TotalWeight != w || st.N != n {
+		t.Fatalf("stats (%v,%d) != plain (%v,%d)", st.TotalWeight, st.N, w, n)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("released vectors differ at %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}

@@ -8,6 +8,8 @@
 package client
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -242,9 +244,15 @@ type Runtime struct {
 	// vanishing one reports the failure so the slot frees immediately.
 	// The scenario engine drives this from its pre-drawn fault plans.
 	Dropout func() (stage DropStage, vanish bool)
+	// DPNoiseSeed, when nonzero, makes the local-DP noise stream
+	// deterministic (tests/scenarios). Zero — the production default —
+	// seeds it from crypto/rand: local-DP noise is the device's own
+	// secret, and a predictable stream voids the local guarantee.
+	DPNoiseSeed uint64
 
 	lastParticipation time.Time
 	cachedName        string
+	dpNoise           *rng.RNG
 }
 
 // name is the runtime's fabric node name, formatted once per Runtime — it is
@@ -340,6 +348,20 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 		return &Result{Outcome: Aborted, Reason: report.Reason, TaskID: checkin.TaskID, Loss: loss, TraceID: p.trace, Traced: traced}, nil
 	}
 
+	// DP tasks: clip the delta BEFORE the upload codec quantizes it (the
+	// ROADMAP ordering — quantization error on an unclipped delta would
+	// overshoot the bound the client targets), and under local DP add the
+	// device's own Gaussian noise so not even the aggregator sees the raw
+	// update. The server re-clips after dequantize regardless, so skipping
+	// this never voids the central guarantee — it only wastes the part of
+	// the update the server clips away.
+	if report.DPClip > 0 {
+		vecf.ClipNorm(delta, report.DPClip)
+		if report.DPLocalNoise > 0 {
+			r.addLocalNoise(delta, report.DPLocalNoise)
+		}
+	}
+
 	// Stage 4: chunked upload — compressed when negotiated, masked when
 	// SecAgg is enabled.
 	staleness := report.CurrentVersion - download.Version
@@ -373,6 +395,29 @@ func (r *Runtime) RunOnce(now time.Time) (*Result, error) {
 	res.TraceID = p.trace
 	res.Traced = traced
 	return res, nil
+}
+
+// addLocalNoise adds iid Gaussian noise with the given per-coordinate
+// stddev to the clipped delta (local DP), lazily seeding the device's
+// private noise stream (crypto/rand unless DPNoiseSeed pins it).
+func (r *Runtime) addLocalNoise(delta []float32, sigma float64) {
+	if r.dpNoise == nil {
+		seed := r.DPNoiseSeed
+		if seed == 0 {
+			var b [8]byte
+			if _, err := crand.Read(b[:]); err == nil {
+				seed = binary.LittleEndian.Uint64(b[:])
+			} else {
+				// Entropy failure: a weak seed still beats uploading the
+				// raw delta, but mix in what identity we have.
+				seed = uint64(time.Now().UnixNano()) ^ uint64(r.ClientID)
+			}
+		}
+		r.dpNoise = rng.New(seed)
+	}
+	for i := range delta {
+		delta[i] += float32(sigma * r.dpNoise.NormFloat64())
+	}
 }
 
 // abandon terminates an attempt at a scheduled dropout point. A vanishing

@@ -1,0 +1,205 @@
+package client
+
+// Local-DP client behavior: when the server's upload configuration carries
+// a DP clip bound, the client clips its delta before the upload codec
+// touches it; when it additionally carries a local-noise sigma, the client
+// adds its own Gaussian noise so not even the aggregator sees the raw
+// update. The noise stream defaults to crypto/rand seeding — two clients
+// with the same config must not produce the same noise.
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/transport"
+	"repro/internal/vecf"
+)
+
+// dpStub is a stub selector whose report response carries a DP upload
+// configuration; it captures every uploaded chunk's raw payload.
+type dpStub struct {
+	clip       float64
+	localNoise float64
+	uploaded   []float32
+}
+
+func (s *dpStub) handle(method string, payload any) (any, error) {
+	switch method {
+	case "checkin":
+		return server.CheckinResponse{
+			Accepted: true, TaskID: "t", Aggregator: "agg", SessionID: 1, Version: 0,
+		}, nil
+	case "route":
+		req := payload.(server.RouteRequest)
+		switch req.Method {
+		case "download":
+			return server.DownloadResponse{Params: make([]float32, 56), Version: 0}, nil
+		case "report":
+			return server.ReportResponse{
+				OK: true, ChunkSize: 16,
+				DPClip: s.clip, DPLocalNoise: s.localNoise,
+			}, nil
+		case "upload-chunk":
+			c := req.Payload.(server.UploadChunk)
+			s.uploaded = append(s.uploaded, c.Data...)
+			return server.UploadResponse{OK: true}, nil
+		}
+		return nil, fmt.Errorf("dp stub: unknown routed method %q", req.Method)
+	}
+	return nil, fmt.Errorf("dp stub: unknown method %q", method)
+}
+
+// fixedDeltaExec returns a predetermined delta so the uploaded payload is
+// exactly attributable to the client-side DP transforms.
+type fixedDeltaExec struct{ delta []float32 }
+
+func (f fixedDeltaExec) Train(params []float32, examples [][]int) ([]float32, float64) {
+	return vecf.Clone(f.delta), 1.0
+}
+
+func dpTestRuntime(net *transport.Network, delta []float32, seed uint64) *Runtime {
+	store := NewExampleStore(0, 0)
+	store.Add([]int{1, 2, 3}, time.Now())
+	return &Runtime{
+		ClientID:     1,
+		Capabilities: []string{"lm"},
+		Store:        store,
+		Exec:         fixedDeltaExec{delta: delta},
+		Net:          net,
+		Selectors:    []string{"sel"},
+		State:        DeviceState{Idle: true, Charging: true, Unmetered: true},
+		Random:       rand.Reader,
+		DPNoiseSeed:  seed,
+	}
+}
+
+// runDPOnce drives one participation against a dpStub and returns the
+// payload the client actually uploaded.
+func runDPOnce(t *testing.T, clip, localNoise float64, delta []float32, seed uint64) []float32 {
+	t.Helper()
+	net := transport.NewNetwork(1)
+	stub := &dpStub{clip: clip, localNoise: localNoise}
+	net.Register("sel", stub.handle)
+	r := dpTestRuntime(net, delta, seed)
+	res, err := r.RunOnce(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != Completed {
+		t.Fatalf("outcome = %s (%s)", res.Outcome, res.Reason)
+	}
+	if len(stub.uploaded) != len(delta) {
+		t.Fatalf("uploaded %d params, want %d", len(stub.uploaded), len(delta))
+	}
+	return stub.uploaded
+}
+
+func bigDelta() []float32 {
+	delta := make([]float32, 56)
+	for i := range delta {
+		delta[i] = 0.5
+	}
+	return delta
+}
+
+// TestClientClipsToReportedBound: a DP clip in the report bounds the
+// uploaded delta's L2 norm; direction is preserved (pure scaling).
+func TestClientClipsToReportedBound(t *testing.T) {
+	delta := bigDelta() // norm = 0.5*sqrt(56) ~ 3.74
+	got := runDPOnce(t, 1.0, 0, delta, 0)
+	if norm := vecf.Norm2(got); norm > 1.0+1e-6 || norm < 0.999 {
+		t.Fatalf("uploaded norm = %v, want ~1.0 (clipped)", norm)
+	}
+	// Uniform input must stay uniform after a pure rescale.
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("clipping was not a pure rescale: got[%d]=%v vs got[0]=%v", i, got[i], got[0])
+		}
+	}
+
+	// A delta already inside the bound is untouched.
+	small := make([]float32, 56)
+	small[0] = 0.25
+	got = runDPOnce(t, 1.0, 0, small, 0)
+	for i := range small {
+		if got[i] != small[i] {
+			t.Fatalf("in-bound delta modified at %d: %v vs %v", i, got[i], small[i])
+		}
+	}
+}
+
+// TestClientLocalNoiseSeeded: with a pinned DPNoiseSeed the uploaded
+// payload is deterministic and equals clip(delta) plus the seeded Gaussian
+// stream; different seeds diverge.
+func TestClientLocalNoiseSeeded(t *testing.T) {
+	const clip, sigma = 1.0, 0.1
+	delta := bigDelta()
+	got := runDPOnce(t, clip, sigma, delta, 42)
+
+	// Reconstruct: clip, then add the same seeded stream.
+	want := vecf.Clone(delta)
+	vecf.ClipNorm(want, clip)
+	noise := rng.New(42)
+	for i := range want {
+		want[i] += float32(sigma * noise.NormFloat64())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("seeded noisy upload diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	again := runDPOnce(t, clip, sigma, delta, 42)
+	for i := range got {
+		if again[i] != got[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	other := runDPOnce(t, clip, sigma, delta, 43)
+	same := true
+	for i := range got {
+		if other[i] != got[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+// TestClientLocalNoiseCryptoDefault: DPNoiseSeed zero draws the noise seed
+// from crypto/rand — two identically configured clients must not upload
+// identical noisy payloads (a predictable stream would let the aggregator
+// subtract the noise).
+func TestClientLocalNoiseCryptoDefault(t *testing.T) {
+	delta := bigDelta()
+	a := runDPOnce(t, 1.0, 0.1, delta, 0)
+	b := runDPOnce(t, 1.0, 0.1, delta, 0)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two zero-seed clients uploaded identical noise; the stream is predictable")
+	}
+}
+
+// TestClientNoDPPassthrough: without a DP block in the report the delta
+// rides unmodified — the DP hooks are exact no-ops when off.
+func TestClientNoDPPassthrough(t *testing.T) {
+	delta := bigDelta()
+	got := runDPOnce(t, 0, 0, delta, 0)
+	for i := range delta {
+		if got[i] != delta[i] {
+			t.Fatalf("no-DP upload modified at %d: %v vs %v", i, got[i], delta[i])
+		}
+	}
+}

@@ -319,9 +319,14 @@ func (r *runner) finishSession(s *session) {
 func (r *runner) serverStep() {
 	r.train.flush()
 	update := r.pool.Get()
-	_, n := r.buf.ReleaseInto(update)
+	stats := r.buf.ReleaseIntoStats(update)
 	if r.dpMech != nil {
-		r.dpMech.NoiseAggregate(update, n)
+		// Calibrate to the release's actual weight statistics: staleness
+		// weights make the weighted mean's sensitivity MaxWeight*Clip/W,
+		// not Clip/n.
+		r.dpMech.NoiseRelease(update, dp.Release{
+			N: stats.N, TotalWeight: stats.TotalWeight, MaxWeight: stats.MaxWeight,
+		})
 	}
 	next := r.pool.Get()
 	copy(next, r.cur.data)

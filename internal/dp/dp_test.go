@@ -175,3 +175,139 @@ func BenchmarkNoiseAggregate(b *testing.B) {
 		m.NoiseAggregate(agg, 100)
 	}
 }
+
+// TestZeroSeedIsUnpredictable is the regression for the spec-carried-seed
+// hole: a zero Config.Seed (the networked default) must seed the noise
+// stream from crypto/rand, so two mechanisms built from the same config
+// draw different noise. A predictable, spec-carried seed would let any
+// party holding the task spec subtract the noise and void the guarantee.
+func TestZeroSeedIsUnpredictable(t *testing.T) {
+	cfg := Config{Clip: 1, NoiseMultiplier: 1, Delta: 1e-6} // Seed: 0
+	a := make([]float32, 64)
+	b := make([]float32, 64)
+	New(cfg).NoiseAggregate(a, 1)
+	New(cfg).NoiseAggregate(b, 1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two zero-seed mechanisms drew identical noise; seed is predictable")
+	}
+}
+
+// TestExplicitSeedIsDeterministic pins the other half of the seed contract:
+// a nonzero seed reproduces the noise stream exactly (simulation and test
+// reproducibility), and different explicit seeds diverge.
+func TestExplicitSeedIsDeterministic(t *testing.T) {
+	cfg := testConfig() // Seed: 1
+	a := make([]float32, 64)
+	b := make([]float32, 64)
+	New(cfg).NoiseAggregate(a, 1)
+	New(cfg).NoiseAggregate(b, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded mechanisms diverged at coordinate %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	cfg2 := cfg
+	cfg2.Seed = 2
+	c := make([]float32, 64)
+	New(cfg2).NoiseAggregate(c, 1)
+	if a[0] == c[0] && a[1] == c[1] && a[2] == c[2] {
+		t.Fatal("different seeds produced the same noise stream")
+	}
+}
+
+// TestSigmaGolden pins the calibrated noise stddev per aggregation-weight
+// regime — the regression for the staleness-weight sensitivity bug, where
+// sigma was computed as z*Clip/k regardless of the weights. A release whose
+// max weight exceeds the uniform share must get proportionally more noise.
+func TestSigmaGolden(t *testing.T) {
+	m := New(Config{Clip: 2, NoiseMultiplier: 1.5, Delta: 1e-6, Seed: 1})
+	cases := []struct {
+		name string
+		rel  Release
+		want float64
+	}{
+		// fedavg / uniform fedbuff: w_i = 1 for all i.
+		{"uniform k=10", Release{N: 10, TotalWeight: 10, MaxWeight: 1}, 1.5 * 2 * 1.0 / 10},
+		// staleness-weighted fedbuff: a fresh update at weight 1 among
+		// damped stale ones — MaxWeight is the uniform 1 but TotalWeight
+		// shrinks, raising the fresh client's share of the mean.
+		{"staleness-damped", Release{N: 4, TotalWeight: 2.5, MaxWeight: 1}, 1.5 * 2 * 1.0 / 2.5},
+		// a super-unit weight (no fedopt rule caps weights at 1): the
+		// dominant client moves the mean by MaxWeight/TotalWeight.
+		{"dominant weight", Release{N: 3, TotalWeight: 4, MaxWeight: 2}, 1.5 * 2 * 2.0 / 4},
+		// single client: the release IS that client's update.
+		{"k=1", Release{N: 1, TotalWeight: 0.8, MaxWeight: 0.8}, 1.5 * 2 * 1.0},
+	}
+	for _, tc := range cases {
+		if got := m.Sigma(tc.rel); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Sigma = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestNoiseReleasePanicsOnBadStats asserts malformed release statistics are
+// aggregation bugs, not recoverable conditions.
+func TestNoiseReleasePanicsOnBadStats(t *testing.T) {
+	bad := []Release{
+		{N: 0, TotalWeight: 1, MaxWeight: 1},
+		{N: 1, TotalWeight: 0, MaxWeight: 1},
+		{N: 1, TotalWeight: 1, MaxWeight: 0},
+		{N: 1, TotalWeight: 1, MaxWeight: 2},
+	}
+	for i, rel := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted: %+v", i, rel)
+				}
+			}()
+			New(testConfig()).NoiseRelease(make([]float32, 2), rel)
+		}()
+	}
+}
+
+// TestBudgetGate covers CanRelease against EpsilonAfter: releases are
+// allowed exactly while one more still fits the budget, and a refused
+// release leaves the accountant untouched.
+func TestBudgetGate(t *testing.T) {
+	cfg := testConfig()
+	cfg.EpsilonBudget = New(cfg).EpsilonAfter(3) + 1e-9 // room for exactly 3
+	m := New(cfg)
+	agg := make([]float32, 2)
+	for i := 0; i < 3; i++ {
+		if !m.CanRelease() {
+			t.Fatalf("release %d refused inside budget", i+1)
+		}
+		m.NoiseAggregate(agg, 5)
+	}
+	if m.CanRelease() {
+		t.Fatalf("4th release allowed: eps after 4 = %v > budget %v",
+			m.EpsilonAfter(4), m.Budget())
+	}
+	if m.Releases() != 3 {
+		t.Fatalf("refused release changed the accountant: %d releases", m.Releases())
+	}
+	// No budget = always releasable.
+	if !New(testConfig()).CanRelease() {
+		t.Fatal("unbudgeted mechanism refused a release")
+	}
+}
+
+// TestLocalSigma pins the on-device noise scale: a single update's
+// sensitivity is the clip itself, so sigma = z * Clip.
+func TestLocalSigma(t *testing.T) {
+	m := New(Config{Clip: 0.5, NoiseMultiplier: 2, Delta: 1e-6, Seed: 1, Local: true})
+	if !m.LocalEnabled() {
+		t.Fatal("LocalEnabled = false")
+	}
+	if got := m.LocalSigma(); got != 1.0 {
+		t.Fatalf("LocalSigma = %v, want 1.0", got)
+	}
+}

@@ -24,7 +24,7 @@ func capped(cell string) bool { return strings.HasPrefix(cell, ">") }
 
 func TestRegistryCoversEveryFigure(t *testing.T) {
 	want := []string{"fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "table1"}
+		"fig11", "fig12", "fig13", "table1", "dpcurve"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(reg), len(want))
@@ -321,5 +321,32 @@ func TestBuildWorldShapes(t *testing.T) {
 	}
 	if w.Pop.Size() != ScaleSmall().PopulationSize {
 		t.Fatal("population size mismatch")
+	}
+}
+
+func TestDPCurveTradeoff(t *testing.T) {
+	tab := DPCurve(ScaleSmall())
+	if len(tab.Rows) != len(dpNoiseSweep) {
+		t.Fatalf("dpcurve has %d rows, want %d", len(tab.Rows), len(dpNoiseSweep))
+	}
+	// The z=0 baseline is non-private: epsilon must render as unbounded.
+	if tab.Rows[0][2] != "inf" {
+		t.Fatalf("baseline epsilon = %q, want inf", tab.Rows[0][2])
+	}
+	// Among the private rows, epsilon must fall strictly as z grows (same
+	// release count, rho = 1/(2z^2)).
+	prev := parse(t, tab.Rows[1][2])
+	for r := 2; r < len(tab.Rows); r++ {
+		eps := parse(t, tab.Rows[r][2])
+		if eps >= prev {
+			t.Fatalf("epsilon not decreasing in z: row %d has %v after %v", r, eps, prev)
+		}
+		prev = eps
+	}
+	// The strongest noise must cost utility versus the clean baseline.
+	clean := parse(t, tab.Rows[0][1])
+	noisy := parse(t, tab.Rows[len(tab.Rows)-1][1])
+	if noisy <= clean {
+		t.Fatalf("z=%g loss %v not worse than clean %v", dpNoiseSweep[len(dpNoiseSweep)-1], noisy, clean)
 	}
 }

@@ -26,6 +26,7 @@ func Registry() []Experiment {
 		{"fig12", "training curves for the four configurations", Figure12},
 		{"fig13", "hours to target for the four configurations", Figure13},
 		{"table1", "test perplexity by data-volume percentile (fairness)", Table1},
+		{"dpcurve", "privacy/utility: final loss and epsilon vs DP noise multiplier", DPCurve},
 	}
 }
 

@@ -165,6 +165,7 @@ func Run(spec Spec, opts Options) (*Report, error) {
 		UploadChunkSize: spec.ChunkSize,
 		Aggregation:     spec.Aggregation,
 		AggParam:        spec.AggParam,
+		DP:              spec.dpConfig(),
 	}
 	if err := createTask(net, task, timings); err != nil {
 		return nil, err
@@ -261,6 +262,14 @@ func Run(spec Spec, opts Options) (*Report, error) {
 	}
 	if wall > 0 {
 		rep.UploadsPerSec = float64(info.Updates) / wall.Seconds()
+	}
+	if info.DPEnabled {
+		rep.DPEnabled = true
+		rep.DPEpsilon = info.DPEpsilon
+		rep.DPDelta = info.DPDelta
+		rep.DPReleases = info.DPReleases
+		rep.DPBudget = info.DPBudget
+		rep.DPExhausted = info.DPExhausted
 	}
 	for ti, t := range spec.Tiers {
 		st := TierStats{Tier: t.Name, Clients: t.Clients}

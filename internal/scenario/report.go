@@ -41,6 +41,18 @@ type Report struct {
 	Uploads int64 `json:"uploads"`
 	// WallSecs is the fleet driving wall time.
 	WallSecs float64 `json:"wall_secs"`
+	// DPEnabled reports whether the task ran under central DP.
+	DPEnabled bool `json:"dp_enabled,omitempty"`
+	// DPEpsilon is the cumulative privacy loss at the final release.
+	DPEpsilon float64 `json:"dp_epsilon,omitempty"`
+	// DPDelta is the accounting delta the epsilon is stated at.
+	DPDelta float64 `json:"dp_delta,omitempty"`
+	// DPReleases counts noised model releases.
+	DPReleases int `json:"dp_releases,omitempty"`
+	// DPBudget is the configured epsilon cap (0 = unlimited).
+	DPBudget float64 `json:"dp_epsilon_budget,omitempty"`
+	// DPExhausted reports whether the run stopped releasing on budget.
+	DPExhausted bool `json:"dp_budget_exhausted,omitempty"`
 	// UploadsPerSec is the accepted-upload throughput.
 	UploadsPerSec float64 `json:"uploads_per_sec"`
 	// Tiers carries per-tier outcome counts and latency percentiles.
@@ -118,13 +130,22 @@ func (r *Report) PlanTrace() string {
 // Summary is the run's one-line human summary; the CI scenario-smoke job
 // greps for its "converged loss" marker.
 func (r *Report) Summary() string {
-	if r.Uploads == 0 || r.LossAfter >= r.LossBefore {
-		return fmt.Sprintf("scenario %q rule=%s: NO CONVERGENCE: %d uploads, loss %.4f -> %.4f",
-			r.Scenario, r.Rule, r.Uploads, r.LossBefore, r.LossAfter)
+	dpTail := ""
+	if r.DPEnabled {
+		status := "within budget"
+		if r.DPExhausted {
+			status = "budget_exhausted"
+		}
+		dpTail = fmt.Sprintf(", dp epsilon=%.4f delta=%g releases=%d status=%s",
+			r.DPEpsilon, r.DPDelta, r.DPReleases, status)
 	}
-	return fmt.Sprintf("scenario %q rule=%s mode=%s: %d uploads in %.2fs (%.1f/s), converged loss %.4f -> %.4f (version %d)",
+	if r.Uploads == 0 || r.LossAfter >= r.LossBefore {
+		return fmt.Sprintf("scenario %q rule=%s: NO CONVERGENCE: %d uploads, loss %.4f -> %.4f%s",
+			r.Scenario, r.Rule, r.Uploads, r.LossBefore, r.LossAfter, dpTail)
+	}
+	return fmt.Sprintf("scenario %q rule=%s mode=%s: %d uploads in %.2fs (%.1f/s), converged loss %.4f -> %.4f (version %d)%s",
 		r.Scenario, r.Rule, r.Mode, r.Uploads, r.WallSecs, r.UploadsPerSec,
-		r.LossBefore, r.LossAfter, r.Version)
+		r.LossBefore, r.LossAfter, r.Version, dpTail)
 }
 
 // benchFile is the on-disk shape of BENCH_scenarios.json: append-only run

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/fedopt"
 	"repro/internal/rng"
 )
@@ -70,8 +71,50 @@ type Spec struct {
 	// Network is the fabric-level fault profile, applied through
 	// transport.FaultInjector when the fabric supports it.
 	Network NetworkSpec `json:"network,omitempty"`
+	// DP enables central differential privacy on the task (server-side
+	// clipping plus Gaussian noise on every release). nil runs without DP.
+	DP *DPSpec `json:"dp,omitempty"`
 	// Tiers partitions the fleet into device classes.
 	Tiers []Tier `json:"tiers"`
+}
+
+// DPSpec is the scenario's central-DP block, mirroring dp.Config field for
+// field (see docs/DEPLOYMENT.md "Differential privacy" for semantics).
+type DPSpec struct {
+	// Clip is the L2 clip bound enforced server-side on every update.
+	Clip float64 `json:"clip"`
+	// NoiseMultiplier is the Gaussian noise multiplier z.
+	NoiseMultiplier float64 `json:"noise_multiplier"`
+	// Delta is the target delta for epsilon accounting; 0 means 1e-6.
+	Delta float64 `json:"delta,omitempty"`
+	// EpsilonBudget stops releases once one more would exceed it; 0 means
+	// unlimited.
+	EpsilonBudget float64 `json:"epsilon_budget,omitempty"`
+	// Local additionally makes clients noise their own deltas on-device.
+	Local bool `json:"local,omitempty"`
+	// Seed pins the noise stream for reproducible runs. Leave 0 in any
+	// profile whose output is treated as private: 0 selects crypto/rand
+	// seeding, the only setting under which the DP guarantee holds.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// dpConfig resolves the spec's DP block into a dp.Config (nil without one).
+func (s *Spec) dpConfig() *dp.Config {
+	if s.DP == nil {
+		return nil
+	}
+	delta := s.DP.Delta
+	if delta == 0 {
+		delta = 1e-6
+	}
+	return &dp.Config{
+		Clip:            s.DP.Clip,
+		NoiseMultiplier: s.DP.NoiseMultiplier,
+		Delta:           delta,
+		Seed:            s.DP.Seed,
+		EpsilonBudget:   s.DP.EpsilonBudget,
+		Local:           s.DP.Local,
+	}
 }
 
 // ModelSpec sizes the scenario's bilinear language model.
@@ -193,6 +236,11 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := fedopt.AggregationByName(s.Aggregation, s.AggParam); err != nil {
 		return err
+	}
+	if cfg := s.dpConfig(); cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario: dp: %w", err)
+		}
 	}
 	for i, t := range s.Tiers {
 		switch {

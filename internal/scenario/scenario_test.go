@@ -2,6 +2,7 @@ package scenario_test
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/client"
@@ -50,6 +51,7 @@ func TestSpecValidation(t *testing.T) {
 		"bad-dropout":   `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[{"name":"t","clients":1,"dropout":1.5}]}`,
 		"bad-dialect":   `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":2,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"tiers":[{"name":"t","clients":1,"dialect":5}]}`,
 		"bad-loss":      `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"network":{"loss_prob":1},"tiers":[{"name":"t","clients":1}]}`,
+		"bad-dp":        `{"name":"x","model":{"vocab":8,"dim":2},"data":{"dialects":1,"examples_per_client":1},"goal":1,"concurrency":1,"attempts":1,"dp":{"clip":-1,"noise_multiplier":1},"tiers":[{"name":"t","clients":1}]}`,
 	} {
 		if _, err := scenario.Load([]byte(raw)); err == nil {
 			t.Errorf("%s: invalid spec accepted", name)
@@ -159,5 +161,41 @@ func TestEngineSmoke(t *testing.T) {
 	}
 	if rep.Tiers[0].P50Millis <= 0 {
 		t.Fatal("per-tier p50 latency missing")
+	}
+	if rep.DPEnabled || strings.Contains(rep.Summary(), "dp epsilon") {
+		t.Fatal("no-DP profile reports DP state")
+	}
+}
+
+// TestEngineDPSmoke runs the committed DP profile on the in-memory fabric
+// and asserts the privacy accounting surfaces on the report and its
+// one-line summary (which the CI dp-smoke job greps).
+func TestEngineDPSmoke(t *testing.T) {
+	spec := loadSpec(t, "dp-uniform")
+	rep, err := scenario.Run(spec, scenario.Options{
+		Fabric:     transport.NewNetwork(1),
+		FabricName: "inmem",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Uploads == 0 {
+		t.Fatalf("no uploads completed: %s", rep.Summary())
+	}
+	if !rep.DPEnabled {
+		t.Fatal("DP profile did not report DPEnabled")
+	}
+	if rep.DPReleases < 1 || rep.DPEpsilon <= 0 {
+		t.Fatalf("releases=%d epsilon=%v, want accounted releases", rep.DPReleases, rep.DPEpsilon)
+	}
+	if rep.DPDelta != 1e-6 {
+		t.Fatalf("delta = %v, want 1e-6", rep.DPDelta)
+	}
+	if rep.DPExhausted {
+		t.Fatal("unbudgeted run reports budget_exhausted")
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "dp epsilon=") || !strings.Contains(sum, "status=within budget") {
+		t.Fatalf("summary missing DP tail: %s", sum)
 	}
 }

@@ -3,12 +3,15 @@ package server
 import (
 	"fmt"
 	"log"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/compress"
 	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/fedopt"
 	"repro/internal/secagg"
 	"repro/internal/transport"
@@ -151,6 +154,23 @@ type taskState struct {
 	// roundReceived counts updates in the current sync round.
 	roundReceived int
 
+	// dpMech is the task's central-DP mechanism (nil without a spec DP
+	// block). ClipUpdate is stateless and runs on the sharded accumulate
+	// path outside every lock; the noise and accounting calls run only
+	// inside serverStepLocked under mu — the exactly-one-finisher
+	// invariant is what serializes releases for the non-concurrency-safe
+	// mechanism.
+	dpMech *dp.Mechanism
+	// dpExhausted marks the task complete with status "budget_exhausted":
+	// the goal was met but one more release would exceed the epsilon
+	// budget, so the buffered updates stay unreleased and new joins and
+	// uploads are refused. Guarded by mu.
+	dpExhausted bool
+	// dpEpsilonBits caches the cumulative epsilon as math.Float64bits,
+	// written under mu at each release and read lock-free by the
+	// scrape-time papaya_dp_epsilon gauge.
+	dpEpsilonBits atomic.Uint64
+
 	// lastClose and closeEWMAms feed the RetryAfterMs hint on join
 	// rejections: the EWMA of intervals between session closes estimates
 	// how soon a slot frees up when the task sits at max concurrency.
@@ -213,6 +233,18 @@ func newTaskState(req AssignTaskRequest) (*taskState, error) {
 	if err != nil {
 		return nil, err
 	}
+	// DP is validated at placement like the aggregation rule: a bad block
+	// must fail create-task, not every later release. SecAgg is excluded
+	// because the server-side sensitivity bound needs a plaintext re-clip
+	// after dequantize, which masked uploads never expose.
+	if spec.DP != nil {
+		if err := spec.DP.Validate(); err != nil {
+			return nil, err
+		}
+		if spec.SecAgg != nil {
+			return nil, fmt.Errorf("server: DP and SecAgg cannot be combined (the server cannot clip masked updates)")
+		}
+	}
 	if spec.SecAgg != nil {
 		// A spec that crossed the wire carries an inert deployment recipe;
 		// placement is where this host launches its own enclave from it
@@ -240,6 +272,9 @@ func newTaskState(req AssignTaskRequest) (*taskState, error) {
 	}
 	if spec.SecAgg != nil {
 		ts.secAgg = spec.SecAgg.NewAggregator()
+	}
+	if spec.DP != nil {
+		ts.dpMech = dp.New(*spec.DP)
 	}
 	return ts, nil
 }
@@ -377,6 +412,14 @@ func (a *Aggregator) assignTask(req AssignTaskRequest) (any, error) {
 		return nil, fmt.Errorf("aggregator %s: placing task %q: %w", a.name, req.Spec.ID, err)
 	}
 	a.tasks[req.Spec.ID] = ts
+	if ts.dpMech != nil {
+		// Per-task epsilon gauge, sampled lock-free at scrape time from
+		// the bits cached at each release; re-placement re-registers the
+		// same label tuple, replacing the closure.
+		registerDPEpsilonGauge(a.name, req.Spec.ID, func() float64 {
+			return math.Float64frombits(ts.dpEpsilonBits.Load())
+		})
+	}
 	return true, nil
 }
 
@@ -422,6 +465,12 @@ func (a *Aggregator) join(req JoinRequest) (any, error) {
 	}
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
+	if ts.dpExhausted {
+		// The task is complete: its privacy budget cannot cover another
+		// release, so new participants would train for nothing.
+		a.obs.span(req.TraceID, "join", req.TaskID, 0, start, "budget_exhausted")
+		return JoinResponse{Accepted: false, Reason: "budget_exhausted"}, nil
+	}
 	if len(ts.sessions) >= ts.spec.Concurrency {
 		a.obs.span(req.TraceID, "join", req.TaskID, 0, start, "task at max concurrency")
 		// The rejection carries the task's own estimate of when a slot
@@ -501,6 +550,15 @@ func (a *Aggregator) report(req ReportRequest) (any, error) {
 		// what this client offered (Section 7's communication lever; an
 		// empty offer from an older client degrades to raw).
 		Compress: compress.Negotiate(ts.spec.Compress, req.Compress),
+	}
+	if dpc := ts.spec.DP; dpc != nil {
+		// Ask the client to clip BEFORE it quantizes (ROADMAP ordering) so
+		// quantization error cannot push a compliant update past the bound
+		// it targets; the server still re-clips after dequantize.
+		resp.DPClip = dpc.Clip
+		if dpc.Local {
+			resp.DPLocalNoise = dpc.NoiseMultiplier * dpc.Clip
+		}
 	}
 	dep := ts.spec.SecAgg
 	ts.mu.Unlock()
@@ -661,6 +719,33 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		vecpool.PutUints(pendingGp)
 	}
 
+	// Plaintext update hygiene plus the DP sensitivity bound, both outside
+	// every lock like the chunk decode. A non-finite update is rejected:
+	// NaN survives clipping (every comparison with it is false), so one
+	// poisoned raw-codec delta would otherwise corrupt the whole aggregate
+	// — the packed codecs already sanitize at encode time, this covers the
+	// raw path. DP tasks then re-clip after dequantize, because int8/int16
+	// quantization error can inflate a client-side-clipped norm past the
+	// bound the noise is calibrated for. ClipUpdate is stateless, so it is
+	// safe on this sharded concurrent path; dpMech itself is immutable
+	// after placement.
+	if pendingGp == nil {
+		if !vecf.AllFinite(pending) {
+			ts.mu.Lock()
+			if cur, live := ts.sessions[c.SessionID]; live && cur == s {
+				ts.dropSessionLocked(c.SessionID)
+				a.obs.sessionsClosed.Inc()
+			}
+			ts.mu.Unlock()
+			release()
+			return UploadResponse{OK: false, Reason: "non-finite update"}, nil
+		}
+		if ts.dpMech != nil {
+			pre := ts.dpMech.ClipUpdate(pending)
+			a.obs.dpClipFraction.Observe(pre / ts.dpMech.Clip())
+		}
+	}
+
 	ts.mu.Lock()
 	if cur, live := ts.sessions[c.SessionID]; !live || cur != s {
 		ts.mu.Unlock()
@@ -674,6 +759,15 @@ func (a *Aggregator) finishUpload(ts *taskState, c UploadChunk, s *sessionState)
 		release()
 		a.obs.sessionsClosed.Inc()
 		return UploadResponse{OK: false, Reason: reason}, nil
+	}
+	if ts.dpExhausted {
+		// The budget capped out while this client trained; its update can
+		// never be released, so refuse it like an abort.
+		ts.dropSessionLocked(c.SessionID)
+		ts.mu.Unlock()
+		release()
+		a.obs.sessionsClosed.Inc()
+		return UploadResponse{OK: false, Reason: "budget_exhausted"}, nil
 	}
 	staleness := ts.version - s.startVersion
 	if ts.spec.MaxStaleness > 0 && staleness > ts.spec.MaxStaleness {
@@ -805,6 +899,22 @@ func (a *Aggregator) countAndMaybeStepLocked(ts *taskState, sessionID uint64) (a
 	if goalMet && ts.spec.SecAgg == nil && ts.buf.Count() == 0 {
 		goalMet = false
 	}
+	// Budget enforcement happens BEFORE the release: once one more release
+	// would exceed the epsilon budget, the buffered updates stay
+	// unreleased (releasing them un-noised would silently void the
+	// guarantee) and the task completes with status "budget_exhausted" —
+	// in-flight sessions are aborted with that reason, and join/upload
+	// refuse it from here on.
+	if goalMet && ts.dpMech != nil && !ts.dpMech.CanRelease() {
+		ts.dpExhausted = true
+		for _, s := range ts.sessions {
+			s.aborted = true
+			s.abortReason = "budget_exhausted"
+		}
+		log.Printf("aggregator %s: task %q epsilon budget exhausted after %d release(s) (eps=%.3f, budget=%.3f)",
+			a.name, ts.spec.ID, ts.dpMech.Releases(), ts.dpMech.Epsilon(), ts.dpMech.Budget())
+		goalMet = false
+	}
 	if goalMet {
 		stepStart := time.Now()
 		if err := a.serverStepLocked(ts); err != nil {
@@ -841,8 +951,24 @@ func (a *Aggregator) serverStepLocked(ts *taskState) error {
 	} else {
 		// ReleaseInto recycles the task's scratch vector, so a server step
 		// allocates nothing model-sized (the optimizer only reads update).
-		ts.buf.ReleaseInto(ts.scratch)
+		stats := ts.buf.ReleaseIntoStats(ts.scratch)
 		update = ts.scratch
+		if ts.dpMech != nil {
+			// Noise the released weighted mean before the rule's Transform
+			// and the optimizer step touch it — both only post-process the
+			// released value, which is DP-safe. Sensitivity is calibrated
+			// from the release's actual weight statistics (staleness
+			// weights make it MaxWeight*Clip/TotalWeight, not Clip/n).
+			// ts.mu serializes this with every other release, satisfying
+			// the mechanism's no-concurrency contract.
+			ts.dpMech.NoiseRelease(update, dp.Release{
+				N:           stats.N,
+				TotalWeight: stats.TotalWeight,
+				MaxWeight:   stats.MaxWeight,
+			})
+			ts.dpEpsilonBits.Store(math.Float64bits(ts.dpMech.Epsilon()))
+			a.obs.dpReleases.Inc()
+		}
 	}
 	// The rule's server-side transform (e.g. FedProx's 1/(1+mu) damp) sees
 	// the weighted mean exactly as the optimizer would.
@@ -884,6 +1010,20 @@ type TaskInfo struct {
 	// Mode is the task's current aggregation mode (Appendix E.3 switches
 	// it at runtime).
 	Mode core.Algorithm
+	// DPEnabled reports whether the task runs under central DP; the
+	// remaining DP fields are meaningful only when it is set.
+	DPEnabled bool
+	// DPEpsilon is the cumulative epsilon spent at DPDelta.
+	DPEpsilon float64
+	// DPDelta is the task's configured delta.
+	DPDelta float64
+	// DPReleases counts noised aggregate releases.
+	DPReleases int
+	// DPBudget is the configured epsilon cap (0 = unlimited).
+	DPBudget float64
+	// DPExhausted reports the task completed with status
+	// "budget_exhausted": the next release would exceed DPBudget.
+	DPExhausted bool
 }
 
 func (a *Aggregator) taskInfo(taskID string) (any, error) {
@@ -895,13 +1035,22 @@ func (a *Aggregator) taskInfo(taskID string) (any, error) {
 	defer ts.mu.Unlock()
 	params := vecpool.GetFloats(len(ts.params))
 	copy(params, ts.params)
-	return TaskInfo{
+	info := TaskInfo{
 		Version: ts.version,
 		Updates: ts.updates,
 		Active:  len(ts.sessions),
 		Params:  params,
 		Mode:    ts.spec.Mode,
-	}, nil
+	}
+	if ts.dpMech != nil {
+		info.DPEnabled = true
+		info.DPEpsilon = ts.dpMech.Epsilon()
+		info.DPDelta = ts.dpMech.Delta()
+		info.DPReleases = ts.dpMech.Releases()
+		info.DPBudget = ts.dpMech.Budget()
+		info.DPExhausted = ts.dpExhausted
+	}
+	return info, nil
 }
 
 // activeSessionCount sums open sessions across this aggregator's tasks;

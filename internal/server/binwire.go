@@ -21,12 +21,25 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/secagg"
 	"repro/internal/transport/wire"
 	"repro/internal/vecpool"
 )
+
+// appendFloat64 encodes a float64 as its IEEE-754 bit pattern in a
+// uvarint; the DP fields are the first float64 scalars on the hot wire.
+func appendFloat64(dst []byte, f float64) []byte {
+	return wire.AppendUvarint(dst, math.Float64bits(f))
+}
+
+// readFloat64 reverses appendFloat64.
+func readFloat64(b []byte) (float64, []byte, error) {
+	bits, rest, err := wire.ReadUvarint(b)
+	return math.Float64frombits(bits), rest, err
+}
 
 // Binary message IDs (wire.RegisterBinary). Stable wire constants: never
 // renumber — retire an ID and allocate a fresh one instead.
@@ -337,6 +350,8 @@ func (r ReportResponse) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendVarint(dst, int64(r.ChunkSize))
 	dst = wire.AppendVarint(dst, int64(r.CurrentVersion))
 	dst = wire.AppendString(dst, r.Compress)
+	dst = appendFloat64(dst, r.DPClip)
+	dst = appendFloat64(dst, r.DPLocalNoise)
 	dst = wire.AppendBool(dst, r.SecAggEnabled)
 	if r.SecAggEnabled {
 		blob, err := gobBlob(secAggReportBlob{Bundle: r.SecAggBundle, Trust: r.SecAggTrust})
@@ -376,6 +391,12 @@ func decodeReportResponseBinary(b []byte) (any, error) {
 	}
 	r.CurrentVersion = int(v)
 	if r.Compress, b, err = wire.ReadString(b); err != nil {
+		return nil, err
+	}
+	if r.DPClip, b, err = readFloat64(b); err != nil {
+		return nil, err
+	}
+	if r.DPLocalNoise, b, err = readFloat64(b); err != nil {
 		return nil, err
 	}
 	if r.SecAggEnabled, b, err = wire.ReadBool(b); err != nil {
@@ -639,7 +660,13 @@ func (r TaskInfo) AppendBinary(dst []byte) []byte {
 	dst = wire.AppendVarint(dst, r.Updates)
 	dst = wire.AppendVarint(dst, int64(r.Active))
 	dst = wire.AppendFloat32s(dst, r.Params)
-	return wire.AppendString(dst, string(r.Mode))
+	dst = wire.AppendString(dst, string(r.Mode))
+	dst = wire.AppendBool(dst, r.DPEnabled)
+	dst = appendFloat64(dst, r.DPEpsilon)
+	dst = appendFloat64(dst, r.DPDelta)
+	dst = wire.AppendVarint(dst, int64(r.DPReleases))
+	dst = appendFloat64(dst, r.DPBudget)
+	return wire.AppendBool(dst, r.DPExhausted)
 }
 
 func decodeTaskInfoBinary(b []byte) (any, error) {
@@ -665,6 +692,25 @@ func decodeTaskInfoBinary(b []byte) (any, error) {
 		return nil, err
 	}
 	r.Mode = core.Algorithm(mode)
+	if r.DPEnabled, b, err = wire.ReadBool(b); err != nil {
+		return nil, err
+	}
+	if r.DPEpsilon, b, err = readFloat64(b); err != nil {
+		return nil, err
+	}
+	if r.DPDelta, b, err = readFloat64(b); err != nil {
+		return nil, err
+	}
+	if v, b, err = wire.ReadVarint(b); err != nil {
+		return nil, err
+	}
+	r.DPReleases = int(v)
+	if r.DPBudget, b, err = readFloat64(b); err != nil {
+		return nil, err
+	}
+	if r.DPExhausted, b, err = wire.ReadBool(b); err != nil {
+		return nil, err
+	}
 	return r, done(b)
 }
 

@@ -46,7 +46,22 @@ var (
 		"Selector latency of one routed in-session call.", "node")
 	famCheckins = obs.Default().Counter("papaya_checkins_total",
 		"Client check-ins by outcome (accepted | rejected | error).", "node", "outcome")
+	famDPReleases = obs.Default().Counter("papaya_dp_releases_total",
+		"Noised aggregate releases per aggregator; each spends privacy budget.", "node")
+	famDPClipFraction = obs.Default().Histogram("papaya_dp_clip_fraction",
+		"Pre-clip L2 norm over the clip bound per accepted DP upload (above 1 = clipped).", "node")
 )
+
+// registerDPEpsilonGauge exposes a DP task's cumulative epsilon as a
+// lazily-read gauge. The value is stored as float64 bits under the task
+// mutex at each release and read lock-free at scrape time; re-placing the
+// task re-registers the same label tuple, which replaces the closure (the
+// obs registry's restart semantics).
+func registerDPEpsilonGauge(node, task string, read func() float64) {
+	obsreg.GaugeFunc("papaya_dp_epsilon",
+		"Cumulative epsilon spent by a DP task at its configured delta.",
+		read, []string{"node", "task"}, node, task)
+}
 
 func init() {
 	// Lease-leak visibility (obs satellite): the vecpool balance
@@ -78,6 +93,8 @@ type aggObs struct {
 	chunkSeconds   *metrics.Histogram
 	finishSeconds  *metrics.Histogram
 	stepSeconds    *metrics.Histogram
+	dpReleases     *metrics.Counter
+	dpClipFraction *metrics.Histogram
 }
 
 func newAggObs(node string) *aggObs {
@@ -92,6 +109,8 @@ func newAggObs(node string) *aggObs {
 		chunkSeconds:   famChunkSeconds.HistogramWith(node),
 		finishSeconds:  famFinishSeconds.HistogramWith(node),
 		stepSeconds:    famStepSeconds.HistogramWith(node),
+		dpReleases:     famDPReleases.CounterWith(node),
+		dpClipFraction: famDPClipFraction.HistogramWith(node),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/fedopt"
 	"repro/internal/secagg"
 )
@@ -64,6 +65,19 @@ type TaskSpec struct {
 	// AggParam is the rule's knob (FedBuff staleness exponent, FedProx
 	// proximal mu); 0 selects the rule's default.
 	AggParam float64
+	// DP, when non-nil, runs the task under central differential privacy
+	// (internal/dp): the aggregator re-clips every plaintext update after
+	// dequantize, noises each released aggregate under the exactly-one-
+	// finisher invariant, and accounts (epsilon, delta) across releases,
+	// refusing further releases once DP.EpsilonBudget is exhausted (the
+	// task completes with status "budget_exhausted"). Validated at
+	// placement like Aggregation; incompatible with SecAgg (the server
+	// cannot clip masked updates). Cold gob field (versioning rule 2):
+	// an older peer's decoder drops it, so DP tasks must not be placed on
+	// mixed-version fleets. A spec that crosses the wire should leave
+	// DP.Seed zero — the mechanism then seeds from crypto/rand, since a
+	// spec-carried seed is visible to every client (see dp.Config.Seed).
+	DP *dp.Config
 }
 
 // optimizerFor builds the server optimizer for a task. Each placement gets a
@@ -152,6 +166,16 @@ type ReportResponse struct {
 	// preferred codec if the client offered it, "" for raw uploads. The
 	// client fills UploadChunk.Packed with frames of exactly this codec.
 	Compress string
+	// DPClip, when positive, asks the client to L2-clip its delta to this
+	// bound before (optionally) quantizing and uploading — the ROADMAP's
+	// "clip before quantize" ordering. The server re-clips after
+	// dequantize regardless, so the guarantee never rests on client
+	// cooperation. Cold gob field (versioning rule 2): a /v1 client drops
+	// it and the server-side re-clip still bounds sensitivity.
+	DPClip float64
+	// DPLocalNoise, when positive, is the per-coordinate Gaussian stddev
+	// the client adds to its clipped delta before upload (local DP).
+	DPLocalNoise float64
 }
 
 // UploadChunk carries one chunk of a (possibly masked) model update.

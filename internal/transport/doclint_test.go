@@ -29,6 +29,7 @@ var doclintDirs = []string{
 	"../scenario",   // internal/scenario
 	"../obs",        // internal/obs (observability plane)
 	"../metrics",    // internal/metrics (histogram/vec primitives)
+	"../dp",         // internal/dp (differential privacy tier)
 }
 
 func TestExportedSymbolsAreDocumented(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dp"
 	"repro/internal/secagg"
 	"repro/internal/server"
 	"repro/internal/tee"
@@ -54,6 +55,7 @@ func samples(t *testing.T, w *secaggWorld) map[string]any {
 		ID: "wt", Mode: core.Async, NumParams: 4, Concurrency: 8,
 		AggregationGoal: 2, MaxStaleness: 3, Capability: "lm",
 		InitParams: []float32{1, 2, 3, 4}, AggShards: 2, UploadChunkSize: 2,
+		DP: &dp.Config{Clip: 1, NoiseMultiplier: 2, Delta: 1e-6, EpsilonBudget: 5},
 	}
 	secSpec := spec
 	secSpec.ID = "wt-sec"
@@ -109,6 +111,7 @@ func samples(t *testing.T, w *secaggWorld) map[string]any {
 		"papaya/v1/server.ReportRequest":    server.ReportRequest{TaskID: "wt", SessionID: 12},
 		"papaya/v1/server.ReportResponse": server.ReportResponse{
 			OK: true, ChunkSize: 2, CurrentVersion: 9,
+			DPClip: 1.5, DPLocalNoise: 0.75,
 			SecAggEnabled: true, SecAggBundle: &w.bundle, SecAggTrust: w.trust,
 		},
 		// The masked-share payload: a SecAgg upload chunk carrying the
@@ -128,6 +131,8 @@ func samples(t *testing.T, w *secaggWorld) map[string]any {
 		},
 		"papaya/v1/server.TaskInfo": server.TaskInfo{
 			Version: 9, Updates: 31, Active: 2, Params: []float32{1, 2, 3, 4},
+			DPEnabled: true, DPEpsilon: 3.25, DPDelta: 1e-6, DPReleases: 7,
+			DPBudget: 8, DPExhausted: true,
 		},
 	}
 }

@@ -141,8 +141,8 @@ func TestFacadeProductionPlane(t *testing.T) {
 
 // TestFacadeExperiments checks the registry is reachable via the facade.
 func TestFacadeExperiments(t *testing.T) {
-	if len(papaya.Experiments()) != 11 {
-		t.Fatalf("experiments = %d, want 11", len(papaya.Experiments()))
+	if len(papaya.Experiments()) != 12 {
+		t.Fatalf("experiments = %d, want 12", len(papaya.Experiments()))
 	}
 	if papaya.ScaleSmall().Name != "small" || papaya.ScalePaper().Name != "paper" {
 		t.Fatal("scale presets broken")
